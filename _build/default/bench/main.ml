@@ -1,0 +1,789 @@
+(* Reproduction harness: regenerates every figure of the paper (the paper
+   has no numbered tables; Figures 1, 3-8 carry all quantitative content)
+   plus extension experiments, each with machine-checked PASS/FAIL
+   assertions, followed by Bechamel microbenchmarks of the analysis
+   pipeline.
+
+   Run with: dune exec bench/main.exe *)
+
+module Q = Tpan_mathkit.Q
+module B = Tpan_mathkit.Bigint
+module FM = Tpan_mathkit.Fourier_motzkin
+module Net = Tpan_petri.Net
+module Var = Tpan_symbolic.Var
+module Lin = Tpan_symbolic.Linexpr
+module Poly = Tpan_symbolic.Poly
+module Rf = Tpan_symbolic.Ratfun
+module Tpn = Tpan_core.Tpn
+module Sem = Tpan_core.Semantics
+module CG = Tpan_core.Concrete
+module SG = Tpan_core.Symbolic
+module DG = Tpan_perf.Decision_graph
+module Rates = Tpan_perf.Rates
+module M = Tpan_perf.Measures
+module Sim = Tpan_sim.Simulator
+module SW = Tpan_protocols.Stopwait
+module Abp = Tpan_protocols.Abp
+module Sc = Tpan_protocols.Shared_channel
+
+let failures = ref 0
+
+let check name cond =
+  if cond then Format.printf "  [PASS] %s@." name
+  else begin
+    incr failures;
+    Format.printf "  [FAIL] %s@." name
+  end
+
+let section id title = Format.printf "@.==================== %s: %s ====================@." id title
+
+let qd = Q.of_decimal_string
+let qf q = Format.asprintf "%a" (Q.pp_decimal ~digits:6) q
+
+let paper_time_bindings =
+  [
+    ("E(t3)", Q.of_int 1000);
+    ("F(t1)", Q.one); ("F(t2)", Q.one); ("F(t3)", Q.one);
+    ("F(t4)", qd "106.7"); ("F(t5)", qd "106.7");
+    ("F(t6)", qd "13.5"); ("F(t7)", qd "13.5");
+    ("F(t8)", qd "106.7"); ("F(t9)", qd "106.7");
+  ]
+
+let paper_freq_bindings =
+  [
+    ("f(t4)", Q.of_ints 1 20); ("f(t5)", Q.of_ints 19 20);
+    ("f(t8)", Q.of_ints 19 20); ("f(t9)", Q.of_ints 1 20);
+  ]
+
+(* shared artefacts *)
+let ctpn = SW.concrete SW.paper_params
+let cgraph = CG.build ctpn
+let cres = M.Concrete.analyze cgraph
+let stpn = SW.symbolic ()
+let sgraph = SG.build stpn
+let sres = M.Symbolic.analyze sgraph
+
+(* ---------------- FIG1 ---------------- *)
+
+let fig1 () =
+  section "FIG1" "the stop-and-wait protocol net and its timing table";
+  print_string (Tpan_dsl.Printer.to_string ctpn);
+  let sizes =
+    Array.to_list (Tpn.conflict_sets ctpn) |> List.map List.length |> List.sort compare
+  in
+  check "three non-trivial conflict sets of size 2" (sizes = [ 1; 1; 1; 2; 2; 2 ]);
+  let net = Tpn.net ctpn in
+  check "9 transitions, 8 places" (Net.num_transitions net = 9 && Net.num_places net = 8);
+  check "timeout enabling time is 1000 ms"
+    (Q.equal (Tpn.enabling_q ctpn (Net.trans_of_name net "t3")) (Q.of_int 1000))
+
+(* ---------------- FIG4 ---------------- *)
+
+let fig4 () =
+  section "FIG4" "concrete timed reachability graph (18 states)";
+  Format.printf "%-4s %s@." "id" "marking + RET/RFT";
+  Array.iteri
+    (fun i st -> Format.printf "%-4d %a@." (i + 1) (CG.Graph.pp_state ctpn) st)
+    cgraph.Sem.states;
+  Format.printf "--- edges ---@.";
+  Array.iter
+    (fun edges ->
+      List.iter
+        (fun (e : CG.Graph.edge) ->
+          Format.printf "  %2d -> %-2d  delay=%-8s p=%s@." (e.Sem.src + 1) (e.Sem.dst + 1)
+            (qf e.Sem.delay) (qf e.Sem.prob))
+        edges)
+    cgraph.Sem.out;
+  check "exactly 18 states (paper Figure 4)" (CG.Graph.num_states cgraph = 18);
+  check "exactly 20 edges" (CG.Graph.num_edges cgraph = 20);
+  check "two decision nodes (paper: states 3 and 11)"
+    (List.length (Sem.branching_states cgraph) = 2);
+  let t3 = Net.trans_of_name (Tpn.net ctpn) "t3" in
+  let rets =
+    Array.to_list cgraph.Sem.states
+    |> List.filter_map (fun st ->
+           if Q.is_zero st.Sem.ret.(t3) then None else Some st.Sem.ret.(t3))
+    |> List.sort_uniq Q.compare
+  in
+  check "timeout residues {773.1, 879.8, 893.3, 1000}"
+    (List.length rets = 4
+    && List.for_all2 Q.equal rets (List.map qd [ "773.1"; "879.8"; "893.3"; "1000" ]))
+
+(* ---------------- FIG5 ---------------- *)
+
+let fig5 () =
+  section "FIG5" "decision graph (probabilities and accumulated delays)";
+  Format.printf "%a@."
+    (DG.pp ~pp_delay:(Q.pp_decimal ~digits:6) ~pp_prob:(Q.pp_decimal ~digits:6))
+    cres.Rates.dg;
+  let has p d =
+    List.exists
+      (fun (e : _ DG.dedge) -> Q.equal e.DG.prob (qd p) && Q.equal e.DG.delay (qd d))
+      cres.Rates.dg.DG.edges
+  in
+  check "edge 1: packet lost,    p=0.05, d=1002   (paper a1=1002)" (has "0.05" "1002");
+  check "edge 3: packet through, p=0.95, d=120.2  (paper a3=120.2)" (has "0.95" "120.2");
+  check "edge 2: ack through,    p=0.95, d=122.2  (paper a2=122.2)" (has "0.95" "122.2");
+  check "edge 4: ack lost,       p=0.05, d=881.8" (has "0.05" "881.8");
+  check "exactly 4 edges over 2 nodes"
+    (List.length cres.Rates.dg.DG.edges = 4 && List.length cres.Rates.dg.DG.nodes = 2);
+  let rates =
+    List.sort Q.compare
+      (List.map (fun (re : _ Rates.rated_edge) -> re.Rates.rate) cres.Rates.edge_rate)
+  in
+  check "relative rates {0.05, 0.0475, 0.9025, 0.95} (v(3) = 1 normalization)"
+    (List.for_all2 Q.equal rates
+       (List.sort Q.compare [ qd "0.05"; qd "0.0475"; qd "0.9025"; qd "0.95" ]));
+  Format.printf "  total relative time per cycle = %s ms@." (qf cres.Rates.total_weight);
+  check "sum of w_i = 316.461" (Q.equal cres.Rates.total_weight (qd "316.461"))
+
+(* ---------------- FIG6 ---------------- *)
+
+let fig6 () =
+  section "FIG6" "symbolic timed reachability graph";
+  Array.iteri
+    (fun i st -> Format.printf "%-4d %a@." (i + 1) (SG.Graph.pp_state stpn) st)
+    sgraph.Sem.states;
+  check "18 symbolic states, isomorphic to Figure 4" (SG.Graph.num_states sgraph = 18);
+  let t3 = Net.trans_of_name (Tpn.net stpn) "t3" in
+  let e3 = Lin.var (Var.enabling "t3") in
+  let f n = Lin.var (Var.firing n) in
+  let rets =
+    Array.to_list sgraph.Sem.states
+    |> List.filter_map (fun st ->
+           if Lin.equal st.Sem.ret.(t3) Lin.zero then None else Some st.Sem.ret.(t3))
+    |> List.sort_uniq Lin.compare
+  in
+  let expect =
+    [
+      e3;
+      Lin.sub e3 (f "t4");
+      Lin.sub e3 (f "t5");
+      Lin.sub e3 (Lin.add (f "t5") (f "t6"));
+      Lin.sub e3 (Lin.add (f "t5") (Lin.add (f "t6") (f "t8")));
+      Lin.sub e3 (Lin.add (f "t5") (Lin.add (f "t6") (f "t9")));
+    ]
+  in
+  check "six symbolic timeout residues, as in Figure 6b"
+    (List.length rets = 6 && List.for_all (fun w -> List.exists (Lin.equal w) rets) expect);
+  (* delays at the paper point match the concrete graph edge for edge *)
+  let env v = List.assoc (Var.name v) paper_time_bindings in
+  let agree = ref true in
+  Array.iteri
+    (fun i sedges ->
+      List.iter2
+        (fun (se : SG.Graph.edge) (ce : CG.Graph.edge) ->
+          if not (Q.equal ce.Sem.delay (Lin.eval env se.Sem.delay)) then agree := false)
+        sedges cgraph.Sem.out.(i))
+    sgraph.Sem.out;
+  check "substituting Figure 1b times reproduces Figure 4 exactly" !agree
+
+(* ---------------- FIG7 ---------------- *)
+
+let fig7 () =
+  section "FIG7" "timing constraints used in the reachability graph";
+  let audit = SG.constraint_audit sgraph in
+  List.iter
+    (fun (s, d, labels) ->
+      Format.printf "  transition %2d -> %-2d justified by constraint(s) %s@." (s + 1) (d + 1)
+        (String.concat ", " labels))
+    audit;
+  let sets = List.map (fun (_, _, l) -> List.sort compare l) audit in
+  let count l = List.length (List.filter (( = ) l) sets) in
+  check "five constrained resolutions (paper Figure 7 rows)" (List.length audit = 5);
+  check "constraint (1) alone used three times" (count [ "(1)" ] = 3);
+  check "constraints (1)+(3) used once (loss-of-packet branch)" (count [ "(1)"; "(3)" ] = 1);
+  check "constraints (1)+(4) used once (loss-of-ack branch)" (count [ "(1)"; "(4)" ] = 1)
+
+(* ---------------- FIG8 ---------------- *)
+
+let fig8 () =
+  section "FIG8" "symbolic decision graph, traversal rates, relative times";
+  Format.printf "%a@." (DG.pp ~pp_delay:Lin.pp ~pp_prob:Rf.pp) sres.Rates.dg;
+  List.iteri
+    (fun i (re : _ Rates.rated_edge) ->
+      Format.printf "  r%d = %a@." (i + 1) Rf.pp re.Rates.rate)
+    sres.Rates.edge_rate;
+  let fr n = Poly.var (Var.frequency n) in
+  let r1 = Rf.make (fr "t4") (Poly.add (fr "t4") (fr "t5")) in
+  let r3 = Rf.make (fr "t5") (Poly.add (fr "t4") (fr "t5")) in
+  let r2 =
+    Rf.make
+      (Poly.mul (fr "t5") (fr "t8"))
+      (Poly.mul (Poly.add (fr "t4") (fr "t5")) (Poly.add (fr "t8") (fr "t9")))
+  in
+  let rates = List.map (fun (re : _ Rates.rated_edge) -> re.Rates.rate) sres.Rates.edge_rate in
+  check "r(loss) = f4/(f4+f5)            (paper: r1)" (List.exists (Rf.equal r1) rates);
+  check "r(to ack decision) = f5/(f4+f5) (paper: r3, renormalized)"
+    (List.exists (Rf.equal r3) rates);
+  check "r(success) = f5 f8 / ((f4+f5)(f8+f9)) (paper: r2)" (List.exists (Rf.equal r2) rates);
+  (* delays of Figure 8 *)
+  let d (re : _ Rates.rated_edge) = re.Rates.edge.DG.delay in
+  let f n = Lin.var (Var.firing n) and e3 = Lin.var (Var.enabling "t3") in
+  let sum = List.fold_left Lin.add Lin.zero in
+  let d1 = sum [ e3; f "t3"; f "t2" ] in
+  let d2 = sum [ f "t8"; f "t7"; f "t1"; f "t2" ] in
+  let d3 = sum [ f "t5"; f "t6" ] in
+  let d4 = Lin.add (Lin.sub e3 (Lin.add (f "t5") (f "t6"))) (Lin.add (f "t3") (f "t2")) in
+  let delays = List.map d sres.Rates.edge_rate in
+  check "d1 = E(t3)+F(t3)+F(t2)" (List.exists (Lin.equal d1) delays);
+  check "d2 = F(t8)+F(t7)+F(t1)+F(t2)" (List.exists (Lin.equal d2) delays);
+  check "d3 = F(t5)+F(t6)" (List.exists (Lin.equal d3) delays);
+  check "d4 = E(t3)-F(t5)-F(t6)+F(t3)+F(t2)" (List.exists (Lin.equal d4) delays)
+
+(* ---------------- THRPT ---------------- *)
+
+let thrpt () =
+  section "THRPT" "the throughput expression (paper section 4, final result)";
+  let thr = M.Symbolic.throughput sres sgraph SW.t_process_ack in
+  Format.printf "  throughput (general, canonical) = %a@." Rf.pp thr;
+  check "canonical numerator is f(t8)*f(t5)"
+    (Poly.equal (Rf.num thr) (Poly.mul (Poly.var (Var.frequency "t8")) (Poly.var (Var.frequency "t5"))));
+  let spec = M.Symbolic.subst_frequencies thr paper_freq_bindings in
+  Format.printf "  throughput|5%% loss = %a@." Rf.pp spec;
+  let paper_expr =
+    let c s = Poly.const (qd s) in
+    let fv n = Poly.var (Var.firing n) in
+    let e3 = Poly.var (Var.enabling "t3") in
+    Rf.make (c "18.05")
+      (Poly.add
+         (Poly.mul (c "1.95") (Poly.add e3 (fv "t3")))
+         (Poly.add
+            (Poly.mul (c "20") (fv "t2"))
+            (Poly.mul (c "18.05")
+               (List.fold_left Poly.add Poly.zero [ fv "t1"; fv "t5"; fv "t6"; fv "t7"; fv "t8" ]))))
+  in
+  check
+    "specialization equals the paper's closed form 18.05/(1.95(E(t3)+F(t3)) + 20 F(t2) + 18.05(F(t1)+F(t5)+F(t6)+F(t7)+F(t8)))"
+    (Rf.equal spec paper_expr);
+  let v = M.Symbolic.eval_at thr (paper_time_bindings @ paper_freq_bindings) in
+  Format.printf "  at Figure 1b delays: %s msg/ms  (%.4f msg/s, mean %s ms/msg)@." (qf v)
+    (Q.to_float v *. 1000.) (qf (Q.inv v));
+  check "equals the exact concrete analysis"
+    (Q.equal v (M.Concrete.throughput cres cgraph SW.t_process_ack));
+  check "evaluates to 18.05/6329.22 msg/ms = 2.8519 msg/s"
+    (Q.equal v (Q.div (qd "18.05") (qd "6329.22")));
+  (* Monte-Carlo cross-check *)
+  let t7 = Net.trans_of_name (Tpn.net ctpn) "t7" in
+  let stats = Sim.run ~seed:42 ~horizon:(Q.of_int 3_000_000) ctpn in
+  let sim = Sim.throughput stats t7 in
+  Format.printf "  simulated (3e6 ms): %.6f msg/ms@." sim;
+  check "simulation within 3% of the expression"
+    (Float.abs (sim -. Q.to_float v) /. Q.to_float v < 0.03)
+
+(* ---------------- EXT-SWEEP ---------------- *)
+
+let ext_sweep () =
+  section "EXT-SWEEP" "throughput vs loss rate (analytic, simulated, ABP)";
+  let thr = M.Symbolic.throughput sres sgraph SW.t_process_ack in
+  Format.printf "  %6s  %12s  %12s  %12s@." "loss" "analytic/s" "simulated/s" "ABP/s";
+  let monotone = ref true in
+  let last = ref infinity in
+  List.iter
+    (fun pct ->
+      let loss = Q.of_ints pct 100 in
+      let keep = Q.sub Q.one loss in
+      let a =
+        M.Symbolic.eval_at thr
+          (paper_time_bindings
+          @ [ ("f(t4)", loss); ("f(t5)", keep); ("f(t8)", keep); ("f(t9)", loss) ])
+      in
+      let p = { SW.paper_params with SW.packet_loss = loss; ack_loss = loss } in
+      let tpn = SW.concrete p in
+      let stats = Sim.run ~seed:(1000 + pct) ~horizon:(Q.of_int 600_000) tpn in
+      let sim = Sim.throughput stats (Net.trans_of_name (Tpn.net tpn) "t7") in
+      let abp_tpn =
+        Abp.concrete { Abp.default_params with Abp.packet_loss = loss; ack_loss = loss }
+      in
+      let abp_g = CG.build abp_tpn in
+      let abp_res = M.Concrete.analyze abp_g in
+      let abp =
+        List.fold_left
+          (fun acc t -> Q.add acc (M.Concrete.throughput abp_res abp_g t))
+          Q.zero Abp.deliveries
+      in
+      let af = Q.to_float a *. 1000. in
+      if af > !last then monotone := false;
+      last := af;
+      Format.printf "  %5d%%  %12.4f  %12.4f  %12.4f@." pct af (sim *. 1000.)
+        (Q.to_float abp *. 1000.))
+    [ 1; 2; 5; 10; 20; 30 ];
+  check "throughput decreases monotonically with loss" !monotone
+
+(* ---------------- EXT-TIMEOUT ---------------- *)
+
+let ext_timeout () =
+  section "EXT-TIMEOUT" "throughput vs timeout period (symbolic sweep)";
+  let thr = M.Symbolic.throughput sres sgraph SW.t_process_ack in
+  Format.printf "  %10s  %12s@." "E(t3) ms" "msg/s";
+  let values =
+    List.map
+      (fun t ->
+        let v =
+          M.Symbolic.eval_at thr
+            ((("E(t3)", Q.of_int t) :: List.remove_assoc "E(t3)" paper_time_bindings)
+            @ paper_freq_bindings)
+        in
+        Format.printf "  %10d  %12.4f@." t (Q.to_float v *. 1000.);
+        Q.to_float v)
+      [ 230; 250; 300; 500; 1000; 2000; 4000 ]
+  in
+  let rec decreasing = function a :: (b :: _ as rest) -> a > b && decreasing rest | _ -> true in
+  check "longer timeouts only hurt (monotone decreasing above the RTT bound)" (decreasing values);
+  check "tight timeout (230 ms) beats the paper's 1000 ms by > 25%"
+    (List.nth values 0 /. List.nth values 4 > 1.25)
+
+(* ---------------- EXT-ABP ---------------- *)
+
+let ext_abp () =
+  section "EXT-ABP" "alternating-bit protocol (the paper's suggested extension)";
+  let g = CG.build (Abp.concrete Abp.default_params) in
+  Format.printf "  concrete TRG: %d states, %d edges, %d decision nodes@."
+    (CG.Graph.num_states g) (CG.Graph.num_edges g)
+    (List.length (Sem.branching_states g));
+  check "52 states, 6 decision nodes"
+    (CG.Graph.num_states g = 52 && List.length (Sem.branching_states g) = 6);
+  let sg = SG.build (Abp.symbolic ()) in
+  check "symbolic graph isomorphic (52 states)" (SG.Graph.num_states sg = 52);
+  let res = M.Concrete.analyze g in
+  let thr =
+    List.fold_left (fun acc t -> Q.add acc (M.Concrete.throughput res g t)) Q.zero Abp.deliveries
+  in
+  Format.printf "  ABP delivery rate at Figure 1b timings: %.4f msg/s@."
+    (Q.to_float thr *. 1000.);
+  let sw = M.Concrete.throughput cres cgraph SW.t_process_ack in
+  check "ABP within 5% of stop-and-wait (same loss cost, no prepare step)"
+    (Float.abs ((Q.to_float thr /. Q.to_float sw) -. 1.0) < 0.05)
+
+(* ---------------- EXT-SCHED ---------------- *)
+
+let ext_sched () =
+  section "EXT-SCHED" "weighted channel arbitration (closed-form share)";
+  let tpn = Sc.symbolic () in
+  let g = SG.build tpn in
+  let res = M.Symbolic.analyze g in
+  let share_a =
+    M.edge_time_share res (fun e ->
+        List.exists (fun t -> Net.trans_name (Tpn.net tpn) t = Sc.t_grab_a) e.DG.fired)
+  in
+  Format.printf "  station A channel share = %a@." Rf.pp share_a;
+  let fa = Poly.var (Var.frequency "a") and fb = Poly.var (Var.frequency "b") in
+  let txa = Poly.var (Var.firing "txa") and txb = Poly.var (Var.firing "txb") in
+  check "share(A) = f(a)F(txa) / (f(a)F(txa) + f(b)F(txb))"
+    (Rf.equal share_a (Rf.make (Poly.mul fa txa) (Poly.add (Poly.mul fa txa) (Poly.mul fb txb))))
+
+(* ---------------- EXT-LATENCY ---------------- *)
+
+let ext_latency () =
+  section "EXT-LATENCY" "first-passage times (closed-form latency)";
+  let module P = Tpan_perf.Passage in
+  let deliver =
+    Option.get (P.concrete_latency cgraph ~event:(P.completion_event ctpn SW.t_receive) ())
+  in
+  let acked =
+    Option.get (P.concrete_latency cgraph ~event:(P.completion_event ctpn SW.t_process_ack) ())
+  in
+  Format.printf "  mean time to first delivery: %s ms@." (qf deliver);
+  Format.printf "  mean time to first acked round trip: %s ms@." (qf acked);
+  (* hand computation: 1 + x with x = .95(120.2) + .05(1002 + x) *)
+  check "delivery latency = 16524/95 ms (hand-derived)"
+    (Q.equal deliver (Q.div (qd "165.24") (qd "0.95")));
+  check "ack latency exceeds delivery latency by >= one ack leg"
+    (Q.compare (Q.sub acked deliver) (qd "120.2") >= 0);
+  let sdeliver =
+    Option.get
+      (Tpan_perf.Passage.symbolic_latency sgraph
+         ~event:(Tpan_perf.Passage.completion_event stpn SW.t_receive)
+         ())
+  in
+  Format.printf "  symbolic delivery latency = %a@." Rf.pp sdeliver;
+  let v = M.Symbolic.eval_at sdeliver (paper_time_bindings @ paper_freq_bindings) in
+  check "symbolic latency evaluates to the concrete value" (Q.equal v deliver)
+
+(* ---------------- EXT-INTERVAL ---------------- *)
+
+let ext_interval () =
+  section "EXT-INTERVAL" "delay ranges (the paper's future work, on the evaluation side)";
+  let module Iv = Tpan_symbolic.Interval in
+  let thr = M.Symbolic.throughput sres sgraph SW.t_process_ack in
+  let env v =
+    match Var.name v with
+    | "E(t3)" -> Iv.point (Q.of_int 1000)
+    | "F(t1)" | "F(t2)" | "F(t3)" -> Iv.point Q.one
+    | "F(t4)" | "F(t5)" | "F(t8)" | "F(t9)" -> Iv.make (Q.of_int 95) (Q.of_int 115)
+    | "F(t6)" | "F(t7)" -> Iv.point (qd "13.5")
+    | "f(t4)" | "f(t9)" -> Iv.point (Q.of_ints 1 20)
+    | "f(t5)" | "f(t8)" -> Iv.point (Q.of_ints 19 20)
+    | other -> failwith other
+  in
+  let bounds = Iv.eval_ratfun env thr in
+  Format.printf "  transit time in [95, 115] ms -> throughput in %a msg/ms@." Iv.pp bounds;
+  Format.printf "  (i.e. [%.4f, %.4f] msg/s)@."
+    (Q.to_float bounds.Iv.lo *. 1000.)
+    (Q.to_float bounds.Iv.hi *. 1000.);
+  let exact_at transit =
+    M.Symbolic.eval_at thr
+      ([
+         ("E(t3)", Q.of_int 1000);
+         ("F(t1)", Q.one); ("F(t2)", Q.one); ("F(t3)", Q.one);
+         ("F(t4)", Q.of_int transit); ("F(t5)", Q.of_int transit);
+         ("F(t6)", qd "13.5"); ("F(t7)", qd "13.5");
+         ("F(t8)", Q.of_int transit); ("F(t9)", Q.of_int transit);
+       ]
+      @ paper_freq_bindings)
+  in
+  check "bounds bracket the exact values across the range"
+    (List.for_all (fun t -> Iv.contains bounds (exact_at t)) [ 95; 100; 106; 110; 115 ]);
+  check "bounds are finite and positive" (Q.sign bounds.Iv.lo > 0)
+
+(* ---------------- EXT-RING ---------------- *)
+
+let ext_ring () =
+  section "EXT-RING" "token ring: closed-form cycle time and state-space scaling";
+  let module TR = Tpan_protocols.Token_ring in
+  let p = TR.default_params in
+  let g = CG.build (TR.concrete p) in
+  let res = M.Concrete.analyze g in
+  let n0 = List.hd res.Rates.dg.DG.nodes in
+  let cycle = M.mean_time_between_visits res n0 in
+  Format.printf "  4 stations, p=1/3, tx=40, pass=5: token rotation = %s ms@." (qf cycle);
+  check "rotation time = N(pass + p*tx) = 220/3" (Q.equal cycle (Q.of_ints 220 3));
+  Format.printf "  scaling: %8s %8s %8s@." "stations" "states" "decisions";
+  let ok = ref true in
+  List.iter
+    (fun n ->
+      let g = CG.build (TR.concrete { p with TR.stations = n }) in
+      let states = CG.Graph.num_states g in
+      Format.printf "          %8d %8d %8d@." n states (List.length (Sem.branching_states g));
+      if states <> 3 * n then ok := false)
+    [ 2; 4; 8; 16; 32; 64 ];
+  check "state space grows linearly (3 per station)" !ok;
+  let sg = SG.build (TR.symbolic ~stations:3) in
+  let sres = M.Symbolic.analyze sg in
+  let scycle = M.mean_time_between_visits sres (List.hd sres.Rates.dg.DG.nodes) in
+  Format.printf "  symbolic 3-station rotation = %a@." Rf.pp scycle
+
+(* ---------------- EXT-PIPE ---------------- *)
+
+let ext_pipe () =
+  section "EXT-PIPE" "store-and-forward pipeline: concurrency and pacing";
+  let module PL = Tpan_protocols.Pipeline in
+  let p = PL.default_params in
+  let tpn = PL.concrete p in
+  let g = CG.build tpn in
+  let max_active =
+    Array.fold_left
+      (fun acc st ->
+        let k = Array.fold_left (fun k r -> if Q.is_zero r then k else k + 1) 0 st.Sem.rft in
+        Stdlib.max acc k)
+      0 g.Sem.states
+  in
+  Format.printf "  TRG: %d states; up to %d hops firing concurrently@."
+    (CG.Graph.num_states g) max_active;
+  check "true concurrency (>= 3 simultaneous firings)" (max_active >= 3);
+  (match DG.deterministic_cycle_of_graph ~add:Q.add ~zero:Q.zero g with
+   | Some (period, states) ->
+     let t = Net.trans_of_name (Tpn.net tpn) PL.t_deliver in
+     let deliveries =
+       List.fold_left
+         (fun acc s ->
+           match g.Sem.out.(s) with
+           | [ e ] -> acc + List.length (List.filter (( = ) t) e.Sem.completed)
+           | _ -> acc)
+         0 states
+     in
+     let per_packet = Q.div period (Q.of_int deliveries) in
+     Format.printf "  steady cycle: %s ms per packet (bottleneck bound %s)@." (qf per_packet)
+       (qf (PL.bottleneck p));
+     check "pacing = worst adjacent-hop sum (marked-graph bound)"
+       (Q.equal per_packet (PL.bottleneck p))
+   | None -> check "pipeline reaches a steady cycle" false);
+  let stats = Sim.run ~seed:3 ~horizon:(Q.of_int 200_000) tpn in
+  let sim = Sim.throughput stats (Net.trans_of_name (Tpn.net tpn) PL.t_deliver) in
+  Format.printf "  simulated: %.6f pkt/ms@." sim;
+  check "simulation within 1% of 1/bottleneck"
+    (Float.abs ((sim *. Q.to_float (PL.bottleneck p)) -. 1.) < 0.01)
+
+(* ---------------- EXT-WINDOW ---------------- *)
+
+let ext_window () =
+  section "EXT-WINDOW" "parallel channels (a per-flow window): exact additivity";
+  let small =
+    {
+      SW.timeout = Q.of_int 7; send_time = Q.one; transit_time = Q.of_int 2;
+      process_time = Q.one; packet_loss = Q.of_ints 1 10; ack_loss = Q.of_ints 1 10;
+    }
+  in
+  let sg1 = CG.build (SW.concrete small) in
+  let r1 = M.Concrete.analyze sg1 in
+  let single = M.Concrete.throughput r1 sg1 SW.t_process_ack in
+  Format.printf "  %9s %9s %14s@." "channels" "states" "aggregate thr";
+  Format.printf "  %9d %9d %14s@." 1 (CG.Graph.num_states sg1) (qf single);
+  let ok = ref true in
+  List.iter
+    (fun n ->
+      let g = CG.build ~max_states:200_000 (SW.parallel ~channels:n small) in
+      let res = M.Concrete.analyze g in
+      let total =
+        List.fold_left
+          (fun acc c -> Q.add acc (M.Concrete.throughput res g (Printf.sprintf "t7_c%d" c)))
+          Q.zero
+          (List.init n Fun.id)
+      in
+      Format.printf "  %9d %9d %14s@." n (CG.Graph.num_states g) (qf total);
+      if not (Q.equal total (Q.mul (Q.of_int n) single)) then ok := false)
+    [ 2 ];
+  check "aggregate throughput = channels x single (exact, through the interleaved graph)" !ok;
+  Format.printf
+    "  (the paper-grain delays make the joint phase lattice astronomically large;@.\
+    \   coarse delays keep it at hundreds of states — see Stopwait.parallel docs)@."
+
+(* ---------------- EXT-SENS ---------------- *)
+
+let ext_sens () =
+  section "EXT-SENS" "sensitivity of throughput to every parameter (exact gradients)";
+  let thr = M.Symbolic.throughput sres sgraph SW.t_process_ack in
+  let at = paper_time_bindings @ paper_freq_bindings in
+  let sens = M.Symbolic.sensitivities thr ~at in
+  Format.printf "  %-8s %14s %12s@." "param" "d(thr)/d(v)" "elasticity";
+  List.iter
+    (fun (s : M.Symbolic.sensitivity) ->
+      Format.printf "  %-8s %14.3e %12.4f@."
+        (Var.name s.M.Symbolic.var)
+        (Q.to_float s.M.Symbolic.gradient)
+        (Q.to_float s.M.Symbolic.elasticity))
+    sens;
+  check "all time-parameter gradients are negative (delays only hurt)"
+    (List.for_all
+       (fun (s : M.Symbolic.sensitivity) ->
+         (not (Var.is_time s.M.Symbolic.var)) || Q.sign s.M.Symbolic.gradient < 0)
+       sens);
+  let find name = List.find (fun s -> Var.name s.M.Symbolic.var = name) sens in
+  check "packet-loss weight hurts, delivery weight helps"
+    (Q.sign (find "f(t4)").M.Symbolic.gradient < 0
+    && Q.sign (find "f(t5)").M.Symbolic.gradient > 0);
+  (* at the paper point the timeout and the two transit legs dominate *)
+  let top3 =
+    match sens with
+    | a :: b :: c :: _ -> List.map (fun s -> Var.name s.M.Symbolic.var) [ a; b; c ]
+    | _ -> []
+  in
+  check "timeout and transit legs are the three dominant parameters"
+    (List.sort compare top3 = [ "E(t3)"; "F(t5)"; "F(t8)" ])
+
+(* ---------------- EXT-BATCH ---------------- *)
+
+let ext_batch () =
+  section "EXT-BATCH" "blast transfer: batching gain vs loss rate (who wins where)";
+  let module B = Tpan_protocols.Batch in
+  let thr w pct =
+    let loss = Q.of_ints pct 100 in
+    let p = { B.default_params with B.window = w; packet_loss = loss; ack_loss = loss } in
+    let tpn = B.concrete p in
+    let g = CG.build ~max_states:200_000 tpn in
+    let res = M.Concrete.analyze g in
+    Q.to_float (Q.mul (Q.of_int w) (M.Concrete.throughput res g B.t_done)) *. 1000.
+  in
+  Format.printf "  %6s %10s %10s %10s %12s@." "loss" "w=1" "w=2" "w=3" "gain w3/w1";
+  let ratios =
+    List.map
+      (fun pct ->
+        let a = thr 1 pct and b = thr 2 pct and c = thr 3 pct in
+        Format.printf "  %5d%% %10.4f %10.4f %10.4f %12.2f@." pct a b c (c /. a);
+        (a, b, c))
+      [ 1; 5; 10; 20; 30; 40 ]
+  in
+  check "batching always helps at equal loss"
+    (List.for_all (fun (a, b, c) -> b > a && c > b) ratios);
+  let first = match ratios with (a, _, c) :: _ -> c /. a | [] -> 0. in
+  let last = match List.rev ratios with (a, _, c) :: _ -> c /. a | [] -> 0. in
+  check
+    (Printf.sprintf "the batching gain shrinks with loss (%.2fx at 1%% -> %.2fx at 40%%)" first last)
+    (first > last +. 0.5);
+  check "w=1 blast is exactly the paper's stop-and-wait"
+    (let p1 = { B.default_params with B.window = 1 } in
+     let g = CG.build (B.concrete p1) in
+     let res = M.Concrete.analyze g in
+     Q.equal (M.Concrete.throughput res g B.t_done)
+       (M.Concrete.throughput cres cgraph SW.t_process_ack))
+
+(* ---------------- EXT-RANGE ---------------- *)
+
+let ext_range () =
+  section "EXT-RANGE" "ranges of firing times (the paper's proposed model extension)";
+  let module R = Tpan_core.Ranged in
+  let widen lo hi =
+    [ ("t4", (Q.of_int lo, Q.of_int hi)); ("t5", (Q.of_int lo, Q.of_int hi));
+      ("t8", (Q.of_int lo, Q.of_int hi)); ("t9", (Q.of_int lo, Q.of_int hi)) ]
+  in
+  (* transit anywhere in [100, 115] ms, timeout 1000: worst-case round trip
+     is 243.5 ms, comfortably inside the timeout *)
+  let generous = R.of_tpn ~widen:(widen 100 115) ctpn in
+  let markings = R.reachable_markings generous in
+  Format.printf "  transit in [100,115], timeout 1000: %d reachable markings, safe@."
+    (List.length markings);
+  check "ranged behaviour adds no markings (9, as in the fixed-delay model)"
+    (List.length markings = 9 && R.safe generous);
+  (* a timeout inside the worst-case round trip violates constraint (1)
+     for part of the range: premature retransmission breaks safeness *)
+  let tight =
+    R.of_tpn ~widen:(widen 100 115)
+      (SW.concrete { SW.paper_params with SW.timeout = Q.of_int 230 })
+  in
+  Format.printf "  transit in [100,115], timeout 230 (< max RTT 243.5): %s@."
+    (if R.safe tight then "safe (unexpected)" else "safeness assumption violated");
+  check "a timeout inside the round-trip range breaks the safeness assumption"
+    (not (R.safe tight));
+  check "the fixed-delay boundary case stays safe (timeout 244 > 243.5)"
+    (R.safe
+       (R.of_tpn ~widen:(widen 100 115)
+          (SW.concrete { SW.paper_params with SW.timeout = Q.of_int 244 })))
+
+(* ---------------- EXT-EXP ---------------- *)
+
+let ext_exp () =
+  section "EXT-EXP" "deterministic delays vs the exponential (Markov) assumption";
+  let module Exp = Tpan_perf.Exponential in
+  let module PL = Tpan_protocols.Pipeline in
+  let module TR = Tpan_protocols.Token_ring in
+  (* pipeline: variability costs throughput *)
+  let p = PL.default_params in
+  let tpn = PL.concrete p in
+  let det = Q.inv (PL.bottleneck p) in
+  let c = Exp.build tpn in
+  let pi = Exp.steady_state c in
+  let expo = Exp.throughput c ~steady:pi (Net.trans_of_name (Tpn.net tpn) PL.t_deliver) in
+  Format.printf "  pipeline: deterministic %.6f pkt/ms  vs  exponential %.6f pkt/ms (%.1f%%)@."
+    (Q.to_float det) (Q.to_float expo)
+    (100. *. Q.to_float expo /. Q.to_float det);
+  check "exponential assumption under-predicts pipeline throughput"
+    (Q.compare expo det < 0);
+  (* sequential ring with equal conflict means: the readings coincide *)
+  let rp = { TR.default_params with TR.tx_time = Q.zero } in
+  let rtpn = TR.concrete rp in
+  let rg = CG.build rtpn in
+  let rres = M.Concrete.analyze rg in
+  let rdet = M.Concrete.throughput rres rg (TR.use 0) in
+  let rc = Exp.build rtpn in
+  let rpi = Exp.steady_state rc in
+  let rexp = Exp.throughput rc ~steady:rpi (Net.trans_of_name (Tpn.net rtpn) (TR.use 0)) in
+  Format.printf "  sequential ring (equal means): det %s = exp %s@." (qf rdet) (qf rexp);
+  check "sequential systems are insensitive to the distribution assumption"
+    (Q.equal rdet rexp);
+  (* Erlang-k stages: shrinking the service variance closes the gap *)
+  let thr k =
+    let tpn = Exp.erlang_expand ~stages:k (PL.concrete p) in
+    let c = Exp.build ~max_states:200_000 tpn in
+    let pi = Exp.steady_state c in
+    let name = PL.t_deliver ^ (if k = 1 then "" else "__" ^ string_of_int (k - 1)) in
+    Exp.throughput c ~steady:pi (Net.trans_of_name (Tpn.net tpn) name)
+  in
+  let fractions =
+    List.map
+      (fun k ->
+        let v = thr k in
+        let frac = Q.to_float v /. Q.to_float det in
+        Format.printf "  pipeline under Erlang-%d service: %.1f%% of deterministic@." k
+          (100. *. frac);
+        frac)
+      [ 1; 2; 3 ]
+  in
+  check "Erlang stages converge monotonically toward the deterministic bound"
+    (match fractions with [ a; b; c ] -> a < b && b < c && c < 1.0 | _ -> false)
+
+(* ---------------- PERF (bechamel) ---------------- *)
+
+let perf () =
+  section "PERF" "microbenchmarks of the analysis pipeline (Bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let tests =
+    Test.make_grouped ~name:"tpan"
+      [
+        Test.make ~name:"trg/stopwait-concrete" (Staged.stage (fun () -> CG.build ctpn));
+        Test.make ~name:"trg/stopwait-symbolic" (Staged.stage (fun () -> SG.build stpn));
+        Test.make ~name:"trg/abp-concrete"
+          (Staged.stage
+             (let tpn = Abp.concrete Abp.default_params in
+              fun () -> CG.build tpn));
+        Test.make ~name:"rates/stopwait-concrete"
+          (Staged.stage (fun () -> M.Concrete.analyze cgraph));
+        Test.make ~name:"rates/stopwait-symbolic"
+          (Staged.stage (fun () -> M.Symbolic.analyze sgraph));
+        Test.make ~name:"fm/entailment"
+          (Staged.stage
+             (let cs = Tpn.constraints stpn in
+              let e3 = Lin.var (Var.enabling "t3") in
+              let rt =
+                List.fold_left Lin.add Lin.zero
+                  [ Lin.var (Var.firing "t5"); Lin.var (Var.firing "t6"); Lin.var (Var.firing "t8") ]
+              in
+              fun () -> Tpan_symbolic.Constraints.compare_exprs cs rt e3));
+        Test.make ~name:"sim/stopwait-10k-ms"
+          (Staged.stage (fun () -> Sim.run ~seed:1 ~horizon:(Q.of_int 10_000) ctpn));
+        Test.make ~name:"bigint/mul-256-digit"
+          (Staged.stage
+             (let a = B.pow (B.of_int 10) 255 in
+              let b = B.sub (B.pow (B.of_int 10) 255) B.one in
+              fun () -> B.mul a b));
+        Test.make ~name:"poly/expand-(x+y)^8"
+          (Staged.stage
+             (let x = Poly.var (Var.param "bx") and y = Poly.var (Var.param "by") in
+              let s = Poly.add x y in
+              fun () -> Poly.pow s 8));
+      ]
+  in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  Format.printf "  %-38s %14s %8s@." "benchmark" "time/run" "r^2";
+  List.iter
+    (fun (name, ols) ->
+      let est = match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan in
+      let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> Float.nan in
+      let human t =
+        if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
+        else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+        else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+        else Printf.sprintf "%.0f ns" t
+      in
+      Format.printf "  %-38s %14s %8.4f@." name (human est) r2)
+    rows;
+  check "all benchmarks produced estimates"
+    (List.for_all
+       (fun (_, ols) ->
+         match Analyze.OLS.estimates ols with Some (e :: _) -> e > 0. | _ -> false)
+       rows)
+
+let () =
+  Format.printf "tpan reproduction harness — Razouk, Timed Petri Net performance expressions@.";
+  fig1 ();
+  fig4 ();
+  fig5 ();
+  fig6 ();
+  fig7 ();
+  fig8 ();
+  thrpt ();
+  ext_sweep ();
+  ext_timeout ();
+  ext_abp ();
+  ext_sched ();
+  ext_latency ();
+  ext_interval ();
+  ext_ring ();
+  ext_pipe ();
+  ext_window ();
+  ext_sens ();
+  ext_batch ();
+  ext_range ();
+  ext_exp ();
+  perf ();
+  Format.printf "@.====================@.";
+  if !failures = 0 then Format.printf "ALL CHECKS PASSED@."
+  else begin
+    Format.printf "%d CHECK(S) FAILED@." !failures;
+    exit 1
+  end

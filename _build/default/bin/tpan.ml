@@ -1,0 +1,500 @@
+(* tpan — timed Petri net performance analyzer (command-line front end).
+
+   Subcommands: show, reach, analyze, symbolic, simulate, dot.
+   Nets come from a .tpn file or from the built-in protocol models. *)
+
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Reach = Tpan_petri.Reachability
+module Cover = Tpan_petri.Coverability
+module Inv = Tpan_petri.Invariants
+module Lin = Tpan_symbolic.Linexpr
+module Rf = Tpan_symbolic.Ratfun
+module Tpn = Tpan_core.Tpn
+module Sem = Tpan_core.Semantics
+module CG = Tpan_core.Concrete
+module SG = Tpan_core.Symbolic
+module DG = Tpan_perf.Decision_graph
+module Rates = Tpan_perf.Rates
+module M = Tpan_perf.Measures
+module Sim = Tpan_sim.Simulator
+
+open Cmdliner
+
+(* ----- net sources ----- *)
+
+let builtin_models =
+  [
+    ("stopwait", fun () -> Tpan_protocols.Stopwait.concrete Tpan_protocols.Stopwait.paper_params);
+    ("stopwait-sym", fun () -> Tpan_protocols.Stopwait.symbolic ());
+    ("abp", fun () -> Tpan_protocols.Abp.concrete Tpan_protocols.Abp.default_params);
+    ("abp-sym", fun () -> Tpan_protocols.Abp.symbolic ());
+    ("handshake", fun () -> Tpan_protocols.Handshake.concrete Tpan_protocols.Handshake.default_params);
+    ("handshake-sym", fun () -> Tpan_protocols.Handshake.symbolic ());
+    ("channel", fun () -> Tpan_protocols.Shared_channel.concrete Tpan_protocols.Shared_channel.default_params);
+    ("scheduler-sym", fun () -> Tpan_protocols.Shared_channel.symbolic ());
+    ("ring", fun () -> Tpan_protocols.Token_ring.concrete Tpan_protocols.Token_ring.default_params);
+    ("ring-sym", fun () -> Tpan_protocols.Token_ring.symbolic ~stations:4);
+    ("pipeline", fun () -> Tpan_protocols.Pipeline.concrete Tpan_protocols.Pipeline.default_params);
+    ("batch", fun () -> Tpan_protocols.Batch.concrete Tpan_protocols.Batch.default_params);
+  ]
+
+let load_net file model =
+  match (file, model) with
+  | Some f, None -> Ok (Tpan_dsl.Parser.parse_file f)
+  | None, Some m ->
+    (match List.assoc_opt m builtin_models with
+     | Some mk -> Ok (mk ())
+     | None ->
+       Error
+         (Printf.sprintf "unknown model %S (available: %s)" m
+            (String.concat ", " (List.map fst builtin_models))))
+  | Some _, Some _ -> Error "give either a file or --model, not both"
+  | None, None -> Error "give a .tpn file or --model NAME"
+
+let handle_errors f =
+  try f () with
+  | Tpn.Unsupported msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 2
+  | Tpan_dsl.Parser.Parse_error (pos, msg) ->
+    Printf.eprintf "parse error at line %d, column %d: %s\n" pos.Tpan_dsl.Lexer.line
+      pos.Tpan_dsl.Lexer.col msg;
+    exit 2
+  | SG.Insufficient { lhs; rhs; hint } ->
+    Printf.eprintf "insufficient timing constraints: cannot order %s and %s\n  %s\n"
+      (Format.asprintf "%a" Lin.pp lhs)
+      (Format.asprintf "%a" Lin.pp rhs)
+      hint;
+    exit 3
+  | Rates.Unsolvable msg ->
+    Printf.eprintf "rate equations unsolvable: %s\n" msg;
+    exit 4
+  | DG.Deterministic_cycle _ ->
+    Printf.eprintf
+      "the system is deterministic from some decision node on; use the cycle analysis\n";
+    exit 4
+  | Sys_error msg ->
+    Printf.eprintf "error: %s\n" msg;
+    exit 2
+
+let qf q = Format.asprintf "%a" (Q.pp_decimal ~digits:6) q
+
+(* ----- common options ----- *)
+
+let file_arg =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.tpn" ~doc:"Net description file.")
+
+let model_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "m"; "model" ] ~docv:"NAME"
+        ~doc:"Built-in model (stopwait, stopwait-sym, abp, abp-sym, handshake, handshake-sym, channel, scheduler-sym, ring, ring-sym, pipeline, batch).")
+
+let max_states_arg =
+  Arg.(value & opt int 100_000 & info [ "max-states" ] ~docv:"N" ~doc:"State budget.")
+
+let with_net file model k = handle_errors (fun () ->
+    match load_net file model with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+    | Ok tpn -> k tpn)
+
+(* ----- show ----- *)
+
+let show_cmd =
+  let run file model =
+    with_net file model (fun tpn ->
+        print_string (Tpan_dsl.Printer.to_string tpn);
+        let net = Tpn.net tpn in
+        Printf.printf "\n# %d places, %d transitions, %d conflict sets\n" (Net.num_places net)
+          (Net.num_transitions net)
+          (Array.length (Tpn.conflict_sets tpn));
+        Array.iteri
+          (fun i ts ->
+            if List.length ts > 1 then
+              Printf.printf "# conflict set %d: {%s}\n" i
+                (String.concat ", " (List.map (Net.trans_name net) ts)))
+          (Tpn.conflict_sets tpn))
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print the net, its timing table and conflict sets.")
+    Term.(const run $ file_arg $ model_arg)
+
+(* ----- reach (untimed analysis) ----- *)
+
+let reach_cmd =
+  let run file model max_states =
+    with_net file model (fun tpn ->
+        let net = Tpn.net tpn in
+        let tree = Cover.build ~max_nodes:max_states net in
+        if Cover.is_bounded tree then begin
+          let g = Reach.explore ~max_states net in
+          Printf.printf "bounded: yes\nstates: %d\nedges: %d\ndeadlocks: %d\nsafe: %b\n"
+            (Reach.num_states g) (Reach.num_edges g)
+            (List.length (Reach.deadlocks g))
+            (Reach.is_safe g)
+        end
+        else begin
+          Printf.printf "bounded: no\nunbounded places: %s\n"
+            (String.concat ", "
+               (List.map (Net.place_name net) (Cover.unbounded_places tree)));
+          Printf.printf "(timed semantics may still be bounded: see 'analyze')\n"
+        end;
+        let pinvs = Inv.p_invariants net in
+        Printf.printf "p-invariants: %d\n" (List.length pinvs);
+        List.iter
+          (fun y -> Format.printf "  %a = %d@." (Inv.pp_p_invariant net) y
+              (Inv.invariant_value y (Net.initial_marking net)))
+          pinvs;
+        let tinvs = Inv.t_invariants net in
+        Printf.printf "t-invariants: %d\n" (List.length tinvs);
+        List.iter (fun x -> Format.printf "  %a@." (Inv.pp_t_invariant net) x) tinvs)
+  in
+  Cmd.v
+    (Cmd.info "reach" ~doc:"Untimed analysis: boundedness, reachability, invariants.")
+    Term.(const run $ file_arg $ model_arg $ max_states_arg)
+
+(* ----- analyze (concrete) ----- *)
+
+let throughput_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "t"; "throughput" ] ~docv:"TRANS"
+        ~doc:"Report the completion rate of this transition (repeatable).")
+
+let analyze_cmd =
+  let run file model max_states throughputs =
+    with_net file model (fun tpn ->
+        let g = CG.build ~max_states tpn in
+        Format.printf "timed reachability graph: %d states, %d edges@." (CG.Graph.num_states g)
+          (CG.Graph.num_edges g);
+        (match M.Concrete.analyze g with
+         | res ->
+           Format.printf "%a@."
+             (DG.pp ~pp_delay:(Q.pp_decimal ~digits:6) ~pp_prob:(Q.pp_decimal ~digits:6))
+             res.Rates.dg;
+           Format.printf "mean cycle time: %s@." (qf res.Rates.total_weight);
+           List.iter
+             (fun name ->
+               let thr = M.Concrete.throughput res g name in
+               Format.printf "throughput(%s): %s per time unit (period %s)@." name (qf thr)
+                 (qf (Q.inv thr)))
+             throughputs
+         | exception Rates.Unsolvable msg -> Format.printf "steady state: %s@." msg
+         | exception DG.Deterministic_cycle _ ->
+           (match DG.deterministic_cycle_of_graph ~add:Q.add ~zero:Q.zero g with
+            | Some (cycle, states) ->
+              Format.printf "deterministic cycle through %d states, period %s@."
+                (List.length states) (qf cycle)
+            | None -> Format.printf "terminates (no steady state)@."));
+        Format.print_flush ())
+  in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Concrete timed analysis: TRG, decision graph, throughput.")
+    Term.(const run $ file_arg $ model_arg $ max_states_arg $ throughput_arg)
+
+(* ----- symbolic ----- *)
+
+let symbolic_cmd =
+  let run file model max_states throughputs point =
+    with_net file model (fun tpn ->
+        let g = SG.build ~max_states tpn in
+        Format.printf "symbolic timed reachability graph: %d states, %d edges@."
+          (SG.Graph.num_states g) (SG.Graph.num_edges g);
+        let audit = SG.constraint_audit g in
+        if audit <> [] then begin
+          Format.printf "constraints used to order minima (cf. paper Figure 7):@.";
+          List.iter
+            (fun (s, d, labels) ->
+              Format.printf "  %d -> %d: %s@." (s + 1) (d + 1) (String.concat ", " labels))
+            audit
+        end;
+        let res = M.Symbolic.analyze g in
+        Format.printf "%a@." (DG.pp ~pp_delay:Lin.pp ~pp_prob:Rf.pp) res.Rates.dg;
+        List.iter
+          (fun (re : _ Rates.rated_edge) ->
+            Format.printf "rate: %a@." Rf.pp re.Rates.rate)
+          res.Rates.edge_rate;
+        let bindings =
+          List.map
+            (fun (k, v) -> (k, Q.of_decimal_string v))
+            point
+        in
+        List.iter
+          (fun name ->
+            let thr = M.Symbolic.throughput res g name in
+            Format.printf "throughput(%s) = %a@." name Rf.pp thr;
+            if bindings <> [] then begin
+              match M.Symbolic.eval_at thr bindings with
+              | v -> Format.printf "  at the given point: %s@." (qf v)
+              | exception Not_found ->
+                Format.printf "  (point incomplete: missing variable bindings)@."
+            end)
+          throughputs;
+        Format.print_flush ())
+  in
+  let point_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string string) []
+      & info [ "p"; "point" ] ~docv:"VAR=VALUE"
+          ~doc:"Bind a symbol, e.g. -p 'E(t3)=1000' (repeatable); used to evaluate expressions.")
+  in
+  Cmd.v
+    (Cmd.info "symbolic" ~doc:"Symbolic analysis: expressions for rates and throughput.")
+    Term.(const run $ file_arg $ model_arg $ max_states_arg $ throughput_arg $ point_arg)
+
+(* ----- simulate ----- *)
+
+let simulate_cmd =
+  let run file model horizon seed runs throughputs point =
+    with_net file model (fun tpn ->
+        let horizon = Q.of_decimal_string horizon in
+        (* a symbolic net can be simulated once its symbols are bound *)
+        let tpn =
+          if point = [] then tpn
+          else Tpn.bind_times tpn (List.map (fun (k, v) -> (k, Q.of_decimal_string v)) point)
+        in
+        let net = Tpn.net tpn in
+        List.iter
+          (fun name ->
+            let t = Net.trans_of_name net name in
+            if runs <= 1 then begin
+              let stats = Sim.run ~seed ~horizon tpn in
+              Printf.printf "throughput(%s): %.6g per time unit%s\n" name
+                (Sim.throughput stats t)
+                (if stats.Sim.deadlocked then " (deadlocked)" else "")
+            end
+            else begin
+              let est = Sim.replicate ~seed ~runs ~horizon tpn (fun s -> Sim.throughput s t) in
+              let lo, hi = est.Sim.ci95 in
+              Printf.printf "throughput(%s): %.6g +/- %.2g (95%%: [%.6g, %.6g], %d runs)\n"
+                name est.Sim.mean (1.96 *. est.Sim.std_error) lo hi est.Sim.runs
+            end)
+          throughputs)
+  in
+  let horizon_arg =
+    Arg.(value & opt string "1000000" & info [ "horizon" ] ~docv:"T" ~doc:"Simulated time span.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"PRNG seed.") in
+  let runs_arg = Arg.(value & opt int 1 & info [ "runs" ] ~docv:"N" ~doc:"Replications.") in
+  let point_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string string) []
+      & info [ "p"; "point" ] ~docv:"VAR=VALUE"
+          ~doc:"Bind a symbolic time/frequency before simulating (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Monte-Carlo simulation of a (possibly bound-symbolic) net.")
+    Term.(const run $ file_arg $ model_arg $ horizon_arg $ seed_arg $ runs_arg $ throughput_arg $ point_arg)
+
+(* ----- latency ----- *)
+
+let latency_cmd =
+  let run file model max_states events point =
+    with_net file model (fun tpn ->
+        let module P = Tpan_perf.Passage in
+        if Tpn.is_concrete tpn then begin
+          let g = CG.build ~max_states tpn in
+          List.iter
+            (fun name ->
+              match P.concrete_latency g ~event:(P.completion_event tpn name) () with
+              | Some h ->
+                Format.printf "mean time to first completion of %s: %s@." name (qf h)
+              | None -> Format.printf "latency(%s): infinite (event not almost-surely reached)@." name)
+            events
+        end
+        else begin
+          let g = SG.build ~max_states tpn in
+          let bindings = List.map (fun (k, v) -> (k, Q.of_decimal_string v)) point in
+          List.iter
+            (fun name ->
+              match P.symbolic_latency g ~event:(P.completion_event tpn name) () with
+              | Some h ->
+                Format.printf "latency(%s) = %a@." name Rf.pp h;
+                if bindings <> [] then begin
+                  match M.Symbolic.eval_at h bindings with
+                  | v -> Format.printf "  at the given point: %s@." (qf v)
+                  | exception Not_found -> Format.printf "  (point incomplete)@."
+                end
+              | None -> Format.printf "latency(%s): infinite@." name)
+            events
+        end;
+        Format.print_flush ())
+  in
+  let event_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "e"; "event" ] ~docv:"TRANS" ~doc:"Completion event of interest (repeatable).")
+  in
+  let point_arg =
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string string) []
+      & info [ "p"; "point" ] ~docv:"VAR=VALUE" ~doc:"Bind a symbol for evaluation (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "latency" ~doc:"Mean first-passage time to a transition's completion.")
+    Term.(const run $ file_arg $ model_arg $ max_states_arg $ event_arg $ point_arg)
+
+(* ----- sweep ----- *)
+
+let sweep_cmd =
+  let run file model max_states trans var lo hi steps point =
+    with_net file model (fun tpn ->
+        let g = SG.build ~max_states tpn in
+        let res = M.Symbolic.analyze g in
+        let thr = M.Symbolic.throughput res g trans in
+        let bindings = List.map (fun (k, v) -> (k, Q.of_decimal_string v)) point in
+        let lo = Q.of_decimal_string lo and hi = Q.of_decimal_string hi in
+        if steps < 2 then begin
+          Printf.eprintf "error: need at least 2 steps\n";
+          exit 2
+        end;
+        let step = Q.div (Q.sub hi lo) (Q.of_int (steps - 1)) in
+        Format.printf "%-14s %-16s@." var ("throughput(" ^ trans ^ ")");
+        for i = 0 to steps - 1 do
+          let x = Q.add lo (Q.mul (Q.of_int i) step) in
+          let b = (var, x) :: List.remove_assoc var bindings in
+          match M.Symbolic.eval_at thr b with
+          | v -> Format.printf "%-14s %-16s@." (qf x) (qf v)
+          | exception Not_found ->
+            Printf.eprintf
+              "error: the expression mentions a symbol with no binding; pass all others via -p\n";
+            exit 2
+          | exception Division_by_zero ->
+            Format.printf "%-14s %-16s@." (qf x) "(pole)"
+        done;
+        Format.print_flush ())
+  in
+  let trans_arg =
+    Arg.(required & opt (some string) None & info [ "t"; "throughput" ] ~docv:"TRANS"
+           ~doc:"Transition whose completion rate to sweep.")
+  in
+  let var_arg =
+    Arg.(required & opt (some string) None & info [ "var" ] ~docv:"SYMBOL"
+           ~doc:"Symbol to sweep, e.g. 'E(t3)'.")
+  in
+  let lo_arg = Arg.(value & opt string "0" & info [ "from" ] ~docv:"LO" ~doc:"Range start.") in
+  let hi_arg = Arg.(value & opt string "1" & info [ "to" ] ~docv:"HI" ~doc:"Range end.") in
+  let steps_arg = Arg.(value & opt int 11 & info [ "steps" ] ~docv:"N" ~doc:"Sample count.") in
+  let point_arg =
+    Arg.(value & opt_all (pair ~sep:'=' string string) []
+         & info [ "p"; "point" ] ~docv:"VAR=VALUE" ~doc:"Fix the other symbols (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Evaluate the symbolic throughput across a parameter range (one derivation, many points).")
+    Term.(const run $ file_arg $ model_arg $ max_states_arg $ trans_arg $ var_arg $ lo_arg $ hi_arg $ steps_arg $ point_arg)
+
+(* ----- check ----- *)
+
+let check_cmd =
+  let run file model max_states =
+    with_net file model (fun tpn ->
+        let net = Tpn.net tpn in
+        Format.printf "net class: %a@." Tpan_petri.Classify.pp (Tpan_petri.Classify.classify net);
+        let consistent = Tpan_symbolic.Constraints.is_consistent (Tpn.constraints tpn) in
+        Format.printf "timing constraints: %s@."
+          (if consistent then "consistent" else "INCONSISTENT");
+        (match Tpan_petri.Siphons.unmarked_siphons net with
+         | [] -> Format.printf "siphons: none initially empty@."
+         | l ->
+           List.iter
+             (fun s ->
+               Format.printf "WARNING: initially-empty siphon {%s} (its consumers are dead)@."
+                 (String.concat ", " (List.map (Net.place_name net) s)))
+             l);
+        if Tpan_petri.Siphons.commoner_satisfied net then
+          Format.printf "commoner: every minimal siphon holds a marked trap@."
+        else
+          Format.printf
+            "commoner: some siphon lacks a marked trap (possible deadlock; decisive only for free-choice nets)@.";
+        if Tpn.is_concrete tpn then begin
+          match CG.build ~max_states tpn with
+          | g ->
+            let safe =
+              Array.for_all
+                (fun st -> Array.for_all (fun k -> k <= 1) st.Sem.marking)
+                g.Sem.states
+            in
+            Format.printf "timed behaviour: %d states, %s, %d terminal state(s)@."
+              (CG.Graph.num_states g)
+              (if safe then "safe (1-bounded)" else "NOT safe")
+              (List.length (CG.Graph.terminal_states g))
+          | exception Tpn.Unsupported msg -> Format.printf "timed behaviour: UNSUPPORTED (%s)@." msg
+        end
+        else begin
+          match SG.build ~max_states tpn with
+          | g -> Format.printf "symbolic behaviour: %d states, constraints sufficient@."
+                   (SG.Graph.num_states g)
+          | exception SG.Insufficient { hint; _ } ->
+            Format.printf "symbolic behaviour: INSUFFICIENT CONSTRAINTS — %s@." hint
+        end;
+        Format.print_flush ())
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Validate a model: net class, constraints, siphons, timed safety.")
+    Term.(const run $ file_arg $ model_arg $ max_states_arg)
+
+(* ----- report ----- *)
+
+let report_cmd =
+  let run file model max_states events =
+    with_net file model (fun tpn ->
+        if Tpn.is_concrete tpn then
+          Tpan_perf.Report.concrete ~max_states ~events Format.std_formatter tpn
+        else Tpan_perf.Report.symbolic ~max_states ~events Format.std_formatter tpn;
+        Format.print_flush ())
+  in
+  let event_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "e"; "event" ] ~docv:"TRANS"
+          ~doc:"Also report the first-passage latency to this transition's completion.")
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Full analysis report: structure, invariants, siphons, steady state, latencies.")
+    Term.(const run $ file_arg $ model_arg $ max_states_arg $ event_arg)
+
+(* ----- dot ----- *)
+
+let dot_cmd =
+  let run file model what max_states =
+    with_net file model (fun tpn ->
+        match what with
+        | "net" -> print_string (Tpan_petri.Dot.net_to_dot (Tpn.net tpn))
+        | "trg" -> print_string (CG.to_dot (CG.build ~max_states tpn))
+        | "strg" -> print_string (SG.to_dot (SG.build ~max_states tpn))
+        | "reach" ->
+          print_string
+            (Tpan_petri.Dot.reachability_to_dot (Reach.explore ~max_states (Tpn.net tpn)))
+        | "dg" ->
+          let g = CG.build ~max_states tpn in
+          let dg = DG.of_graph ~add:Q.add ~mul:Q.mul g in
+          print_string
+            (DG.to_dot ~pp_delay:(Q.pp_decimal ~digits:6) ~pp_prob:(Q.pp_decimal ~digits:6) dg)
+        | other ->
+          Printf.eprintf "unknown graph %S (net, trg, strg, reach, dg)\n" other;
+          exit 2)
+  in
+  let what_arg =
+    Arg.(
+      value & opt string "net"
+      & info [ "g"; "graph" ] ~docv:"KIND" ~doc:"Which graph: net, trg, strg, reach or dg (decision graph).")
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Emit Graphviz DOT for the net or its graphs.")
+    Term.(const run $ file_arg $ model_arg $ what_arg $ max_states_arg)
+
+let () =
+  let info =
+    Cmd.info "tpan" ~version:"1.0.0"
+      ~doc:"Performance analysis of communication protocols from Timed Petri Net models"
+  in
+  exit (Cmd.eval (Cmd.group info [ show_cmd; reach_cmd; analyze_cmd; symbolic_cmd; simulate_cmd; sweep_cmd; latency_cmd; check_cmd; report_cmd; dot_cmd ]))

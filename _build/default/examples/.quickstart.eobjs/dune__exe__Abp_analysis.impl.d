@@ -1,0 +1,1 @@
+examples/abp_analysis.ml: Array Format List Tpan_core Tpan_mathkit Tpan_perf Tpan_petri Tpan_protocols Tpan_sim

@@ -1,0 +1,1 @@
+examples/abp_analysis.mli:

@@ -1,0 +1,1 @@
+examples/protocol_doctor.ml: Float Format List Tpan_core Tpan_mathkit Tpan_perf Tpan_protocols Tpan_symbolic

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format Tpan_core Tpan_mathkit Tpan_perf Tpan_petri Tpan_sim

@@ -1,0 +1,1 @@
+examples/ranged_safety.ml: Format List Tpan_core Tpan_mathkit Tpan_protocols

@@ -1,0 +1,1 @@
+examples/ranged_safety.mli:

@@ -1,0 +1,1 @@
+examples/symbolic_stopwait.ml: Array Format List String Tpan_core Tpan_mathkit Tpan_perf Tpan_protocols Tpan_symbolic

@@ -1,0 +1,1 @@
+examples/timeout_tuning.mli:

@@ -1,0 +1,70 @@
+(* The interactive tool the paper's conclusion asks for: when the timing
+   constraints are too weak to order two remaining times, the analyzer
+   reports exactly which comparison failed and suggests the constraint to
+   add. This example starts from NO constraints and lets the diagnosis loop
+   drive it to an analyzable model.
+
+   Run with: dune exec examples/constraint_explorer.exe *)
+
+module Q = Tpan_mathkit.Q
+module Lin = Tpan_symbolic.Linexpr
+module C = Tpan_symbolic.Constraints
+module Tpn = Tpan_core.Tpn
+module SG = Tpan_core.Symbolic
+module SW = Tpan_protocols.Stopwait
+
+(* rebuild the symbolic stop-and-wait net with a given constraint set *)
+let net_with constraints =
+  let s = Tpn.spec in
+  let fs t = Tpn.sym_firing t in
+  Tpn.make ~constraints (SW.net ())
+    [
+      ("t1", s ~firing:(fs "t1") ());
+      ("t2", s ~firing:(fs "t2") ());
+      ("t3", s ~enabling:(Tpn.sym_enabling "t3") ~firing:(fs "t3") ~frequency:(Tpn.Freq Q.zero) ());
+      ("t4", s ~firing:(fs "t4") ());
+      ("t5", s ~firing:(fs "t5") ());
+      ("t6", s ~firing:(fs "t6") ());
+      ("t7", s ~firing:(fs "t7") ());
+      ("t8", s ~firing:(fs "t8") ());
+      ("t9", s ~firing:(fs "t9") ());
+    ]
+
+(* What a designer would answer: the ground truth ordering at the intended
+   operating point (the paper's Figure 1b values). The explorer adds the
+   TRUE relation for each comparison the analyzer flags. *)
+let designer_answer lhs rhs =
+  let point v =
+    match Tpan_symbolic.Var.name v with
+    | "E(t3)" -> Q.of_int 1000
+    | "F(t1)" | "F(t2)" | "F(t3)" -> Q.one
+    | "F(t4)" | "F(t5)" | "F(t8)" | "F(t9)" -> Q.of_decimal_string "106.7"
+    | "F(t6)" | "F(t7)" -> Q.of_decimal_string "13.5"
+    | _ -> Q.zero
+  in
+  let l = Lin.eval point lhs and r = Lin.eval point rhs in
+  if Q.compare l r < 0 then `Lt else if Q.compare l r > 0 then `Gt else `Eq
+
+let () =
+  Format.printf "starting from an EMPTY constraint set...@.";
+  let rec explore round constraints =
+    if round > 20 then failwith "did not converge";
+    match SG.build (net_with constraints) with
+    | g ->
+      Format.printf "@.round %d: constraints are sufficient!@." round;
+      Format.printf "final constraint set:@.%a@." C.pp constraints;
+      Format.printf "symbolic TRG: %d states@." (SG.Graph.num_states g)
+    | exception SG.Insufficient { lhs; rhs; hint } ->
+      Format.printf "@.round %d: cannot order  %a  vs  %a@." round Lin.pp lhs Lin.pp rhs;
+      Format.printf "  analyzer says: %s@." hint;
+      let rel = designer_answer lhs rhs in
+      let rel_str = match rel with `Lt -> "<" | `Gt -> ">" | `Eq -> "=" in
+      Format.printf "  designer answers: %a %s %a@." Lin.pp lhs rel_str Lin.pp rhs;
+      let label = Printf.sprintf "a%d" round in
+      explore (round + 1) (C.add ~label (rel :> C.relation) lhs rhs constraints)
+  in
+  explore 1 C.empty;
+  Format.printf
+    "@.(compare with the paper's hand-written set: (1) E(t3) > F(t5)+F(t6)+F(t8),@.\
+    \ (3) F(t4) = F(t5), (4) F(t9) = F(t8) — the explorer discovers pointwise@.\
+    \ orderings, the human writes the general law.)@."

@@ -1,0 +1,88 @@
+(* The paper's section 4, end to end: derive a closed-form throughput
+   expression for the stop-and-wait protocol of Figure 1 without knowing any
+   concrete delay, then specialize it.
+
+   Run with: dune exec examples/symbolic_stopwait.exe *)
+
+module Q = Tpan_mathkit.Q
+module Lin = Tpan_symbolic.Linexpr
+module Rf = Tpan_symbolic.Ratfun
+module SG = Tpan_core.Symbolic
+module Sem = Tpan_core.Semantics
+module DG = Tpan_perf.Decision_graph
+module Rates = Tpan_perf.Rates
+module M = Tpan_perf.Measures
+module SW = Tpan_protocols.Stopwait
+
+let section title = Format.printf "@.=== %s ===@." title
+
+let () =
+  let tpn = SW.symbolic () in
+
+  section "Timing constraints (paper section 4)";
+  Format.printf "%a@." Tpan_symbolic.Constraints.pp (Tpan_core.Tpn.constraints tpn);
+
+  section "Symbolic timed reachability graph (Figure 6)";
+  let g = SG.build tpn in
+  Format.printf "%d states, %d edges@." (SG.Graph.num_states g) (SG.Graph.num_edges g);
+  Array.iteri
+    (fun i st -> Format.printf "%2d: %a@." (i + 1) (SG.Graph.pp_state tpn) st)
+    g.Sem.states;
+
+  section "Constraints used to resolve minima (Figure 7)";
+  List.iter
+    (fun (s, d, labels) ->
+      Format.printf "  transition %d -> %d justified by %s@." (s + 1) (d + 1)
+        (String.concat ", " labels))
+    (SG.constraint_audit g);
+
+  section "Decision graph and traversal rates (Figure 8)";
+  let res = M.Symbolic.analyze g in
+  Format.printf "%a@." (DG.pp ~pp_delay:Lin.pp ~pp_prob:Rf.pp) res.Rates.dg;
+  List.iteri
+    (fun i (re : _ Rates.rated_edge) ->
+      Format.printf "r%d = %a@." (i + 1) Rf.pp re.Rates.rate;
+      Format.printf "w%d = r%d * d%d@." (i + 1) (i + 1) (i + 1))
+    res.Rates.edge_rate;
+
+  section "Throughput expression (successful deliveries per unit time)";
+  let thr = M.Symbolic.throughput res g SW.t_process_ack in
+  Format.printf "throughput = %a@." Rf.pp thr;
+
+  section "Specialized at 5% packet loss and 5% ack loss";
+  let five_pct =
+    [
+      ("f(t4)", Q.of_ints 1 20); ("f(t5)", Q.of_ints 19 20);
+      ("f(t8)", Q.of_ints 19 20); ("f(t9)", Q.of_ints 1 20);
+    ]
+  in
+  let spec = M.Symbolic.subst_frequencies thr five_pct in
+  Format.printf "throughput|5%% = %a@." Rf.pp spec;
+  Format.printf
+    "(the paper's form: 18.05 / (1.95(E(t3)+F(t3)) + 20 F(t2) + 18.05(F(t1)+F(t5)+F(t6)+F(t7)+F(t8))))@.";
+
+  section "Evaluated at the Figure 1b delays";
+  let point =
+    five_pct
+    @ [
+        ("E(t3)", Q.of_int 1000);
+        ("F(t1)", Q.one); ("F(t2)", Q.one); ("F(t3)", Q.one);
+        ("F(t4)", Q.of_decimal_string "106.7"); ("F(t5)", Q.of_decimal_string "106.7");
+        ("F(t6)", Q.of_decimal_string "13.5"); ("F(t7)", Q.of_decimal_string "13.5");
+        ("F(t8)", Q.of_decimal_string "106.7"); ("F(t9)", Q.of_decimal_string "106.7");
+      ]
+  in
+  let v = M.Symbolic.eval_at thr point in
+  Format.printf "throughput = %a msg/ms = %.4f msg/s@." (Q.pp_decimal ~digits:8) v
+    (Q.to_float v *. 1000.);
+  Format.printf "mean time per message = %a ms@." (Q.pp_decimal ~digits:4) (Q.inv v);
+
+  (* The expression is valid for EVERY point satisfying the constraints:
+     change the timeout, keep the expression. *)
+  section "Same expression, different timeout (no re-analysis needed)";
+  List.iter
+    (fun timeout ->
+      let point = ("E(t3)", Q.of_int timeout) :: List.remove_assoc "E(t3)" point in
+      let v = M.Symbolic.eval_at thr point in
+      Format.printf "  E(t3) = %4d ms  ->  %.4f msg/s@." timeout (Q.to_float v *. 1000.))
+    [ 250; 500; 1000; 2000; 4000 ]

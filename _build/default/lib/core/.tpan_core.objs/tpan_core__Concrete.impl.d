@@ -1,0 +1,1 @@
+lib/core/concrete.ml: Array Buffer Format List Printf Semantics String Tpan_mathkit Tpan_petri Tpn

@@ -1,0 +1,1 @@
+lib/core/concrete.mli: Semantics Tpan_mathkit Tpn

@@ -1,0 +1,1 @@
+lib/core/dbm.ml: Array Format Tpan_mathkit

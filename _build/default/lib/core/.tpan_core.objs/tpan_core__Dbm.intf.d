@@ -1,0 +1,1 @@
+lib/core/dbm.mli: Format Tpan_mathkit

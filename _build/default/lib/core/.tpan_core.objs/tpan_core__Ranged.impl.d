@@ -1,0 +1,1 @@
+lib/core/ranged.ml: Array List Printf Time_pn Tpan_mathkit Tpan_petri Tpn

@@ -1,0 +1,1 @@
+lib/core/ranged.mli: Time_pn Tpan_mathkit Tpan_petri Tpn

@@ -1,0 +1,1 @@
+lib/core/semantics.ml: Array Format Fun Hashtbl List Option Printf Queue Stdlib String Tpan_petri Tpn

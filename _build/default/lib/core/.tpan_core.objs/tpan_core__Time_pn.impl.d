@@ -1,0 +1,1 @@
+lib/core/time_pn.ml: Array Dbm Format Hashtbl List Option Printf Queue String Tpan_mathkit Tpan_petri Tpn

@@ -1,0 +1,1 @@
+lib/core/time_pn.mli: Dbm Format Tpan_mathkit Tpan_petri Tpn

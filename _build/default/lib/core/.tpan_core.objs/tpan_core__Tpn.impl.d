@@ -1,0 +1,1 @@
+lib/core/tpn.ml: Array Format Fun Hashtbl List Printf String Tpan_mathkit Tpan_petri Tpan_symbolic

@@ -1,0 +1,1 @@
+lib/core/tpn.mli: Format Tpan_mathkit Tpan_petri Tpan_symbolic

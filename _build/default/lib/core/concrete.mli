@@ -1,0 +1,22 @@
+(** Concrete Timed Reachability Graphs (paper §2, Figure 4): exact rational
+    delays, exact rational branching probabilities.
+
+    Requires a fully concrete {!Tpn.t} ({!Tpn.is_concrete}). *)
+
+module Q = Tpan_mathkit.Q
+
+module Domain :
+  Semantics.DOMAIN with type time = Q.t and type prob = Q.t
+
+module Graph : module type of Semantics.Make (Domain)
+
+val build : ?max_states:int -> Tpn.t -> Graph.graph
+(** @raise Tpn.Unsupported if the net has symbolic times/frequencies. *)
+
+val total_delay : Graph.edge list -> Q.t
+(** Sum of edge delays along a path. *)
+
+val to_dot : Graph.graph -> string
+(** DOT rendering of the timed reachability graph; decision states are
+    drawn as diamonds, edges labelled with delay (and probability when
+    not 1). *)

@@ -1,0 +1,97 @@
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Marking = Tpan_petri.Marking
+
+type spec = { enabling : Q.t; firing_min : Q.t; firing_max : Q.t }
+
+let spec ?(enabling = Q.zero) ?(firing = (Q.zero, Q.zero)) () =
+  let fmin, fmax = firing in
+  if Q.sign enabling < 0 || Q.sign fmin < 0 then invalid_arg "Ranged.spec: negative time";
+  if Q.compare fmax fmin < 0 then invalid_arg "Ranged.spec: firing max < min";
+  { enabling; firing_min = fmin; firing_max = fmax }
+
+let exact tpn t =
+  let f = Tpn.firing_q tpn t in
+  { enabling = Tpn.enabling_q tpn t; firing_min = f; firing_max = f }
+
+type t = { net : Net.t; specs : spec array }
+
+let make net alist =
+  let nt = Net.num_transitions net in
+  let specs = Array.make nt (spec ()) in
+  let seen = Array.make nt false in
+  List.iter
+    (fun (name, s) ->
+      let t =
+        try Net.trans_of_name net name
+        with Not_found -> invalid_arg (Printf.sprintf "Ranged.make: unknown transition %S" name)
+      in
+      if seen.(t) then invalid_arg (Printf.sprintf "Ranged.make: duplicate spec for %S" name);
+      seen.(t) <- true;
+      specs.(t) <- s)
+    alist;
+  Array.iteri
+    (fun t b ->
+      if not b then
+        invalid_arg (Printf.sprintf "Ranged.make: missing spec for %S" (Net.trans_name net t)))
+    seen;
+  { net; specs }
+
+let of_tpn ?(widen = []) tpn =
+  let net = Tpn.net tpn in
+  let specs =
+    List.map
+      (fun t ->
+        let name = Net.trans_name net t in
+        let base = exact tpn t in
+        let s =
+          match List.assoc_opt name widen with
+          | Some (lo, hi) ->
+            if Q.compare hi lo < 0 || Q.sign lo < 0 then
+              invalid_arg "Ranged.of_tpn: bad widening interval";
+            { base with firing_min = lo; firing_max = hi }
+          | None -> base
+        in
+        (name, s))
+      (Net.transitions net)
+  in
+  make net specs
+
+(* Figure-2 with ranged emit intervals: absorb [E,E] then emit
+   [f_min, f_max]. *)
+let to_time_pn g =
+  let src = g.net in
+  let b = Net.builder (Net.name src ^ "_ranged") in
+  let init = Net.initial_marking src in
+  List.iter (fun p -> ignore (Net.add_place b ~init:init.(p) (Net.place_name src p))) (Net.places src);
+  let specs = ref [] in
+  List.iter
+    (fun t ->
+      let name = Net.trans_name src t in
+      let buf = Net.add_place b (name ^ "__busy") in
+      ignore
+        (Net.add_transition b ~name:(name ^ "__absorb") ~inputs:(Net.inputs src t)
+           ~outputs:[ (buf, 1) ]);
+      ignore
+        (Net.add_transition b ~name:(name ^ "__emit") ~inputs:[ (buf, 1) ]
+           ~outputs:(Net.outputs src t));
+      let s = g.specs.(t) in
+      specs :=
+        (name ^ "__emit", Time_pn.interval ~max:s.firing_max s.firing_min)
+        :: (name ^ "__absorb", Time_pn.interval ~max:s.enabling s.enabling)
+        :: !specs)
+    (Net.transitions src);
+  Time_pn.make (Net.build b) !specs
+
+let reachable_markings ?max_classes g =
+  let timed = to_time_pn g in
+  let graph = Time_pn.build ?max_classes timed in
+  let np = Net.num_places g.net in
+  Time_pn.reachable_markings graph
+  |> List.map (fun m -> Array.sub m 0 np)
+  |> List.sort_uniq compare
+
+let safe ?max_classes g =
+  match reachable_markings ?max_classes g with
+  | markings -> List.for_all (fun m -> Array.for_all (fun k -> k <= 1) m) markings
+  | exception Tpn.Unsupported _ -> false

@@ -1,0 +1,59 @@
+(** Timed Petri Nets with {e ranges} of firing times — the extension the
+    paper's conclusion proposes: "our approach would be to extend firing
+    times to include time ranges, but to retain enabling times to model
+    timeouts".
+
+    A ranged transition absorbs its tokens when it must begin firing (after
+    its exact enabling time, like the base model) and completes anywhere in
+    [[f_min, f_max]]. Analysis reuses the Merlin–Farber state-class engine
+    through the Figure-2 translation: absorb transition [[E, E]], buffer
+    place, emit transition [[f_min, f_max]].
+
+    The paper's safety remark becomes checkable: with a timeout exceeding
+    the {e worst-case} round trip, the ranged protocol reaches exactly the
+    markings of the fixed-delay one; with a timeout inside the round-trip
+    range, premature retransmission puts a second packet in flight and
+    breaks the safeness assumption (detected as {!Tpn.Unsupported} or as a
+    non-safe marking). *)
+
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Marking = Tpan_petri.Marking
+
+type spec = {
+  enabling : Q.t;  (** exact, as in the base model *)
+  firing_min : Q.t;
+  firing_max : Q.t;
+}
+
+val spec : ?enabling:Q.t -> ?firing:Q.t * Q.t -> unit -> spec
+(** Defaults: [enabling = 0], [firing = (0, 0)].
+    @raise Invalid_argument on negative times or [max < min]. *)
+
+val exact : Tpn.t -> (Net.trans -> spec)
+(** View a concrete base-model net as ranged with point intervals
+    ([firing_min = firing_max = F(t)]). *)
+
+type t
+
+val make : Net.t -> (string * spec) list -> t
+(** @raise Invalid_argument on missing/duplicate/unknown transitions. *)
+
+val of_tpn : ?widen:(string * (Q.t * Q.t)) list -> Tpn.t -> t
+(** Start from a concrete base-model net; [widen] replaces the firing time
+    of the named transitions by a range.
+    @raise Tpn.Unsupported if the net is symbolic. *)
+
+val to_time_pn : t -> Time_pn.t
+(** The Figure-2 translation with ranged emit intervals. *)
+
+val reachable_markings : ?max_classes:int -> t -> Marking.t list
+(** Markings of the original net reachable under {e some} choice of firing
+    durations within the ranges (buffer places projected away; a transition
+    in flight leaves its tokens absorbed, as in the base model).
+    @raise Tpn.Unsupported if a transition becomes multiply enabled — the
+    ranged behaviour escapes the paper's modelling assumptions *)
+
+val safe : ?max_classes:int -> t -> bool
+(** Every reachable marking is 1-bounded (and no multiple enabledness
+    occurs). *)

@@ -1,0 +1,1 @@
+lib/dsl/parser.ml: Format Hashtbl Lexer List Printf Tpan_core Tpan_mathkit Tpan_petri Tpan_symbolic

@@ -1,0 +1,1 @@
+lib/dsl/printer.ml: Array Format List Printf String Tpan_core Tpan_mathkit Tpan_petri Tpan_symbolic

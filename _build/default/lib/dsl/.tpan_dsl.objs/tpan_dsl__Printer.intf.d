@@ -1,0 +1,1 @@
+lib/dsl/printer.mli: Format Tpan_core

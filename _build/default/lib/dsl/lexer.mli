@@ -1,0 +1,45 @@
+(** Hand-written lexer for the [.tpn] net-description format. *)
+
+type token =
+  | IDENT of string
+  | NUMBER of string  (** raw spelling, e.g. ["106.7"] *)
+  | KW_NET
+  | KW_PLACE
+  | KW_TRANS
+  | KW_INIT
+  | KW_IN
+  | KW_OUT
+  | KW_ENABLE
+  | KW_FIRE
+  | KW_FREQ
+  | KW_CONSTRAINT
+  | KW_SYM
+  | LBRACE
+  | RBRACE
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | SEMI
+  | COLON
+  | STAR
+  | SLASH
+  | PLUS
+  | MINUS
+  | GT
+  | GE
+  | LT
+  | LE
+  | EQUAL
+  | EOF
+
+type pos = { line : int; col : int }
+
+type lexeme = { tok : token; pos : pos }
+
+exception Error of pos * string
+
+val tokenize : string -> lexeme list
+(** Comments run from [#] to end of line. @raise Error on an illegal
+    character or malformed number. *)
+
+val describe : token -> string

@@ -1,0 +1,30 @@
+(** Parser and elaborator for the [.tpn] net-description format.
+
+    Example:
+    {v
+    net stopwait
+    place p1 init 1
+    place p2
+    trans send { in p1; out p2; fire 1; freq 1 }
+    trans lose { in p2; fire 106.7; freq 0.05 }
+    trans deliver { in p2; fire sym; freq 0.95 }      # F(deliver) symbolic
+    trans expire { in p1; enable E(to); fire 1; freq 0 }
+    constraint c1: E(to) > F(deliver) + 5
+    v}
+
+    Time values are decimal numbers, [E(name)] / [F(name)] symbols, or the
+    keyword [sym] (shorthand for this transition's own symbol). Frequencies
+    are numbers, [f(name)], or [sym]. Constraints relate linear
+    expressions with [<], [<=], [=], [>=], [>]. *)
+
+exception Parse_error of Lexer.pos * string
+
+val parse_string : string -> Tpan_core.Tpn.t
+(** @raise Parse_error (also converts {!Lexer.Error}) *)
+
+val parse_file : string -> Tpan_core.Tpn.t
+(** @raise Sys_error, @raise Parse_error *)
+
+val parse_result : string -> (Tpan_core.Tpn.t, string) result
+(** Like {!parse_string} with the error rendered as
+    ["line L, column C: message"]. *)

@@ -1,0 +1,76 @@
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Var = Tpan_symbolic.Var
+module Lin = Tpan_symbolic.Linexpr
+module C = Tpan_symbolic.Constraints
+module Tpn = Tpan_core.Tpn
+
+let q_str q = Q.to_string q  (* exact: "a/b" or an integer *)
+
+let is_valid_label s =
+  s <> ""
+  && (match s.[0] with 'a' .. 'z' | 'A' .. 'Z' | '_' -> true | _ -> false)
+  && String.for_all (function 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> true | _ -> false) s
+
+let pp fmt tpn =
+  let net = Tpn.net tpn in
+  Format.fprintf fmt "net %s@." (Net.name net);
+  let init = Net.initial_marking net in
+  List.iter
+    (fun p ->
+      if init.(p) > 0 then Format.fprintf fmt "place %s init %d@." (Net.place_name net p) init.(p)
+      else Format.fprintf fmt "place %s@." (Net.place_name net p))
+    (Net.places net);
+  let pp_bag fmt bag =
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.pp_print_string fmt ", ")
+      (fun fmt (p, w) ->
+        if w = 1 then Format.pp_print_string fmt (Net.place_name net p)
+        else Format.fprintf fmt "%d*%s" w (Net.place_name net p))
+      fmt bag
+  in
+  let time_str = function
+    | Tpn.Fixed q -> q_str q
+    | Tpn.Sym v ->
+      (match Var.kind v with
+       | Var.Enabling -> Printf.sprintf "E(%s)" (Var.label v)
+       | Var.Firing -> Printf.sprintf "F(%s)" (Var.label v)
+       | Var.Frequency | Var.Param -> Var.name v)
+  in
+  List.iter
+    (fun t ->
+      Format.fprintf fmt "trans %s {" (Net.trans_name net t);
+      (match Net.inputs net t with
+       | [] -> ()
+       | bag -> Format.fprintf fmt " in %a;" pp_bag bag);
+      (match Net.outputs net t with
+       | [] -> ()
+       | bag -> Format.fprintf fmt " out %a;" pp_bag bag);
+      (match Tpn.enabling tpn t with
+       | Tpn.Fixed q when Q.is_zero q -> ()
+       | e -> Format.fprintf fmt " enable %s;" (time_str e));
+      (match Tpn.firing tpn t with
+       | Tpn.Fixed q when Q.is_zero q -> ()
+       | f -> Format.fprintf fmt " fire %s;" (time_str f));
+      (match Tpn.frequency tpn t with
+       | Tpn.Freq q when Q.equal q Q.one -> ()
+       | Tpn.Freq q -> Format.fprintf fmt " freq %s;" (q_str q)
+       | Tpn.Freq_sym v -> Format.fprintf fmt " freq f(%s);" (Var.label v));
+      Format.fprintf fmt " }@.")
+    (Net.transitions net);
+  let pp_lin fmt e =
+    (* Linexpr.pp already prints E(x)/F(x)/names with +- and coefficients,
+       matching the constraint grammar. *)
+    Lin.pp fmt e
+  in
+  List.iter
+    (fun (label, rel, lhs, rhs) ->
+      let rel_str =
+        match rel with `Lt -> "<" | `Le -> "<=" | `Eq -> "=" | `Ge -> ">=" | `Gt -> ">"
+      in
+      if is_valid_label label then
+        Format.fprintf fmt "constraint %s: %a %s %a@." label pp_lin lhs rel_str pp_lin rhs
+      else Format.fprintf fmt "constraint %a %s %a@." pp_lin lhs rel_str pp_lin rhs)
+    (C.constraints (Tpn.constraints tpn))
+
+let to_string tpn = Format.asprintf "%a" pp tpn

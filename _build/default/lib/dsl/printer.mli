@@ -1,0 +1,6 @@
+(** Render a timed net back to [.tpn] concrete syntax. Round-trips through
+    {!Parser.parse_string} up to constraint-label spelling. *)
+
+val to_string : Tpan_core.Tpn.t -> string
+
+val pp : Format.formatter -> Tpan_core.Tpn.t -> unit

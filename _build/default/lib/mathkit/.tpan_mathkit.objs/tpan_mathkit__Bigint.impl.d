@@ -1,0 +1,1 @@
+lib/mathkit/bigint.ml: Array Buffer Format List Printf Stdlib String

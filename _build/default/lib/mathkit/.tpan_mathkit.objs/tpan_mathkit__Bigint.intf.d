@@ -1,0 +1,1 @@
+lib/mathkit/bigint.mli: Format

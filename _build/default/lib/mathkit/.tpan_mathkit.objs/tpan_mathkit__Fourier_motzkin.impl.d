@@ -1,0 +1,1 @@
+lib/mathkit/fourier_motzkin.ml: Format Int List Map Option Printf Q

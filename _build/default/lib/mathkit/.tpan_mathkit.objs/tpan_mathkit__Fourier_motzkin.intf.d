@@ -1,0 +1,1 @@
+lib/mathkit/fourier_motzkin.mli: Format Q

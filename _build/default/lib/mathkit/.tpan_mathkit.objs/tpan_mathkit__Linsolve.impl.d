@@ -1,0 +1,1 @@
+lib/mathkit/linsolve.ml: Array Format

@@ -1,0 +1,1 @@
+lib/mathkit/q.ml: Bigint Buffer Format String

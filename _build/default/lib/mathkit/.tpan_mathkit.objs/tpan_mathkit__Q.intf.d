@@ -1,0 +1,1 @@
+lib/mathkit/q.mli: Bigint Format

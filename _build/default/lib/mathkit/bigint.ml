@@ -1,0 +1,326 @@
+(* Sign-magnitude bignums over 15-bit limbs (little-endian int arrays).
+
+   Base 2^15 is chosen so that limb products (< 2^30) plus carries stay far
+   below the 62-bit overflow boundary, which lets the Knuth algorithm-D
+   quotient estimation below work with plain [int] arithmetic. *)
+
+let base_bits = 15
+let base = 1 lsl base_bits
+let mask = base - 1
+
+type t = { sign : int; mag : int array }
+(* Invariants: [sign] is -1, 0 or 1; [sign = 0] iff [mag = [||]];
+   the most significant limb [mag.(len-1)] is non-zero. *)
+
+let zero = { sign = 0; mag = [||] }
+
+(* Strip high zero limbs and normalize the sign of a raw magnitude. *)
+let make sign mag =
+  let n = Array.length mag in
+  let rec top i = if i >= 0 && mag.(i) = 0 then top (i - 1) else i in
+  let hi = top (n - 1) in
+  if hi < 0 then zero
+  else if hi = n - 1 then { sign; mag }
+  else { sign; mag = Array.sub mag 0 (hi + 1) }
+
+let of_int n =
+  if n = 0 then zero
+  else begin
+    let sign = if n < 0 then -1 else 1 in
+    (* min_int negation overflows; peel one limb first. *)
+    let rec limbs acc n = if n = 0 then List.rev acc else limbs ((n land mask) :: acc) (n lsr base_bits) in
+    let m =
+      if n <> min_int then limbs [] (Stdlib.abs n)
+      else
+        (* |min_int| = 2^62: its two's-complement bit pattern is already the
+           magnitude, so logical shifts extract the limbs directly. *)
+        let low = n land mask in
+        low :: limbs [] (n lsr base_bits)
+    in
+    make sign (Array.of_list m)
+  end
+
+let one = of_int 1
+let minus_one = of_int (-1)
+
+let is_zero a = a.sign = 0
+let sign a = a.sign
+let neg a = if a.sign = 0 then a else { a with sign = -a.sign }
+let abs a = if a.sign < 0 then neg a else a
+
+let cmp_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else begin
+    let rec go i = if i < 0 then 0 else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i) else go (i - 1) in
+    go (la - 1)
+  end
+
+let compare a b =
+  if a.sign <> b.sign then Stdlib.compare a.sign b.sign
+  else if a.sign = 0 then 0
+  else a.sign * cmp_mag a.mag b.mag
+
+let equal a b = compare a b = 0
+
+let hash a =
+  Array.fold_left (fun acc limb -> (acc * 31) + limb) (a.sign + 2) a.mag land max_int
+
+let add_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let lmax = if la > lb then la else lb in
+  let out = Array.make (lmax + 1) 0 in
+  let carry = ref 0 in
+  for i = 0 to lmax - 1 do
+    let da = if i < la then a.(i) else 0 and db = if i < lb then b.(i) else 0 in
+    let s = da + db + !carry in
+    out.(i) <- s land mask;
+    carry := s lsr base_bits
+  done;
+  out.(lmax) <- !carry;
+  out
+
+(* Requires |a| >= |b|. *)
+let sub_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make la 0 in
+  let borrow = ref 0 in
+  for i = 0 to la - 1 do
+    let db = if i < lb then b.(i) else 0 in
+    let d = a.(i) - db - !borrow in
+    if d < 0 then begin out.(i) <- d + base; borrow := 1 end
+    else begin out.(i) <- d; borrow := 0 end
+  done;
+  out
+
+let add a b =
+  if a.sign = 0 then b
+  else if b.sign = 0 then a
+  else if a.sign = b.sign then make a.sign (add_mag a.mag b.mag)
+  else begin
+    let c = cmp_mag a.mag b.mag in
+    if c = 0 then zero
+    else if c > 0 then make a.sign (sub_mag a.mag b.mag)
+    else make b.sign (sub_mag b.mag a.mag)
+  end
+
+let sub a b = add a (neg b)
+
+let mul_mag a b =
+  let la = Array.length a and lb = Array.length b in
+  let out = Array.make (la + lb) 0 in
+  for i = 0 to la - 1 do
+    let carry = ref 0 in
+    let ai = a.(i) in
+    if ai <> 0 then begin
+      for j = 0 to lb - 1 do
+        let v = out.(i + j) + (ai * b.(j)) + !carry in
+        out.(i + j) <- v land mask;
+        carry := v lsr base_bits
+      done;
+      out.(i + lb) <- out.(i + lb) + !carry
+    end
+  done;
+  out
+
+let mul a b =
+  if a.sign = 0 || b.sign = 0 then zero else make (a.sign * b.sign) (mul_mag a.mag b.mag)
+
+(* Divide magnitude by a single limb; returns (quotient, remainder limb). *)
+let divmod_small_mag a d =
+  let la = Array.length a in
+  let q = Array.make la 0 in
+  let r = ref 0 in
+  for i = la - 1 downto 0 do
+    let cur = (!r lsl base_bits) lor a.(i) in
+    q.(i) <- cur / d;
+    r := cur mod d
+  done;
+  (q, !r)
+
+(* Knuth algorithm D on magnitudes; returns (quotient, remainder).
+   Preconditions: [Array.length b >= 2], [cmp_mag a b >= 0]. *)
+let divmod_knuth a b =
+  let shift =
+    let top = b.(Array.length b - 1) in
+    let rec go s t = if t >= base / 2 then s else go (s + 1) (t * 2) in
+    go 0 top
+  in
+  let shl m s =
+    if s = 0 then Array.copy m
+    else begin
+      let n = Array.length m in
+      let out = Array.make (n + 1) 0 in
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let v = (m.(i) lsl s) lor !carry in
+        out.(i) <- v land mask;
+        carry := v lsr base_bits
+      done;
+      out.(n) <- !carry;
+      out
+    end
+  in
+  let shr m s =
+    if s = 0 then Array.copy m
+    else begin
+      let n = Array.length m in
+      let out = Array.make n 0 in
+      let carry = ref 0 in
+      for i = n - 1 downto 0 do
+        let v = (!carry lsl base_bits) lor m.(i) in
+        out.(i) <- v lsr s;
+        carry := m.(i) land ((1 lsl s) - 1)
+      done;
+      out
+    end
+  in
+  let u0 = shl a shift and v = shl b shift in
+  let v =
+    (* drop a possible top zero introduced by shl *)
+    let n = Array.length v in
+    if v.(n - 1) = 0 then Array.sub v 0 (n - 1) else v
+  in
+  let n = Array.length v in
+  let m = Array.length u0 - n in
+  let u = Array.append u0 [| 0 |] in
+  let m = if m < 0 then 0 else m in
+  let q = Array.make (m + 1) 0 in
+  let vtop = v.(n - 1) in
+  let vsec = if n >= 2 then v.(n - 2) else 0 in
+  for j = m downto 0 do
+    let num = (((u.(j + n) lsl base_bits) lor u.(j + n - 1)) lsl 0) in
+    let qhat = ref (num / vtop) in
+    let rhat = ref (num mod vtop) in
+    if !qhat >= base then begin
+      rhat := !rhat + (vtop * (!qhat - (base - 1)));
+      qhat := base - 1
+    end;
+    while !rhat < base && !qhat * vsec > ((!rhat lsl base_bits) lor (if j + n - 2 >= 0 then u.(j + n - 2) else 0)) do
+      decr qhat;
+      rhat := !rhat + vtop
+    done;
+    (* multiply-subtract *)
+    let borrow = ref 0 and carry = ref 0 in
+    for i = 0 to n - 1 do
+      let p = (!qhat * v.(i)) + !carry in
+      carry := p lsr base_bits;
+      let d = u.(i + j) - (p land mask) - !borrow in
+      if d < 0 then begin u.(i + j) <- d + base; borrow := 1 end
+      else begin u.(i + j) <- d; borrow := 0 end
+    done;
+    let d = u.(j + n) - !carry - !borrow in
+    if d < 0 then begin
+      (* qhat was one too large: add back *)
+      u.(j + n) <- d + base;
+      decr qhat;
+      let carry = ref 0 in
+      for i = 0 to n - 1 do
+        let s = u.(i + j) + v.(i) + !carry in
+        u.(i + j) <- s land mask;
+        carry := s lsr base_bits
+      done;
+      u.(j + n) <- (u.(j + n) + !carry) land mask
+    end
+    else u.(j + n) <- d;
+    q.(j) <- !qhat
+  done;
+  let r = shr (Array.sub u 0 n) shift in
+  (q, r)
+
+let divmod a b =
+  if b.sign = 0 then raise Division_by_zero;
+  if a.sign = 0 then (zero, zero)
+  else if cmp_mag a.mag b.mag < 0 then (zero, a)
+  else begin
+    let qmag, rmag =
+      if Array.length b.mag = 1 then begin
+        let q, r = divmod_small_mag a.mag b.mag.(0) in
+        (q, [| r |])
+      end
+      else divmod_knuth a.mag b.mag
+    in
+    let q = make (a.sign * b.sign) qmag in
+    let r = make a.sign rmag in
+    (q, r)
+  end
+
+let div a b = fst (divmod a b)
+let rem a b = snd (divmod a b)
+
+let rec gcd_loop a b = if is_zero b then a else gcd_loop b (rem a b)
+let gcd a b = gcd_loop (abs a) (abs b)
+
+let is_one a = a.sign = 1 && Array.length a.mag = 1 && a.mag.(0) = 1
+
+let pow b n =
+  if n < 0 then invalid_arg "Bigint.pow: negative exponent";
+  let rec go acc b n =
+    if n = 0 then acc
+    else begin
+      let acc = if n land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (n lsr 1)
+    end
+  in
+  go one b n
+
+let to_int_opt a =
+  (* Accumulate negatively so that [min_int] (whose magnitude exceeds
+     [max_int]) is still representable. *)
+  let floor_limit = min_int asr base_bits in
+  let rec go acc i =
+    if i < 0 then Some acc
+    else if acc < floor_limit || (acc = floor_limit && a.mag.(i) > 0) then None
+    else go ((acc lsl base_bits) - a.mag.(i)) (i - 1)
+  in
+  if a.sign = 0 then Some 0
+  else
+    match go 0 (Array.length a.mag - 1) with
+    | None -> None
+    | Some m -> if a.sign < 0 then Some m else if m = min_int then None else Some (-m)
+
+let to_float a =
+  let v = Array.fold_right (fun limb acc -> (acc *. float_of_int base) +. float_of_int limb) a.mag 0. in
+  if a.sign < 0 then -.v else v
+
+let to_string a =
+  if a.sign = 0 then "0"
+  else begin
+    let chunks = ref [] in
+    let m = ref a.mag in
+    while Array.length !m > 0 && not (Array.for_all (fun x -> x = 0) !m) do
+      let q, r = divmod_small_mag !m 10000 in
+      chunks := r :: !chunks;
+      let q = make 1 q in
+      m := q.mag
+    done;
+    let buf = Buffer.create 16 in
+    if a.sign < 0 then Buffer.add_char buf '-';
+    (match !chunks with
+     | [] -> Buffer.add_char buf '0'
+     | first :: rest ->
+       Buffer.add_string buf (string_of_int first);
+       List.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%04d" c)) rest);
+    Buffer.contents buf
+  end
+
+let of_string s =
+  let n = String.length s in
+  if n = 0 then invalid_arg "Bigint.of_string: empty string";
+  let is_neg, start =
+    if s.[0] = '-' then (true, 1) else if s.[0] = '+' then (false, 1) else (false, 0)
+  in
+  if start >= n then invalid_arg "Bigint.of_string: no digits";
+  let acc = ref zero in
+  let i = ref start in
+  while !i < n do
+    let stop = min n (!i + 4) in
+    let chunk = String.sub s !i (stop - !i) in
+    String.iter (fun c -> if c < '0' || c > '9' then invalid_arg "Bigint.of_string: bad digit") chunk;
+    let scale = pow (of_int 10) (stop - !i) in
+    acc := add (mul !acc scale) (of_int (int_of_string chunk));
+    i := stop
+  done;
+  if is_neg then neg !acc else !acc
+
+let pp fmt a = Format.pp_print_string fmt (to_string a)

@@ -1,0 +1,163 @@
+module IntMap = Map.Make (Int)
+
+module Linform = struct
+  type t = { coeffs : Q.t IntMap.t; const : Q.t }
+  (* Invariant: no zero coefficient is stored. *)
+
+  let norm coeffs = IntMap.filter (fun _ c -> not (Q.is_zero c)) coeffs
+
+  let const q = { coeffs = IntMap.empty; const = q }
+  let zero = const Q.zero
+  let var v = { coeffs = IntMap.singleton v Q.one; const = Q.zero }
+
+  let of_list l c =
+    let coeffs =
+      List.fold_left
+        (fun acc (v, q) ->
+          let cur = Option.value ~default:Q.zero (IntMap.find_opt v acc) in
+          IntMap.add v (Q.add cur q) acc)
+        IntMap.empty l
+    in
+    { coeffs = norm coeffs; const = c }
+
+  let add a b =
+    let coeffs =
+      IntMap.union (fun _ x y -> let s = Q.add x y in if Q.is_zero s then None else Some s) a.coeffs b.coeffs
+    in
+    { coeffs; const = Q.add a.const b.const }
+
+  let scale k a =
+    if Q.is_zero k then zero
+    else { coeffs = IntMap.map (Q.mul k) a.coeffs; const = Q.mul k a.const }
+
+  let neg a = scale Q.minus_one a
+  let sub a b = add a (neg b)
+
+  let constant a = a.const
+  let coeff v a = Option.value ~default:Q.zero (IntMap.find_opt v a.coeffs)
+  let coeffs a = IntMap.bindings a.coeffs
+  let is_const a = IntMap.is_empty a.coeffs
+  let vars a = List.map fst (IntMap.bindings a.coeffs)
+
+  let equal a b = Q.equal a.const b.const && IntMap.equal Q.equal a.coeffs b.coeffs
+
+  let compare a b =
+    let c = Q.compare a.const b.const in
+    if c <> 0 then c else IntMap.compare Q.compare a.coeffs b.coeffs
+
+  let hash a =
+    IntMap.fold (fun v c acc -> (acc * 31) + (v * 7) + Q.hash c) a.coeffs (Q.hash a.const)
+
+  let eval env a =
+    IntMap.fold (fun v c acc -> Q.add acc (Q.mul c (env v))) a.coeffs a.const
+
+  let pp ?(name = fun v -> Printf.sprintf "x%d" v) fmt a =
+    let terms = coeffs a in
+    if terms = [] then Q.pp fmt a.const
+    else begin
+      let first = ref true in
+      let print_term v c =
+        let s = Q.sign c in
+        if !first then begin
+          if s < 0 then Format.pp_print_string fmt "-";
+          first := false
+        end
+        else Format.pp_print_string fmt (if s < 0 then " - " else " + ");
+        let m = Q.abs c in
+        if not (Q.equal m Q.one) then Format.fprintf fmt "%a*" Q.pp m;
+        Format.pp_print_string fmt (name v)
+      in
+      List.iter (fun (v, c) -> print_term v c) terms;
+      if not (Q.is_zero a.const) then begin
+        let s = Q.sign a.const in
+        Format.pp_print_string fmt (if s < 0 then " - " else " + ");
+        Q.pp fmt (Q.abs a.const)
+      end
+    end
+end
+
+type relation = Ge | Gt | Eq
+
+type constr = { form : Linform.t; rel : relation }
+
+let ge a b = { form = Linform.sub a b; rel = Ge }
+let gt a b = { form = Linform.sub a b; rel = Gt }
+let eq a b = { form = Linform.sub a b; rel = Eq }
+
+let pp_constr ?name fmt c =
+  let op = match c.rel with Ge -> ">= 0" | Gt -> "> 0" | Eq -> "= 0" in
+  Format.fprintf fmt "%a %s" (Linform.pp ?name) c.form op
+
+let satisfies env c =
+  let v = Linform.eval env c.form in
+  match c.rel with
+  | Ge -> Q.sign v >= 0
+  | Gt -> Q.sign v > 0
+  | Eq -> Q.sign v = 0
+
+(* Feasibility by Fourier–Motzkin elimination. Equalities are split into a
+   pair of opposite inequalities first; this is simple and complete (though a
+   substitution pass would be cheaper). *)
+let feasible constraints =
+  let split c =
+    match c.rel with
+    | Eq -> [ { form = c.form; rel = Ge }; { form = Linform.neg c.form; rel = Ge } ]
+    | Ge | Gt -> [ c ]
+  in
+  let cs = List.concat_map split constraints in
+  let all_vars cs =
+    List.fold_left
+      (fun acc c -> List.fold_left (fun acc v -> if List.mem v acc then acc else v :: acc) acc (Linform.vars c.form))
+      [] cs
+  in
+  let eliminate v cs =
+    let lower, upper, rest =
+      List.fold_left
+        (fun (lo, up, rest) c ->
+          let a = Linform.coeff v c.form in
+          if Q.is_zero a then (lo, up, c :: rest)
+          else if Q.sign a > 0 then (c :: lo, up, rest)
+          else (lo, c :: up, rest))
+        ([], [], []) cs
+    in
+    (* A pair (l: a·v + L' ≥/> 0 with a>0) and (u: b·v + U' ≥/> 0 with b<0)
+       combines into (-b)·(l.form) + a·(u.form) ≥/> 0, which cancels v. *)
+    let combine l u =
+      let a = Linform.coeff v l.form and b = Linform.coeff v u.form in
+      let form = Linform.add (Linform.scale (Q.neg b) l.form) (Linform.scale a u.form) in
+      let rel = match (l.rel, u.rel) with Gt, _ | _, Gt -> Gt | _ -> Ge in
+      { form; rel }
+    in
+    List.fold_left (fun acc l -> List.fold_left (fun acc u -> combine l u :: acc) acc upper) rest lower
+  in
+  let rec run cs =
+    match all_vars cs with
+    | [] ->
+      List.for_all
+        (fun c ->
+          let k = Linform.constant c.form in
+          match c.rel with
+          | Ge -> Q.sign k >= 0
+          | Gt -> Q.sign k > 0
+          | Eq -> Q.sign k = 0)
+        cs
+    | v :: _ -> run (eliminate v cs)
+  in
+  run cs
+
+let entails cs c =
+  match c.rel with
+  | Ge -> not (feasible ({ form = Linform.neg c.form; rel = Gt } :: cs))
+  | Gt -> not (feasible ({ form = Linform.neg c.form; rel = Ge } :: cs))
+  | Eq ->
+    (not (feasible ({ form = c.form; rel = Gt } :: cs)))
+    && not (feasible ({ form = Linform.neg c.form; rel = Gt } :: cs))
+
+type comparison = Always_lt | Always_eq | Always_gt | Unknown
+
+let compare_forms cs a b =
+  let d = Linform.sub b a in
+  if entails cs { form = d; rel = Gt } then Always_lt
+  else if entails cs { form = Linform.neg d; rel = Gt } then Always_gt
+  else if entails cs { form = d; rel = Eq } then Always_eq
+  else Unknown

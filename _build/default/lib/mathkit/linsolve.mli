@@ -1,0 +1,34 @@
+(** Exact dense linear-system solving over an arbitrary field.
+
+    Used twice in the analyzer: over {!Q} for numeric traversal-rate
+    equations, and over symbolic rational functions for the paper's symbolic
+    rate derivation (Figure 8). *)
+
+module type FIELD = sig
+  type t
+
+  val zero : t
+  val one : t
+  val is_zero : t -> bool
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val pp : Format.formatter -> t -> unit
+end
+
+module Make (F : FIELD) : sig
+  type outcome =
+    | Unique of F.t array
+    | Underdetermined
+    | Inconsistent
+
+  val solve : F.t array array -> F.t array -> outcome
+  (** [solve a b] solves [a · x = b] by Gauss–Jordan elimination with a
+      first-nonzero pivot (valid over any exact field). [a] is an array of
+      rows; inputs are not mutated.
+      @raise Invalid_argument on ragged or mismatched dimensions. *)
+
+  val solve_unique : F.t array array -> F.t array -> F.t array
+  (** Like {!solve} but @raise Failure unless the solution is unique. *)
+end

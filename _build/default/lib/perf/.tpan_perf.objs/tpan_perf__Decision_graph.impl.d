@@ -1,0 +1,1 @@
+lib/perf/decision_graph.ml: Array Buffer Format List Printf String Tpan_core Tpan_petri

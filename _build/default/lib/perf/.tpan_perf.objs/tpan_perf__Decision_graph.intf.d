@@ -1,0 +1,1 @@
+lib/perf/decision_graph.mli: Format Tpan_core Tpan_petri

@@ -1,0 +1,1 @@
+lib/perf/exponential.ml: Array List Printf Rates Tpan_core Tpan_mathkit Tpan_petri

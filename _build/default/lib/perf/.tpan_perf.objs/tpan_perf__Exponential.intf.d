@@ -1,0 +1,1 @@
+lib/perf/exponential.mli: Tpan_core Tpan_mathkit Tpan_petri

@@ -1,0 +1,1 @@
+lib/perf/markov.ml: Array Decision_graph Float Hashtbl List

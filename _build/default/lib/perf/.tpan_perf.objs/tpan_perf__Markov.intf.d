@@ -1,0 +1,1 @@
+lib/perf/markov.mli: Decision_graph

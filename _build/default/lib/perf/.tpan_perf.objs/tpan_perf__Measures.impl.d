@@ -1,0 +1,1 @@
+lib/perf/measures.ml: Array Decision_graph Fun List Rates Tpan_core Tpan_mathkit Tpan_petri Tpan_symbolic

@@ -1,0 +1,1 @@
+lib/perf/measures.mli: Decision_graph Rates Tpan_core Tpan_mathkit Tpan_petri Tpan_symbolic

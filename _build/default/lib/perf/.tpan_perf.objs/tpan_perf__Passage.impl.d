@@ -1,0 +1,1 @@
+lib/perf/passage.ml: Array Fun List Option Queue Rates Tpan_core Tpan_mathkit Tpan_petri Tpan_symbolic

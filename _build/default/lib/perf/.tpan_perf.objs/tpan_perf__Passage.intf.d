@@ -1,0 +1,1 @@
+lib/perf/passage.mli: Rates Tpan_core Tpan_mathkit Tpan_symbolic

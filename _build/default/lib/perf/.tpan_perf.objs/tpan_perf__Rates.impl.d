@@ -1,0 +1,1 @@
+lib/perf/rates.ml: Array Decision_graph Float Format Hashtbl List Printf String Tpan_mathkit Tpan_symbolic

@@ -1,0 +1,1 @@
+lib/perf/rates.mli: Decision_graph Format Tpan_mathkit Tpan_symbolic

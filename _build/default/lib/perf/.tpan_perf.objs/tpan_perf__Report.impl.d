@@ -1,0 +1,1 @@
+lib/perf/report.ml: Array Decision_graph Format List Measures Passage Rates String Tpan_core Tpan_mathkit Tpan_petri Tpan_symbolic

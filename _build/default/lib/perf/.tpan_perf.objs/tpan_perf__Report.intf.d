@@ -1,0 +1,1 @@
+lib/perf/report.mli: Format Tpan_core

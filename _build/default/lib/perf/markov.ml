@@ -1,0 +1,42 @@
+let stationary ~probs ?(iterations = 100_000) ?(tolerance = 1e-14) (dg : _ Decision_graph.t) =
+  let nodes = Array.of_list dg.Decision_graph.nodes in
+  let k = Array.length nodes in
+  if k = 0 then failwith "Markov.stationary: no decision nodes";
+  let pos = Hashtbl.create 8 in
+  Array.iteri (fun i n -> Hashtbl.add pos n i) nodes;
+  let step =
+    List.filter_map
+      (fun (e : _ Decision_graph.dedge) ->
+        match e.dst with
+        | Decision_graph.To n -> Some (Hashtbl.find pos e.src, Hashtbl.find pos n, probs e)
+        | Decision_graph.Absorbed _ -> failwith "Markov.stationary: absorbing chain")
+      dg.Decision_graph.edges
+  in
+  let pi = Array.make k (1. /. float_of_int k) in
+  let next = Array.make k 0. in
+  let rec iterate n =
+    if n = 0 then failwith "Markov.stationary: did not converge";
+    Array.fill next 0 k 0.;
+    List.iter (fun (i, j, p) -> next.(j) <- next.(j) +. (pi.(i) *. p)) step;
+    (* renormalize to damp float drift *)
+    let s = Array.fold_left ( +. ) 0. next in
+    Array.iteri (fun i x -> next.(i) <- x /. s) next;
+    let delta = ref 0. in
+    Array.iteri (fun i x -> delta := Float.max !delta (Float.abs (x -. pi.(i)))) next;
+    Array.blit next 0 pi 0 k;
+    if !delta > tolerance then iterate (n - 1)
+  in
+  iterate iterations;
+  Array.to_list (Array.mapi (fun i p -> (nodes.(i), p)) pi)
+
+let throughput ~probs ~delays (dg : _ Decision_graph.t) ~count =
+  let pi = stationary ~probs dg in
+  let pi_of n = List.assoc n pi in
+  let num = ref 0. and den = ref 0. in
+  List.iter
+    (fun (e : _ Decision_graph.dedge) ->
+      let r = pi_of e.src *. probs e in
+      num := !num +. (r *. float_of_int (count e));
+      den := !den +. (r *. delays e))
+    dg.Decision_graph.edges;
+  !num /. !den

@@ -1,0 +1,26 @@
+(** Independent numeric cross-check of the rate-equation solution.
+
+    Treats the decision graph as an embedded discrete-time Markov chain over
+    decision nodes, computes its stationary distribution by power iteration
+    in floating point, and derives throughputs as
+    [Σ π(src)·p_e·count_e / Σ π(src)·p_e·d_e]. Agreement with the exact
+    ℚ-field solution (up to float tolerance) validates both paths. *)
+
+val stationary :
+  probs:(('t, 'p) Decision_graph.dedge -> float) ->
+  ?iterations:int ->
+  ?tolerance:float ->
+  ('t, 'p) Decision_graph.t ->
+  (int * float) list
+(** Stationary distribution over decision nodes (sums to 1).
+    @raise Failure if the chain is absorbing or iteration fails to
+    converge. *)
+
+val throughput :
+  probs:(('t, 'p) Decision_graph.dedge -> float) ->
+  delays:(('t, 'p) Decision_graph.dedge -> float) ->
+  ('t, 'p) Decision_graph.t ->
+  count:(('t, 'p) Decision_graph.dedge -> int) ->
+  float
+(** Long-run events per unit time, with [count] giving the number of
+    interesting events on each edge. *)

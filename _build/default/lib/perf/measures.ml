@@ -1,0 +1,138 @@
+module Net = Tpan_petri.Net
+module Q = Tpan_mathkit.Q
+module Sem = Tpan_core.Semantics
+module Tpn = Tpan_core.Tpn
+module Var = Tpan_symbolic.Var
+module Lin = Tpan_symbolic.Linexpr
+module Poly = Tpan_symbolic.Poly
+module Rf = Tpan_symbolic.Ratfun
+
+let times_int field x n =
+  let rec go acc n = if n = 0 then acc else go (field.Rates.add acc x) (n - 1) in
+  go field.Rates.zero n
+
+let throughput_of_transition (res : _ Rates.result) ~by t =
+  let field = res.Rates.field in
+  let count (e : _ Decision_graph.dedge) =
+    let l = match by with `Fired -> e.fired | `Completed -> e.completed in
+    List.length (List.filter (fun x -> x = t) l)
+  in
+  let num =
+    List.fold_left
+      (fun acc (re : _ Rates.rated_edge) -> field.Rates.add acc (times_int field re.rate (count re.edge)))
+      field.Rates.zero res.Rates.edge_rate
+  in
+  field.Rates.div num res.Rates.total_weight
+
+let throughput_of_edges (res : _ Rates.result) pred =
+  let field = res.Rates.field in
+  let num =
+    List.fold_left
+      (fun acc (re : _ Rates.rated_edge) -> if pred re.edge then field.Rates.add acc re.rate else acc)
+      field.Rates.zero res.Rates.edge_rate
+  in
+  field.Rates.div num res.Rates.total_weight
+
+let edge_time_share (res : _ Rates.result) pred =
+  let field = res.Rates.field in
+  let num =
+    List.fold_left
+      (fun acc (re : _ Rates.rated_edge) -> if pred re.edge then field.Rates.add acc re.weight else acc)
+      field.Rates.zero res.Rates.edge_rate
+  in
+  field.Rates.div num res.Rates.total_weight
+
+let mean_time_between_visits (res : _ Rates.result) n =
+  res.Rates.field.Rates.div res.Rates.total_weight (res.Rates.visit_rate n)
+
+let mean_cycle_time (res : _ Rates.result) = res.Rates.total_weight
+
+(* Delay of the (unique) step a -> b inside a collapsed path. Decision steps
+   are instantaneous, so ambiguity among parallel decision edges is
+   harmless. *)
+let step_delay ~zero (g : _ Sem.graph) a b =
+  match g.Sem.out.(a) with
+  | [ e ] when e.Sem.dst = b -> e.Sem.delay
+  | edges ->
+    (match List.find_opt (fun (e : _ Sem.edge) -> e.Sem.dst = b) edges with
+     | Some _ -> zero (* decision step: zero delay *)
+     | None -> invalid_arg "Measures: path step not found in graph")
+
+module Concrete = struct
+  type result = (Q.t, Q.t, Q.t) Rates.result
+
+  let analyze ?normalize_at (g : Tpan_core.Concrete.Graph.graph) : result =
+    let dg = Decision_graph.of_graph ~add:Q.add ~mul:Q.mul g in
+    Rates.solve ~field:Rates.q_field ~embed_prob:Fun.id ~embed_delay:Fun.id ?normalize_at dg
+
+  let throughput (res : result) (g : Tpan_core.Concrete.Graph.graph) name =
+    let t = Net.trans_of_name (Tpn.net g.Sem.tpn) name in
+    throughput_of_transition res ~by:`Completed t
+
+  let utilization (res : result) ~(graph : Tpan_core.Concrete.Graph.graph) pred =
+    (* Time is spent only on advance steps; attribute each step's delay to
+       the state it leaves. *)
+    let num = ref Q.zero in
+    List.iter
+      (fun (re : _ Rates.rated_edge) ->
+        let rec walk = function
+          | a :: (b :: _ as rest) ->
+            if pred graph.Sem.states.(a) then
+              num := Q.add !num (Q.mul re.rate (step_delay ~zero:Q.zero graph a b));
+            walk rest
+          | [ _ ] | [] -> ()
+        in
+        walk re.edge.Decision_graph.path)
+      res.Rates.edge_rate;
+    Q.div !num res.Rates.total_weight
+end
+
+module Symbolic = struct
+  type result = (Lin.t, Rf.t, Rf.t) Rates.result
+
+  let embed_delay e = Rf.of_poly (Poly.of_linexpr e)
+
+  let analyze ?normalize_at (g : Tpan_core.Symbolic.Graph.graph) : result =
+    let dg = Decision_graph.of_graph ~add:Lin.add ~mul:Rf.mul g in
+    Rates.solve ~field:Rates.ratfun_field ~embed_prob:Fun.id ~embed_delay ?normalize_at dg
+
+  let throughput (res : result) (g : Tpan_core.Symbolic.Graph.graph) name =
+    let t = Net.trans_of_name (Tpn.net g.Sem.tpn) name in
+    Rf.reduce (throughput_of_transition res ~by:`Completed t)
+
+  let env_of_bindings bindings v =
+    match List.assoc_opt (Var.name v) bindings with
+    | Some q -> q
+    | None -> raise Not_found
+
+  let eval_at rf bindings = Rf.eval (env_of_bindings bindings) rf
+
+  let subst_frequencies rf bindings =
+    Rf.subst
+      (fun v ->
+        match List.assoc_opt (Var.name v) bindings with
+        | Some q -> Some (Poly.const q)
+        | None -> None)
+      rf
+
+  type sensitivity = { var : Var.t; gradient : Q.t; elasticity : Q.t }
+
+  let sensitivities rf ~at =
+    let env = env_of_bindings at in
+    let value = Rf.eval env rf in
+    if Q.is_zero value then raise Division_by_zero;
+    let vars =
+      List.sort_uniq Var.compare (Poly.vars (Rf.num rf) @ Poly.vars (Rf.den rf))
+    in
+    let entries =
+      List.map
+        (fun v ->
+          let gradient = Rf.eval env (Rf.derivative v rf) in
+          let elasticity = Q.div (Q.mul (env v) gradient) value in
+          { var = v; gradient; elasticity })
+        vars
+    in
+    List.sort
+      (fun a b -> Q.compare (Q.abs b.elasticity) (Q.abs a.elasticity))
+      entries
+end

@@ -1,0 +1,117 @@
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Sem = Tpan_core.Semantics
+module Tpn = Tpan_core.Tpn
+
+let mean_time_to_event (type f) ~(field : f Rates.field) ~embed_prob ~embed_delay
+    (g : ('t, 'p) Sem.graph) ~start ~event : f option =
+  let n = Array.length g.Sem.states in
+  if start < 0 || start >= n then invalid_arg "Passage.mean_time_to_event: bad start";
+  (* States from which the event is almost-surely reached: a state is good
+     if every... for expectations we need: from every state reachable from
+     [start] there is no escape into a sub-graph where the event can never
+     happen. First compute [can]: states with SOME path to an event edge;
+     if a state reachable from start has an edge into a component that
+     cannot reach the event, the expectation diverges — detect by requiring
+     every reachable state to satisfy [can]. (A transient positive-
+     probability escape also diverges; full almost-sure analysis reduces to
+     this check for the exact chains we build, where all probabilities are
+     positive on existing edges.) *)
+  let can = Array.make n false in
+  (* reverse reachability from event edges *)
+  let incoming = Array.make n [] in
+  Array.iter
+    (fun edges ->
+      List.iter (fun (e : _ Sem.edge) -> incoming.(e.Sem.dst) <- e.Sem.src :: incoming.(e.Sem.dst)) edges)
+    g.Sem.out;
+  let queue = Queue.create () in
+  Array.iter
+    (fun edges ->
+      List.iter
+        (fun (e : _ Sem.edge) ->
+          if event e && not can.(e.Sem.src) then begin
+            can.(e.Sem.src) <- true;
+            Queue.add e.Sem.src queue
+          end)
+        edges)
+    g.Sem.out;
+  while not (Queue.is_empty queue) do
+    let s = Queue.take queue in
+    List.iter
+      (fun p ->
+        if not can.(p) then begin
+          can.(p) <- true;
+          Queue.add p queue
+        end)
+      incoming.(s)
+  done;
+  (* forward reachability from start, stopping at event edges *)
+  let reach = Array.make n false in
+  let queue = Queue.create () in
+  reach.(start) <- true;
+  Queue.add start queue;
+  while not (Queue.is_empty queue) do
+    let s = Queue.take queue in
+    List.iter
+      (fun (e : _ Sem.edge) ->
+        if (not (event e)) && not reach.(e.Sem.dst) then begin
+          reach.(e.Sem.dst) <- true;
+          Queue.add e.Sem.dst queue
+        end)
+      g.Sem.out.(s)
+  done;
+  let relevant = List.filter (fun s -> reach.(s)) (List.init n Fun.id) in
+  if List.exists (fun s -> not can.(s)) relevant || relevant = [] then None
+  else begin
+    (* index the relevant states *)
+    let idx = Array.make n (-1) in
+    List.iteri (fun i s -> idx.(s) <- i) relevant;
+    let k = List.length relevant in
+    let a = Array.init k (fun _ -> Array.make k field.Rates.zero) in
+    let b = Array.make k field.Rates.zero in
+    List.iteri
+      (fun i s ->
+        a.(i).(i) <- field.Rates.one;
+        List.iter
+          (fun (e : _ Sem.edge) ->
+            let p = embed_prob e.Sem.prob in
+            b.(i) <- field.Rates.add b.(i) (field.Rates.mul p (embed_delay e.Sem.delay));
+            if not (event e) then begin
+              let j = idx.(e.Sem.dst) in
+              a.(i).(j) <- field.Rates.sub a.(i).(j) p
+            end)
+          g.Sem.out.(s))
+      relevant;
+    let module F = struct
+      type t = f
+
+      let zero = field.Rates.zero
+      let one = field.Rates.one
+      let is_zero = field.Rates.is_zero
+      let add = field.Rates.add
+      let sub = field.Rates.sub
+      let mul = field.Rates.mul
+      let div = field.Rates.div
+      let pp = field.Rates.pp
+    end in
+    let module LS = Tpan_mathkit.Linsolve.Make (F) in
+    match LS.solve a b with
+    | LS.Unique h -> Some h.(idx.(start))
+    | LS.Underdetermined | LS.Inconsistent -> None
+  end
+
+let concrete_latency g ?(start = 0) ~event () =
+  mean_time_to_event ~field:Rates.q_field ~embed_prob:Fun.id ~embed_delay:Fun.id g ~start ~event
+
+let symbolic_latency g ?(start = 0) ~event () =
+  let embed_delay e = Tpan_symbolic.Ratfun.of_poly (Tpan_symbolic.Poly.of_linexpr e) in
+  Option.map Tpan_symbolic.Ratfun.reduce
+    (mean_time_to_event ~field:Rates.ratfun_field ~embed_prob:Fun.id ~embed_delay g ~start ~event)
+
+let completion_event tpn name =
+  let t = Net.trans_of_name (Tpn.net tpn) name in
+  fun (e : _ Sem.edge) -> List.mem t e.Sem.completed
+
+let firing_event tpn name =
+  let t = Net.trans_of_name (Tpn.net tpn) name in
+  fun (e : _ Sem.edge) -> List.mem t e.Sem.fired

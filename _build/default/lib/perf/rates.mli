@@ -1,0 +1,58 @@
+(** Traversal-rate equations over a decision graph (paper §4, Figure 8).
+
+    The rate at which an outgoing edge is traversed is its branching
+    probability times the rate at which its source node is entered:
+    [r_e = p_e · v(src e)], [v(n) = Σ_{e→n} r_e]. Fixing [v(n₀) = 1] (the
+    paper "assumes a particular value for one of the rates") makes the
+    linear system uniquely solvable for irreducible graphs; everything is
+    then {e relative} to visits of [n₀].
+
+    The solver is generic over the coefficient field, so the same code
+    yields the paper's symbolic rates (field = rational functions of the
+    frequency symbols) and exact numeric rates (field = ℚ). *)
+
+type 'f field = {
+  zero : 'f;
+  one : 'f;
+  is_zero : 'f -> bool;
+  add : 'f -> 'f -> 'f;
+  sub : 'f -> 'f -> 'f;
+  mul : 'f -> 'f -> 'f;
+  div : 'f -> 'f -> 'f;
+  pp : Format.formatter -> 'f -> unit;
+}
+
+val q_field : Tpan_mathkit.Q.t field
+val ratfun_field : Tpan_symbolic.Ratfun.t field
+val float_field : float field
+
+type ('t, 'p, 'f) result = {
+  dg : ('t, 'p) Decision_graph.t;
+  field : 'f field;
+  normalized_at : int;  (** decision node with visit rate 1 *)
+  visit_rate : int -> 'f;  (** per decision node *)
+  edge_rate : ('t, 'p, 'f) rated_edge list;
+  total_weight : 'f;
+      (** [Σ_e r_e·d_e] — the paper's [Σ wᵢ]; the mean time per visit of the
+          normalization node, so absolute rates are [r_e / total_weight] *)
+}
+
+and ('t, 'p, 'f) rated_edge = {
+  edge : ('t, 'p) Decision_graph.dedge;
+  rate : 'f;  (** relative traversal rate [r_e] *)
+  weight : 'f;  (** relative time spent on the edge [w_e = r_e·d_e] *)
+}
+
+exception Unsolvable of string
+(** The decision graph is absorbing, not strongly connected, or otherwise
+    yields a singular system. *)
+
+val solve :
+  field:'f field ->
+  embed_prob:('p -> 'f) ->
+  embed_delay:('t -> 'f) ->
+  ?normalize_at:int ->
+  ('t, 'p) Decision_graph.t ->
+  ('t, 'p, 'f) result
+(** [normalize_at] defaults to the smallest decision-node index.
+    @raise Unsolvable *)

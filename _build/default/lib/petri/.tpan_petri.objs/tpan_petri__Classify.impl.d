@@ -1,0 +1,1 @@
+lib/petri/classify.ml: Format List Net String

@@ -1,0 +1,1 @@
+lib/petri/classify.mli: Format Net

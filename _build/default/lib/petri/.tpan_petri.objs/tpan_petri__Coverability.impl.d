@@ -1,0 +1,1 @@
+lib/petri/coverability.ml: Array Format Hashtbl List Net Option Reachability Stdlib

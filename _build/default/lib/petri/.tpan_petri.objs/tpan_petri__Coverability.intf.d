@@ -1,0 +1,1 @@
+lib/petri/coverability.mli: Format Net

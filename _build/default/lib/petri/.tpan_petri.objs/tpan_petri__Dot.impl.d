@@ -1,0 +1,1 @@
+lib/petri/dot.ml: Array Buffer Format List Marking Net Printf Reachability String

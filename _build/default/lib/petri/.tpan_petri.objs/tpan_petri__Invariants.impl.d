@@ -1,0 +1,1 @@
+lib/petri/invariants.ml: Array Format Fun List Net Stdlib Tpan_mathkit

@@ -1,0 +1,1 @@
+lib/petri/marking.ml: Array Format Hashtbl List Net Printf Stdlib

@@ -1,0 +1,1 @@
+lib/petri/marking.mli: Format Net

@@ -1,0 +1,1 @@
+lib/petri/net.ml: Array Format Fun Hashtbl List Option Printf Stdlib

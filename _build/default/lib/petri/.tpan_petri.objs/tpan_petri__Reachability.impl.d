@@ -1,0 +1,1 @@
+lib/petri/reachability.ml: Array Fun Hashtbl List Marking Net Option Queue Stdlib

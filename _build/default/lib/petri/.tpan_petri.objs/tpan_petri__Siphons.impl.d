@@ -1,0 +1,1 @@
+lib/petri/siphons.ml: Array Int List Net Set

@@ -1,0 +1,1 @@
+lib/petri/siphons.mli: Net

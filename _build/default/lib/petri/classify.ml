@@ -1,0 +1,41 @@
+let is_state_machine net =
+  List.for_all
+    (fun t -> List.length (Net.inputs net t) = 1 && List.length (Net.outputs net t) = 1)
+    (Net.transitions net)
+
+let is_marked_graph net =
+  List.for_all
+    (fun p -> List.length (Net.producers net p) = 1 && List.length (Net.consumers net p) = 1)
+    (Net.places net)
+
+let is_free_choice net =
+  let bag t = List.sort compare (Net.inputs net t) in
+  List.for_all
+    (fun p ->
+      match Net.consumers net p with
+      | [] | [ _ ] -> true
+      | t0 :: rest -> List.for_all (fun t -> bag t = bag t0) rest)
+    (Net.places net)
+
+type t = { state_machine : bool; marked_graph : bool; free_choice : bool }
+
+let classify net =
+  {
+    state_machine = is_state_machine net;
+    marked_graph = is_marked_graph net;
+    free_choice = is_free_choice net;
+  }
+
+let pp fmt c =
+  let tags =
+    List.filter_map
+      (fun (b, s) -> if b then Some s else None)
+      [
+        (c.state_machine, "state machine");
+        (c.marked_graph, "marked graph");
+        (c.free_choice, "free choice");
+      ]
+  in
+  match tags with
+  | [] -> Format.pp_print_string fmt "general place/transition net"
+  | l -> Format.pp_print_string fmt (String.concat ", " l)

@@ -1,0 +1,52 @@
+let escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter (fun c -> if c = '"' || c = '\\' then (Buffer.add_char buf '\\'; Buffer.add_char buf c) else Buffer.add_char buf c) s;
+  Buffer.contents buf
+
+let net_to_dot net =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph \"%s\" {\n  rankdir=LR;\n" (escape (Net.name net));
+  let init = Net.initial_marking net in
+  List.iter
+    (fun p ->
+      let tokens = if init.(p) > 0 then Printf.sprintf "\\n%d" init.(p) else "" in
+      pr "  p%d [shape=circle, label=\"%s%s\"];\n" p (escape (Net.place_name net p)) tokens)
+    (Net.places net);
+  List.iter
+    (fun t ->
+      pr "  t%d [shape=box, style=filled, fillcolor=lightgray, label=\"%s\"];\n" t
+        (escape (Net.trans_name net t)))
+    (Net.transitions net);
+  List.iter
+    (fun t ->
+      List.iter
+        (fun (p, w) ->
+          if w = 1 then pr "  p%d -> t%d;\n" p t else pr "  p%d -> t%d [label=\"%d\"];\n" p t w)
+        (Net.inputs net t);
+      List.iter
+        (fun (p, w) ->
+          if w = 1 then pr "  t%d -> p%d;\n" t p else pr "  t%d -> p%d [label=\"%d\"];\n" t p w)
+        (Net.outputs net t))
+    (Net.transitions net);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let reachability_to_dot (g : Reachability.graph) =
+  let buf = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pr "digraph \"%s reachability\" {\n" (escape (Net.name g.net));
+  Array.iteri
+    (fun i m ->
+      let label = Format.asprintf "%d: %a" i (Marking.pp g.net) m in
+      let shape = if i = 0 then ", shape=doublecircle" else "" in
+      pr "  s%d [label=\"%s\"%s];\n" i (escape label) shape)
+    g.states;
+  Array.iteri
+    (fun i succs ->
+      List.iter
+        (fun (t, j) -> pr "  s%d -> s%d [label=\"%s\"];\n" i j (escape (Net.trans_name g.net t)))
+        succs)
+    g.edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

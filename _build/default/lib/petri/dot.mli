@@ -1,0 +1,8 @@
+(** Graphviz DOT export for nets and reachability graphs. *)
+
+val net_to_dot : Net.t -> string
+(** Places as circles (token count shown), transitions as boxes, arcs
+    labelled with multiplicities > 1. *)
+
+val reachability_to_dot : Reachability.graph -> string
+(** States labelled with their markings; edges with transition names. *)

@@ -1,0 +1,138 @@
+module Q = Tpan_mathkit.Q
+module B = Tpan_mathkit.Bigint
+module FM = Tpan_mathkit.Fourier_motzkin
+
+(* Rational nullspace of an integer matrix (rows × cols): returns a basis of
+   { x | A·x = 0 } as primitive integer vectors. *)
+let nullspace rows cols (a : int array array) =
+  let m = Array.init rows (fun i -> Array.map Q.of_int a.(i)) in
+  let pivot_col_of_row = Array.make rows (-1) in
+  let row = ref 0 in
+  for col = 0 to cols - 1 do
+    if !row < rows then begin
+      let p = ref (-1) in
+      for i = !row to rows - 1 do
+        if !p < 0 && not (Q.is_zero m.(i).(col)) then p := i
+      done;
+      if !p >= 0 then begin
+        let tmp = m.(!row) in
+        m.(!row) <- m.(!p);
+        m.(!p) <- tmp;
+        let pv = m.(!row).(col) in
+        for j = 0 to cols - 1 do
+          m.(!row).(j) <- Q.div m.(!row).(j) pv
+        done;
+        for i = 0 to rows - 1 do
+          if i <> !row && not (Q.is_zero m.(i).(col)) then begin
+            let f = m.(i).(col) in
+            for j = 0 to cols - 1 do
+              m.(i).(j) <- Q.sub m.(i).(j) (Q.mul f m.(!row).(j))
+            done
+          end
+        done;
+        pivot_col_of_row.(!row) <- col;
+        incr row
+      end
+    end
+  done;
+  let is_pivot = Array.make cols false in
+  Array.iter (fun c -> if c >= 0 then is_pivot.(c) <- true) pivot_col_of_row;
+  let basis = ref [] in
+  for free = 0 to cols - 1 do
+    if not is_pivot.(free) then begin
+      let v = Array.make cols Q.zero in
+      v.(free) <- Q.one;
+      for r = 0 to rows - 1 do
+        let pc = pivot_col_of_row.(r) in
+        if pc >= 0 then v.(pc) <- Q.neg m.(r).(free)
+      done;
+      basis := v :: !basis
+    end
+  done;
+  (* Scale each rational vector to a primitive integer vector. *)
+  let to_primitive v =
+    let lcm = Array.fold_left (fun acc q -> let d = Q.den q in B.div (B.mul acc d) (B.gcd acc d)) B.one v in
+    let ints = Array.map (fun q -> B.div (B.mul (Q.num q) lcm) (Q.den q)) v in
+    let g = Array.fold_left (fun acc x -> B.gcd acc x) B.zero ints in
+    let ints = if B.is_zero g then ints else Array.map (fun x -> B.div x g) ints in
+    (* sign: first non-zero entry positive *)
+    let s =
+      let rec go i = if i >= Array.length ints then 1 else if B.is_zero ints.(i) then go (i + 1) else B.sign ints.(i) in
+      go 0
+    in
+    Array.map (fun x -> match B.to_int_opt (if s < 0 then B.neg x else x) with Some i -> i | None -> failwith "Invariants: entry too large") ints
+  in
+  List.rev_map to_primitive !basis
+
+let p_invariants net =
+  (* y·C = 0  <=>  Cᵀ·y = 0: nullspace of the transpose. *)
+  let c = Net.incidence net in
+  let np = Net.num_places net and nt = Net.num_transitions net in
+  let ct = Array.init nt (fun t -> Array.init np (fun p -> c.(p).(t))) in
+  nullspace nt np ct
+
+let t_invariants net =
+  let c = Net.incidence net in
+  nullspace (Net.num_places net) (Net.num_transitions net) c
+
+let is_p_invariant net y =
+  let c = Net.incidence net in
+  let np = Net.num_places net and nt = Net.num_transitions net in
+  Array.length y = np
+  && List.for_all
+       (fun t ->
+         let acc = ref 0 in
+         for p = 0 to np - 1 do
+           acc := !acc + (y.(p) * c.(p).(t))
+         done;
+         !acc = 0)
+       (List.init nt Fun.id)
+
+let is_t_invariant net x =
+  let c = Net.incidence net in
+  let np = Net.num_places net and nt = Net.num_transitions net in
+  Array.length x = nt
+  && List.for_all
+       (fun p ->
+         let acc = ref 0 in
+         for t = 0 to nt - 1 do
+           acc := !acc + (c.(p).(t) * x.(t))
+         done;
+         !acc = 0)
+       (List.init np Fun.id)
+
+let invariant_value y marking =
+  let acc = ref 0 in
+  Array.iteri (fun i w -> acc := !acc + (w * marking.(i))) y;
+  !acc
+
+let is_conservative net =
+  (* Feasibility of { y·C = 0, y_p >= 1 } over the rationals. *)
+  let c = Net.incidence net in
+  let np = Net.num_places net and nt = Net.num_transitions net in
+  let module L = FM.Linform in
+  let col t = L.of_list (List.init np (fun p -> (p, Q.of_int c.(p).(t)))) Q.zero in
+  let eqs = List.init nt (fun t -> { FM.form = col t; rel = FM.Eq }) in
+  let pos = List.init np (fun p -> FM.ge (L.var p) (L.const Q.one)) in
+  FM.feasible (eqs @ pos)
+
+let pp_weighted names fmt v =
+  let entries = ref [] in
+  Array.iteri (fun i w -> if w <> 0 then entries := (i, w) :: !entries) v;
+  let entries = List.rev !entries in
+  if entries = [] then Format.pp_print_string fmt "0"
+  else
+    List.iteri
+      (fun k (i, w) ->
+        if k > 0 then Format.pp_print_string fmt (if w > 0 then " + " else " - ")
+        else if w < 0 then Format.pp_print_string fmt "-";
+        let a = Stdlib.abs w in
+        if a <> 1 then Format.fprintf fmt "%d*" a;
+        Format.pp_print_string fmt names.(i))
+      entries
+
+let pp_p_invariant net fmt y =
+  pp_weighted (Array.init (Net.num_places net) (Net.place_name net)) fmt y
+
+let pp_t_invariant net fmt x =
+  pp_weighted (Array.init (Net.num_transitions net) (Net.trans_name net)) fmt x

@@ -1,0 +1,26 @@
+(** P- and T-invariants via exact rational nullspace computation.
+
+    A P-invariant [y] satisfies [y·C = 0] (token-weighted sums conserved by
+    every firing); a T-invariant [x] satisfies [C·x = 0] (firing counts that
+    reproduce a marking). Bases are returned as integer vectors scaled to be
+    primitive (coprime entries). *)
+
+val p_invariants : Net.t -> int array list
+(** Basis of the left nullspace of the incidence matrix, one vector of
+    length [num_places] per element. *)
+
+val t_invariants : Net.t -> int array list
+(** Basis of the right nullspace, vectors of length [num_transitions]. *)
+
+val is_p_invariant : Net.t -> int array -> bool
+val is_t_invariant : Net.t -> int array -> bool
+
+val invariant_value : int array -> int array -> int
+(** [invariant_value y marking]: the conserved weighted token sum. *)
+
+val is_conservative : Net.t -> bool
+(** Is there a strictly positive P-invariant (every place covered)?
+    Conservative nets are structurally bounded. *)
+
+val pp_p_invariant : Net.t -> Format.formatter -> int array -> unit
+val pp_t_invariant : Net.t -> Format.formatter -> int array -> unit

@@ -1,0 +1,73 @@
+(** Place/transition nets: the untimed substrate under {!Tpan_core}.
+
+    A net is built once through a {!builder} and immutable afterwards.
+    Places and transitions are dense integer indices into the net, which
+    keeps markings as flat arrays. Input/output bags carry multiplicities
+    (the paper's [#(p, I(t))] notation). *)
+
+type place = int
+type trans = int
+
+type t
+
+(** {1 Construction} *)
+
+type builder
+
+val builder : string -> builder
+(** [builder name] starts an empty net called [name]. *)
+
+val add_place : builder -> ?init:int -> string -> place
+(** Declare a place with an initial token count (default 0).
+    @raise Invalid_argument on duplicate names or negative [init]. *)
+
+val add_transition :
+  builder -> name:string -> inputs:(place * int) list -> outputs:(place * int) list -> trans
+(** Declare a transition with weighted input and output bags. Repeated
+    places in a bag accumulate.
+    @raise Invalid_argument on duplicate names, unknown places, or
+    non-positive multiplicities. *)
+
+val build : builder -> t
+
+(** {1 Structure} *)
+
+val name : t -> string
+val num_places : t -> int
+val num_transitions : t -> int
+val place_name : t -> place -> string
+val trans_name : t -> trans -> string
+
+val place_of_name : t -> string -> place
+(** @raise Not_found *)
+
+val trans_of_name : t -> string -> trans
+(** @raise Not_found *)
+
+val places : t -> place list
+val transitions : t -> trans list
+
+val inputs : t -> trans -> (place * int) list
+val outputs : t -> trans -> (place * int) list
+
+val input_weight : t -> trans -> place -> int
+val output_weight : t -> trans -> place -> int
+
+val pre_places : t -> trans -> place list
+val post_places : t -> trans -> place list
+
+val consumers : t -> place -> trans list
+(** Transitions having [p] in their input bag. *)
+
+val producers : t -> place -> trans list
+
+val incidence : t -> int array array
+(** [|P| × |T|] matrix: [(incidence n).(p).(t) = output_weight - input_weight]. *)
+
+val initial_marking : t -> int array
+
+val structurally_conflicting : t -> trans -> trans -> bool
+(** Do the two transitions share an input place (paper's conflict relation
+    [I(ti) ∩ I(tj) ≠ ∅])? A transition conflicts with itself. *)
+
+val pp : Format.formatter -> t -> unit

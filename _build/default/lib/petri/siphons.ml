@@ -1,0 +1,94 @@
+module IS = Set.Make (Int)
+
+let preset_of_set net s =
+  IS.fold (fun p acc -> List.fold_left (fun a t -> IS.add t a) acc (Net.producers net p)) s IS.empty
+
+let postset_of_set net s =
+  IS.fold (fun p acc -> List.fold_left (fun a t -> IS.add t a) acc (Net.consumers net p)) s IS.empty
+
+let is_siphon_set net s =
+  (not (IS.is_empty s)) && IS.subset (preset_of_set net s) (postset_of_set net s)
+
+let is_trap_set net s =
+  (not (IS.is_empty s)) && IS.subset (postset_of_set net s) (preset_of_set net s)
+
+let is_siphon net places = is_siphon_set net (IS.of_list places)
+let is_trap net places = is_trap_set net (IS.of_list places)
+
+(* Closure-based enumeration of minimal siphons: grow a candidate set by
+   repairing violations. A violation is a transition in preset(S) \
+   postset(S); it is repaired by adding one of its input places. Branching
+   over the repair choices enumerates all siphons; minimality is filtered
+   at the end. *)
+let enumerate ~violation_sources ~repair_options ?(max_results = 10_000) net =
+  let np = Net.num_places net in
+  let results = ref [] in
+  let add_result s =
+    (* drop supersets of existing results; drop existing supersets of s *)
+    if not (List.exists (fun r -> IS.subset r s) !results) then begin
+      results := s :: List.filter (fun r -> not (IS.subset s r)) !results
+    end
+  in
+  let budget = ref (200_000 : int) in
+  let rec grow s =
+    if !budget <= 0 || List.length !results >= max_results then ()
+    else begin
+      decr budget;
+      match violation_sources net s with
+      | [] -> add_result s
+      | t :: _ ->
+        (* repair the first violating transition in every possible way *)
+        List.iter
+          (fun p -> if not (IS.mem p s) then grow (IS.add p s))
+          (repair_options net t)
+    end
+  in
+  for seed = 0 to np - 1 do
+    grow (IS.singleton seed)
+  done;
+  List.sort compare (List.map IS.elements !results)
+
+let siphon_violations net s =
+  IS.elements (IS.diff (preset_of_set net s) (postset_of_set net s))
+
+let trap_violations net s =
+  IS.elements (IS.diff (postset_of_set net s) (preset_of_set net s))
+
+let minimal_siphons ?max_results net =
+  enumerate ?max_results net
+    ~violation_sources:(fun net s -> siphon_violations net s)
+    ~repair_options:(fun net t -> Net.pre_places net t)
+
+let minimal_traps ?max_results net =
+  enumerate ?max_results net
+    ~violation_sources:(fun net s -> trap_violations net s)
+    ~repair_options:(fun net t -> Net.post_places net t)
+
+(* Greatest trap inside a set: repeatedly remove places whose emptying
+   cannot be prevented (a transition consumes from p but does not feed back
+   into the candidate set). *)
+let max_trap_within net places =
+  let rec refine s =
+    let bad =
+      IS.filter
+        (fun p ->
+          List.exists
+            (fun t -> not (List.exists (fun q -> IS.mem q s) (Net.post_places net t)))
+            (Net.consumers net p))
+        s
+    in
+    if IS.is_empty bad then s else refine (IS.diff s bad)
+  in
+  IS.elements (refine (IS.of_list places))
+
+let unmarked_siphons net =
+  let m0 = Net.initial_marking net in
+  List.filter (fun s -> List.for_all (fun p -> m0.(p) = 0) s) (minimal_siphons net)
+
+let commoner_satisfied net =
+  let m0 = Net.initial_marking net in
+  List.for_all
+    (fun s ->
+      let trap = max_trap_within net s in
+      List.exists (fun p -> m0.(p) > 0) trap)
+    (minimal_siphons net)

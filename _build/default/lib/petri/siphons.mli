@@ -1,0 +1,33 @@
+(** Siphons and traps — structural liveness analysis.
+
+    A {e siphon} is a place set [S] with [preset(S) ⊆ postset(S)]: every
+    transition feeding [S] also drains it, so once [S] is empty it stays
+    empty (and every transition needing [S] is dead forever). Dually, a
+    {e trap} has [postset(S) ⊆ preset(S)]: once marked, always marked.
+    The classical Commoner condition — every siphon contains an initially
+    marked trap — gives deadlock-freedom for free-choice nets.
+
+    Minimal-siphon enumeration is exponential in the worst case; the
+    implementation is a pruned search suitable for protocol-sized nets
+    (tens of places). *)
+
+val is_siphon : Net.t -> Net.place list -> bool
+val is_trap : Net.t -> Net.place list -> bool
+
+val minimal_siphons : ?max_results:int -> Net.t -> Net.place list list
+(** All minimal non-empty siphons (each sorted ascending), capped at
+    [max_results] (default 10_000). *)
+
+val minimal_traps : ?max_results:int -> Net.t -> Net.place list list
+
+val max_trap_within : Net.t -> Net.place list -> Net.place list
+(** Greatest trap contained in the given place set (possibly empty). *)
+
+val unmarked_siphons : Net.t -> Net.place list list
+(** Minimal siphons empty under the initial marking — each one certifies a
+    set of structurally dead transitions. *)
+
+val commoner_satisfied : Net.t -> bool
+(** Does every minimal siphon contain a trap marked initially? (Sufficient
+    for deadlock-freedom on free-choice nets; merely informative
+    otherwise.) *)

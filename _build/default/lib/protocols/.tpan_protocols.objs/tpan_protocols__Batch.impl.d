@@ -1,0 +1,1 @@
+lib/protocols/batch.ml: Array Format List Printf Tpan_core Tpan_mathkit Tpan_petri

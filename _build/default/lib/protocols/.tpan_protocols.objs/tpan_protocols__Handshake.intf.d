@@ -1,0 +1,1 @@
+lib/protocols/handshake.mli: Tpan_core Tpan_mathkit Tpan_petri

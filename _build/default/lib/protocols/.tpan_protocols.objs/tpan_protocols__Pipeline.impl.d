@@ -1,0 +1,1 @@
+lib/protocols/pipeline.ml: Array List Printf Tpan_core Tpan_mathkit Tpan_petri

@@ -1,0 +1,1 @@
+lib/protocols/pipeline.mli: Tpan_core Tpan_mathkit Tpan_petri

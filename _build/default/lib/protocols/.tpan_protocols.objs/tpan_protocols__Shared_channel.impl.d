@@ -1,0 +1,1 @@
+lib/protocols/shared_channel.ml: Tpan_core Tpan_mathkit Tpan_petri Tpan_symbolic

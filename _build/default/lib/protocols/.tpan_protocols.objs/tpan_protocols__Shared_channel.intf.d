@@ -1,0 +1,1 @@
+lib/protocols/shared_channel.mli: Tpan_core Tpan_mathkit Tpan_petri

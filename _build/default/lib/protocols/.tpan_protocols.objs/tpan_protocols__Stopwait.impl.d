@@ -1,0 +1,1 @@
+lib/protocols/stopwait.ml: List Printf Tpan_core Tpan_mathkit Tpan_petri Tpan_symbolic

@@ -1,0 +1,1 @@
+lib/protocols/stopwait.mli: Tpan_core Tpan_mathkit Tpan_petri Tpan_symbolic

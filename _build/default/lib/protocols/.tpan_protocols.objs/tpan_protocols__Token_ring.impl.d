@@ -1,0 +1,1 @@
+lib/protocols/token_ring.ml: Array List Printf Tpan_core Tpan_mathkit Tpan_petri Tpan_symbolic

@@ -1,0 +1,1 @@
+lib/protocols/token_ring.mli: Tpan_core Tpan_mathkit Tpan_petri

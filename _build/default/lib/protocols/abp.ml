@@ -1,0 +1,130 @@
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Var = Tpan_symbolic.Var
+module Lin = Tpan_symbolic.Linexpr
+module C = Tpan_symbolic.Constraints
+module Tpn = Tpan_core.Tpn
+
+type params = {
+  timeout : Q.t;
+  send_time : Q.t;
+  transit_time : Q.t;
+  process_time : Q.t;
+  packet_loss : Q.t;
+  ack_loss : Q.t;
+}
+
+let default_params =
+  {
+    timeout = Q.of_int 1000;
+    send_time = Q.one;
+    transit_time = Q.of_decimal_string "106.7";
+    process_time = Q.of_decimal_string "13.5";
+    packet_loss = Q.of_decimal_string "0.05";
+    ack_loss = Q.of_decimal_string "0.05";
+  }
+
+let bits = [ 0; 1 ]
+let b_name prefix b = Printf.sprintf "%s%d" prefix b
+
+let deliveries = List.map (b_name "recv_new") bits
+
+(* Per bit b: the sender sends packet b and waits; the receiver either
+   expects b (new message: deliver, flip expectation) or expects 1-b
+   (duplicate caused by a lost ack: re-acknowledge only). *)
+let net () =
+  let b = Net.builder "abp" in
+  let ready = Array.of_list (List.map (fun v -> Net.add_place b ~init:(if v = 0 then 1 else 0) (b_name "ready" v)) bits) in
+  let med_pkt = Array.of_list (List.map (fun v -> Net.add_place b (b_name "med_pkt" v)) bits) in
+  let pkt_rcv = Array.of_list (List.map (fun v -> Net.add_place b (b_name "pkt_rcv" v)) bits) in
+  let await = Array.of_list (List.map (fun v -> Net.add_place b (b_name "await" v)) bits) in
+  let med_ack = Array.of_list (List.map (fun v -> Net.add_place b (b_name "med_ack" v)) bits) in
+  let ack_snd = Array.of_list (List.map (fun v -> Net.add_place b (b_name "ack_snd" v)) bits) in
+  let expect = Array.of_list (List.map (fun v -> Net.add_place b ~init:(if v = 0 then 1 else 0) (b_name "expect" v)) bits) in
+  let t name inputs outputs = ignore (Net.add_transition b ~name ~inputs ~outputs) in
+  List.iter
+    (fun v ->
+      let w = 1 - v in
+      t (b_name "send" v) [ (ready.(v), 1) ] [ (med_pkt.(v), 1); (await.(v), 1) ];
+      t (b_name "timeout" v) [ (await.(v), 1) ] [ (ready.(v), 1) ];
+      t (b_name "lose_pkt" v) [ (med_pkt.(v), 1) ] [];
+      t (b_name "deliver_pkt" v) [ (med_pkt.(v), 1) ] [ (pkt_rcv.(v), 1) ];
+      (* expected bit: deliver upward and flip the expectation *)
+      t (b_name "recv_new" v) [ (pkt_rcv.(v), 1); (expect.(v), 1) ]
+        [ (med_ack.(v), 1); (expect.(w), 1) ];
+      (* duplicate (retransmission after a lost ack): just re-ack *)
+      t (b_name "recv_dup" v) [ (pkt_rcv.(v), 1); (expect.(w), 1) ]
+        [ (med_ack.(v), 1); (expect.(w), 1) ];
+      t (b_name "lose_ack" v) [ (med_ack.(v), 1) ] [];
+      t (b_name "deliver_ack" v) [ (med_ack.(v), 1) ] [ (ack_snd.(v), 1) ];
+      t (b_name "process_ack" v) [ (ack_snd.(v), 1); (await.(v), 1) ] [ (ready.(w), 1) ])
+    bits;
+  Net.build b
+
+let spec_table ~enabling_of ~firing_of ~freq_of =
+  List.concat_map
+    (fun v ->
+      List.map
+        (fun base ->
+          let name = b_name base v in
+          ( name,
+            Tpn.spec ~enabling:(enabling_of base) ~firing:(firing_of base)
+              ~frequency:(freq_of base) () ))
+        [ "send"; "timeout"; "lose_pkt"; "deliver_pkt"; "recv_new"; "recv_dup";
+          "lose_ack"; "deliver_ack"; "process_ack" ])
+    bits
+
+let concrete p =
+  let enabling_of = function
+    | "timeout" -> Tpn.Fixed p.timeout
+    | _ -> Tpn.Fixed Q.zero
+  in
+  let firing_of = function
+    | "send" | "timeout" -> Tpn.Fixed p.send_time
+    | "lose_pkt" | "deliver_pkt" | "lose_ack" | "deliver_ack" -> Tpn.Fixed p.transit_time
+    | "recv_new" | "recv_dup" | "process_ack" -> Tpn.Fixed p.process_time
+    | _ -> assert false
+  in
+  let freq_of = function
+    | "timeout" -> Tpn.Freq Q.zero
+    | "lose_pkt" -> Tpn.Freq p.packet_loss
+    | "deliver_pkt" -> Tpn.Freq (Q.sub Q.one p.packet_loss)
+    | "lose_ack" -> Tpn.Freq p.ack_loss
+    | "deliver_ack" -> Tpn.Freq (Q.sub Q.one p.ack_loss)
+    | _ -> Tpn.Freq Q.one
+  in
+  Tpn.make (net ()) (spec_table ~enabling_of ~firing_of ~freq_of)
+
+(* Shared symbols across the two bit phases. *)
+let sym_timeout = Var.enabling "to"
+let sym_send = Var.firing "send"
+let sym_pkt = Var.firing "pkt"
+let sym_proc = Var.firing "proc"
+let sym_ack = Var.firing "ack"
+
+let symbolic_constraints =
+  let e = Lin.var sym_timeout in
+  let rt = List.fold_left Lin.add Lin.zero (List.map Lin.var [ sym_pkt; sym_proc; sym_ack ]) in
+  C.of_list [ ("(rtt)", `Gt, e, rt) ]
+
+let symbolic () =
+  let enabling_of = function
+    | "timeout" -> Tpn.Sym sym_timeout
+    | _ -> Tpn.Fixed Q.zero
+  in
+  let firing_of = function
+    | "send" | "timeout" -> Tpn.Sym sym_send
+    | "lose_pkt" | "deliver_pkt" -> Tpn.Sym sym_pkt
+    | "lose_ack" | "deliver_ack" -> Tpn.Sym sym_ack
+    | "recv_new" | "recv_dup" | "process_ack" -> Tpn.Sym sym_proc
+    | _ -> assert false
+  in
+  let freq_of = function
+    | "timeout" -> Tpn.Freq Q.zero
+    | "lose_pkt" -> Tpn.Freq_sym (Var.frequency "lp")
+    | "deliver_pkt" -> Tpn.Freq_sym (Var.frequency "dp")
+    | "lose_ack" -> Tpn.Freq_sym (Var.frequency "la")
+    | "deliver_ack" -> Tpn.Freq_sym (Var.frequency "da")
+    | _ -> Tpn.Freq Q.one
+  in
+  Tpn.make ~constraints:symbolic_constraints (net ()) (spec_table ~enabling_of ~firing_of ~freq_of)

@@ -1,0 +1,40 @@
+(** Alternating-bit protocol — the "more robust" extension the paper
+    sketches ("can be easily extended ... by using alternating bits for
+    message and acknowledgement sequencing").
+
+    The stop-and-wait skeleton is duplicated per bit value; the receiver
+    tracks the expected bit and re-acknowledges duplicates without
+    delivering them. Lost packets and lost acknowledgements are modelled per
+    direction, like Figure 1.
+
+    Both bit phases share timing {e symbols} (sending a 0-packet takes as
+    long as sending a 1-packet), so the symbolic analysis has the same
+    variables as the concrete parameter record. *)
+
+module Q = Tpan_mathkit.Q
+
+type params = {
+  timeout : Q.t;
+  send_time : Q.t;
+  transit_time : Q.t;
+  process_time : Q.t;
+  packet_loss : Q.t;
+  ack_loss : Q.t;
+}
+
+val default_params : params
+(** Same values as the paper's Figure 1b. *)
+
+val net : unit -> Tpan_petri.Net.t
+(** 14 places, 18 transitions (9 per bit value). *)
+
+val concrete : params -> Tpan_core.Tpn.t
+
+val symbolic : unit -> Tpan_core.Tpn.t
+(** Times as shared symbols [E(to)], [F(send)], [F(pkt)], [F(proc)],
+    [F(ack)]; losses as frequencies [f(lp)], [f(dp)], [f(la)], [f(da)];
+    constraint: timeout exceeds the full round trip. *)
+
+val deliveries : string list
+(** Names of the transitions whose completion delivers a {e new} message to
+    the receiver (one per bit value) — the throughput events. *)

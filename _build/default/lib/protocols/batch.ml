@@ -1,0 +1,104 @@
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Tpn = Tpan_core.Tpn
+
+type params = {
+  window : int;
+  timeout : Q.t;
+  send_time : Q.t;
+  transit_time : Q.t;
+  process_time : Q.t;
+  packet_loss : Q.t;
+  ack_loss : Q.t;
+}
+
+let default_params =
+  {
+    window = 3;
+    timeout = Q.of_int 1000;
+    send_time = Q.one;
+    transit_time = Q.of_decimal_string "106.7";
+    process_time = Q.of_decimal_string "13.5";
+    packet_loss = Q.of_decimal_string "0.05";
+    ack_loss = Q.of_decimal_string "0.05";
+  }
+
+let t_done = "batch_done"
+
+let min_timeout p =
+  let w = Q.of_int p.window in
+  (* last packet leaves after w sends; then transit, per-packet processing
+     of the final claim, ack emission is folded into the join (process),
+     ack transit *)
+  List.fold_left Q.add Q.zero
+    [ Q.mul w p.send_time; p.transit_time; Q.mul w p.process_time; p.process_time; p.transit_time ]
+
+(* Sender: a chain st_0 -> send_1 -> st_1 -> ... -> st_w; at st_w either the
+   cumulative ack arrives (batch_done, priority) or the timer expires and
+   the whole batch is resent. Receiver: per-slot claim (first copy) or drop
+   (duplicate), guarded by got_i / gotfree_i complements; a w-way join emits
+   the cumulative ack and resets the slots. *)
+let net ~window =
+  if window < 1 then invalid_arg "Batch.net: window must be >= 1";
+  let b = Net.builder (Printf.sprintf "batch_%d" window) in
+  let st = Array.init (window + 1) (fun i -> Net.add_place b ~init:(if i = 0 then 1 else 0) (Printf.sprintf "st%d" i)) in
+  let med = Array.init window (fun i -> Net.add_place b (Printf.sprintf "med%d" (i + 1))) in
+  let rcv = Array.init window (fun i -> Net.add_place b (Printf.sprintf "rcv%d" (i + 1))) in
+  let got = Array.init window (fun i -> Net.add_place b (Printf.sprintf "got%d" (i + 1))) in
+  let gotfree = Array.init window (fun i -> Net.add_place b ~init:1 (Printf.sprintf "gotfree%d" (i + 1))) in
+  let ack_med = Net.add_place b "ack_med" in
+  let ack_snd = Net.add_place b "ack_snd" in
+  let t name inputs outputs = ignore (Net.add_transition b ~name ~inputs ~outputs) in
+  for i = 1 to window do
+    t (Printf.sprintf "send%d" i) [ (st.(i - 1), 1) ] [ (st.(i), 1); (med.(i - 1), 1) ];
+    t (Printf.sprintf "lose%d" i) [ (med.(i - 1), 1) ] [];
+    t (Printf.sprintf "deliver%d" i) [ (med.(i - 1), 1) ] [ (rcv.(i - 1), 1) ];
+    (* first copy: claim the slot *)
+    t (Printf.sprintf "claim%d" i) [ (rcv.(i - 1), 1); (gotfree.(i - 1), 1) ] [ (got.(i - 1), 1) ];
+    (* duplicate (retransmission of an already-claimed slot): absorb *)
+    t (Printf.sprintf "drop%d" i) [ (rcv.(i - 1), 1); (got.(i - 1), 1) ] [ (got.(i - 1), 1) ]
+  done;
+  (* cumulative ack: all slots claimed *)
+  t "join"
+    (Array.to_list (Array.map (fun p -> (p, 1)) got))
+    ((ack_med, 1) :: Array.to_list (Array.map (fun p -> (p, 1)) gotfree));
+  t "lose_ack" [ (ack_med, 1) ] [];
+  t "deliver_ack" [ (ack_med, 1) ] [ (ack_snd, 1) ];
+  t t_done [ (ack_snd, 1); (st.(window), 1) ] [ (st.(0), 1) ];
+  t "resend" [ (st.(window), 1) ] [ (st.(0), 1) ];
+  Net.build b
+
+let concrete p =
+  if Q.compare p.timeout (min_timeout p) <= 0 then
+    raise
+      (Tpn.Unsupported
+         (Format.asprintf "Batch.concrete: timeout %a must exceed the worst-case round trip %a"
+            Q.pp p.timeout Q.pp (min_timeout p)));
+  let s = Tpn.spec in
+  let specs = ref [] in
+  for i = 1 to p.window do
+    specs :=
+      [
+        (Printf.sprintf "send%d" i, s ~firing:(Tpn.Fixed p.send_time) ());
+        (Printf.sprintf "lose%d" i,
+         s ~firing:(Tpn.Fixed p.transit_time) ~frequency:(Tpn.Freq p.packet_loss) ());
+        (Printf.sprintf "deliver%d" i,
+         s ~firing:(Tpn.Fixed p.transit_time) ~frequency:(Tpn.Freq (Q.sub Q.one p.packet_loss)) ());
+        (Printf.sprintf "claim%d" i, s ~firing:(Tpn.Fixed p.process_time) ());
+        (Printf.sprintf "drop%d" i, s ~firing:(Tpn.Fixed p.process_time) ());
+      ]
+      @ !specs
+  done;
+  specs :=
+    [
+      ("join", s ~firing:(Tpn.Fixed p.process_time) ());
+      ("lose_ack", s ~firing:(Tpn.Fixed p.transit_time) ~frequency:(Tpn.Freq p.ack_loss) ());
+      ("deliver_ack",
+       s ~firing:(Tpn.Fixed p.transit_time) ~frequency:(Tpn.Freq (Q.sub Q.one p.ack_loss)) ());
+      (t_done, s ~firing:(Tpn.Fixed p.send_time) ());
+      ("resend",
+       s ~enabling:(Tpn.Fixed p.timeout) ~firing:(Tpn.Fixed p.send_time)
+         ~frequency:(Tpn.Freq Q.zero) ());
+    ]
+    @ !specs;
+  Tpn.make (net ~window:p.window) !specs

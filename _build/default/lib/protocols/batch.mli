@@ -1,0 +1,37 @@
+(** Blast (batch) transfer with selective reassembly: the sender transmits
+    a batch of [w] packets back-to-back, the receiver reassembles them
+    (keeping the ones that arrive, dropping duplicates) and returns one
+    cumulative acknowledgement; a timeout resends the whole batch.
+
+    Structurally richer than stop-and-wait: a [w]-way join synchronization
+    at the receiver, per-slot media, duplicate-absorbing transitions guarded
+    by complementary places. The interesting economics: batching amortizes
+    the round trip over [w] messages, but every loss costs a full batch
+    timeout — so the advantage over small batches shrinks as the loss rate
+    grows (the crossover experiment in the bench harness). *)
+
+module Q = Tpan_mathkit.Q
+
+type params = {
+  window : int;  (** batch size w ≥ 1 *)
+  timeout : Q.t;  (** must exceed the worst-case batch round trip *)
+  send_time : Q.t;  (** per-packet emission *)
+  transit_time : Q.t;
+  process_time : Q.t;  (** per-packet receiver processing, and ack handling *)
+  packet_loss : Q.t;
+  ack_loss : Q.t;
+}
+
+val default_params : params
+(** Window 3 at the paper's stop-and-wait timings. *)
+
+val net : window:int -> Tpan_petri.Net.t
+val concrete : params -> Tpan_core.Tpn.t
+
+val min_timeout : params -> Q.t
+(** Worst-case batch round trip: [w·send + transit + w·process + transit
+    + process]; the timeout must exceed this for the analysis assumptions
+    to hold (checked by {!concrete}). *)
+
+val t_done : string
+(** Completion of a successfully acknowledged batch ([w] messages). *)

@@ -1,0 +1,97 @@
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Var = Tpan_symbolic.Var
+module Lin = Tpan_symbolic.Linexpr
+module C = Tpan_symbolic.Constraints
+module Tpn = Tpan_core.Tpn
+
+type params = {
+  retry_timeout : Q.t;
+  send_time : Q.t;
+  transit_time : Q.t;
+  accept_time : Q.t;
+  session_time : Q.t;
+  request_loss : Q.t;
+  reply_loss : Q.t;
+}
+
+let default_params =
+  {
+    retry_timeout = Q.of_int 500;
+    send_time = Q.of_int 2;
+    transit_time = Q.of_int 80;
+    accept_time = Q.of_int 10;
+    session_time = Q.of_int 1500;
+    request_loss = Q.of_decimal_string "0.02";
+    reply_loss = Q.of_decimal_string "0.02";
+  }
+
+let t_establish = "establish"
+
+let net () =
+  let b = Net.builder "handshake" in
+  let idle = Net.add_place b ~init:1 "idle" in
+  let req_med = Net.add_place b "req_med" in
+  let req_acc = Net.add_place b "req_acc" in
+  let waiting = Net.add_place b "waiting" in
+  let rep_med = Net.add_place b "rep_med" in
+  let rep_ini = Net.add_place b "rep_ini" in
+  let session = Net.add_place b "session" in
+  let acceptor = Net.add_place b ~init:1 "acceptor" in
+  let t name inputs outputs = ignore (Net.add_transition b ~name ~inputs ~outputs) in
+  t "connect" [ (idle, 1) ] [ (req_med, 1); (waiting, 1) ];
+  t "retry" [ (waiting, 1) ] [ (idle, 1) ];
+  t "lose_req" [ (req_med, 1) ] [];
+  t "deliver_req" [ (req_med, 1) ] [ (req_acc, 1) ];
+  t "accept" [ (req_acc, 1); (acceptor, 1) ] [ (rep_med, 1); (acceptor, 1) ];
+  t "lose_rep" [ (rep_med, 1) ] [];
+  t "deliver_rep" [ (rep_med, 1) ] [ (rep_ini, 1) ];
+  t t_establish [ (rep_ini, 1); (waiting, 1) ] [ (session, 1) ];
+  t "close" [ (session, 1) ] [ (idle, 1) ];
+  Net.build b
+
+let concrete p =
+  let s = Tpn.spec in
+  Tpn.make (net ())
+    [
+      ("connect", s ~firing:(Tpn.Fixed p.send_time) ());
+      ("retry",
+       s ~enabling:(Tpn.Fixed p.retry_timeout) ~firing:(Tpn.Fixed p.send_time)
+         ~frequency:(Tpn.Freq Q.zero) ());
+      ("lose_req", s ~firing:(Tpn.Fixed p.transit_time) ~frequency:(Tpn.Freq p.request_loss) ());
+      ("deliver_req",
+       s ~firing:(Tpn.Fixed p.transit_time) ~frequency:(Tpn.Freq (Q.sub Q.one p.request_loss)) ());
+      ("accept", s ~firing:(Tpn.Fixed p.accept_time) ());
+      ("lose_rep", s ~firing:(Tpn.Fixed p.transit_time) ~frequency:(Tpn.Freq p.reply_loss) ());
+      ("deliver_rep",
+       s ~firing:(Tpn.Fixed p.transit_time) ~frequency:(Tpn.Freq (Q.sub Q.one p.reply_loss)) ());
+      (t_establish, s ~firing:(Tpn.Fixed p.send_time) ());
+      ("close", s ~firing:(Tpn.Fixed p.session_time) ());
+    ]
+
+let sym_rt = Var.enabling "rt"
+let sym_snd = Var.firing "snd"
+let sym_med = Var.firing "med"
+let sym_acc = Var.firing "acc"
+let sym_ses = Var.firing "ses"
+
+let symbolic_constraints =
+  let e = Lin.var sym_rt in
+  let round = Lin.add (Lin.var sym_med) (Lin.add (Lin.var sym_acc) (Lin.var sym_med)) in
+  C.of_list [ ("(rtt)", `Gt, e, round) ]
+
+let symbolic () =
+  let s = Tpn.spec in
+  Tpn.make ~constraints:symbolic_constraints (net ())
+    [
+      ("connect", s ~firing:(Tpn.Sym sym_snd) ());
+      ("retry",
+       s ~enabling:(Tpn.Sym sym_rt) ~firing:(Tpn.Sym sym_snd) ~frequency:(Tpn.Freq Q.zero) ());
+      ("lose_req", s ~firing:(Tpn.Sym sym_med) ~frequency:(Tpn.Freq_sym (Var.frequency "lq")) ());
+      ("deliver_req", s ~firing:(Tpn.Sym sym_med) ~frequency:(Tpn.Freq_sym (Var.frequency "dq")) ());
+      ("accept", s ~firing:(Tpn.Sym sym_acc) ());
+      ("lose_rep", s ~firing:(Tpn.Sym sym_med) ~frequency:(Tpn.Freq_sym (Var.frequency "lr")) ());
+      ("deliver_rep", s ~firing:(Tpn.Sym sym_med) ~frequency:(Tpn.Freq_sym (Var.frequency "dr")) ());
+      (t_establish, s ~firing:(Tpn.Sym sym_snd) ());
+      ("close", s ~firing:(Tpn.Sym sym_ses) ());
+    ]

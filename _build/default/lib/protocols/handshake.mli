@@ -1,0 +1,31 @@
+(** Two-way connection establishment with a retry timer (a SYN / SYN-ACK
+    exchange): the initiator sends a connect request and waits for the
+    acceptor's reply; either message can be lost, and a timeout retries.
+    After data transfer the connection closes and the cycle restarts —
+    giving a steady-state "connections per second" measure. *)
+
+module Q = Tpan_mathkit.Q
+
+type params = {
+  retry_timeout : Q.t;  (** E of the retry timer *)
+  send_time : Q.t;  (** request/reply emission *)
+  transit_time : Q.t;  (** one-way medium latency *)
+  accept_time : Q.t;  (** acceptor processing *)
+  session_time : Q.t;  (** established-connection holding time *)
+  request_loss : Q.t;
+  reply_loss : Q.t;
+}
+
+val default_params : params
+
+val net : unit -> Tpan_petri.Net.t
+val concrete : params -> Tpan_core.Tpn.t
+
+val symbolic : unit -> Tpan_core.Tpn.t
+(** Symbols [E(rt)], [F(snd)], [F(med)], [F(acc)], [F(ses)]; frequencies
+    [f(lq)], [f(dq)], [f(lr)], [f(dr)]; constraint: the retry timeout
+    exceeds request + accept + reply. *)
+
+val t_establish : string
+(** Transition whose completion marks a successfully established
+    connection. *)

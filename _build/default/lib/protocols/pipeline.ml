@@ -1,0 +1,61 @@
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Tpn = Tpan_core.Tpn
+
+type params = { hop_delays : Q.t list; inject_delay : Q.t }
+
+let default_params =
+  {
+    hop_delays = List.map Q.of_int [ 10; 25; 10; 15 ];
+    inject_delay = Q.of_int 5;
+  }
+
+let t_deliver = "deliver"
+
+(* Hop i: moves a packet from buffer i to buffer i+1 when the downstream
+   slot is free. The last hop delivers (consumes). Slots are modelled with
+   complementary free_i places so each buffer holds at most one packet. *)
+let net ~hops =
+  if hops < 1 then invalid_arg "Pipeline.net: need at least one hop";
+  let b = Net.builder (Printf.sprintf "pipeline_%d" hops) in
+  let src = Net.add_place b ~init:1 "src_ready" in
+  let buf = Array.init hops (fun i -> Net.add_place b (Printf.sprintf "buf%d" i)) in
+  let free = Array.init hops (fun i -> Net.add_place b ~init:1 (Printf.sprintf "free%d" i)) in
+  ignore
+    (Net.add_transition b ~name:"inject" ~inputs:[ (src, 1); (free.(0), 1) ]
+       ~outputs:[ (src, 1); (buf.(0), 1) ]);
+  for i = 0 to hops - 2 do
+    ignore
+      (Net.add_transition b ~name:(Printf.sprintf "hop%d" i)
+         ~inputs:[ (buf.(i), 1); (free.(i + 1), 1) ]
+         ~outputs:[ (buf.(i + 1), 1); (free.(i), 1) ])
+  done;
+  ignore
+    (Net.add_transition b ~name:t_deliver
+       ~inputs:[ (buf.(hops - 1), 1) ]
+       ~outputs:[ (free.(hops - 1), 1) ]);
+  Net.build b
+
+let concrete p =
+  let hops = List.length p.hop_delays in
+  let specs =
+    ("inject", Tpn.spec ~firing:(Tpn.Fixed p.inject_delay) ())
+    :: List.mapi
+         (fun i d ->
+           if i = hops - 1 then (t_deliver, Tpn.spec ~firing:(Tpn.Fixed d) ())
+           else (Printf.sprintf "hop%d" i, Tpn.spec ~firing:(Tpn.Fixed d) ()))
+         p.hop_delays
+  in
+  Tpn.make (net ~hops) specs
+
+(* Marked-graph cycle-time bound: every complementary-place circuit holds
+   one token and carries the delays of the two transitions sharing it, so
+   the line paces at the worst ADJACENT-hop sum (a store-and-forward slot
+   cannot be refilled while its downstream move is still in progress). *)
+let bottleneck p =
+  let seq = p.inject_delay :: p.hop_delays in
+  let rec adj = function
+    | a :: (b :: _ as rest) -> Q.add a b :: adj rest
+    | [ _ ] | [] -> []
+  in
+  match adj seq with [] -> p.inject_delay | x :: rest -> List.fold_left Q.max x rest

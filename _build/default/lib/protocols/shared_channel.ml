@@ -1,0 +1,78 @@
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Var = Tpan_symbolic.Var
+module Lin = Tpan_symbolic.Linexpr
+module C = Tpan_symbolic.Constraints
+module Tpn = Tpan_core.Tpn
+
+type station = { think_time : Q.t; tx_time : Q.t; weight : Q.t }
+
+type params = { a : station; b : station }
+
+let default_params =
+  {
+    a = { think_time = Q.of_int 50; tx_time = Q.of_int 10; weight = Q.of_int 2 };
+    b = { think_time = Q.of_int 120; tx_time = Q.of_int 35; weight = Q.of_int 1 };
+  }
+
+let t_grab_a = "grab_a"
+let t_grab_b = "grab_b"
+
+let net () =
+  let b = Net.builder "shared_channel" in
+  let channel = Net.add_place b ~init:1 "channel" in
+  let add_station tag =
+    let thinking = Net.add_place b ~init:1 ("thinking_" ^ tag) in
+    let ready = Net.add_place b ("ready_" ^ tag) in
+    let transmitting = Net.add_place b ("transmitting_" ^ tag) in
+    let t name inputs outputs = ignore (Net.add_transition b ~name ~inputs ~outputs) in
+    t ("think_" ^ tag) [ (thinking, 1) ] [ (ready, 1) ];
+    t ("grab_" ^ tag) [ (ready, 1); (channel, 1) ] [ (transmitting, 1) ];
+    t ("release_" ^ tag) [ (transmitting, 1) ] [ (thinking, 1); (channel, 1) ]
+  in
+  add_station "a";
+  add_station "b";
+  Net.build b
+
+let concrete p =
+  let s = Tpn.spec in
+  Tpn.make (net ())
+    [
+      ("think_a", s ~firing:(Tpn.Fixed p.a.think_time) ());
+      ("grab_a", s ~frequency:(Tpn.Freq p.a.weight) ());
+      ("release_a", s ~firing:(Tpn.Fixed p.a.tx_time) ());
+      ("think_b", s ~firing:(Tpn.Fixed p.b.think_time) ());
+      ("grab_b", s ~frequency:(Tpn.Freq p.b.weight) ());
+      ("release_b", s ~firing:(Tpn.Fixed p.b.tx_time) ());
+    ]
+
+let sym_tx_a = Var.firing "txa"
+let sym_tx_b = Var.firing "txb"
+
+(* Under the exact deterministic semantics, a station that is already
+   waiting always claims the released channel in the same instant, before
+   the other station's (even infinitesimally later) next request: with any
+   fixed think/transmit times the stations phase-lock after the first
+   arbitration and the contention never recurs. The recurring-decision core
+   of the model is therefore the weighted scheduler itself: every channel
+   slot is awarded to A or B by the arbitration frequencies. The symbolic
+   variant analyses that core; the concrete variant keeps full station
+   dynamics. *)
+let scheduler_net () =
+  let b = Net.builder "weighted_scheduler" in
+  let slot = Net.add_place b ~init:1 "slot" in
+  let t name = ignore (Net.add_transition b ~name ~inputs:[ (slot, 1) ] ~outputs:[ (slot, 1) ]) in
+  t t_grab_a;
+  t t_grab_b;
+  Net.build b
+
+let symbolic_constraints =
+  C.of_list [ ("(pos)", `Gt, Lin.var sym_tx_a, Lin.zero); ("(pos-b)", `Gt, Lin.var sym_tx_b, Lin.zero) ]
+
+let symbolic () =
+  let s = Tpn.spec in
+  Tpn.make ~constraints:symbolic_constraints (scheduler_net ())
+    [
+      (t_grab_a, s ~firing:(Tpn.Sym sym_tx_a) ~frequency:(Tpn.Freq_sym (Var.frequency "a")) ());
+      (t_grab_b, s ~firing:(Tpn.Sym sym_tx_b) ~frequency:(Tpn.Freq_sym (Var.frequency "b")) ());
+    ]

@@ -1,0 +1,40 @@
+(** Two stations contending for one half-duplex channel.
+
+    Each station cycles think → request → transmit → think. The channel is a
+    single token: when both stations request simultaneously, the conflict-set
+    frequencies arbitrate (a weighted medium-access policy). Useful for
+    studying utilization and fairness expressions: the symbolic analysis
+    yields channel utilization as a rational function of the two access
+    weights and the think/transmit times. *)
+
+module Q = Tpan_mathkit.Q
+
+type station = {
+  think_time : Q.t;  (** time between transmissions *)
+  tx_time : Q.t;  (** channel holding time *)
+  weight : Q.t;  (** arbitration frequency *)
+}
+
+type params = { a : station; b : station }
+
+val default_params : params
+(** An asymmetric pair: station A short/frequent frames, station B long/rare
+    frames, 2:1 arbitration in favour of A. *)
+
+val net : unit -> Tpan_petri.Net.t
+val concrete : params -> Tpan_core.Tpn.t
+
+val symbolic : unit -> Tpan_core.Tpn.t
+(** The weighted-scheduler core of the model: each channel slot is awarded
+    to A or B by the arbitration frequencies and held for the corresponding
+    transmission time. Symbols [F(txa)], [F(txb)]; weights [f(a)], [f(b)].
+    The per-station time share comes out as the closed form
+    [f(a)·F(txa) / (f(a)·F(txa) + f(b)·F(txb))].
+
+    (Under the exact deterministic semantics the full two-station net
+    phase-locks after its first arbitration — a waiting station claims the
+    released channel in the same instant — so no recurring decision exists
+    there to parameterize.) *)
+
+val t_grab_a : string
+val t_grab_b : string

@@ -1,0 +1,163 @@
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Var = Tpan_symbolic.Var
+module Lin = Tpan_symbolic.Linexpr
+module C = Tpan_symbolic.Constraints
+module Tpn = Tpan_core.Tpn
+
+type params = {
+  timeout : Q.t;
+  send_time : Q.t;
+  transit_time : Q.t;
+  process_time : Q.t;
+  packet_loss : Q.t;
+  ack_loss : Q.t;
+}
+
+let paper_params =
+  {
+    timeout = Q.of_int 1000;
+    send_time = Q.one;
+    transit_time = Q.of_decimal_string "106.7";
+    process_time = Q.of_decimal_string "13.5";
+    packet_loss = Q.of_decimal_string "0.05";
+    ack_loss = Q.of_decimal_string "0.05";
+  }
+
+let t_prepare = "t1"
+let t_send = "t2"
+let t_timeout = "t3"
+let t_lose_pkt = "t4"
+let t_deliver_pkt = "t5"
+let t_receive = "t6"
+let t_process_ack = "t7"
+let t_deliver_ack = "t8"
+let t_lose_ack = "t9"
+
+(* Structure reconstructed from the paper's prose; reproduces Figure 4
+   exactly (18 states, decision nodes 3 and 11 — see DESIGN.md §2). *)
+let net () =
+  let b = Net.builder "stopwait" in
+  let p1 = Net.add_place b ~init:1 "p1" (* message ready to send *) in
+  let p2 = Net.add_place b "p2" (* packet in medium *) in
+  let p3 = Net.add_place b "p3" (* packet at receiver *) in
+  let p4 = Net.add_place b "p4" (* awaiting ack, timer armed *) in
+  let p5 = Net.add_place b "p5" (* ack in medium *) in
+  let p6 = Net.add_place b "p6" (* ack at sender *) in
+  let p7 = Net.add_place b "p7" (* ack processed *) in
+  let p8 = Net.add_place b ~init:1 "p8" (* receiver ready *) in
+  let t name inputs outputs = ignore (Net.add_transition b ~name ~inputs ~outputs) in
+  t t_prepare [ (p7, 1) ] [ (p1, 1) ];
+  t t_send [ (p1, 1) ] [ (p2, 1); (p4, 1) ];
+  t t_timeout [ (p4, 1) ] [ (p1, 1) ];
+  t t_lose_pkt [ (p2, 1) ] [];
+  t t_deliver_pkt [ (p2, 1) ] [ (p3, 1) ];
+  t t_receive [ (p3, 1); (p8, 1) ] [ (p5, 1); (p8, 1) ];
+  t t_process_ack [ (p6, 1); (p4, 1) ] [ (p7, 1) ];
+  t t_deliver_ack [ (p5, 1) ] [ (p6, 1) ];
+  t t_lose_ack [ (p5, 1) ] [];
+  Net.build b
+
+let concrete p =
+  let s = Tpn.spec in
+  Tpn.make (net ())
+    [
+      (t_prepare, s ~firing:(Tpn.Fixed p.send_time) ());
+      (t_send, s ~firing:(Tpn.Fixed p.send_time) ());
+      (* frequency 0: the ack (t7) always wins when both are firable *)
+      (t_timeout,
+       s ~enabling:(Tpn.Fixed p.timeout) ~firing:(Tpn.Fixed p.send_time)
+         ~frequency:(Tpn.Freq Q.zero) ());
+      (t_lose_pkt, s ~firing:(Tpn.Fixed p.transit_time) ~frequency:(Tpn.Freq p.packet_loss) ());
+      (t_deliver_pkt,
+       s ~firing:(Tpn.Fixed p.transit_time)
+         ~frequency:(Tpn.Freq (Q.sub Q.one p.packet_loss)) ());
+      (t_receive, s ~firing:(Tpn.Fixed p.process_time) ());
+      (t_process_ack, s ~firing:(Tpn.Fixed p.process_time) ());
+      (t_deliver_ack,
+       s ~firing:(Tpn.Fixed p.transit_time) ~frequency:(Tpn.Freq (Q.sub Q.one p.ack_loss)) ());
+      (t_lose_ack, s ~firing:(Tpn.Fixed p.transit_time) ~frequency:(Tpn.Freq p.ack_loss) ());
+    ]
+
+(* N independent copies with suffixed names: a per-flow "window" of
+   outstanding messages. Long-run rates are per-channel independent, so the
+   aggregate throughput must be exactly N times the single-channel value —
+   a sharp correctness check for the analysis of interleaved probabilistic
+   concurrency. *)
+let parallel ~channels p =
+  if channels < 1 then invalid_arg "Stopwait.parallel: need at least one channel";
+  let b = Net.builder (Printf.sprintf "stopwait_x%d" channels) in
+  let specs = ref [] in
+  for c = 0 to channels - 1 do
+    let sfx name = Printf.sprintf "%s_c%d" name c in
+    let p1 = Net.add_place b ~init:1 (sfx "p1") in
+    let p2 = Net.add_place b (sfx "p2") in
+    let p3 = Net.add_place b (sfx "p3") in
+    let p4 = Net.add_place b (sfx "p4") in
+    let p5 = Net.add_place b (sfx "p5") in
+    let p6 = Net.add_place b (sfx "p6") in
+    let p7 = Net.add_place b (sfx "p7") in
+    let p8 = Net.add_place b ~init:1 (sfx "p8") in
+    let t name inputs outputs = ignore (Net.add_transition b ~name:(sfx name) ~inputs ~outputs) in
+    t t_prepare [ (p7, 1) ] [ (p1, 1) ];
+    t t_send [ (p1, 1) ] [ (p2, 1); (p4, 1) ];
+    t t_timeout [ (p4, 1) ] [ (p1, 1) ];
+    t t_lose_pkt [ (p2, 1) ] [];
+    t t_deliver_pkt [ (p2, 1) ] [ (p3, 1) ];
+    t t_receive [ (p3, 1); (p8, 1) ] [ (p5, 1); (p8, 1) ];
+    t t_process_ack [ (p6, 1); (p4, 1) ] [ (p7, 1) ];
+    t t_deliver_ack [ (p5, 1) ] [ (p6, 1) ];
+    t t_lose_ack [ (p5, 1) ] [];
+    let s = Tpn.spec in
+    specs :=
+      [
+        (sfx t_prepare, s ~firing:(Tpn.Fixed p.send_time) ());
+        (sfx t_send, s ~firing:(Tpn.Fixed p.send_time) ());
+        (sfx t_timeout,
+         s ~enabling:(Tpn.Fixed p.timeout) ~firing:(Tpn.Fixed p.send_time)
+           ~frequency:(Tpn.Freq Q.zero) ());
+        (sfx t_lose_pkt, s ~firing:(Tpn.Fixed p.transit_time) ~frequency:(Tpn.Freq p.packet_loss) ());
+        (sfx t_deliver_pkt,
+         s ~firing:(Tpn.Fixed p.transit_time) ~frequency:(Tpn.Freq (Q.sub Q.one p.packet_loss)) ());
+        (sfx t_receive, s ~firing:(Tpn.Fixed p.process_time) ());
+        (sfx t_process_ack, s ~firing:(Tpn.Fixed p.process_time) ());
+        (sfx t_deliver_ack,
+         s ~firing:(Tpn.Fixed p.transit_time) ~frequency:(Tpn.Freq (Q.sub Q.one p.ack_loss)) ());
+        (sfx t_lose_ack, s ~firing:(Tpn.Fixed p.transit_time) ~frequency:(Tpn.Freq p.ack_loss) ());
+      ]
+      @ !specs
+  done;
+  Tpn.make (Net.build b) !specs
+
+let symbolic_constraints =
+  let e3 = Lin.var (Var.enabling t_timeout) in
+  let f t = Lin.var (Var.firing t) in
+  let sum = List.fold_left Lin.add Lin.zero in
+  C.of_list
+    [
+      ("(1)", `Gt, e3, sum [ f t_deliver_pkt; f t_receive; f t_deliver_ack ]);
+      ("(3)", `Eq, f t_lose_pkt, f t_deliver_pkt);
+      ("(4)", `Eq, f t_lose_ack, f t_deliver_ack);
+    ]
+
+let symbolic () =
+  let s = Tpn.spec in
+  let fs t = Tpn.sym_firing t in
+  Tpn.make ~constraints:symbolic_constraints (net ())
+    [
+      (t_prepare, s ~firing:(fs t_prepare) ());
+      (t_send, s ~firing:(fs t_send) ());
+      (t_timeout,
+       s ~enabling:(Tpn.sym_enabling t_timeout) ~firing:(fs t_timeout)
+         ~frequency:(Tpn.Freq Q.zero) ());
+      (t_lose_pkt,
+       s ~firing:(fs t_lose_pkt) ~frequency:(Tpn.Freq_sym (Var.frequency t_lose_pkt)) ());
+      (t_deliver_pkt,
+       s ~firing:(fs t_deliver_pkt) ~frequency:(Tpn.Freq_sym (Var.frequency t_deliver_pkt)) ());
+      (t_receive, s ~firing:(fs t_receive) ());
+      (t_process_ack, s ~firing:(fs t_process_ack) ());
+      (t_deliver_ack,
+       s ~firing:(fs t_deliver_ack) ~frequency:(Tpn.Freq_sym (Var.frequency t_deliver_ack)) ());
+      (t_lose_ack,
+       s ~firing:(fs t_lose_ack) ~frequency:(Tpn.Freq_sym (Var.frequency t_lose_ack)) ());
+    ]

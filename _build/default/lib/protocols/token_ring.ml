@@ -1,0 +1,82 @@
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Var = Tpan_symbolic.Var
+module Lin = Tpan_symbolic.Linexpr
+module C = Tpan_symbolic.Constraints
+module Tpn = Tpan_core.Tpn
+
+type params = {
+  stations : int;
+  frame_weight : Q.t;
+  idle_weight : Q.t;
+  tx_time : Q.t;
+  pass_time : Q.t;
+}
+
+let default_params =
+  {
+    stations = 4;
+    frame_weight = Q.one;
+    idle_weight = Q.of_int 2;
+    tx_time = Q.of_int 40;
+    pass_time = Q.of_int 5;
+  }
+
+let use i = Printf.sprintf "use_%d" i
+let skip i = Printf.sprintf "skip_%d" i
+
+let net ~stations =
+  if stations < 1 then invalid_arg "Token_ring.net: need at least one station";
+  let b = Net.builder (Printf.sprintf "token_ring_%d" stations) in
+  let tok =
+    Array.init stations (fun i ->
+        Net.add_place b ~init:(if i = 0 then 1 else 0) (Printf.sprintf "tok%d" i))
+  in
+  for i = 0 to stations - 1 do
+    let next = tok.((i + 1) mod stations) in
+    ignore (Net.add_transition b ~name:(use i) ~inputs:[ (tok.(i), 1) ] ~outputs:[ (next, 1) ]);
+    ignore (Net.add_transition b ~name:(skip i) ~inputs:[ (tok.(i), 1) ] ~outputs:[ (next, 1) ])
+  done;
+  Net.build b
+
+let concrete p =
+  let specs =
+    List.concat
+      (List.init p.stations (fun i ->
+           [
+             (use i,
+              Tpn.spec ~firing:(Tpn.Fixed (Q.add p.tx_time p.pass_time))
+                ~frequency:(Tpn.Freq p.frame_weight) ());
+             (skip i,
+              Tpn.spec ~firing:(Tpn.Fixed p.pass_time) ~frequency:(Tpn.Freq p.idle_weight) ());
+           ]))
+  in
+  Tpn.make (net ~stations:p.stations) specs
+
+let sym_tx = Var.firing "tx"
+let sym_pass = Var.firing "pass"
+
+let symbolic_constraints =
+  C.of_list
+    [
+      ("(tx+)", `Gt, Lin.var sym_tx, Lin.zero);
+      ("(pass+)", `Gt, Lin.var sym_pass, Lin.zero);
+    ]
+
+let symbolic ~stations =
+  let specs =
+    List.concat
+      (List.init stations (fun i ->
+           [
+             (use i,
+              Tpn.spec
+                ~firing:(Tpn.Sym sym_tx) (* tx includes the hand-off *)
+                ~frequency:(Tpn.Freq_sym (Var.frequency "frame"))
+                ());
+             (skip i,
+              Tpn.spec ~firing:(Tpn.Sym sym_pass)
+                ~frequency:(Tpn.Freq_sym (Var.frequency "idle"))
+                ());
+           ]))
+  in
+  Tpn.make ~constraints:symbolic_constraints (net ~stations) specs

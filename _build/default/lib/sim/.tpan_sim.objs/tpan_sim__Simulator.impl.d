@@ -1,0 +1,1 @@
+lib/sim/simulator.ml: Array Float Hashtbl Heap Int64 List Option Printf Rng Stats Stdlib Tpan_core Tpan_mathkit Tpan_petri

@@ -1,0 +1,1 @@
+lib/sim/simulator.mli: Tpan_core Tpan_mathkit Tpan_petri

@@ -1,0 +1,18 @@
+(** Array-backed binary min-heap — the event queue of the simulator. *)
+
+type 'a t
+
+val create : cmp:('a -> 'a -> int) -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+val push : 'a t -> 'a -> unit
+
+val peek : 'a t -> 'a option
+val pop : 'a t -> 'a option
+
+val pop_exn : 'a t -> 'a
+(** @raise Not_found on an empty heap. *)
+
+val clear : 'a t -> unit
+val to_list : 'a t -> 'a list
+(** Unordered snapshot. *)

@@ -1,0 +1,37 @@
+(* splitmix64: tiny, fast, and passes BigCrush when used as a 64-bit
+   generator; more than enough for protocol Monte-Carlo. *)
+
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let float t =
+  (* top 53 bits -> [0,1) *)
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits *. (1. /. 9007199254740992.)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: non-positive bound";
+  int_of_float (float t *. float_of_int bound)
+
+let split t = { state = next_int64 t }
+
+let choose_weighted t weighted =
+  if weighted = [] then invalid_arg "Rng.choose_weighted: empty";
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weighted in
+  if total <= 0. then invalid_arg "Rng.choose_weighted: all-zero weights";
+  let x = float t *. total in
+  let rec pick acc = function
+    | [] -> fst (List.hd (List.rev weighted)) (* float round-off: last item *)
+    | (v, w) :: rest -> if x < acc +. w then v else pick (acc +. w) rest
+  in
+  pick 0. weighted

@@ -1,0 +1,24 @@
+(** Deterministic seedable PRNG (splitmix64).
+
+    Self-contained so simulation results are reproducible across OCaml
+    versions (the stdlib's [Random] algorithm has changed between
+    releases). *)
+
+type t
+
+val create : seed:int -> t
+
+val next_int64 : t -> int64
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** [int t bound]: uniform in [0, bound). @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val split : t -> t
+(** An independent stream (for replications). *)
+
+val choose_weighted : t -> (('a * float) list) -> 'a
+(** Sample proportionally to the (non-negative, not all zero) weights.
+    @raise Invalid_argument on an empty or all-zero list. *)

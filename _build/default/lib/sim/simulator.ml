@@ -1,0 +1,209 @@
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Marking = Tpan_petri.Marking
+module Tpn = Tpan_core.Tpn
+
+type stats = {
+  horizon : Q.t;
+  sim_time : Q.t;
+  began : int array;
+  completed : int array;
+  place_time : Q.t array;
+  deadlocked : bool;
+}
+
+type event = { at : Q.t; seq : int; trans : Net.trans }
+
+let run ?(seed = 42) ?(warmup = Q.zero) ~horizon tpn =
+  if Q.sign warmup < 0 then invalid_arg "Simulator.run: negative warmup";
+  if not (Tpn.is_concrete tpn) then
+    raise (Tpn.Unsupported "Simulator.run: net has symbolic times or frequencies");
+  let horizon = Q.add warmup horizon in
+  let net = Tpn.net tpn in
+  let nt = Net.num_transitions net and np = Net.num_places net in
+  let rng = Rng.create ~seed in
+  let marking = Net.initial_marking net in
+  let clock = ref Q.zero in
+  let last_accounted = ref Q.zero in
+  let began = Array.make nt 0 and completed = Array.make nt 0 in
+  let place_time = Array.make np Q.zero in
+  let enabled_since = Array.make nt None in
+  let firing = Array.make nt false in
+  let completions = Heap.create ~cmp:(fun a b ->
+      let c = Q.compare a.at b.at in
+      if c <> 0 then c else Stdlib.compare a.seq b.seq) ()
+  in
+  let seq = ref 0 in
+  let enabled t = List.for_all (fun (p, w) -> marking.(p) >= w) (Net.inputs net t) in
+  (* advance the token-time integrals to the current clock *)
+  let account () =
+    (* integrate only the post-warmup part of the elapsed interval *)
+    let from = Q.max !last_accounted warmup in
+    let dt = Q.sub !clock from in
+    if Q.sign dt > 0 then begin
+      for p = 0 to np - 1 do
+        if marking.(p) > 0 then
+          place_time.(p) <- Q.add place_time.(p) (Q.mul dt (Q.of_int marking.(p)))
+      done
+    end;
+    if Q.compare !clock !last_accounted > 0 then last_accounted := !clock
+  in
+  (* re-derive enablement flags after any marking change *)
+  let refresh () =
+    for t = 0 to nt - 1 do
+      let en = enabled t in
+      if en && firing.(t) then
+        raise
+          (Tpn.Unsupported
+             (Printf.sprintf "transition %s enabled while firing (simulation)"
+                (Net.trans_name net t)));
+      match enabled_since.(t) with
+      | Some _ when not en -> enabled_since.(t) <- None
+      | None when en -> enabled_since.(t) <- Some !clock
+      | _ -> ()
+    done
+  in
+  let counting () = Q.compare !clock warmup >= 0 in
+  let begin_firing t =
+    if counting () then began.(t) <- began.(t) + 1;
+    List.iter (fun (p, w) -> marking.(p) <- marking.(p) - w) (Net.inputs net t);
+    enabled_since.(t) <- None;
+    let f = Tpn.firing_q tpn t in
+    if Q.is_zero f then begin
+      if counting () then completed.(t) <- completed.(t) + 1;
+      List.iter (fun (p, w) -> marking.(p) <- marking.(p) + w) (Net.outputs net t)
+    end
+    else begin
+      firing.(t) <- true;
+      incr seq;
+      Heap.push completions { at = Q.add !clock f; seq = !seq; trans = t }
+    end
+  in
+  (* fire every transition that must begin firing at the current instant;
+     conflict sets have disjoint input places, so the per-set choices are
+     independent *)
+  let rec fire_all_now () =
+    let firable =
+      List.filter
+        (fun t ->
+          match enabled_since.(t) with
+          | None -> false
+          | Some s -> Q.compare (Q.add s (Tpn.enabling_q tpn t)) !clock <= 0)
+        (Net.transitions net)
+    in
+    if firable <> [] then begin
+      let groups = Hashtbl.create 8 in
+      List.iter
+        (fun t ->
+          let cs = Tpn.conflict_set_of tpn t in
+          Hashtbl.replace groups cs (t :: Option.value ~default:[] (Hashtbl.find_opt groups cs)))
+        (List.rev firable);
+      let group_list =
+        Hashtbl.fold (fun cs ts acc -> (cs, ts) :: acc) groups []
+        |> List.sort (fun (a, _) (b, _) -> Stdlib.compare a b)
+      in
+      let chosen =
+        List.map
+          (fun (_, members) ->
+            let pos = List.filter (fun t -> not (Tpn.is_zero_frequency tpn t)) members in
+            match (pos, members) with
+            | [ t ], _ | [], [ t ] -> t
+            | [], _ ->
+              raise (Tpn.Unsupported "decision between several zero-frequency transitions")
+            | _ :: _ :: _, _ ->
+              Rng.choose_weighted rng
+                (List.map (fun t -> (t, Q.to_float (Tpn.frequency_q tpn t))) pos))
+          group_list
+      in
+      List.iter begin_firing chosen;
+      refresh ();
+      fire_all_now ()
+    end
+  in
+  refresh ();
+  fire_all_now ();
+  let deadlocked = ref false in
+  let running = ref true in
+  while !running do
+    (* next moment anything must happen *)
+    let next_firable =
+      List.fold_left
+        (fun acc t ->
+          match enabled_since.(t) with
+          | None -> acc
+          | Some s ->
+            let tf = Q.add s (Tpn.enabling_q tpn t) in
+            (match acc with None -> Some tf | Some cur -> Some (Q.min cur tf)))
+        None (Net.transitions net)
+    in
+    let next_completion = Option.map (fun e -> e.at) (Heap.peek completions) in
+    let tnext =
+      match (next_firable, next_completion) with
+      | None, None -> None
+      | Some a, None -> Some a
+      | None, Some b -> Some b
+      | Some a, Some b -> Some (Q.min a b)
+    in
+    match tnext with
+    | None ->
+      deadlocked := true;
+      running := false
+    | Some t when Q.compare t horizon > 0 ->
+      clock := horizon;
+      account ();
+      running := false
+    | Some t ->
+      clock := t;
+      account ();
+      (* all completions scheduled for this instant *)
+      let rec drain () =
+        match Heap.peek completions with
+        | Some e when Q.equal e.at !clock ->
+          ignore (Heap.pop_exn completions);
+          firing.(e.trans) <- false;
+          if counting () then completed.(e.trans) <- completed.(e.trans) + 1;
+          List.iter (fun (p, w) -> marking.(p) <- marking.(p) + w) (Net.outputs net e.trans);
+          drain ()
+        | _ -> ()
+      in
+      drain ();
+      refresh ();
+      fire_all_now ()
+  done;
+  account ();
+  {
+    horizon = Q.sub horizon warmup;
+    sim_time = Q.max Q.zero (Q.sub !clock warmup);
+    began;
+    completed;
+    place_time;
+    deadlocked = !deadlocked;
+  }
+
+let throughput stats t =
+  if Q.is_zero stats.sim_time then 0.
+  else float_of_int stats.completed.(t) /. Q.to_float stats.sim_time
+
+let mean_tokens stats p =
+  if Q.is_zero stats.sim_time then 0.
+  else Q.to_float stats.place_time.(p) /. Q.to_float stats.sim_time
+
+let utilization stats p = Float.min 1.0 (mean_tokens stats p)
+
+type estimate = { mean : float; std_error : float; ci95 : float * float; runs : int }
+
+let replicate ?(seed = 42) ?warmup ~runs ~horizon tpn output =
+  if runs <= 0 then invalid_arg "Simulator.replicate: runs must be positive";
+  let master = Rng.create ~seed in
+  let acc = Stats.Running.create () in
+  for _ = 1 to runs do
+    let s = Int64.to_int (Rng.next_int64 master) land max_int in
+    let st = run ~seed:s ?warmup ~horizon tpn in
+    Stats.Running.add acc (output st)
+  done;
+  {
+    mean = Stats.Running.mean acc;
+    std_error = Stats.Running.std_error acc;
+    ci95 = Stats.Running.ci95 acc;
+    runs;
+  }

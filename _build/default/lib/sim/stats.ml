@@ -1,0 +1,51 @@
+module Running = struct
+  type t = { mutable n : int; mutable mean : float; mutable m2 : float }
+
+  let create () = { n = 0; mean = 0.; m2 = 0. }
+
+  let add t x =
+    t.n <- t.n + 1;
+    let d = x -. t.mean in
+    t.mean <- t.mean +. (d /. float_of_int t.n);
+    t.m2 <- t.m2 +. (d *. (x -. t.mean))
+
+  let count t = t.n
+  let mean t = t.mean
+  let variance t = if t.n < 2 then 0. else t.m2 /. float_of_int (t.n - 1)
+  let stddev t = sqrt (variance t)
+  let std_error t = if t.n = 0 then 0. else stddev t /. sqrt (float_of_int t.n)
+
+  let ci95 t =
+    let half = 1.96 *. std_error t in
+    (t.mean -. half, t.mean +. half)
+end
+
+module Time_weighted = struct
+  type t = {
+    mutable last_t : float;
+    mutable last_v : float;
+    mutable acc : float;
+    mutable span : float;
+    mutable started : bool;
+  }
+
+  let create () = { last_t = 0.; last_v = 0.; acc = 0.; span = 0.; started = false }
+
+  let settle t at =
+    if t.started then begin
+      let dt = at -. t.last_t in
+      if dt < 0. then invalid_arg "Time_weighted.observe: time went backwards";
+      t.acc <- t.acc +. (t.last_v *. dt);
+      t.span <- t.span +. dt
+    end
+
+  let observe t ~at v =
+    settle t at;
+    t.last_t <- at;
+    t.last_v <- v;
+    t.started <- true
+
+  let close t ~at = settle t at; t.last_t <- at
+
+  let average t = if t.span = 0. then 0. else t.acc /. t.span
+end

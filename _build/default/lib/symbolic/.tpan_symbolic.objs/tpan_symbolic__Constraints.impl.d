@@ -1,0 +1,1 @@
+lib/symbolic/constraints.ml: Format Int Linexpr List Printf Set Tpan_mathkit Var

@@ -1,0 +1,1 @@
+lib/symbolic/constraints.mli: Format Linexpr Tpan_mathkit Var

@@ -1,0 +1,1 @@
+lib/symbolic/interval.ml: Format Linexpr List Poly Ratfun Tpan_mathkit

@@ -1,0 +1,1 @@
+lib/symbolic/linexpr.ml: List Tpan_mathkit Var

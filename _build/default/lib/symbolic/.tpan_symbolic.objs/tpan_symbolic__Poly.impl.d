@@ -1,0 +1,1 @@
+lib/symbolic/poly.ml: Array Format Int Linexpr List Map Option Seq Set Stdlib Tpan_mathkit Var

@@ -1,0 +1,1 @@
+lib/symbolic/ratfun.mli: Format Poly Tpan_mathkit Var

@@ -1,0 +1,122 @@
+module Q = Tpan_mathkit.Q
+module FM = Tpan_mathkit.Fourier_motzkin
+
+type relation = [ `Ge | `Gt | `Eq | `Le | `Lt ]
+
+type entry = { label : string; rel : relation; lhs : Linexpr.t; rhs : Linexpr.t }
+
+type t = { entries : entry list (* reverse insertion order *); count : int }
+
+let empty = { entries = []; count = 0 }
+
+let add ?label rel lhs rhs cs =
+  let label = match label with Some l -> l | None -> Printf.sprintf "#%d" (cs.count + 1) in
+  { entries = { label; rel; lhs; rhs } :: cs.entries; count = cs.count + 1 }
+
+let of_list l =
+  List.fold_left (fun cs (label, rel, lhs, rhs) -> add ~label rel lhs rhs cs) empty l
+
+let constraints cs =
+  List.rev_map (fun e -> (e.label, e.rel, e.lhs, e.rhs)) cs.entries
+
+(* Translate an entry to Fourier-Motzkin constraints (on Linforms). *)
+let to_fm e =
+  let a = Linexpr.to_form e.lhs and b = Linexpr.to_form e.rhs in
+  match e.rel with
+  | `Ge -> FM.ge a b
+  | `Gt -> FM.gt a b
+  | `Eq -> FM.eq a b
+  | `Le -> FM.ge b a
+  | `Lt -> FM.gt b a
+
+(* Implicit non-negativity of every time symbol mentioned anywhere. *)
+let nonneg_of_vars entries extra_exprs =
+  let module IS = Set.Make (Int) in
+  let add_expr s e =
+    List.fold_left (fun s v -> if Var.is_time v then IS.add (Var.id v) s else s) s (Linexpr.vars e)
+  in
+  let ids =
+    List.fold_left (fun s e -> add_expr (add_expr s e.lhs) e.rhs) IS.empty entries
+  in
+  let ids = List.fold_left add_expr ids extra_exprs in
+  IS.fold (fun id acc -> FM.ge (FM.Linform.var id) FM.Linform.zero :: acc) ids []
+
+let fm_system ?(extra = []) entries = nonneg_of_vars entries extra @ List.map to_fm entries
+
+let is_consistent cs = FM.feasible (fm_system cs.entries)
+
+type comparison = Lt | Eq | Gt | Unknown
+
+let compare_with_entries entries a b =
+  let sys = fm_system ~extra:[ a; b ] entries in
+  match FM.compare_forms sys (Linexpr.to_form a) (Linexpr.to_form b) with
+  | FM.Always_lt -> Lt
+  | FM.Always_eq -> Eq
+  | FM.Always_gt -> Gt
+  | FM.Unknown -> Unknown
+
+let compare_exprs cs a b = compare_with_entries cs.entries a b
+
+let entails_with_entries entries rel a b =
+  let sys = fm_system ~extra:[ a; b ] entries in
+  FM.entails sys (to_fm { label = ""; rel; lhs = a; rhs = b })
+
+let entails cs rel a b = entails_with_entries cs.entries rel a b
+
+let justify cs rel a b =
+  if not (entails cs rel a b) then None
+  else begin
+    (* Greedy core shrinking: drop each entry that is not needed. The result
+       is irreducible (removing any member breaks the entailment). *)
+    let core =
+      List.fold_left
+        (fun kept e ->
+          let without = List.filter (fun e' -> e' != e) kept in
+          if entails_with_entries without rel a b then without else kept)
+        cs.entries cs.entries
+    in
+    Some (List.rev_map (fun e -> e.label) core)
+  end
+
+let suggest a b =
+  Format.asprintf
+    "the order of %a and %a is not determined; add a timing constraint such as `%a <= %a` or `%a <= %a`"
+    Linexpr.pp a Linexpr.pp b Linexpr.pp a Linexpr.pp b Linexpr.pp b Linexpr.pp a
+
+let satisfies env cs =
+  let ok_nonneg =
+    let module VS = Set.Make (Var) in
+    let vars =
+      List.fold_left
+        (fun s e ->
+          let add s expr = List.fold_left (fun s v -> VS.add v s) s (Linexpr.vars expr) in
+          add (add s e.lhs) e.rhs)
+        VS.empty cs.entries
+    in
+    VS.for_all (fun v -> (not (Var.is_time v)) || Q.sign (env v) >= 0) vars
+  in
+  ok_nonneg
+  && List.for_all
+       (fun e ->
+         let l = Linexpr.eval env e.lhs and r = Linexpr.eval env e.rhs in
+         match e.rel with
+         | `Ge -> Q.compare l r >= 0
+         | `Gt -> Q.compare l r > 0
+         | `Eq -> Q.equal l r
+         | `Le -> Q.compare l r <= 0
+         | `Lt -> Q.compare l r < 0)
+       cs.entries
+
+let pp_rel fmt (rel : relation) =
+  Format.pp_print_string fmt
+    (match rel with `Ge -> ">=" | `Gt -> ">" | `Eq -> "=" | `Le -> "<=" | `Lt -> "<")
+
+let pp fmt cs =
+  let entries = List.rev cs.entries in
+  Format.pp_open_vbox fmt 0;
+  List.iteri
+    (fun i e ->
+      if i > 0 then Format.pp_print_cut fmt ();
+      Format.fprintf fmt "%s %a %a %a" e.label Linexpr.pp e.lhs pp_rel e.rel Linexpr.pp e.rhs)
+    entries;
+  Format.pp_close_box fmt ()

@@ -1,0 +1,57 @@
+(** Timing-constraint systems: the user-supplied knowledge that makes
+    symbolic timed-reachability graphs constructible (paper §3).
+
+    A system is a set of labelled linear constraints over time symbols; time
+    variables ([E(·)], [F(·)]) are implicitly non-negative. The central
+    query is {!compare_exprs}: under the system, is one affine delay
+    expression always smaller than, equal to, or greater than another? When
+    the system cannot decide, {!compare_exprs} reports [Unknown] and
+    {!suggest} phrases the missing constraint — the paper's "automated tool
+    could prompt designers for timing constraints at the necessary
+    points". *)
+
+type t
+
+type relation = [ `Ge | `Gt | `Eq | `Le | `Lt ]
+
+val empty : t
+
+val add : ?label:string -> relation -> Linexpr.t -> Linexpr.t -> t -> t
+(** [add ~label rel lhs rhs cs] records the constraint [lhs rel rhs]. The
+    label (e.g. ["(1)"]) is reported by {!justify}. *)
+
+val of_list : (string * relation * Linexpr.t * Linexpr.t) list -> t
+
+val constraints : t -> (string * relation * Linexpr.t * Linexpr.t) list
+(** In insertion order; auto-generated labels ["#n"] where none was given. *)
+
+val is_consistent : t -> bool
+(** False when the constraint set (plus implicit non-negativity) admits no
+    model at all. *)
+
+type comparison =
+  | Lt  (** strictly smaller in every model *)
+  | Eq  (** equal in every model *)
+  | Gt
+  | Unknown
+
+val compare_exprs : t -> Linexpr.t -> Linexpr.t -> comparison
+
+val entails : t -> relation -> Linexpr.t -> Linexpr.t -> bool
+
+val justify : t -> relation -> Linexpr.t -> Linexpr.t -> string list option
+(** [justify cs rel a b]: if [cs] entails [a rel b], a minimal (irreducible)
+    set of constraint labels sufficient for the entailment — the audit trail
+    behind the paper's Figure 7. Implicit non-negativity does not appear in
+    the core. [None] if not entailed. *)
+
+val suggest : Linexpr.t -> Linexpr.t -> string
+(** Human-readable hint for an [Unknown] comparison: the constraint the
+    designer should add. *)
+
+val satisfies : (Var.t -> Tpan_mathkit.Q.t) -> t -> bool
+(** Does a concrete time assignment satisfy every constraint (and
+    non-negativity)? Used to check that concrete nets are models of their
+    declared constraint set. *)
+
+val pp : Format.formatter -> t -> unit

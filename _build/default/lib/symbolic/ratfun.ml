@@ -1,0 +1,113 @@
+module Q = Tpan_mathkit.Q
+
+type t = { n : Poly.t; d : Poly.t }
+(* Invariants: [d] is non-zero with leading coefficient 1; zero is [0/1];
+   when the quotient is a polynomial it is stored with [d = 1]. *)
+
+(* Light normalization, used by every arithmetic operation: exact-division
+   fast path + monic denominator. Full GCD cancellation lives in {!reduce}
+   and is applied only to final results — running it inside the hot
+   arithmetic (e.g. Gaussian elimination over this field) is prohibitively
+   slow. *)
+let normalize n d =
+  if Poly.is_zero d then raise Division_by_zero;
+  if Poly.is_zero n then { n = Poly.zero; d = Poly.one }
+  else
+    match Poly.divide_exact n d with
+    | Some q -> { n = q; d = Poly.one }
+    | None ->
+      let c, dm = Poly.monic_factor d in
+      { n = Poly.scale (Q.inv c) n; d = dm }
+
+(* Full cancellation by polynomial GCD. The primitive Euclidean algorithm
+   degrades on dense high-variable-count operands, so very large inputs are
+   returned unreduced (the value is unchanged either way; {!equal} never
+   depends on the representation). *)
+let reduce r =
+  let budget_terms = 400 and budget_vars = 16 in
+  if
+    Poly.size r.n + Poly.size r.d > budget_terms
+    || List.length (Poly.vars r.n) > budget_vars
+    || List.length (Poly.vars r.d) > budget_vars
+  then r
+  else begin
+    let g = Poly.gcd r.n r.d in
+    if Poly.equal g Poly.one then r
+    else
+      match (Poly.divide_exact r.n g, Poly.divide_exact r.d g) with
+      | Some n', Some d' ->
+        let c, dm = Poly.monic_factor d' in
+        { n = Poly.scale (Q.inv c) n'; d = dm }
+      | _ -> r (* unreachable: the gcd divides both *)
+  end
+
+let make n d = normalize n d
+
+let zero = { n = Poly.zero; d = Poly.one }
+let of_poly p = { n = p; d = Poly.one }
+let of_q q = of_poly (Poly.const q)
+let of_int i = of_q (Q.of_int i)
+let one = of_int 1
+let var v = of_poly (Poly.var v)
+
+let num r = r.n
+let den r = r.d
+
+let is_zero r = Poly.is_zero r.n
+let is_const r = Poly.is_const r.n && Poly.is_const r.d
+
+let to_q_opt r =
+  match (Poly.to_q_opt r.n, Poly.to_q_opt r.d) with
+  | Some a, Some b -> Some (Q.div a b)
+  | _ -> None
+
+let add a b =
+  if Poly.equal a.d b.d then normalize (Poly.add a.n b.n) a.d
+  else normalize (Poly.add (Poly.mul a.n b.d) (Poly.mul b.n a.d)) (Poly.mul a.d b.d)
+
+let neg a = { a with n = Poly.neg a.n }
+let sub a b = add a (neg b)
+
+let mul a b =
+  (* cross-cancel before multiplying to curb growth *)
+  let n1, d2 =
+    match Poly.divide_exact a.n b.d with
+    | Some q -> (q, Poly.one)
+    | None -> (a.n, b.d)
+  in
+  let n2, d1 =
+    match Poly.divide_exact b.n a.d with
+    | Some q -> (q, Poly.one)
+    | None -> (b.n, a.d)
+  in
+  normalize (Poly.mul n1 n2) (Poly.mul d1 d2)
+
+let inv a =
+  if is_zero a then raise Division_by_zero;
+  normalize a.d a.n
+
+let div a b = mul a (inv b)
+
+let eval env r =
+  let d = Poly.eval env r.d in
+  if Q.is_zero d then raise Division_by_zero;
+  Q.div (Poly.eval env r.n) d
+
+let subst f r = make (Poly.subst f r.n) (Poly.subst f r.d)
+
+let derivative v r =
+  let n' = Poly.derivative v r.n and d' = Poly.derivative v r.d in
+  normalize
+    (Poly.sub (Poly.mul n' r.d) (Poly.mul r.n d'))
+    (Poly.mul r.d r.d)
+
+let equal a b = Poly.equal (Poly.mul a.n b.d) (Poly.mul b.n a.d)
+
+let pp fmt r =
+  if Poly.equal r.d Poly.one then Poly.pp fmt r.n
+  else begin
+    let needs_parens p = match Poly.to_q_opt p with Some _ -> false | None -> true in
+    if needs_parens r.n then Format.fprintf fmt "(%a)" Poly.pp r.n else Poly.pp fmt r.n;
+    Format.pp_print_string fmt " / ";
+    if needs_parens r.d then Format.fprintf fmt "(%a)" Poly.pp r.d else Poly.pp fmt r.d
+  end

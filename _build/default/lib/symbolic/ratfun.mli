@@ -1,0 +1,55 @@
+(** Rational functions (quotients of {!Poly}) — the field in which symbolic
+    branching probabilities and traversal rates live.
+
+    Normalization is best-effort (monic denominator, exact-division
+    cancellation); {!equal} is nevertheless exact because it
+    cross-multiplies. Expression growth is bounded in practice by the tiny
+    size of protocol decision graphs. *)
+
+type t
+
+val zero : t
+val one : t
+val of_poly : Poly.t -> t
+val of_q : Tpan_mathkit.Q.t -> t
+val of_int : int -> t
+val var : Var.t -> t
+
+val make : Poly.t -> Poly.t -> t
+(** [make num den]. @raise Division_by_zero if [den] is the zero
+    polynomial. *)
+
+val num : t -> Poly.t
+val den : t -> Poly.t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul : t -> t -> t
+
+val div : t -> t -> t
+(** @raise Division_by_zero on a zero divisor. *)
+
+val inv : t -> t
+
+val is_zero : t -> bool
+val is_const : t -> bool
+val to_q_opt : t -> Tpan_mathkit.Q.t option
+
+val eval : (Var.t -> Tpan_mathkit.Q.t) -> t -> Tpan_mathkit.Q.t
+(** @raise Division_by_zero if the denominator vanishes at the point. *)
+
+val subst : (Var.t -> Poly.t option) -> t -> t
+
+val derivative : Var.t -> t -> t
+(** Quotient rule: [(p/q)' = (p'q - pq') / q²]. *)
+
+val reduce : t -> t
+(** Cancel the full polynomial GCD of numerator and denominator (value
+    unchanged). Arithmetic keeps only a light normal form for speed; apply
+    this to final results for canonical, human-readable expressions. Very
+    large operands are returned unreduced. *)
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,44 @@
+type kind = Enabling | Firing | Frequency | Param
+
+type t = { id : int; kind : kind; label : string }
+
+(* Global intern tables. Interning is keyed on (kind, label); ids are dense,
+   which lets downstream structures index by id. *)
+let by_key : (kind * string, t) Hashtbl.t = Hashtbl.create 64
+let by_id : (int, t) Hashtbl.t = Hashtbl.create 64
+let next_id = ref 0
+
+let make kind label =
+  match Hashtbl.find_opt by_key (kind, label) with
+  | Some v -> v
+  | None ->
+    let v = { id = !next_id; kind; label } in
+    incr next_id;
+    Hashtbl.add by_key (kind, label) v;
+    Hashtbl.add by_id v.id v;
+    v
+
+let enabling l = make Enabling l
+let firing l = make Firing l
+let frequency l = make Frequency l
+let param l = make Param l
+
+let id v = v.id
+let kind v = v.kind
+let label v = v.label
+
+let name v =
+  match v.kind with
+  | Enabling -> "E(" ^ v.label ^ ")"
+  | Firing -> "F(" ^ v.label ^ ")"
+  | Frequency -> "f(" ^ v.label ^ ")"
+  | Param -> v.label
+
+let of_id i = Hashtbl.find by_id i
+
+let is_time v = match v.kind with Enabling | Firing -> true | Frequency | Param -> false
+
+let compare a b = Stdlib.compare a.id b.id
+let equal a b = a.id = b.id
+let hash a = a.id
+let pp fmt v = Format.pp_print_string fmt (name v)

@@ -1,0 +1,43 @@
+(** Interned symbolic variables.
+
+    The analysis manipulates three families of symbols, mirroring the paper's
+    notation: enabling times [E(t)], firing times [F(t)] and relative firing
+    frequencies [f(t)]; [Param] covers ad-hoc symbols. Variables are interned
+    globally, so the same [(kind, label)] pair always yields the same id —
+    this is what lets linear forms and polynomials key on integer ids. *)
+
+type kind =
+  | Enabling
+  | Firing
+  | Frequency
+  | Param
+
+type t
+
+val enabling : string -> t
+(** [enabling "t3"] is the symbol [E(t3)]. *)
+
+val firing : string -> t
+val frequency : string -> t
+val param : string -> t
+
+val make : kind -> string -> t
+
+val id : t -> int
+val kind : t -> kind
+val label : t -> string
+
+val name : t -> string
+(** Display name, e.g. ["E(t3)"], ["F(t5)"], ["f(t4)"], or the bare label for
+    parameters. *)
+
+val of_id : int -> t
+(** Inverse of {!id}. @raise Not_found for an id never interned. *)
+
+val is_time : t -> bool
+(** Enabling and firing times are time-valued (implicitly non-negative). *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_batch.ml: Alcotest Array Float Printf Tpan_core Tpan_mathkit Tpan_perf Tpan_petri Tpan_protocols Tpan_sim

@@ -1,0 +1,1 @@
+test/test_bigint.ml: Alcotest Float List QCheck2 QCheck_alcotest String Tpan_mathkit

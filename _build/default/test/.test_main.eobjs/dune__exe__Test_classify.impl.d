@@ -1,0 +1,1 @@
+test/test_classify.ml: Alcotest Format String Tpan_petri Tpan_protocols

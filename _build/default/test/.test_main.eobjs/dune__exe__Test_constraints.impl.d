@@ -1,0 +1,1 @@
+test/test_constraints.ml: Alcotest Format List Option String Tpan_mathkit Tpan_symbolic

@@ -1,0 +1,1 @@
+test/test_dsl.ml: Alcotest Buffer List Printf QCheck2 QCheck_alcotest String Tpan_core Tpan_dsl Tpan_mathkit Tpan_perf Tpan_petri Tpan_protocols Tpan_symbolic

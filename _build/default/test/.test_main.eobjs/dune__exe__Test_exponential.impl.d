@@ -1,0 +1,1 @@
+test/test_exponential.ml: Alcotest Array Format List Tpan_core Tpan_mathkit Tpan_perf Tpan_petri Tpan_protocols

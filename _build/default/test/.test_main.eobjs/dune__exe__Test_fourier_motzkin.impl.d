@@ -1,0 +1,1 @@
+test/test_fourier_motzkin.ml: Alcotest Array Format List QCheck2 QCheck_alcotest Tpan_mathkit

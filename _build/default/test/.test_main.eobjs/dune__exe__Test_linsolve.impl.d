@@ -1,0 +1,1 @@
+test/test_linsolve.ml: Alcotest Array List Printf QCheck2 QCheck_alcotest Tpan_mathkit

@@ -1,0 +1,1 @@
+test/test_passage.ml: Alcotest Array Format List Option Tpan_core Tpan_mathkit Tpan_perf Tpan_petri Tpan_protocols Tpan_sim Tpan_symbolic

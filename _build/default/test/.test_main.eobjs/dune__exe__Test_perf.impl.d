@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Format Lazy List QCheck2 QCheck_alcotest String Tpan_core Tpan_mathkit Tpan_perf Tpan_petri Tpan_protocols Tpan_symbolic

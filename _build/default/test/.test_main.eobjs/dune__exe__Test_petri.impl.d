@@ -1,0 +1,1 @@
+test/test_petri.ml: Alcotest Array List Printf QCheck2 QCheck_alcotest String Tpan_petri

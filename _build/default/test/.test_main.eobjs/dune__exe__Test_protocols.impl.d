@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Array Float List Printf Tpan_core Tpan_mathkit Tpan_perf Tpan_petri Tpan_protocols Tpan_sim Tpan_symbolic

@@ -1,0 +1,1 @@
+test/test_q.ml: Alcotest Format QCheck2 QCheck_alcotest Tpan_mathkit

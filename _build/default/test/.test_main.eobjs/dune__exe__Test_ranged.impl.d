@@ -1,0 +1,1 @@
+test/test_ranged.ml: Alcotest Array List Tpan_core Tpan_mathkit Tpan_petri Tpan_protocols

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Format List String Tpan_core Tpan_mathkit Tpan_perf Tpan_petri Tpan_protocols

@@ -1,0 +1,1 @@
+test/test_semantics_props.ml: Array List Printf QCheck2 QCheck_alcotest Tpan_core Tpan_mathkit Tpan_petri Tpan_protocols Tpan_sim Tpan_symbolic

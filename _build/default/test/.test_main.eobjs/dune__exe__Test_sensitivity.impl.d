@@ -1,0 +1,1 @@
+test/test_sensitivity.ml: Alcotest List Tpan_core Tpan_mathkit Tpan_perf Tpan_protocols Tpan_symbolic

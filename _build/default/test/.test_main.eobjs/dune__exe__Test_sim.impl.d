@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Float List Printf QCheck2 QCheck_alcotest Stdlib Tpan_core Tpan_mathkit Tpan_perf Tpan_petri Tpan_protocols Tpan_sim

@@ -1,0 +1,1 @@
+test/test_siphons.ml: Alcotest Array List Printf QCheck2 QCheck_alcotest Tpan_petri Tpan_protocols

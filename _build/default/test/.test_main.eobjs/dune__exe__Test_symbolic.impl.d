@@ -1,0 +1,1 @@
+test/test_symbolic.ml: Alcotest Format Option QCheck2 QCheck_alcotest Tpan_core Tpan_mathkit Tpan_perf Tpan_protocols Tpan_symbolic

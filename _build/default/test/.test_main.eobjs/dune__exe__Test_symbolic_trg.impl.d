@@ -1,0 +1,1 @@
+test/test_symbolic_trg.ml: Alcotest Array Format Fun Lazy List String Tpan_core Tpan_mathkit Tpan_petri Tpan_protocols Tpan_symbolic

@@ -1,0 +1,1 @@
+test/test_time_pn.ml: Alcotest Array List Printf Tpan_core Tpan_mathkit Tpan_petri Tpan_protocols

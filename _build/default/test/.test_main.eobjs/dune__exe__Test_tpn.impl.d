@@ -1,0 +1,1 @@
+test/test_tpn.ml: Alcotest Array Format List Tpan_core Tpan_mathkit Tpan_petri Tpan_protocols Tpan_symbolic

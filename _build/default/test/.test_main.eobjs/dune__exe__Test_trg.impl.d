@@ -1,0 +1,1 @@
+test/test_trg.ml: Alcotest Array Fun Lazy List String Tpan_core Tpan_mathkit Tpan_petri Tpan_protocols

@@ -1,0 +1,105 @@
+(* Tests for the blast/batch transfer protocol. *)
+
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Tpn = Tpan_core.Tpn
+module Sem = Tpan_core.Semantics
+module CG = Tpan_core.Concrete
+module M = Tpan_perf.Measures
+module Sim = Tpan_sim.Simulator
+module B = Tpan_protocols.Batch
+module SW = Tpan_protocols.Stopwait
+
+let throughput ?(loss = None) w =
+  let p = { B.default_params with B.window = w } in
+  let p =
+    match loss with
+    | None -> p
+    | Some l -> { p with B.packet_loss = l; ack_loss = l }
+  in
+  let tpn = B.concrete p in
+  let g = CG.build ~max_states:200_000 tpn in
+  let res = M.Concrete.analyze g in
+  (Q.mul (Q.of_int w) (M.Concrete.throughput res g B.t_done), g)
+
+let test_window_one_equals_stopwait () =
+  (* a batch of one degenerates to the paper's protocol: identical
+     state-space size and identical throughput, exactly *)
+  let thr1, g1 = throughput 1 in
+  Alcotest.(check int) "18 states" 18 (CG.Graph.num_states g1);
+  let sw = CG.build (SW.concrete SW.paper_params) in
+  let swres = M.Concrete.analyze sw in
+  let swthr = M.Concrete.throughput swres sw SW.t_process_ack in
+  Alcotest.(check bool) "throughput equals stop-and-wait" true (Q.equal thr1 swthr)
+
+let test_batching_pays () =
+  let thr1, _ = throughput 1 in
+  let thr2, _ = throughput 2 in
+  let thr3, g3 = throughput 3 in
+  Alcotest.(check bool) "w=2 beats w=1" true (Q.compare thr2 thr1 > 0);
+  Alcotest.(check bool) "w=3 beats w=2" true (Q.compare thr3 thr2 > 0);
+  (* sub-linear: the round-trip amortization cannot exceed w-fold *)
+  Alcotest.(check bool) "gain below 3x" true (Q.compare thr3 (Q.mul (Q.of_int 3) thr1) < 0);
+  Alcotest.(check int) "w=3 state space" 474 (CG.Graph.num_states g3)
+
+let test_batching_gain_shrinks_with_loss () =
+  let ratio loss =
+    let t1, _ = throughput ~loss:(Some loss) 1 in
+    let t3, _ = throughput ~loss:(Some loss) 3 in
+    Q.to_float t3 /. Q.to_float t1
+  in
+  let low = ratio (Q.of_ints 1 100) in
+  let high = ratio (Q.of_ints 30 100) in
+  Alcotest.(check bool)
+    (Printf.sprintf "gain %.2f at 1%% > %.2f at 30%%" low high)
+    true (low > high);
+  Alcotest.(check bool) "still a gain at 30%" true (high > 1.0)
+
+let test_timed_safety () =
+  let tpn = B.concrete { B.default_params with B.window = 3 } in
+  let g = CG.build ~max_states:200_000 tpn in
+  Alcotest.(check bool) "all reachable markings 1-bounded" true
+    (Array.for_all (fun st -> Array.for_all (fun k -> k <= 1) st.Sem.marking) g.Sem.states);
+  Alcotest.(check (list int)) "no deadlock" [] (CG.Graph.terminal_states g)
+
+let test_timeout_validation () =
+  (* timeout below the worst-case round trip is rejected up front *)
+  try
+    ignore (B.concrete { B.default_params with B.timeout = Q.of_int 100 });
+    Alcotest.fail "short timeout accepted"
+  with Tpn.Unsupported _ -> ()
+
+let test_sim_agreement () =
+  let p = { B.default_params with B.window = 2 } in
+  let tpn = B.concrete p in
+  let g = CG.build tpn in
+  let res = M.Concrete.analyze g in
+  let exact = Q.to_float (M.Concrete.throughput res g B.t_done) in
+  let stats = Sim.run ~seed:13 ~horizon:(Q.of_int 2_000_000) tpn in
+  let sim = Sim.throughput stats (Net.trans_of_name (Tpn.net tpn) B.t_done) in
+  Alcotest.(check bool)
+    (Printf.sprintf "sim %.6f vs exact %.6f" sim exact)
+    true
+    (Float.abs (sim -. exact) /. exact < 0.03)
+
+let test_selective_reassembly_latency () =
+  (* a partially received batch keeps its progress across a timeout: the
+     claim slots persist, so the resent batch only needs the missing
+     packets. Structural check: got_i places survive the resend
+     transition. *)
+  let net = B.net ~window:2 in
+  let resend = Net.trans_of_name net "resend" in
+  let got1 = Net.place_of_name net "got1" in
+  Alcotest.(check int) "resend does not clear got slots" 0 (Net.input_weight net resend got1)
+
+let suite =
+  ( "batch",
+    [
+      Alcotest.test_case "window 1 = stop-and-wait" `Quick test_window_one_equals_stopwait;
+      Alcotest.test_case "batching pays (sub-linearly)" `Quick test_batching_pays;
+      Alcotest.test_case "gain shrinks with loss" `Slow test_batching_gain_shrinks_with_loss;
+      Alcotest.test_case "timed safety" `Quick test_timed_safety;
+      Alcotest.test_case "timeout validation" `Quick test_timeout_validation;
+      Alcotest.test_case "simulation agreement" `Slow test_sim_agreement;
+      Alcotest.test_case "selective reassembly" `Quick test_selective_reassembly_latency;
+    ] )

@@ -1,0 +1,89 @@
+(* Tests for structural net classification. *)
+
+module Net = Tpan_petri.Net
+module C = Tpan_petri.Classify
+
+let sm () =
+  (* pure choice: one token, two loops *)
+  let b = Net.builder "sm" in
+  let p = Net.add_place b ~init:1 "p" in
+  let q = Net.add_place b "q" in
+  let t name i o = ignore (Net.add_transition b ~name ~inputs:[ (i, 1) ] ~outputs:[ (o, 1) ]) in
+  t "a" p q;
+  t "b" q p;
+  t "c" p p;
+  Net.build b
+
+let mg () =
+  (* pure synchronization: fork and join *)
+  let b = Net.builder "mg" in
+  let s = Net.add_place b ~init:1 "s" in
+  let l = Net.add_place b "l" in
+  let r = Net.add_place b "r" in
+  let e = Net.add_place b "e" in
+  let _ = Net.add_transition b ~name:"fork" ~inputs:[ (s, 1) ] ~outputs:[ (l, 1); (r, 1) ] in
+  let _ = Net.add_transition b ~name:"join" ~inputs:[ (l, 1); (r, 1) ] ~outputs:[ (e, 1) ] in
+  let _ = Net.add_transition b ~name:"loop" ~inputs:[ (e, 1) ] ~outputs:[ (s, 1) ] in
+  Net.build b
+
+let non_fc () =
+  (* confusion: t1 needs {p}, t2 needs {p, q} -> shared input place with
+     different bags: not free choice *)
+  let b = Net.builder "nfc" in
+  let p = Net.add_place b ~init:1 "p" in
+  let q = Net.add_place b ~init:1 "q" in
+  let _ = Net.add_transition b ~name:"t1" ~inputs:[ (p, 1) ] ~outputs:[] in
+  let _ = Net.add_transition b ~name:"t2" ~inputs:[ (p, 1); (q, 1) ] ~outputs:[] in
+  Net.build b
+
+let test_state_machine () =
+  let c = C.classify (sm ()) in
+  Alcotest.(check bool) "sm" true c.C.state_machine;
+  Alcotest.(check bool) "not mg (p has several consumers)" false c.C.marked_graph;
+  Alcotest.(check bool) "free choice" true c.C.free_choice
+
+let test_marked_graph () =
+  let c = C.classify (mg ()) in
+  Alcotest.(check bool) "mg" true c.C.marked_graph;
+  Alcotest.(check bool) "not sm (fork has two outputs)" false c.C.state_machine;
+  Alcotest.(check bool) "free choice (no conflicts at all)" true c.C.free_choice
+
+let test_not_free_choice () =
+  let c = C.classify (non_fc ()) in
+  Alcotest.(check bool) "not free choice" false c.C.free_choice
+
+let test_protocols_classes () =
+  (* stop-and-wait: t6 synchronizes p3+p8 while p2 branches to t4/t5: a
+     general net, but free choice holds (conflicting transitions have equal
+     bags) *)
+  let c = C.classify (Tpan_protocols.Stopwait.net ()) in
+  Alcotest.(check bool) "stopwait not sm" false c.C.state_machine;
+  Alcotest.(check bool) "stopwait not mg" false c.C.marked_graph;
+  (* t3 and t7 share p4 with different bags: NOT free choice — exactly why
+     the paper needs explicit conflict-set frequencies and priorities *)
+  Alcotest.(check bool) "stopwait not free choice" false c.C.free_choice;
+  (* the pipeline is a marked graph (that is what licenses its cycle-time
+     bound) *)
+  let pl = C.classify (Tpan_protocols.Pipeline.net ~hops:4) in
+  Alcotest.(check bool) "pipeline is a marked graph" true pl.C.marked_graph;
+  (* the token ring is a state machine *)
+  let tr = C.classify (Tpan_protocols.Token_ring.net ~stations:4) in
+  Alcotest.(check bool) "token ring is a state machine" true tr.C.state_machine;
+  Alcotest.(check bool) "token ring is free choice" true tr.C.free_choice
+
+let test_pp () =
+  let s = Format.asprintf "%a" C.pp (C.classify (mg ())) in
+  Alcotest.(check bool) "mentions marked graph" true
+    (let n = String.length s in
+     let rec go i = i + 12 <= n && (String.sub s i 12 = "marked graph" || go (i + 1)) in
+     go 0)
+
+let suite =
+  ( "classify",
+    [
+      Alcotest.test_case "state machine" `Quick test_state_machine;
+      Alcotest.test_case "marked graph" `Quick test_marked_graph;
+      Alcotest.test_case "free choice violation" `Quick test_not_free_choice;
+      Alcotest.test_case "protocol net classes" `Quick test_protocols_classes;
+      Alcotest.test_case "pretty printing" `Quick test_pp;
+    ] )

@@ -1,0 +1,83 @@
+(* End-to-end tests of the tpan binary: run real subcommands on real .tpn
+   files and check the headline numbers appear. The test executable runs
+   from _build/default/test, with the binary and example nets declared as
+   dune deps. *)
+
+let tpan = "../bin/tpan.exe"
+let stopwait_tpn = "../examples/nets/stopwait.tpn"
+let symbolic_tpn = "../examples/nets/stopwait_symbolic.tpn"
+
+let run_capture args =
+  let tmp = Filename.temp_file "tpan_cli" ".out" in
+  let cmd = Printf.sprintf "%s %s > %s 2>&1" tpan args tmp in
+  let rc = Sys.command cmd in
+  let ic = open_in_bin tmp in
+  let n = in_channel_length ic in
+  let out = really_input_string ic n in
+  close_in ic;
+  Sys.remove tmp;
+  (rc, out)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let check_run name args needles =
+  let rc, out = run_capture args in
+  Alcotest.(check int) (name ^ ": exit code") 0 rc;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "%s: output mentions %S" name needle) true
+        (contains out needle))
+    needles
+
+let test_analyze_file () =
+  check_run "analyze" (Printf.sprintf "analyze %s -t t7" stopwait_tpn)
+    [ "18 states"; "decision nodes: 3, 11"; "0.002851"; "350.649307" ]
+
+let test_symbolic_file () =
+  check_run "symbolic" (Printf.sprintf "symbolic %s -t t7" symbolic_tpn)
+    [ "18 states"; "constraints used to order minima"; "throughput(t7)"; "f(t8)" ]
+
+let test_builtin_models () =
+  check_run "show" "show -m abp" [ "net abp"; "conflict set" ];
+  check_run "latency" "latency -m stopwait -e t6" [ "173.936842" ];
+  check_run "check" "check -m stopwait" [ "consistent"; "safe (1-bounded)" ];
+  check_run "report" "report -m channel" [ "structure"; "steady state" ]
+
+let test_simulate () =
+  check_run "simulate" "simulate -m stopwait -t t7 --horizon 100000 --seed 4"
+    [ "throughput(t7)" ]
+
+let test_dot () =
+  check_run "dot net" (Printf.sprintf "dot %s -g net" stopwait_tpn) [ "digraph" ];
+  check_run "dot dg" "dot -m stopwait -g dg" [ "diamond"; "0.05 / 1002" ]
+
+let test_sweep () =
+  check_run "sweep"
+    ("sweep -m stopwait-sym -t t7 --var 'E(t3)' --from 250 --to 1000 --steps 3 "
+    ^ "-p 'F(t1)=1' -p 'F(t2)=1' -p 'F(t3)=1' -p 'F(t4)=106.7' -p 'F(t5)=106.7' "
+    ^ "-p 'F(t6)=13.5' -p 'F(t7)=13.5' -p 'F(t8)=106.7' -p 'F(t9)=106.7' "
+    ^ "-p 'f(t4)=0.05' -p 'f(t5)=0.95' -p 'f(t8)=0.95' -p 'f(t9)=0.05'")
+    [ "E(t3)"; "0.003708"; "0.002851" ]
+
+let test_error_paths () =
+  let rc, out = run_capture "analyze -m nonsense" in
+  Alcotest.(check bool) "unknown model fails" true (rc <> 0);
+  Alcotest.(check bool) "lists available models" true (contains out "stopwait");
+  let rc2, out2 = run_capture "analyze /nonexistent.tpn" in
+  Alcotest.(check bool) "missing file fails" true (rc2 <> 0);
+  ignore out2
+
+let suite =
+  ( "cli",
+    [
+      Alcotest.test_case "analyze .tpn file" `Quick test_analyze_file;
+      Alcotest.test_case "symbolic .tpn file" `Quick test_symbolic_file;
+      Alcotest.test_case "builtin models" `Quick test_builtin_models;
+      Alcotest.test_case "simulate" `Quick test_simulate;
+      Alcotest.test_case "dot outputs" `Quick test_dot;
+      Alcotest.test_case "sweep" `Quick test_sweep;
+      Alcotest.test_case "error paths" `Quick test_error_paths;
+    ] )

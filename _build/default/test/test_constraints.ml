@@ -1,0 +1,109 @@
+(* Tests for the timing-constraint system, including the paper's constraint
+   set (section 4) and the Figure-7 justification audit. *)
+
+module Q = Tpan_mathkit.Q
+module Var = Tpan_symbolic.Var
+module Lin = Tpan_symbolic.Linexpr
+module C = Tpan_symbolic.Constraints
+
+let e3 = Lin.var (Var.enabling "t3")
+let f1 = Lin.var (Var.firing "t1")
+let f2 = Lin.var (Var.firing "t2")
+let f4 = Lin.var (Var.firing "t4")
+let f5 = Lin.var (Var.firing "t5")
+let f6 = Lin.var (Var.firing "t6")
+let f8 = Lin.var (Var.firing "t8")
+let f9 = Lin.var (Var.firing "t9")
+
+let sum = List.fold_left Lin.add Lin.zero
+
+(* Paper constraints (1), (3), (4); constraint (2) (all other enabling times
+   are zero) is represented structurally in the net, not here. *)
+let paper =
+  C.of_list
+    [
+      ("(1)", `Gt, e3, sum [ f5; f6; f8 ]);
+      ("(3)", `Eq, f4, f5);
+      ("(4)", `Eq, f9, f8);
+    ]
+
+let cmp =
+  Alcotest.of_pp (fun fmt (c : C.comparison) ->
+      Format.pp_print_string fmt
+        (match c with C.Lt -> "Lt" | C.Eq -> "Eq" | C.Gt -> "Gt" | C.Unknown -> "Unknown"))
+
+let test_compare_paper () =
+  (* state 4: RFT(t5) vs RET(t3) *)
+  Alcotest.check cmp "F5 < E3" C.Lt (C.compare_exprs paper f5 e3);
+  (* state 5 (loss branch): RFT(t4) vs RET(t3), needs (1) and (3) *)
+  Alcotest.check cmp "F4 < E3" C.Lt (C.compare_exprs paper f4 e3);
+  (* state 10: RFT(t6) vs E3 - F5 *)
+  Alcotest.check cmp "F6 < E3 - F5" C.Lt (C.compare_exprs paper f6 (Lin.sub e3 f5));
+  (* state 12: RFT(t9) vs E3 - F5 - F6, needs (1) and (4) *)
+  Alcotest.check cmp "F9 < E3-F5-F6" C.Lt
+    (C.compare_exprs paper f9 (Lin.sub e3 (Lin.add f5 f6)));
+  Alcotest.check cmp "equality" C.Eq (C.compare_exprs paper f4 f5);
+  Alcotest.check cmp "gt" C.Gt (C.compare_exprs paper e3 f5);
+  Alcotest.check cmp "unknown" C.Unknown (C.compare_exprs paper f1 f2)
+
+let test_justify_fig7 () =
+  (* Figure 7 of the paper: which constraints resolve which state. *)
+  let j rel a b = Option.map (List.sort compare) (C.justify paper rel a b) in
+  Alcotest.(check (option (list string))) "4->9 uses (1)" (Some [ "(1)" ]) (j `Lt f5 e3);
+  Alcotest.(check (option (list string))) "5->6 uses (1),(3)" (Some [ "(1)"; "(3)" ]) (j `Lt f4 e3);
+  Alcotest.(check (option (list string))) "10->11 uses (1)" (Some [ "(1)" ])
+    (j `Lt f6 (Lin.sub e3 f5));
+  Alcotest.(check (option (list string))) "12->14 uses (1),(4)" (Some [ "(1)"; "(4)" ])
+    (j `Lt f9 (Lin.sub e3 (Lin.add f5 f6)));
+  Alcotest.(check (option (list string))) "13->15 uses (1)" (Some [ "(1)" ])
+    (j `Lt f8 (Lin.sub e3 (Lin.add f5 f6)));
+  Alcotest.(check (option (list string))) "not entailed" None (j `Lt f1 f2)
+
+let test_nonneg_implicit () =
+  (* With no explicit constraints, time symbols are still >= 0. *)
+  Alcotest.(check bool) "F5 >= 0" true (C.entails C.empty `Ge f5 Lin.zero);
+  Alcotest.(check bool) "F5 > 0 not entailed" false (C.entails C.empty `Gt f5 Lin.zero);
+  (* frequencies are NOT implicitly non-negative time symbols *)
+  let fr = Lin.var (Var.frequency "t4") in
+  Alcotest.(check bool) "freq unconstrained" false (C.entails C.empty `Ge fr Lin.zero)
+
+let test_consistency () =
+  Alcotest.(check bool) "paper consistent" true (C.is_consistent paper);
+  let bad = C.add `Lt e3 f5 paper in
+  (* (1) says E3 > F5+F6+F8 >= F5; adding E3 < F5 is contradictory *)
+  Alcotest.(check bool) "contradiction detected" false (C.is_consistent bad)
+
+let test_satisfies () =
+  let env v =
+    match Var.name v with
+    | "E(t3)" -> Q.of_int 1000
+    | "F(t4)" | "F(t5)" | "F(t8)" | "F(t9)" -> Q.of_decimal_string "106.7"
+    | "F(t6)" -> Q.of_decimal_string "13.5"
+    | _ -> Q.one
+  in
+  Alcotest.(check bool) "fig 1b times satisfy paper constraints" true (C.satisfies env paper);
+  let env_bad v = if Var.name v = "E(t3)" then Q.of_int 100 else env v in
+  Alcotest.(check bool) "short timeout violates (1)" false (C.satisfies env_bad paper)
+
+(* substring check without extra deps *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_suggest_and_pp () =
+  let s = C.suggest f1 f2 in
+  Alcotest.(check bool) "mentions both exprs" true (contains s "F(t1)" && contains s "F(t2)");
+  let printed = Format.asprintf "%a" C.pp paper in
+  Alcotest.(check bool) "pp shows labels" true (contains printed "(1)" && contains printed "(3)")
+
+let suite =
+  ( "constraints",
+    [
+      Alcotest.test_case "paper comparisons" `Quick test_compare_paper;
+      Alcotest.test_case "figure 7 justification" `Quick test_justify_fig7;
+      Alcotest.test_case "implicit non-negativity" `Quick test_nonneg_implicit;
+      Alcotest.test_case "consistency" `Quick test_consistency;
+      Alcotest.test_case "concrete model check" `Quick test_satisfies;
+      Alcotest.test_case "suggestion text" `Quick test_suggest_and_pp;
+    ] )

@@ -1,0 +1,222 @@
+(* Tests for the .tpn description language: lexing, parsing, elaboration,
+   printing, round-trips, and error reporting. *)
+
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Var = Tpan_symbolic.Var
+module C = Tpan_symbolic.Constraints
+module Tpn = Tpan_core.Tpn
+module CG = Tpan_core.Concrete
+module SG = Tpan_core.Symbolic
+module M = Tpan_perf.Measures
+module Lexer = Tpan_dsl.Lexer
+module Parser = Tpan_dsl.Parser
+module Printer = Tpan_dsl.Printer
+module SW = Tpan_protocols.Stopwait
+
+let stopwait_src =
+  {|
+# The paper's Figure 1 protocol, concrete times.
+net stopwait
+place p1 init 1
+place p2
+place p3
+place p4
+place p5
+place p6
+place p7
+place p8 init 1
+
+trans t1 { in p7; out p1; fire 1 }
+trans t2 { in p1; out p2, p4; fire 1 }
+trans t3 { in p4; out p1; enable 1000; fire 1; freq 0 }
+trans t4 { in p2; fire 106.7; freq 0.05 }
+trans t5 { in p2; out p3; fire 106.7; freq 0.95 }
+trans t6 { in p3, p8; out p5, p8; fire 13.5 }
+trans t7 { in p6, p4; out p7; fire 13.5 }
+trans t8 { in p5; out p6; fire 106.7; freq 0.95 }
+trans t9 { in p5; fire 106.7; freq 0.05 }
+|}
+
+let test_lexer_basics () =
+  let toks = Lexer.tokenize "net x # comment\nplace p init 3" in
+  let kinds = List.map (fun l -> l.Lexer.tok) toks in
+  Alcotest.(check bool) "token stream" true
+    (kinds
+     = [ Lexer.KW_NET; Lexer.IDENT "x"; Lexer.KW_PLACE; Lexer.IDENT "p"; Lexer.KW_INIT;
+         Lexer.NUMBER "3"; Lexer.EOF ])
+
+let test_lexer_positions () =
+  match Lexer.tokenize "net x\n  @" with
+  | _ -> Alcotest.fail "expected lexer error"
+  | exception Lexer.Error (pos, _) ->
+    Alcotest.(check int) "line" 2 pos.Lexer.line;
+    Alcotest.(check int) "col" 3 pos.Lexer.col
+
+let test_parse_stopwait_equals_builtin () =
+  (* The DSL description must produce a net giving the same 18-state TRG
+     and the same throughput as the programmatic model. *)
+  let tpn = Parser.parse_string stopwait_src in
+  let g = CG.build tpn in
+  Alcotest.(check int) "18 states" 18 (CG.Graph.num_states g);
+  let res = M.Concrete.analyze g in
+  let thr = M.Concrete.throughput res g "t7" in
+  let builtin = SW.concrete SW.paper_params in
+  let bg = CG.build builtin in
+  let bres = M.Concrete.analyze bg in
+  Alcotest.(check bool) "same throughput as builtin model" true
+    (Q.equal thr (M.Concrete.throughput bres bg "t7"))
+
+let test_parse_symbolic_and_constraints () =
+  let src =
+    {|
+net toy
+place a init 1
+place b
+trans go { in a; out b; fire F(go); freq f(go) }
+trans back { in b; out a; fire sym; enable E(back) }
+constraint c1: E(back) > F(go) + F(back)
+constraint F(go) >= 2*F(back) - 1
+|}
+  in
+  let tpn = Parser.parse_string src in
+  Alcotest.(check bool) "not concrete" false (Tpn.is_concrete tpn);
+  let net = Tpn.net tpn in
+  (match Tpn.firing tpn (Net.trans_of_name net "back") with
+   | Tpn.Sym v -> Alcotest.(check string) "sym = own firing symbol" "F(back)" (Var.name v)
+   | Tpn.Fixed _ -> Alcotest.fail "expected symbolic firing");
+  (match Tpn.frequency tpn (Net.trans_of_name net "go") with
+   | Tpn.Freq_sym v -> Alcotest.(check string) "freq symbol" "f(go)" (Var.name v)
+   | Tpn.Freq _ -> Alcotest.fail "expected symbolic frequency");
+  let cs = C.constraints (Tpn.constraints tpn) in
+  Alcotest.(check int) "two constraints" 2 (List.length cs);
+  (match cs with
+   | (label, rel, _, _) :: _ ->
+     Alcotest.(check string) "label" "c1" label;
+     Alcotest.(check bool) "relation" true (rel = `Gt)
+   | [] -> Alcotest.fail "no constraints")
+
+let test_fractions () =
+  let src = {|
+net frac
+place p init 1
+trans t { in p; out p; fire 1067/10; freq 1/20 }
+|} in
+  let tpn = Parser.parse_string src in
+  Alcotest.(check bool) "fraction fire" true
+    (Q.equal (Q.of_decimal_string "106.7") (Tpn.firing_q tpn 0));
+  Alcotest.(check bool) "fraction freq" true
+    (Q.equal (Q.of_ints 1 20) (Tpn.frequency_q tpn 0))
+
+let test_weighted_bags () =
+  let src = {|
+net weights
+place p init 3
+place q
+trans t { in 3*p; out 2*q, q; fire 1 }
+|} in
+  let tpn = Parser.parse_string src in
+  let net = Tpn.net tpn in
+  Alcotest.(check int) "input weight" 3 (Net.input_weight net 0 (Net.place_of_name net "p"));
+  Alcotest.(check int) "accumulated output" 3 (Net.output_weight net 0 (Net.place_of_name net "q"))
+
+let test_parse_errors () =
+  let err src =
+    match Parser.parse_result src with
+    | Error m -> m
+    | Ok _ -> Alcotest.fail ("expected parse error for: " ^ src)
+  in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  Alcotest.(check bool) "missing net" true (contains (err "place p") "'net'");
+  Alcotest.(check bool) "unknown place" true
+    (contains (err "net x\ntrans t { in nowhere }") "unknown place");
+  Alcotest.(check bool) "bad field" true
+    (contains (err "net x\nplace p\ntrans t { speed 3 }") "transition field");
+  Alcotest.(check bool) "location reported" true (contains (err "net x\n&") "line 2");
+  Alcotest.(check bool) "duplicate place" true
+    (contains (err "net x\nplace p\nplace p") "duplicate")
+
+let test_print_roundtrip_stopwait () =
+  let tpn = SW.concrete SW.paper_params in
+  let printed = Printer.to_string tpn in
+  let reparsed = Parser.parse_string printed in
+  let g1 = CG.build tpn and g2 = CG.build reparsed in
+  Alcotest.(check int) "same TRG size" (CG.Graph.num_states g1) (CG.Graph.num_states g2);
+  let r1 = M.Concrete.analyze g1 and r2 = M.Concrete.analyze g2 in
+  Alcotest.(check bool) "same throughput" true
+    (Q.equal (M.Concrete.throughput r1 g1 "t7") (M.Concrete.throughput r2 g2 "t7"))
+
+let test_print_roundtrip_symbolic () =
+  let tpn = SW.symbolic () in
+  let printed = Printer.to_string tpn in
+  let reparsed = Parser.parse_string printed in
+  let g1 = SG.build tpn and g2 = SG.build reparsed in
+  Alcotest.(check int) "same symbolic TRG size" (SG.Graph.num_states g1) (SG.Graph.num_states g2);
+  (* throughput expressions must be identical rational functions *)
+  let r1 = M.Symbolic.analyze g1 and r2 = M.Symbolic.analyze g2 in
+  let t1 = M.Symbolic.throughput r1 g1 "t7" and t2 = M.Symbolic.throughput r2 g2 "t7" in
+  Alcotest.(check bool) "same symbolic throughput" true (Tpan_symbolic.Ratfun.equal t1 t2)
+
+(* Round-trip property on randomly generated small nets. *)
+let gen_net_src =
+  QCheck2.Gen.(
+    let* n_places = int_range 2 5 in
+    let* n_trans = int_range 1 4 in
+    let* inits = list_size (return n_places) (int_range 0 2) in
+    let* conns =
+      list_size (return n_trans)
+        (pair (int_range 0 (n_places - 1)) (int_range 0 (n_places - 1)))
+    in
+    let* fires = list_size (return n_trans) (int_range 0 50) in
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf "net random\n";
+    List.iteri
+      (fun i init ->
+        if init > 0 then Buffer.add_string buf (Printf.sprintf "place p%d init %d\n" i init)
+        else Buffer.add_string buf (Printf.sprintf "place p%d\n" i))
+      inits;
+    List.iteri
+      (fun i ((src, dst), f) ->
+        Buffer.add_string buf
+          (Printf.sprintf "trans t%d { in p%d; out p%d; fire %d }\n" i src dst f))
+      (List.combine conns fires);
+    return (Buffer.contents buf))
+
+let prop_dsl_roundtrip =
+  QCheck2.Test.make ~name:"print . parse = id (structure)" ~count:100 gen_net_src
+    (fun src ->
+      match Parser.parse_result src with
+      | Error _ -> false
+      | Ok tpn ->
+        let printed = Printer.to_string tpn in
+        (match Parser.parse_result printed with
+         | Error _ -> false
+         | Ok tpn2 ->
+           let n1 = Tpn.net tpn and n2 = Tpn.net tpn2 in
+           Net.num_places n1 = Net.num_places n2
+           && Net.num_transitions n1 = Net.num_transitions n2
+           && List.for_all
+                (fun t ->
+                  Net.inputs n1 t = Net.inputs n2 t
+                  && Net.outputs n1 t = Net.outputs n2 t
+                  && Tpn.firing tpn t = Tpn.firing tpn2 t)
+                (Net.transitions n1)))
+
+let suite =
+  ( "dsl",
+    [
+      Alcotest.test_case "lexer basics" `Quick test_lexer_basics;
+      Alcotest.test_case "lexer positions" `Quick test_lexer_positions;
+      Alcotest.test_case "stopwait from DSL = builtin" `Quick test_parse_stopwait_equals_builtin;
+      Alcotest.test_case "symbolic specs and constraints" `Quick test_parse_symbolic_and_constraints;
+      Alcotest.test_case "fraction literals" `Quick test_fractions;
+      Alcotest.test_case "weighted bags" `Quick test_weighted_bags;
+      Alcotest.test_case "parse errors" `Quick test_parse_errors;
+      Alcotest.test_case "round-trip (concrete stopwait)" `Quick test_print_roundtrip_stopwait;
+      Alcotest.test_case "round-trip (symbolic stopwait)" `Quick test_print_roundtrip_symbolic;
+      QCheck_alcotest.to_alcotest prop_dsl_roundtrip;
+    ] )

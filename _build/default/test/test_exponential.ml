@@ -1,0 +1,189 @@
+(* Tests for the Markovian (exponential-delay) comparator. *)
+
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Tpn = Tpan_core.Tpn
+module CG = Tpan_core.Concrete
+module DG = Tpan_perf.Decision_graph
+module Exp = Tpan_perf.Exponential
+module M = Tpan_perf.Measures
+module PL = Tpan_protocols.Pipeline
+module TR = Tpan_protocols.Token_ring
+
+let qi = Q.of_int
+
+let test_single_loop () =
+  (* one transition looping with mean 4: CTMC with a single state, rate 1/4;
+     throughput = 1/4 *)
+  let b = Net.builder "loop" in
+  let p = Net.add_place b ~init:1 "p" in
+  let _ = Net.add_transition b ~name:"t" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1) ] in
+  let tpn = Tpn.make (Net.build b) [ ("t", Tpn.spec ~firing:(Tpn.Fixed (qi 4)) ()) ] in
+  let c = Exp.build tpn in
+  let pi = Exp.steady_state c in
+  Alcotest.(check int) "one state" 1 (Array.length pi);
+  Alcotest.(check bool) "pi = 1" true (Q.equal pi.(0) Q.one);
+  Alcotest.(check bool) "throughput 1/4" true
+    (Q.equal (Exp.throughput c ~steady:pi 0) (Q.of_ints 1 4))
+
+let test_two_state_chain () =
+  (* ping-pong with means 2 and 6: pi proportional to sojourn times
+     (pi_a = 2/8? careful: pi solves pi_a * (1/2) = pi_b * (1/6):
+     pi_a/pi_b = (1/6)/(1/2) = 1/3 -> pi_a = 1/4, pi_b = 3/4.
+     throughput(go) = pi_a * 1/2 = 1/8; same for back (cycle = 8). *)
+  let b = Net.builder "pingpong" in
+  let a = Net.add_place b ~init:1 "a" in
+  let c_ = Net.add_place b "c" in
+  let _ = Net.add_transition b ~name:"go" ~inputs:[ (a, 1) ] ~outputs:[ (c_, 1) ] in
+  let _ = Net.add_transition b ~name:"back" ~inputs:[ (c_, 1) ] ~outputs:[ (a, 1) ] in
+  let tpn =
+    Tpn.make (Net.build b)
+      [
+        ("go", Tpn.spec ~firing:(Tpn.Fixed (qi 2)) ());
+        ("back", Tpn.spec ~firing:(Tpn.Fixed (qi 6)) ());
+      ]
+  in
+  let c = Exp.build tpn in
+  let pi = Exp.steady_state c in
+  Alcotest.(check bool) "pi sums to 1" true
+    (Q.equal Q.one (Array.fold_left Q.add Q.zero pi));
+  let thr = Exp.throughput c ~steady:pi 0 in
+  Alcotest.(check bool) "throughput = 1/8 (cycle of means)" true (Q.equal thr (Q.of_ints 1 8));
+  (* for a sequential cycle, exponential and deterministic means agree *)
+  ()
+
+let test_race_probabilities () =
+  (* lose (freq 1) vs deliver (freq 3), equal means: deliver wins 3/4 of
+     races. Tokens re-injected to keep the chain recurrent. *)
+  let b = Net.builder "race" in
+  let p = Net.add_place b ~init:1 "p" in
+  let _ = Net.add_transition b ~name:"lose" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1) ] in
+  let _ = Net.add_transition b ~name:"deliver" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1) ] in
+  let tpn =
+    Tpn.make (Net.build b)
+      [
+        ("lose", Tpn.spec ~firing:(Tpn.Fixed (qi 10)) ~frequency:(Tpn.Freq Q.one) ());
+        ("deliver", Tpn.spec ~firing:(Tpn.Fixed (qi 10)) ~frequency:(Tpn.Freq (qi 3)) ());
+      ]
+  in
+  let c = Exp.build tpn in
+  let pi = Exp.steady_state c in
+  let tl = Exp.throughput c ~steady:pi 0 and td = Exp.throughput c ~steady:pi 1 in
+  Alcotest.(check bool) "3:1 branch ratio" true (Q.equal td (Q.mul (qi 3) tl));
+  (* normalized rates: combined race rate equals 1/mean *)
+  Alcotest.(check bool) "combined rate = 1/10" true
+    (Q.equal (Q.add tl td) (Q.of_ints 1 10))
+
+let test_sequential_ring_matches_deterministic () =
+  (* with tx = 0 the conflict pairs have equal means, so the Markovian
+     reading preserves both sojourn and branching: throughputs coincide *)
+  let p = { TR.default_params with TR.tx_time = Q.zero } in
+  let tpn = TR.concrete p in
+  let det_g = CG.build tpn in
+  let det = M.Concrete.analyze det_g in
+  let det_thr = M.Concrete.throughput det det_g (TR.use 0) in
+  let c = Exp.build tpn in
+  let pi = Exp.steady_state c in
+  let exp_thr = Exp.throughput c ~steady:pi (Net.trans_of_name (Tpn.net tpn) (TR.use 0)) in
+  Alcotest.(check bool)
+    (Format.asprintf "det %a = exp %a" Q.pp det_thr Q.pp exp_thr)
+    true (Q.equal det_thr exp_thr)
+
+let test_pipeline_exponential_penalty () =
+  (* in a pipeline, variability hurts: the Markovian reading must be
+     strictly slower than the deterministic pacing *)
+  let p = PL.default_params in
+  let tpn = PL.concrete p in
+  let det_thr = Q.inv (PL.bottleneck p) in
+  let c = Exp.build tpn in
+  let pi = Exp.steady_state c in
+  let t = Net.trans_of_name (Tpn.net tpn) PL.t_deliver in
+  let exp_thr = Exp.throughput c ~steady:pi t in
+  Alcotest.(check bool)
+    (Format.asprintf "exp %a < det %a" Q.pp exp_thr Q.pp det_thr)
+    true
+    (Q.compare exp_thr det_thr < 0);
+  (* but within a small constant factor *)
+  Alcotest.(check bool) "within 3x" true (Q.compare (Q.mul exp_thr (qi 3)) det_thr > 0)
+
+let test_zero_mean_rejected () =
+  let b = Net.builder "z" in
+  let p = Net.add_place b ~init:1 "p" in
+  let _ = Net.add_transition b ~name:"t" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1) ] in
+  let tpn = Tpn.make (Net.build b) [ ("t", Tpn.spec ()) ] in
+  try
+    ignore (Exp.build tpn);
+    Alcotest.fail "zero mean accepted"
+  with Tpn.Unsupported _ -> ()
+
+let test_mean_tokens () =
+  (* ping-pong means 2 and 6: token sits in place c 3/4 of the time *)
+  let b = Net.builder "pp2" in
+  let a = Net.add_place b ~init:1 "a" in
+  let c_ = Net.add_place b "c" in
+  let _ = Net.add_transition b ~name:"go" ~inputs:[ (a, 1) ] ~outputs:[ (c_, 1) ] in
+  let _ = Net.add_transition b ~name:"back" ~inputs:[ (c_, 1) ] ~outputs:[ (a, 1) ] in
+  let tpn =
+    Tpn.make (Net.build b)
+      [
+        ("go", Tpn.spec ~firing:(Tpn.Fixed (qi 2)) ());
+        ("back", Tpn.spec ~firing:(Tpn.Fixed (qi 6)) ());
+      ]
+  in
+  let c = Exp.build tpn in
+  let pi = Exp.steady_state c in
+  Alcotest.(check bool) "mean tokens in c = 3/4" true
+    (Q.equal (Exp.mean_tokens c ~steady:pi c_) (Q.of_ints 3 4))
+
+let test_erlang_convergence () =
+  (* Erlang-k stages shrink service variance: the Markovian pipeline
+     estimate must increase monotonically toward the deterministic value *)
+  (* a 3-hop line keeps the Erlang-3 chain small enough for the exact
+     steady-state solve to stay fast *)
+  let p = { PL.hop_delays = List.map qi [ 10; 25; 10 ]; inject_delay = qi 5 } in
+  let base = PL.concrete p in
+  let det = Q.inv (PL.bottleneck p) in
+  let thr k =
+    let tpn = Exp.erlang_expand ~stages:k base in
+    let c = Exp.build ~max_states:200_000 tpn in
+    let pi = Exp.steady_state c in
+    let name = PL.t_deliver ^ (if k = 1 then "" else "__" ^ string_of_int (k - 1)) in
+    Exp.throughput c ~steady:pi (Net.trans_of_name (Tpn.net tpn) name)
+  in
+  let t1 = thr 1 and t2 = thr 2 and t3 = thr 3 in
+  Alcotest.(check bool) "monotone in stages" true
+    (Q.compare t1 t2 < 0 && Q.compare t2 t3 < 0);
+  Alcotest.(check bool) "still below deterministic" true (Q.compare t3 det < 0);
+  Alcotest.(check bool) "closing most of the gap" true
+    (Q.to_float t3 /. Q.to_float det > 0.8)
+
+let test_erlang_expand_structure () =
+  let base = PL.concrete PL.default_params in
+  let e3 = Exp.erlang_expand ~stages:3 base in
+  let n0 = Tpn.net base and n3 = Tpn.net e3 in
+  (* every expandable transition becomes 3, with 2 buffer places *)
+  Alcotest.(check int) "transitions tripled" (3 * Net.num_transitions n0) (Net.num_transitions n3);
+  Alcotest.(check int) "buffers added" (Net.num_places n0 + (2 * Net.num_transitions n0))
+    (Net.num_places n3);
+  (* stage means sum to the original mean *)
+  let t = Net.trans_of_name n3 PL.t_deliver in
+  Alcotest.(check bool) "stage mean = total/3" true
+    (Q.equal (Tpn.firing_q e3 t) (Q.div (Q.of_int 15) (Q.of_int 3)));
+  (* stages=1 is the identity on delays *)
+  let e1 = Exp.erlang_expand ~stages:1 base in
+  Alcotest.(check int) "one stage keeps the structure" (Net.num_transitions n0)
+    (Net.num_transitions (Tpn.net e1))
+
+let suite =
+  ( "exponential",
+    [
+      Alcotest.test_case "single loop" `Quick test_single_loop;
+      Alcotest.test_case "two-state chain" `Quick test_two_state_chain;
+      Alcotest.test_case "race probabilities follow frequencies" `Quick test_race_probabilities;
+      Alcotest.test_case "sequential ring: exp = det" `Quick test_sequential_ring_matches_deterministic;
+      Alcotest.test_case "pipeline: exponential penalty" `Quick test_pipeline_exponential_penalty;
+      Alcotest.test_case "zero mean rejected" `Quick test_zero_mean_rejected;
+      Alcotest.test_case "mean tokens" `Quick test_mean_tokens;
+      Alcotest.test_case "erlang stages converge to deterministic" `Slow test_erlang_convergence;
+      Alcotest.test_case "erlang expansion structure" `Quick test_erlang_expand_structure;
+    ] )

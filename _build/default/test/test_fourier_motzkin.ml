@@ -1,0 +1,171 @@
+(* Tests for the Fourier-Motzkin decision procedure, including the paper's
+   timing-constraint set for the stop-and-wait protocol (section 4). *)
+
+module Q = Tpan_mathkit.Q
+module FM = Tpan_mathkit.Fourier_motzkin
+module L = FM.Linform
+
+(* Variable ids used throughout: 0:E3 1:F1 2:F2 3:F3 4:F4 5:F5 6:F6 7:F7 8:F8 9:F9 *)
+let e3 = L.var 0
+let f4 = L.var 4
+let f5 = L.var 5
+let f6 = L.var 6
+let f8 = L.var 8
+let f9 = L.var 9
+
+let qi = Q.of_int
+
+let nonneg vars = List.map (fun v -> FM.ge (L.var v) L.zero) vars
+
+(* The paper's constraints (1), (3), (4) over non-negative times:
+   E(t3) > F(t5)+F(t6)+F(t8);  F(t4)=F(t5);  F(t9)=F(t8). *)
+let paper_constraints =
+  FM.gt e3 (L.add f5 (L.add f6 f8))
+  :: FM.eq f4 f5
+  :: FM.eq f9 f8
+  :: nonneg [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ]
+
+let test_feasible_basic () =
+  Alcotest.(check bool) "empty system" true (FM.feasible []);
+  Alcotest.(check bool) "x >= 1 feasible" true (FM.feasible [ FM.ge (L.var 0) (L.const Q.one) ]);
+  Alcotest.(check bool) "x >= 1 and x <= 0 infeasible" false
+    (FM.feasible [ FM.ge (L.var 0) (L.const Q.one); FM.ge (L.const Q.zero) (L.var 0) ]);
+  Alcotest.(check bool) "x > 0 and x <= 0 infeasible" false
+    (FM.feasible [ FM.gt (L.var 0) L.zero; FM.ge L.zero (L.var 0) ]);
+  Alcotest.(check bool) "x >= 0 and x <= 0 feasible (x = 0)" true
+    (FM.feasible [ FM.ge (L.var 0) L.zero; FM.ge L.zero (L.var 0) ]);
+  Alcotest.(check bool) "strict ring x > y > x infeasible" false
+    (FM.feasible [ FM.gt (L.var 0) (L.var 1); FM.gt (L.var 1) (L.var 0) ])
+
+let test_feasible_multivar () =
+  (* x + y >= 4, x <= 1, y <= 2 : infeasible *)
+  Alcotest.(check bool) "triangle infeasible" false
+    (FM.feasible
+       [
+         FM.ge (L.add (L.var 0) (L.var 1)) (L.const (qi 4));
+         FM.ge (L.const (qi 1)) (L.var 0);
+         FM.ge (L.const (qi 2)) (L.var 1);
+       ]);
+  (* x + y >= 3, x <= 1, y <= 2 : tight but feasible *)
+  Alcotest.(check bool) "triangle tight feasible" true
+    (FM.feasible
+       [
+         FM.ge (L.add (L.var 0) (L.var 1)) (L.const (qi 3));
+         FM.ge (L.const (qi 1)) (L.var 0);
+         FM.ge (L.const (qi 2)) (L.var 1);
+       ])
+
+let test_equalities () =
+  (* x = 2y, y = 3 => x = 6 entailed *)
+  let cs = [ FM.eq (L.var 0) (L.scale (qi 2) (L.var 1)); FM.eq (L.var 1) (L.const (qi 3)) ] in
+  Alcotest.(check bool) "x = 6 entailed" true (FM.entails cs (FM.eq (L.var 0) (L.const (qi 6))));
+  Alcotest.(check bool) "x = 7 not entailed" false (FM.entails cs (FM.eq (L.var 0) (L.const (qi 7))))
+
+let test_entails () =
+  let cs = [ FM.gt (L.var 0) (L.var 1); FM.ge (L.var 1) (L.const (qi 5)) ] in
+  Alcotest.(check bool) "x > 5 entailed" true (FM.entails cs (FM.gt (L.var 0) (L.const (qi 5))));
+  Alcotest.(check bool) "x >= 5 entailed" true (FM.entails cs (FM.ge (L.var 0) (L.const (qi 5))));
+  Alcotest.(check bool) "x > 6 not entailed" false (FM.entails cs (FM.gt (L.var 0) (L.const (qi 6))));
+  Alcotest.(check bool) "vacuous: infeasible premises entail anything" true
+    (FM.entails
+       [ FM.gt (L.var 0) (L.var 0) ]
+       (FM.eq (L.var 1) (L.const (qi 42))))
+
+let cmp = Alcotest.of_pp (fun fmt (c : FM.comparison) ->
+    Format.pp_print_string fmt
+      (match c with
+       | FM.Always_lt -> "Always_lt"
+       | FM.Always_eq -> "Always_eq"
+       | FM.Always_gt -> "Always_gt"
+       | FM.Unknown -> "Unknown"))
+
+let test_compare_forms () =
+  let cs = paper_constraints in
+  (* Constraint 1 resolves state 4: F(t5) < E(t3). *)
+  Alcotest.check cmp "F5 vs E3" FM.Always_lt (FM.compare_forms cs f5 e3);
+  (* State 10: E3 - F5 vs F6: from constraint 1, F6 < E3 - F5 - F8 <= E3 - F5. *)
+  Alcotest.check cmp "F6 vs E3-F5" FM.Always_lt (FM.compare_forms cs f6 (L.sub e3 f5));
+  (* State 12/13: F9 = F8 < E3 - F5 - F6. *)
+  Alcotest.check cmp "F9 vs E3-F5-F6" FM.Always_lt
+    (FM.compare_forms cs f9 (L.sub e3 (L.add f5 f6)));
+  (* Constraint 3 as an equality. *)
+  Alcotest.check cmp "F4 = F5" FM.Always_eq (FM.compare_forms cs f4 f5);
+  (* With no constraint relating F1 and F2, order is unknown. *)
+  Alcotest.check cmp "F1 vs F2 unknown" FM.Unknown (FM.compare_forms cs (L.var 1) (L.var 2));
+  Alcotest.check cmp "gt direction" FM.Always_gt (FM.compare_forms cs e3 f5)
+
+let test_linform_ops () =
+  let a = L.of_list [ (0, qi 2); (1, qi (-1)) ] (qi 3) in
+  let b = L.of_list [ (0, qi (-2)); (1, qi 1) ] (qi (-3)) in
+  Alcotest.(check bool) "a + (-a) = 0" true (L.equal L.zero (L.add a b));
+  Alcotest.(check bool) "is_const" true (L.is_const (L.sub a a));
+  Alcotest.(check (list int)) "vars" [ 0; 1 ] (L.vars a);
+  let env v = if v = 0 then qi 5 else qi 7 in
+  Alcotest.(check bool) "eval" true (Q.equal (qi 6) (L.eval env a));
+  (* zero coefficients are dropped *)
+  Alcotest.(check (list int)) "cancelled var" [ 1 ]
+    (L.vars (L.of_list [ (0, qi 1); (0, qi (-1)); (1, qi 2) ] Q.zero))
+
+let test_pp () =
+  let name v = [| "E3"; "F1"; "F2" |].(v) in
+  let s l = Format.asprintf "%a" (L.pp ~name) l in
+  Alcotest.(check string) "simple" "E3 - F1 + 3" (s (L.of_list [ (0, qi 1); (1, qi (-1)) ] (qi 3)));
+  Alcotest.(check string) "coeff" "2*F2" (s (L.scale (qi 2) (L.var 2)));
+  Alcotest.(check string) "const only" "5/2" (s (L.const (Q.of_ints 5 2)))
+
+(* Property: entailment agrees with random-model evaluation (soundness
+   check: if entailed, every sampled model of cs satisfies c). *)
+let gen_small_form =
+  QCheck2.Gen.(
+    let* c0 = int_range (-3) 3 in
+    let* c1 = int_range (-3) 3 in
+    let* k = int_range (-5) 5 in
+    return (L.of_list [ (0, qi c0); (1, qi c1) ] (qi k)))
+
+let prop_entailment_sound =
+  QCheck2.Test.make ~name:"entailment sound under sampled models" ~count:200
+    QCheck2.Gen.(triple gen_small_form gen_small_form gen_small_form)
+    (fun (a, b, c) ->
+      let cs = [ FM.ge a L.zero; FM.ge b L.zero ] in
+      let goal = FM.ge c L.zero in
+      if not (FM.entails cs goal) then true
+      else begin
+        (* scan a small grid of models *)
+        let ok = ref true in
+        for x = -4 to 4 do
+          for y = -4 to 4 do
+            let env v = if v = 0 then qi x else qi y in
+            if FM.satisfies env (List.nth cs 0) && FM.satisfies env (List.nth cs 1) then
+              if not (FM.satisfies env goal) then ok := false
+          done
+        done;
+        !ok
+      end)
+
+let prop_feasible_complete_on_models =
+  QCheck2.Test.make ~name:"a system with a grid model is feasible" ~count:200
+    QCheck2.Gen.(pair gen_small_form gen_small_form)
+    (fun (a, b) ->
+      let cs = [ FM.ge a L.zero; FM.gt b L.zero ] in
+      let has_model = ref false in
+      for x = -4 to 4 do
+        for y = -4 to 4 do
+          let env v = if v = 0 then qi x else qi y in
+          if List.for_all (FM.satisfies env) cs then has_model := true
+        done
+      done;
+      (not !has_model) || FM.feasible cs)
+
+let suite =
+  ( "fourier_motzkin",
+    [
+      Alcotest.test_case "feasibility basics" `Quick test_feasible_basic;
+      Alcotest.test_case "multivariate feasibility" `Quick test_feasible_multivar;
+      Alcotest.test_case "equalities" `Quick test_equalities;
+      Alcotest.test_case "entailment" `Quick test_entails;
+      Alcotest.test_case "compare_forms on paper constraints" `Quick test_compare_forms;
+      Alcotest.test_case "linform operations" `Quick test_linform_ops;
+      Alcotest.test_case "pretty printing" `Quick test_pp;
+      QCheck_alcotest.to_alcotest prop_entailment_sound;
+      QCheck_alcotest.to_alcotest prop_feasible_complete_on_models;
+    ] )

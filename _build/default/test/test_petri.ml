@@ -1,0 +1,259 @@
+(* Tests for the untimed Petri net substrate: structure, firing,
+   reachability, coverability, invariants, DOT export. *)
+
+module Net = Tpan_petri.Net
+module Marking = Tpan_petri.Marking
+module Reach = Tpan_petri.Reachability
+module Cover = Tpan_petri.Coverability
+module Inv = Tpan_petri.Invariants
+module Dot = Tpan_petri.Dot
+
+(* A tiny producer/consumer net: producer puts tokens into a buffer of
+   capacity 2 (modelled with a complementary place), consumer drains it. *)
+let producer_consumer () =
+  let b = Net.builder "prodcons" in
+  let idle_p = Net.add_place b ~init:1 "producer_idle" in
+  let buffer = Net.add_place b "buffer" in
+  let slots = Net.add_place b ~init:2 "free_slots" in
+  let idle_c = Net.add_place b ~init:1 "consumer_idle" in
+  let produce =
+    Net.add_transition b ~name:"produce" ~inputs:[ (idle_p, 1); (slots, 1) ]
+      ~outputs:[ (idle_p, 1); (buffer, 1) ]
+  in
+  let consume =
+    Net.add_transition b ~name:"consume" ~inputs:[ (idle_c, 1); (buffer, 1) ]
+      ~outputs:[ (idle_c, 1); (slots, 1) ]
+  in
+  (Net.build b, buffer, slots, produce, consume)
+
+(* Unbounded: a source transition with no inputs. *)
+let source_net () =
+  let b = Net.builder "source" in
+  let p = Net.add_place b "sink" in
+  let _ = Net.add_transition b ~name:"emit" ~inputs:[] ~outputs:[ (p, 1) ] in
+  Net.build b
+
+(* A net that deadlocks after two firings. *)
+let dead_net () =
+  let b = Net.builder "dead" in
+  let a = Net.add_place b ~init:1 "a" in
+  let c = Net.add_place b "c" in
+  let _ = Net.add_transition b ~name:"t1" ~inputs:[ (a, 1) ] ~outputs:[ (c, 1) ] in
+  let _ = Net.add_transition b ~name:"t2" ~inputs:[ (c, 1) ] ~outputs:[] in
+  Net.build b
+
+let test_builder_validation () =
+  let b = Net.builder "bad" in
+  let p = Net.add_place b ~init:1 "p" in
+  Alcotest.check_raises "duplicate place" (Invalid_argument "Net.add_place: duplicate place \"p\"")
+    (fun () -> ignore (Net.add_place b "p"));
+  Alcotest.check_raises "negative init" (Invalid_argument "Net.add_place: negative initial marking")
+    (fun () -> ignore (Net.add_place b ~init:(-1) "q"));
+  let _ = Net.add_transition b ~name:"t" ~inputs:[ (p, 1) ] ~outputs:[] in
+  Alcotest.check_raises "duplicate transition"
+    (Invalid_argument "Net.add_transition: duplicate transition \"t\"") (fun () ->
+      ignore (Net.add_transition b ~name:"t" ~inputs:[] ~outputs:[]));
+  Alcotest.check_raises "zero weight"
+    (Invalid_argument "Net.add_transition: non-positive multiplicity in inputs") (fun () ->
+      ignore (Net.add_transition b ~name:"t2" ~inputs:[ (p, 0) ] ~outputs:[]))
+
+let test_structure () =
+  let net, buffer, slots, produce, consume = producer_consumer () in
+  Alcotest.(check int) "places" 4 (Net.num_places net);
+  Alcotest.(check int) "transitions" 2 (Net.num_transitions net);
+  Alcotest.(check string) "trans name" "produce" (Net.trans_name net produce);
+  Alcotest.(check int) "lookup" buffer (Net.place_of_name net "buffer");
+  Alcotest.(check (list int)) "consumers of buffer" [ consume ] (Net.consumers net buffer);
+  Alcotest.(check (list int)) "producers of buffer" [ produce ] (Net.producers net buffer);
+  Alcotest.(check int) "input weight" 1 (Net.input_weight net produce slots);
+  Alcotest.(check int) "absent weight" 0 (Net.input_weight net produce buffer);
+  let c = Net.incidence net in
+  Alcotest.(check int) "incidence produce/buffer" 1 c.(buffer).(produce);
+  Alcotest.(check int) "incidence produce/slots" (-1) c.(slots).(produce);
+  Alcotest.(check bool) "self conflict" true (Net.structurally_conflicting net produce produce);
+  Alcotest.(check bool) "no shared input" false (Net.structurally_conflicting net produce consume)
+
+let test_bag_merge () =
+  let b = Net.builder "merge" in
+  let p = Net.add_place b ~init:3 "p" in
+  let t = Net.add_transition b ~name:"t" ~inputs:[ (p, 1); (p, 1) ] ~outputs:[ (p, 3) ] in
+  let net = Net.build b in
+  Alcotest.(check int) "merged weight" 2 (Net.input_weight net t p)
+
+let test_firing () =
+  let net, buffer, slots, produce, consume = producer_consumer () in
+  let m0 = Marking.of_net net in
+  Alcotest.(check bool) "produce enabled" true (Marking.enabled net m0 produce);
+  Alcotest.(check bool) "consume disabled" false (Marking.enabled net m0 consume);
+  let m1 = Marking.fire net m0 produce in
+  Alcotest.(check int) "buffer filled" 1 (Marking.tokens m1 buffer);
+  Alcotest.(check int) "slot used" 1 (Marking.tokens m1 slots);
+  let m2 = Marking.fire net m1 produce in
+  Alcotest.(check bool) "produce now disabled" false (Marking.enabled net m2 produce);
+  Alcotest.check_raises "consume guard"
+    (Invalid_argument "Marking.consume: consume not enabled") (fun () ->
+      ignore (Marking.consume net m0 consume));
+  (* consume/produce split used by timed semantics *)
+  let m1' = Marking.consume net m0 produce in
+  Alcotest.(check int) "tokens absorbed" 2 (Marking.total m0 - Marking.total m1');
+  let m1'' = Marking.produce net m1' produce in
+  Alcotest.(check bool) "consume+produce = fire" true (Marking.equal m1 m1'')
+
+let test_reachability () =
+  let net, buffer, _, _, _ = producer_consumer () in
+  let g = Reach.explore net in
+  (* buffer can hold 0,1,2 tokens: exactly 3 states *)
+  Alcotest.(check int) "states" 3 (Reach.num_states g);
+  Alcotest.(check int) "edges" 4 (Reach.num_edges g);
+  Alcotest.(check bool) "deadlock free" true (Reach.is_deadlock_free g);
+  Alcotest.(check int) "buffer bound" 2 (Reach.place_bound g buffer);
+  Alcotest.(check bool) "not safe (buffer holds 2)" false (Reach.is_safe g);
+  Alcotest.(check int) "all transitions live" 2 (List.length (Reach.live_transitions g))
+
+let test_reachability_deadlock () =
+  let net = dead_net () in
+  let g = Reach.explore net in
+  Alcotest.(check int) "states" 3 (Reach.num_states g);
+  Alcotest.(check bool) "has deadlock" false (Reach.is_deadlock_free g);
+  Alcotest.(check (list int)) "dead state is the empty one" [ 2 ] (Reach.deadlocks g)
+
+let test_state_limit () =
+  let net = source_net () in
+  Alcotest.check_raises "limit" (Reach.State_limit 50) (fun () ->
+      ignore (Reach.explore ~max_states:50 net))
+
+let test_path_to () =
+  let net, buffer, _, _, _ = producer_consumer () in
+  let g = Reach.explore net in
+  (match Reach.path_to g (fun m -> Marking.tokens m buffer = 2) with
+   | Some path -> Alcotest.(check int) "two produces" 2 (List.length path)
+   | None -> Alcotest.fail "expected a path");
+  Alcotest.(check bool) "unreachable predicate" true
+    (Reach.path_to g (fun m -> Marking.tokens m buffer = 5) = None)
+
+let test_coverability_bounded () =
+  let net, buffer, _, _, _ = producer_consumer () in
+  let tree = Cover.build net in
+  Alcotest.(check bool) "bounded" true (Cover.is_bounded tree);
+  Alcotest.(check (option int)) "buffer bound" (Some 2) (Cover.place_bound tree buffer);
+  Alcotest.(check (list int)) "no unbounded places" [] (Cover.unbounded_places tree)
+
+let test_coverability_unbounded () =
+  let net = source_net () in
+  let tree = Cover.build net in
+  Alcotest.(check bool) "unbounded" false (Cover.is_bounded tree);
+  Alcotest.(check (option int)) "sink unbounded" None (Cover.place_bound tree 0);
+  Alcotest.(check bool) "coverable 100" true (Cover.coverable tree [| 100 |])
+
+let test_p_invariants () =
+  let net, buffer, slots, _, _ = producer_consumer () in
+  let invs = Inv.p_invariants net in
+  Alcotest.(check bool) "found some" true (invs <> []);
+  List.iter
+    (fun y -> Alcotest.(check bool) "verifies" true (Inv.is_p_invariant net y))
+    invs;
+  (* buffer + free_slots is conserved (= 2) *)
+  let v = Array.make (Net.num_places net) 0 in
+  v.(buffer) <- 1;
+  v.(slots) <- 1;
+  Alcotest.(check bool) "buffer+slots invariant" true (Inv.is_p_invariant net v);
+  Alcotest.(check int) "conserved value" 2 (Inv.invariant_value v (Net.initial_marking net));
+  Alcotest.(check bool) "conservative" true (Inv.is_conservative net)
+
+let test_t_invariants () =
+  let net, _, _, produce, consume = producer_consumer () in
+  let invs = Inv.t_invariants net in
+  List.iter (fun x -> Alcotest.(check bool) "verifies" true (Inv.is_t_invariant net x)) invs;
+  (* one produce + one consume returns to the initial marking *)
+  let x = Array.make 2 0 in
+  x.(produce) <- 1;
+  x.(consume) <- 1;
+  Alcotest.(check bool) "produce+consume cycle" true (Inv.is_t_invariant net x);
+  Alcotest.(check bool) "source net not conservative" false (Inv.is_conservative (source_net ()))
+
+let test_dot () =
+  let net, _, _, _, _ = producer_consumer () in
+  let dot = Dot.net_to_dot net in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  Alcotest.(check bool) "digraph" true (contains dot "digraph");
+  Alcotest.(check bool) "mentions produce" true (contains dot "produce");
+  let g = Reach.explore net in
+  let rdot = Dot.reachability_to_dot g in
+  Alcotest.(check bool) "reach dot has states" true (contains rdot "s0")
+
+(* Properties *)
+
+let gen_chain_net =
+  (* Random "pipeline" nets: k places in a row, transitions moving a token
+     forward; always bounded, token count conserved. *)
+  QCheck2.Gen.(
+    let* k = int_range 2 6 in
+    let* init = int_range 1 3 in
+    return (k, init))
+
+let build_chain (k, init) =
+  let b = Net.builder "chain" in
+  let places = List.init k (fun i -> Net.add_place b ~init:(if i = 0 then init else 0) (Printf.sprintf "p%d" i)) in
+  let arr = Array.of_list places in
+  for i = 0 to k - 2 do
+    ignore (Net.add_transition b ~name:(Printf.sprintf "t%d" i) ~inputs:[ (arr.(i), 1) ] ~outputs:[ (arr.(i + 1), 1) ])
+  done;
+  Net.build b
+
+let prop_chain_conserves_tokens =
+  QCheck2.Test.make ~name:"chain nets conserve total tokens" ~count:50 gen_chain_net
+    (fun spec ->
+      let net = build_chain spec in
+      let g = Reach.explore net in
+      let total0 = Marking.total g.Reach.states.(0) in
+      Array.for_all (fun m -> Marking.total m = total0) g.Reach.states)
+
+let prop_chain_invariant_conserved =
+  QCheck2.Test.make ~name:"p-invariants constant across reachable markings" ~count:50
+    gen_chain_net
+    (fun spec ->
+      let net = build_chain spec in
+      let g = Reach.explore net in
+      let invs = Inv.p_invariants net in
+      List.for_all
+        (fun y ->
+          let v0 = Inv.invariant_value y g.Reach.states.(0) in
+          Array.for_all (fun m -> Inv.invariant_value y m = v0) g.Reach.states)
+        invs)
+
+let prop_coverability_agrees_when_bounded =
+  QCheck2.Test.make ~name:"coverability bound = reachability bound on bounded nets" ~count:50
+    gen_chain_net
+    (fun spec ->
+      let net = build_chain spec in
+      let g = Reach.explore net in
+      let tree = Cover.build net in
+      Cover.is_bounded tree
+      && List.for_all
+           (fun p -> Cover.place_bound tree p = Some (Reach.place_bound g p))
+           (Net.places net))
+
+let suite =
+  ( "petri",
+    [
+      Alcotest.test_case "builder validation" `Quick test_builder_validation;
+      Alcotest.test_case "structure accessors" `Quick test_structure;
+      Alcotest.test_case "bag merging" `Quick test_bag_merge;
+      Alcotest.test_case "firing rules" `Quick test_firing;
+      Alcotest.test_case "reachability" `Quick test_reachability;
+      Alcotest.test_case "deadlock detection" `Quick test_reachability_deadlock;
+      Alcotest.test_case "state limit" `Quick test_state_limit;
+      Alcotest.test_case "shortest path" `Quick test_path_to;
+      Alcotest.test_case "coverability (bounded)" `Quick test_coverability_bounded;
+      Alcotest.test_case "coverability (unbounded)" `Quick test_coverability_unbounded;
+      Alcotest.test_case "P-invariants" `Quick test_p_invariants;
+      Alcotest.test_case "T-invariants" `Quick test_t_invariants;
+      Alcotest.test_case "DOT export" `Quick test_dot;
+      QCheck_alcotest.to_alcotest prop_chain_conserves_tokens;
+      QCheck_alcotest.to_alcotest prop_chain_invariant_conserved;
+      QCheck_alcotest.to_alcotest prop_coverability_agrees_when_bounded;
+    ] )

@@ -1,0 +1,88 @@
+(* Tests for ranged firing times (the paper's proposed extension):
+   TPN + ranges analyzed through the Time-PN state-class engine. *)
+
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Tpn = Tpan_core.Tpn
+module R = Tpan_core.Ranged
+module TP = Tpan_core.Time_pn
+module CG = Tpan_core.Concrete
+module Sem = Tpan_core.Semantics
+module SW = Tpan_protocols.Stopwait
+
+let qi = Q.of_int
+
+let widen_transit lo hi =
+  [ ("t4", (qi lo, qi hi)); ("t5", (qi lo, qi hi)); ("t8", (qi lo, qi hi)); ("t9", (qi lo, qi hi)) ]
+
+let test_point_ranges_match_base_model () =
+  (* with degenerate ranges the reachable markings equal the base TPN's *)
+  let base = SW.concrete SW.paper_params in
+  let g = R.of_tpn base in
+  let ranged = R.reachable_markings g in
+  let cg = CG.build base in
+  let tpn_markings =
+    Array.to_list cg.Sem.states |> List.map (fun st -> st.Sem.marking) |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "same count" (List.length tpn_markings) (List.length ranged);
+  Alcotest.(check bool) "same sets" true (List.for_all (fun m -> List.mem m ranged) tpn_markings)
+
+let test_safe_under_generous_timeout () =
+  (* transit anywhere in [100,115]: worst-case round trip 115+13.5+115 =
+     243.5 < 1000, so the ranged protocol stays safe with the same
+     markings *)
+  let base = SW.concrete SW.paper_params in
+  let g = R.of_tpn ~widen:(widen_transit 100 115) base in
+  Alcotest.(check bool) "safe" true (R.safe g);
+  Alcotest.(check int) "still 9 markings" 9 (List.length (R.reachable_markings g))
+
+let test_unsafe_under_tight_timeout () =
+  (* timeout 220 < worst-case round trip 243.5: a slow packet can still be
+     in flight when the retransmission happens -> second token in the
+     medium -> the safeness assumption breaks (multiple enabledness) *)
+  let base = SW.concrete { SW.paper_params with SW.timeout = qi 220 } in
+  let g = R.of_tpn ~widen:(widen_transit 100 115) base in
+  Alcotest.(check bool) "not safe" false (R.safe g)
+
+let test_boundary_timeout () =
+  (* fast path round trip with ranges [100,115] on transit and 13.5
+     processing: min RTT = 213.5; a timeout of 230 sits inside
+     [213.5, 243.5], so SOME durations race the timeout: must be unsafe;
+     a timeout of 244 exceeds the max: safe *)
+  let mk timeout = R.of_tpn ~widen:(widen_transit 100 115)
+      (SW.concrete { SW.paper_params with SW.timeout = qi timeout })
+  in
+  Alcotest.(check bool) "244 safe" true (R.safe (mk 244));
+  Alcotest.(check bool) "230 unsafe" false (R.safe (mk 230))
+
+let test_spec_validation () =
+  Alcotest.check_raises "max < min" (Invalid_argument "Ranged.spec: firing max < min")
+    (fun () -> ignore (R.spec ~firing:(qi 5, qi 2) ()));
+  Alcotest.check_raises "negative" (Invalid_argument "Ranged.spec: negative time") (fun () ->
+      ignore (R.spec ~enabling:(qi (-1)) ()));
+  let base = SW.concrete SW.paper_params in
+  Alcotest.check_raises "bad widen" (Invalid_argument "Ranged.of_tpn: bad widening interval")
+    (fun () -> ignore (R.of_tpn ~widen:[ ("t5", (qi 10, qi 5)) ] base))
+
+let test_translation_structure () =
+  let base = SW.concrete SW.paper_params in
+  let g = R.of_tpn ~widen:[ ("t5", (qi 100, qi 115)) ] base in
+  let timed = R.to_time_pn g in
+  let tnet = TP.net timed in
+  let iv = TP.interval_of timed (Net.trans_of_name tnet "t5__emit") in
+  Alcotest.(check bool) "emit interval is the range" true
+    (Q.equal iv.TP.min (qi 100) && iv.TP.max = Some (qi 115));
+  let iv3 = TP.interval_of timed (Net.trans_of_name tnet "t3__absorb") in
+  Alcotest.(check bool) "timeout absorb stays exact" true
+    (Q.equal iv3.TP.min (qi 1000) && iv3.TP.max = Some (qi 1000))
+
+let suite =
+  ( "ranged",
+    [
+      Alcotest.test_case "point ranges = base model" `Quick test_point_ranges_match_base_model;
+      Alcotest.test_case "safe under generous timeout" `Quick test_safe_under_generous_timeout;
+      Alcotest.test_case "unsafe under tight timeout" `Quick test_unsafe_under_tight_timeout;
+      Alcotest.test_case "boundary timeouts" `Quick test_boundary_timeout;
+      Alcotest.test_case "spec validation" `Quick test_spec_validation;
+      Alcotest.test_case "translation structure" `Quick test_translation_structure;
+    ] )

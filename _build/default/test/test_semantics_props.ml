@@ -1,0 +1,233 @@
+(* Property-based tests of the Figure-3 semantics itself.
+
+   The centrepiece: random series-parallel (fork/join) workflows, where the
+   timed reachability graph is deterministic and must terminate after
+   exactly the critical-path time — exercising the minimum computation over
+   many concurrently firing transitions, including exact ties. *)
+
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Tpn = Tpan_core.Tpn
+module Sem = Tpan_core.Semantics
+module CG = Tpan_core.Concrete
+module SG = Tpan_core.Symbolic
+module TR = Tpan_protocols.Token_ring
+
+type block = Leaf of int | Seq of block * block | Par of block * block
+
+let gen_block =
+  QCheck2.Gen.(
+    sized @@ fix (fun self n ->
+        if n <= 1 then map (fun d -> Leaf d) (int_range 0 20)
+        else
+          oneof
+            [
+              map (fun d -> Leaf d) (int_range 0 20);
+              map2 (fun a b -> Seq (a, b)) (self (n / 2)) (self (n / 2));
+              map2 (fun a b -> Par (a, b)) (self (n / 2)) (self (n / 2));
+            ]))
+
+(* smaller blocks for the expensive DBM-based property *)
+let gen_small_block =
+  QCheck2.Gen.(
+    sized_size (int_bound 5)
+    @@ fix (fun self n ->
+           if n <= 1 then map (fun d -> Leaf d) (int_range 0 9)
+           else
+             oneof
+               [
+                 map (fun d -> Leaf d) (int_range 0 9);
+                 map2 (fun a b -> Seq (a, b)) (self (n / 2)) (self (n / 2));
+                 map2 (fun a b -> Par (a, b)) (self (n / 2)) (self (n / 2));
+               ]))
+
+let rec critical_path = function
+  | Leaf d -> d
+  | Seq (a, b) -> critical_path a + critical_path b
+  | Par (a, b) -> max (critical_path a) (critical_path b)
+
+(* Compile a block to a net fragment between two places. [sync_delay]
+   times the fork/join transitions (0 = instantaneous, the default). *)
+let build_net ?(sync_delay = 0) block =
+  let b = Net.builder "forkjoin" in
+  let start = Net.add_place b ~init:1 "start" in
+  let fresh =
+    let n = ref 0 in
+    fun prefix ->
+      incr n;
+      Printf.sprintf "%s%d" prefix !n
+  in
+  let specs = ref [] in
+  let add_trans name inputs outputs delay =
+    ignore (Net.add_transition b ~name ~inputs ~outputs);
+    specs := (name, Tpn.spec ~firing:(Tpn.Fixed (Q.of_int delay)) ()) :: !specs
+  in
+  let rec compile blk inp out =
+    match blk with
+    | Leaf d -> add_trans (fresh "work") [ (inp, 1) ] [ (out, 1) ] d
+    | Seq (x, y) ->
+      let mid = Net.add_place b (fresh "mid") in
+      compile x inp mid;
+      compile y mid out
+    | Par (x, y) ->
+      let ix = Net.add_place b (fresh "ix") in
+      let iy = Net.add_place b (fresh "iy") in
+      let ox = Net.add_place b (fresh "ox") in
+      let oy = Net.add_place b (fresh "oy") in
+      add_trans (fresh "fork") [ (inp, 1) ] [ (ix, 1); (iy, 1) ] sync_delay;
+      compile x ix ox;
+      compile y iy oy;
+      add_trans (fresh "join") [ (ox, 1); (oy, 1) ] [ (out, 1) ] sync_delay
+  in
+  let stop = Net.add_place b "stop" in
+  compile block start stop;
+  let net = Net.build b in
+  (Tpn.make net !specs, Net.place_of_name net "stop")
+
+(* Total elapsed time from the initial state to the terminal state of a
+   deterministic graph. *)
+let makespan (g : CG.Graph.graph) =
+  let rec walk i acc =
+    match g.Sem.out.(i) with
+    | [] -> Some (i, acc)
+    | [ e ] -> walk e.Sem.dst (Q.add acc e.Sem.delay)
+    | _ -> None
+  in
+  walk 0 Q.zero
+
+let prop_forkjoin_critical_path =
+  QCheck2.Test.make ~name:"fork-join makespan = critical path" ~count:120
+    QCheck2.Gen.(map (fun b -> b) gen_block)
+    (fun block ->
+      let tpn, stop = build_net block in
+      let g = CG.build tpn in
+      match makespan g with
+      | None -> false (* deterministic net must have unique run *)
+      | Some (terminal, elapsed) ->
+        let st = g.Sem.states.(terminal) in
+        Tpan_petri.Marking.tokens st.Sem.marking stop = 1
+        && Q.equal elapsed (Q.of_int (critical_path block)))
+
+let prop_forkjoin_symbolic_agrees =
+  (* the symbolic builder on a fully concrete net must produce the same
+     graph with constant expressions *)
+  QCheck2.Test.make ~name:"symbolic builder on concrete fork-join nets" ~count:60 gen_block
+    (fun block ->
+      let tpn, _ = build_net block in
+      let cg = CG.build tpn in
+      let sg = SG.build tpn in
+      CG.Graph.num_states cg = SG.Graph.num_states sg
+      && begin
+        let ok = ref true in
+        Array.iteri
+          (fun i sedges ->
+            List.iter2
+              (fun (se : SG.Graph.edge) (ce : CG.Graph.edge) ->
+                match Tpan_symbolic.Linexpr.to_q_opt se.Sem.delay with
+                | Some q -> if not (Q.equal q ce.Sem.delay) then ok := false
+                | None -> ok := false)
+              sedges cg.Sem.out.(i))
+          sg.Sem.out;
+        !ok
+      end)
+
+let prop_probabilities_sum_to_one =
+  QCheck2.Test.make ~name:"outgoing probabilities sum to 1 (random rings)" ~count:50
+    QCheck2.Gen.(
+      let* stations = int_range 1 6 in
+      let* fw = int_range 1 5 in
+      let* iw = int_range 1 5 in
+      return (stations, fw, iw))
+    (fun (stations, fw, iw) ->
+      let p =
+        { TR.default_params with TR.stations; frame_weight = Q.of_int fw; idle_weight = Q.of_int iw }
+      in
+      let g = CG.build (TR.concrete p) in
+      Array.for_all
+        (fun edges ->
+          edges = []
+          || Q.equal Q.one
+               (List.fold_left (fun acc (e : CG.Graph.edge) -> Q.add acc e.Sem.prob) Q.zero edges))
+        g.Sem.out)
+
+let prop_delays_nonnegative =
+  QCheck2.Test.make ~name:"edge delays are non-negative" ~count:60 gen_block
+    (fun block ->
+      let tpn, _ = build_net block in
+      let g = CG.build tpn in
+      Array.for_all
+        (fun edges -> List.for_all (fun (e : CG.Graph.edge) -> Q.sign e.Sem.delay >= 0) edges)
+        g.Sem.out)
+
+let prop_rebuild_deterministic =
+  QCheck2.Test.make ~name:"graph construction is deterministic" ~count:40 gen_block
+    (fun block ->
+      let tpn, _ = build_net block in
+      let g1 = CG.build tpn and g2 = CG.build tpn in
+      CG.Graph.num_states g1 = CG.Graph.num_states g2
+      && Array.for_all2
+           (fun a b -> List.length a = List.length b)
+           g1.Sem.out g2.Sem.out
+      && Array.for_all2 CG.Graph.state_equal g1.Sem.states g2.Sem.states)
+
+let prop_sim_matches_forkjoin =
+  (* simulate the deterministic workflow once: the deadlock time must be
+     the critical path *)
+  QCheck2.Test.make ~name:"simulator reproduces fork-join makespan" ~count:60 gen_block
+    (fun block ->
+      let tpn, _ = build_net block in
+      let stats = Tpan_sim.Simulator.run ~seed:1 ~horizon:(Q.of_int 1_000_000) tpn in
+      stats.Tpan_sim.Simulator.deadlocked
+      && Q.equal stats.Tpan_sim.Simulator.sim_time (Q.of_int (critical_path block)))
+
+let prop_timepn_translation_equivalence =
+  (* For random fork-join workflows, the Figure-2 translation onto the
+     Merlin-Farber state-class engine reaches exactly the TPN graph's
+     DWELLABLE markings — those observable for a positive duration. (The
+     one-transition-at-a-time Merlin-Farber semantics also passes through
+     zero-duration interleaving micro-states between simultaneous events,
+     and the TPN's decision states are likewise instantaneous; both sides
+     filter to where time can elapse, and the sets must coincide.) *)
+  QCheck2.Test.make ~name:"Time PN translation preserves dwellable markings" ~count:25
+    gen_small_block
+    (fun block ->
+      let rec positive = function
+        | Leaf d -> Leaf (1 + d)
+        | Seq (a, b) -> Seq (positive a, positive b)
+        | Par (a, b) -> Par (positive a, positive b)
+      in
+      let tpn, _ = build_net ~sync_delay:1 (positive block) in
+      let cg = CG.build tpn in
+      let tpn_markings =
+        Array.to_list cg.Sem.states
+        |> List.mapi (fun i st -> (i, st))
+        |> List.filter_map (fun (i, st) ->
+            match cg.Sem.kinds.(i) with
+            | Sem.Advance | Sem.Terminal -> Some st.Sem.marking
+            | Sem.Decision -> None)
+        |> List.sort_uniq compare
+      in
+      let timed, _ = Tpan_core.Time_pn.of_tpn tpn in
+      let g = Tpan_core.Time_pn.build timed in
+      let np = Tpan_petri.Net.num_places (Tpn.net tpn) in
+      let projected =
+        Array.to_list g.Tpan_core.Time_pn.classes
+        |> List.filter (Tpan_core.Time_pn.can_dwell timed)
+        |> List.map (fun c ->
+            Tpan_core.Time_pn.project_marking timed c.Tpan_core.Time_pn.marking
+              ~original_places:np)
+        |> List.sort_uniq compare
+      in
+      projected = tpn_markings)
+
+let suite =
+  ( "semantics_props",
+    [
+      QCheck_alcotest.to_alcotest prop_forkjoin_critical_path;
+      QCheck_alcotest.to_alcotest prop_forkjoin_symbolic_agrees;
+      QCheck_alcotest.to_alcotest prop_probabilities_sum_to_one;
+      QCheck_alcotest.to_alcotest prop_delays_nonnegative;
+      QCheck_alcotest.to_alcotest prop_rebuild_deterministic;
+      QCheck_alcotest.to_alcotest prop_sim_matches_forkjoin;
+      QCheck_alcotest.to_alcotest prop_timepn_translation_equivalence;
+    ] )

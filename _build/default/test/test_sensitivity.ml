@@ -1,0 +1,139 @@
+(* Tests for symbolic differentiation and the sensitivity (elasticity)
+   analysis of performance expressions. *)
+
+module Q = Tpan_mathkit.Q
+module Var = Tpan_symbolic.Var
+module Poly = Tpan_symbolic.Poly
+module Rf = Tpan_symbolic.Ratfun
+module M = Tpan_perf.Measures
+module SG = Tpan_core.Symbolic
+module SW = Tpan_protocols.Stopwait
+
+let qi = Q.of_int
+let qd = Q.of_decimal_string
+let poly = Alcotest.testable Poly.pp Poly.equal
+let rf = Alcotest.testable Rf.pp Rf.equal
+
+let x = Var.param "dx"
+let y = Var.param "dy"
+let px = Poly.var x
+let py = Poly.var y
+
+let test_poly_derivative () =
+  (* d/dx (x^3 + 2x y + y^2 + 5) = 3x^2 + 2y *)
+  let p =
+    List.fold_left Poly.add Poly.zero
+      [ Poly.pow px 3; Poly.scale (qi 2) (Poly.mul px py); Poly.pow py 2; Poly.of_int 5 ]
+  in
+  Alcotest.check poly "d/dx" (Poly.add (Poly.scale (qi 3) (Poly.pow px 2)) (Poly.scale (qi 2) py))
+    (Poly.derivative x p);
+  Alcotest.check poly "d/dy" (Poly.add (Poly.scale (qi 2) px) (Poly.scale (qi 2) py))
+    (Poly.derivative y p);
+  Alcotest.check poly "constant" Poly.zero (Poly.derivative x (Poly.of_int 42))
+
+let test_poly_derivative_product_rule () =
+  (* (pq)' = p'q + pq' on random-ish fixed polynomials *)
+  let p = Poly.add (Poly.pow px 2) py in
+  let q = Poly.add px (Poly.of_int 3) in
+  let lhs = Poly.derivative x (Poly.mul p q) in
+  let rhs = Poly.add (Poly.mul (Poly.derivative x p) q) (Poly.mul p (Poly.derivative x q)) in
+  Alcotest.check poly "product rule" rhs lhs
+
+let test_ratfun_derivative () =
+  (* d/dx (1/x) = -1/x^2 *)
+  let r = Rf.make Poly.one px in
+  Alcotest.check rf "1/x" (Rf.make (Poly.of_int (-1)) (Poly.pow px 2)) (Rf.derivative x r);
+  (* d/dx (x/(x+y)) = y/(x+y)^2 *)
+  let r2 = Rf.make px (Poly.add px py) in
+  Alcotest.check rf "quotient rule" (Rf.make py (Poly.pow (Poly.add px py) 2))
+    (Rf.derivative x r2);
+  (* derivative w.r.t. an absent variable is zero *)
+  Alcotest.check rf "absent var" Rf.zero (Rf.derivative (Var.param "dz") r2)
+
+let test_derivative_matches_finite_difference () =
+  (* numeric spot check on the throughput expression *)
+  let stpn = SW.symbolic () in
+  let sg = SG.build stpn in
+  let sres = M.Symbolic.analyze sg in
+  let thr = M.Symbolic.throughput sres sg SW.t_process_ack in
+  let point v =
+    [
+      ("E(t3)", v);
+      ("F(t1)", Q.one); ("F(t2)", Q.one); ("F(t3)", Q.one);
+      ("F(t4)", qd "106.7"); ("F(t5)", qd "106.7");
+      ("F(t6)", qd "13.5"); ("F(t7)", qd "13.5");
+      ("F(t8)", qd "106.7"); ("F(t9)", qd "106.7");
+      ("f(t4)", Q.of_ints 1 20); ("f(t5)", Q.of_ints 19 20);
+      ("f(t8)", Q.of_ints 19 20); ("f(t9)", Q.of_ints 1 20);
+    ]
+  in
+  let d = Rf.derivative (Var.enabling "t3") thr in
+  let grad = M.Symbolic.eval_at d (point (qi 1000)) in
+  (* central difference with h = 1/1000 (exact rational arithmetic) *)
+  let h = Q.of_ints 1 1000 in
+  let f v = M.Symbolic.eval_at thr (point v) in
+  let approx =
+    Q.div (Q.sub (f (Q.add (qi 1000) h)) (f (Q.sub (qi 1000) h))) (Q.mul (qi 2) h)
+  in
+  Alcotest.(check bool) "finite difference agrees to 1e-9" true
+    (Q.compare (Q.abs (Q.sub grad approx)) (Q.of_decimal_string "0.000000001") < 0)
+
+let test_throughput_sensitivities () =
+  let stpn = SW.symbolic () in
+  let sg = SG.build stpn in
+  let sres = M.Symbolic.analyze sg in
+  let thr = M.Symbolic.throughput sres sg SW.t_process_ack in
+  let at =
+    [
+      ("E(t3)", qi 1000);
+      ("F(t1)", Q.one); ("F(t2)", Q.one); ("F(t3)", Q.one);
+      ("F(t4)", qd "106.7"); ("F(t5)", qd "106.7");
+      ("F(t6)", qd "13.5"); ("F(t7)", qd "13.5");
+      ("F(t8)", qd "106.7"); ("F(t9)", qd "106.7");
+      ("f(t4)", Q.of_ints 1 20); ("f(t5)", Q.of_ints 19 20);
+      ("f(t8)", Q.of_ints 19 20); ("f(t9)", Q.of_ints 1 20);
+    ]
+  in
+  let sens = M.Symbolic.sensitivities thr ~at in
+  (* F(t4) and F(t9) do not appear: the loss legs' durations are absorbed
+     into the timeout residue E(t3) - ... along the recovery paths *)
+  Alcotest.(check int) "12 of the 14 parameters appear" 12 (List.length sens);
+  (* every time parameter hurts throughput (negative gradient) *)
+  List.iter
+    (fun (s : M.Symbolic.sensitivity) ->
+      if Var.is_time s.M.Symbolic.var then
+        Alcotest.(check bool)
+          (Var.name s.M.Symbolic.var ^ " gradient negative")
+          true
+          (Q.sign s.M.Symbolic.gradient < 0))
+    sens;
+  (* loss frequencies: f(t4)/f(t9) hurt, f(t5)/f(t8) help *)
+  let find name = List.find (fun s -> Var.name s.M.Symbolic.var = name) sens in
+  Alcotest.(check bool) "more packet loss hurts" true (Q.sign (find "f(t4)").M.Symbolic.gradient < 0);
+  Alcotest.(check bool) "more delivery helps" true (Q.sign (find "f(t5)").M.Symbolic.gradient > 0);
+  (* the dominant parameters: medium transit legs carry the biggest
+     elasticity (they appear in every successful round trip) *)
+  let top = List.hd sens in
+  Alcotest.(check bool)
+    ("dominant parameter is a transit leg or the timeout, got " ^ Var.name top.M.Symbolic.var)
+    true
+    (List.mem (Var.name top.M.Symbolic.var) [ "F(t5)"; "F(t8)"; "E(t3)"; "f(t5)"; "f(t8)" ])
+
+let test_elasticity_scale_free () =
+  (* elasticity of m = c·x^k w.r.t. x is k, independent of c and the point *)
+  let r = Rf.of_poly (Poly.scale (qi 7) (Poly.pow px 3)) in
+  let sens = M.Symbolic.sensitivities r ~at:[ ("dx", qi 5) ] in
+  match sens with
+  | [ s ] -> Alcotest.(check bool) "elasticity = 3" true (Q.equal s.M.Symbolic.elasticity (qi 3))
+  | _ -> Alcotest.fail "expected exactly one variable"
+
+let suite =
+  ( "sensitivity",
+    [
+      Alcotest.test_case "polynomial derivative" `Quick test_poly_derivative;
+      Alcotest.test_case "product rule" `Quick test_poly_derivative_product_rule;
+      Alcotest.test_case "rational-function derivative" `Quick test_ratfun_derivative;
+      Alcotest.test_case "matches finite differences" `Quick test_derivative_matches_finite_difference;
+      Alcotest.test_case "throughput sensitivities" `Quick test_throughput_sensitivities;
+      Alcotest.test_case "elasticity is scale-free" `Quick test_elasticity_scale_free;
+    ] )

@@ -1,0 +1,138 @@
+(* Tests for siphon/trap structural analysis. *)
+
+module Net = Tpan_petri.Net
+module S = Tpan_petri.Siphons
+module Reach = Tpan_petri.Reachability
+
+(* Classic two-process deadlock: each process grabs resource a then b (or b
+   then a) — the circular-wait siphon can empty. *)
+let deadlockable () =
+  let b = Net.builder "deadlock" in
+  let ra = Net.add_place b ~init:1 "res_a" in
+  let rb = Net.add_place b ~init:1 "res_b" in
+  let p1_idle = Net.add_place b ~init:1 "p1_idle" in
+  let p1_has_a = Net.add_place b "p1_has_a" in
+  let p1_work = Net.add_place b "p1_work" in
+  let p2_idle = Net.add_place b ~init:1 "p2_idle" in
+  let p2_has_b = Net.add_place b "p2_has_b" in
+  let p2_work = Net.add_place b "p2_work" in
+  let t name inputs outputs = ignore (Net.add_transition b ~name ~inputs ~outputs) in
+  t "p1_get_a" [ (p1_idle, 1); (ra, 1) ] [ (p1_has_a, 1) ];
+  t "p1_get_b" [ (p1_has_a, 1); (rb, 1) ] [ (p1_work, 1) ];
+  t "p1_done" [ (p1_work, 1) ] [ (p1_idle, 1); (ra, 1); (rb, 1) ];
+  t "p2_get_b" [ (p2_idle, 1); (rb, 1) ] [ (p2_has_b, 1) ];
+  t "p2_get_a" [ (p2_has_b, 1); (ra, 1) ] [ (p2_work, 1) ];
+  t "p2_done" [ (p2_work, 1) ] [ (p2_idle, 1); (ra, 1); (rb, 1) ];
+  Net.build b
+
+(* A simple live cycle: one token round-trip. *)
+let cycle_net () =
+  let b = Net.builder "cycle" in
+  let p = Net.add_place b ~init:1 "p" in
+  let q = Net.add_place b "q" in
+  let t name inputs outputs = ignore (Net.add_transition b ~name ~inputs ~outputs) in
+  t "go" [ (p, 1) ] [ (q, 1) ];
+  t "back" [ (q, 1) ] [ (p, 1) ];
+  Net.build b
+
+let test_is_siphon_trap () =
+  let net = cycle_net () in
+  let p = Net.place_of_name net "p" and q = Net.place_of_name net "q" in
+  Alcotest.(check bool) "whole cycle is a siphon" true (S.is_siphon net [ p; q ]);
+  Alcotest.(check bool) "whole cycle is a trap" true (S.is_trap net [ p; q ]);
+  Alcotest.(check bool) "half is not a siphon" false (S.is_siphon net [ p ]);
+  Alcotest.(check bool) "empty set is not a siphon" false (S.is_siphon net [])
+
+let test_minimal_siphons_cycle () =
+  let net = cycle_net () in
+  Alcotest.(check (list (list int))) "one minimal siphon (the cycle)" [ [ 0; 1 ] ]
+    (S.minimal_siphons net);
+  Alcotest.(check (list (list int))) "one minimal trap" [ [ 0; 1 ] ] (S.minimal_traps net)
+
+let test_deadlock_siphon () =
+  let net = deadlockable () in
+  let siphons = S.minimal_siphons net in
+  Alcotest.(check bool) "several minimal siphons" true (List.length siphons >= 2);
+  List.iter
+    (fun s -> Alcotest.(check bool) "each verifies" true (S.is_siphon net s))
+    siphons;
+  (* the circular-wait siphon {res_a, p1_has_a...}: Commoner must FAIL,
+     matching the real deadlock found by reachability *)
+  Alcotest.(check bool) "commoner violated" false (S.commoner_satisfied net);
+  let g = Reach.explore net in
+  Alcotest.(check bool) "the net really deadlocks" false (Reach.is_deadlock_free g);
+  (* at the deadlocked marking, some minimal siphon is empty *)
+  let dead = List.hd (Reach.deadlocks g) in
+  let m = g.Reach.states.(dead) in
+  Alcotest.(check bool) "an empty siphon certifies the deadlock" true
+    (List.exists (fun s -> List.for_all (fun p -> m.(p) = 0) s) siphons)
+
+let test_live_cycle_commoner () =
+  Alcotest.(check bool) "live cycle satisfies commoner" true
+    (S.commoner_satisfied (cycle_net ()))
+
+let test_max_trap_within () =
+  let net = cycle_net () in
+  let all = [ 0; 1 ] in
+  Alcotest.(check (list int)) "trap of whole = whole" all (S.max_trap_within net all);
+  Alcotest.(check (list int)) "trap of half = empty" [] (S.max_trap_within net [ 0 ])
+
+let test_stopwait_siphons () =
+  (* receiver-ready place p8 cycles through t6 alone: {p8} is both a siphon
+     and a trap; it is marked, so it never empties *)
+  let net = Tpan_protocols.Stopwait.net () in
+  let p8 = Net.place_of_name net "p8" in
+  Alcotest.(check bool) "p8 is a siphon" true (S.is_siphon net [ p8 ]);
+  Alcotest.(check bool) "p8 is a trap" true (S.is_trap net [ p8 ]);
+  let siphons = S.minimal_siphons net in
+  Alcotest.(check bool) "p8 appears as a minimal siphon" true (List.mem [ p8 ] siphons);
+  Alcotest.(check (list (list int))) "no initially-empty minimal siphon" []
+    (S.unmarked_siphons net)
+
+let prop_minimal_siphons_verify =
+  (* every enumerated siphon is a siphon, and no enumerated siphon strictly
+     contains another *)
+  QCheck2.Test.make ~name:"minimal siphons verify and are incomparable" ~count:40
+    QCheck2.Gen.(
+      let* np = int_range 2 5 in
+      let* nt = int_range 1 5 in
+      let* arcs =
+        list_size (return nt)
+          (pair (list_size (int_range 1 2) (int_range 0 (np - 1)))
+             (list_size (int_range 0 2) (int_range 0 (np - 1))))
+      in
+      return (np, arcs))
+    (fun (np, arcs) ->
+      let b = Net.builder "rand" in
+      let places = Array.init np (fun i -> Net.add_place b (Printf.sprintf "p%d" i)) in
+      List.iteri
+        (fun i (ins, outs) ->
+          ignore
+            (Net.add_transition b ~name:(Printf.sprintf "t%d" i)
+               ~inputs:(List.map (fun p -> (places.(p), 1)) ins)
+               ~outputs:(List.map (fun p -> (places.(p), 1)) outs)))
+        arcs;
+      let net = Net.build b in
+      let siphons = S.minimal_siphons net in
+      List.for_all (fun s -> S.is_siphon net s) siphons
+      && List.for_all
+           (fun s ->
+             List.for_all
+               (fun s' ->
+                 s == s'
+                 || not
+                      (List.for_all (fun p -> List.mem p s') s && List.length s < List.length s'))
+               siphons)
+           siphons)
+
+let suite =
+  ( "siphons",
+    [
+      Alcotest.test_case "siphon/trap predicates" `Quick test_is_siphon_trap;
+      Alcotest.test_case "minimal siphons of a cycle" `Quick test_minimal_siphons_cycle;
+      Alcotest.test_case "deadlock certified by empty siphon" `Quick test_deadlock_siphon;
+      Alcotest.test_case "commoner on live cycle" `Quick test_live_cycle_commoner;
+      Alcotest.test_case "greatest trap within" `Quick test_max_trap_within;
+      Alcotest.test_case "stopwait structure" `Quick test_stopwait_siphons;
+      QCheck_alcotest.to_alcotest prop_minimal_siphons_verify;
+    ] )

@@ -1,0 +1,223 @@
+(* Tests for the Merlin-Farber Time Petri Net semantics (state classes) and
+   the paper's Figure-2 translation from Timed Petri Nets. *)
+
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Marking = Tpan_petri.Marking
+module Tpn = Tpan_core.Tpn
+module Dbm = Tpan_core.Dbm
+module TP = Tpan_core.Time_pn
+module CG = Tpan_core.Concrete
+module Sem = Tpan_core.Semantics
+module SW = Tpan_protocols.Stopwait
+
+let qi = Q.of_int
+
+(* --- DBM --- *)
+
+let test_dbm_basics () =
+  let d = Dbm.create 2 in
+  (* 1 <= x1 <= 3, 2 <= x2 <= 5 *)
+  Dbm.constrain d 1 0 (Dbm.Fin (qi 3));
+  Dbm.constrain d 0 1 (Dbm.Fin (qi (-1)));
+  Dbm.constrain d 2 0 (Dbm.Fin (qi 5));
+  Dbm.constrain d 0 2 (Dbm.Fin (qi (-2)));
+  Alcotest.(check bool) "consistent" true (Dbm.canonicalize d);
+  (* derived: x1 - x2 <= 3 - 2 = 1 *)
+  Alcotest.(check int) "tightened difference" 0
+    (Dbm.bound_compare (Dbm.get d 1 2) (Dbm.Fin (qi 1)));
+  (* adding x2 - x1 <= -4 (x2 + 4 <= x1 <= 3) is contradictory *)
+  Dbm.constrain d 2 1 (Dbm.Fin (qi 4));
+  Alcotest.(check bool) "still consistent with slack" true (Dbm.canonicalize d);
+  let d2 = Dbm.copy d in
+  (* x1 - x2 <= -5 forces x2 >= x1 + 5 >= 6, but x2 <= 5 *)
+  Dbm.constrain d2 1 2 (Dbm.Fin (qi (-5)));
+  Alcotest.(check bool) "inconsistency detected" false (Dbm.canonicalize d2)
+
+let test_dbm_equal_hash () =
+  let mk () =
+    let d = Dbm.create 1 in
+    Dbm.constrain d 1 0 (Dbm.Fin (qi 7));
+    Dbm.constrain d 0 1 (Dbm.Fin (qi (-3)));
+    ignore (Dbm.canonicalize d);
+    d
+  in
+  let a = mk () and b = mk () in
+  Alcotest.(check bool) "equal" true (Dbm.equal a b);
+  Alcotest.(check bool) "same hash" true (Dbm.hash a = Dbm.hash b);
+  Dbm.constrain b 1 0 (Dbm.Fin (qi 5));
+  ignore (Dbm.canonicalize b);
+  Alcotest.(check bool) "different after tightening" false (Dbm.equal a b)
+
+let test_bound_arith () =
+  Alcotest.(check bool) "inf absorbs" true (Dbm.bound_add Dbm.Inf (Dbm.Fin (qi 3)) = Dbm.Inf);
+  Alcotest.(check bool) "fin add" true
+    (Dbm.bound_compare (Dbm.bound_add (Dbm.Fin (qi 2)) (Dbm.Fin (qi 3))) (Dbm.Fin (qi 5)) = 0);
+  Alcotest.(check bool) "min" true (Dbm.bound_min Dbm.Inf (Dbm.Fin (qi 1)) = Dbm.Fin (qi 1))
+
+(* --- Time PN semantics --- *)
+
+(* Two transitions racing for one token: t_fast [1,2], t_slow [3,4].
+   t_slow can never fire first (its earliest time exceeds t_fast's
+   latest). *)
+let race_net () =
+  let b = Net.builder "race" in
+  let p = Net.add_place b ~init:1 "p" in
+  let a = Net.add_place b "a" in
+  let c = Net.add_place b "c" in
+  let _ = Net.add_transition b ~name:"fast" ~inputs:[ (p, 1) ] ~outputs:[ (a, 1) ] in
+  let _ = Net.add_transition b ~name:"slow" ~inputs:[ (p, 1) ] ~outputs:[ (c, 1) ] in
+  Net.build b
+
+let test_urgency () =
+  let net = race_net () in
+  let timed =
+    TP.make net
+      [ ("fast", TP.interval ~max:(qi 2) (qi 1)); ("slow", TP.interval ~max:(qi 4) (qi 3)) ]
+  in
+  let g = TP.build timed in
+  (* only the fast branch is reachable *)
+  let markings = TP.reachable_markings g in
+  let c = Net.place_of_name net "c" in
+  Alcotest.(check bool) "slow branch unreachable" true
+    (List.for_all (fun m -> Marking.tokens m c = 0) markings);
+  Alcotest.(check int) "two classes (init + fired)" 2 (TP.num_classes g)
+
+let test_overlap_race () =
+  (* overlapping intervals: both branches reachable — the nondeterminism
+     Min/Max ranges buy, which fixed firing times cannot express *)
+  let net = race_net () in
+  let timed =
+    TP.make net
+      [ ("fast", TP.interval ~max:(qi 3) (qi 1)); ("slow", TP.interval ~max:(qi 4) (qi 2)) ]
+  in
+  let g = TP.build timed in
+  let a = Net.place_of_name net "a" and c = Net.place_of_name net "c" in
+  let markings = TP.reachable_markings g in
+  Alcotest.(check bool) "fast branch reachable" true
+    (List.exists (fun m -> Marking.tokens m a = 1) markings);
+  Alcotest.(check bool) "slow branch reachable" true
+    (List.exists (fun m -> Marking.tokens m c = 1) markings)
+
+let test_persistence_shifts_clocks () =
+  (* t1 [2,2] and t2 [3,3] on disjoint tokens: after t1 fires, t2's
+     residual interval is [1,1]; it must fire exactly 1 later. *)
+  let b = Net.builder "shift" in
+  let p1 = Net.add_place b ~init:1 "p1" in
+  let p2 = Net.add_place b ~init:1 "p2" in
+  let q1 = Net.add_place b "q1" in
+  let q2 = Net.add_place b "q2" in
+  let _ = Net.add_transition b ~name:"t1" ~inputs:[ (p1, 1) ] ~outputs:[ (q1, 1) ] in
+  let _ = Net.add_transition b ~name:"t2" ~inputs:[ (p2, 1) ] ~outputs:[ (q2, 1) ] in
+  let net = Net.build b in
+  let timed =
+    TP.make net
+      [ ("t1", TP.interval ~max:(qi 2) (qi 2)); ("t2", TP.interval ~max:(qi 3) (qi 3)) ]
+  in
+  let g = TP.build timed in
+  (* classes: {p1,p2}, {q1,p2} with theta(t2) in [1,1], {q1,q2} *)
+  Alcotest.(check int) "three classes" 3 (TP.num_classes g);
+  let t2 = Net.trans_of_name net "t2" in
+  let mid =
+    Array.to_list g.TP.classes
+    |> List.find (fun c -> c.TP.enabled = [ t2 ])
+  in
+  let d = mid.TP.domain in
+  Alcotest.(check int) "upper residual = 1" 0 (Dbm.bound_compare (Dbm.get d 1 0) (Dbm.Fin (qi 1)));
+  Alcotest.(check int) "lower residual = 1" 0
+    (Dbm.bound_compare (Dbm.get d 0 1) (Dbm.Fin (qi (-1))))
+
+let test_make_validation () =
+  let net = race_net () in
+  Alcotest.check_raises "missing interval"
+    (Invalid_argument "Time_pn.make: missing interval for \"slow\"") (fun () ->
+      ignore (TP.make net [ ("fast", TP.interval (qi 1)) ]));
+  Alcotest.check_raises "bad interval" (Invalid_argument "Time_pn.interval: max < min")
+    (fun () -> ignore (TP.interval ~max:(qi 1) (qi 2)))
+
+(* --- Figure 2 translation --- *)
+
+let test_fig2_translation_structure () =
+  let ctpn = SW.concrete SW.paper_params in
+  let timed, emit_name = TP.of_tpn ctpn in
+  let tnet = TP.net timed in
+  let src = Tpn.net ctpn in
+  Alcotest.(check int) "places = originals + one buffer per transition"
+    (Net.num_places src + Net.num_transitions src)
+    (Net.num_places tnet);
+  Alcotest.(check int) "transitions doubled" (2 * Net.num_transitions src)
+    (Net.num_transitions tnet);
+  (* absorb of the timeout carries [E,E] = [1000,1000] *)
+  let absorb3 = Net.trans_of_name tnet "t3__absorb" in
+  let iv = TP.interval_of timed absorb3 in
+  Alcotest.(check bool) "absorb interval = [1000,1000]" true
+    (Q.equal iv.TP.min (qi 1000) && iv.TP.max = Some (qi 1000));
+  let emit5 = Net.trans_of_name tnet (emit_name (Net.trans_of_name src "t5")) in
+  let iv5 = TP.interval_of timed emit5 in
+  Alcotest.(check bool) "emit interval = [106.7,106.7]" true
+    (Q.equal iv5.TP.min (Q.of_decimal_string "106.7"))
+
+let test_fig2_marking_equivalence () =
+  (* The translated Time PN reaches exactly the TPN's markings (projected
+     onto the original places): the equivalence Figure 2 claims. *)
+  let ctpn = SW.concrete SW.paper_params in
+  let timed, _ = TP.of_tpn ctpn in
+  let g = TP.build timed in
+  let np = Net.num_places (Tpn.net ctpn) in
+  let projected =
+    TP.reachable_markings g
+    |> List.map (fun m -> TP.project_marking timed m ~original_places:np)
+    |> List.sort_uniq compare
+  in
+  let cg = CG.build ctpn in
+  let tpn_markings =
+    Array.to_list cg.Sem.states |> List.map (fun st -> st.Sem.marking) |> List.sort_uniq compare
+  in
+  Alcotest.(check int) "same marking count" (List.length tpn_markings) (List.length projected);
+  Alcotest.(check bool) "same marking sets" true
+    (List.for_all (fun m -> List.mem m projected) tpn_markings)
+
+let test_fig2_busy_places_track_rft () =
+  (* a buffer place t__busy is markable iff some TPN state fires t
+     (RFT(t) > 0 at some state) *)
+  let ctpn = SW.concrete SW.paper_params in
+  let timed, _ = TP.of_tpn ctpn in
+  let g = TP.build timed in
+  let cg = CG.build ctpn in
+  let src = Tpn.net ctpn in
+  let tnet = TP.net timed in
+  List.iter
+    (fun t ->
+      let busy = Net.place_of_name tnet (Net.trans_name src t ^ "__busy") in
+      let ever_busy_timepn =
+        List.exists (fun m -> Marking.tokens m busy > 0) (TP.reachable_markings g)
+      in
+      let ever_firing_tpn =
+        Array.exists (fun st -> not (Q.is_zero st.Sem.rft.(t))) cg.Sem.states
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "busy(%s) iff ever firing" (Net.trans_name src t))
+        ever_firing_tpn ever_busy_timepn)
+    (Net.transitions src)
+
+let test_of_tpn_rejects_symbolic () =
+  try
+    ignore (TP.of_tpn (SW.symbolic ()));
+    Alcotest.fail "symbolic net accepted"
+  with Tpn.Unsupported _ -> ()
+
+let suite =
+  ( "time_pn",
+    [
+      Alcotest.test_case "dbm basics" `Quick test_dbm_basics;
+      Alcotest.test_case "dbm equality/hash" `Quick test_dbm_equal_hash;
+      Alcotest.test_case "bound arithmetic" `Quick test_bound_arith;
+      Alcotest.test_case "urgency (max enforced)" `Quick test_urgency;
+      Alcotest.test_case "overlapping race" `Quick test_overlap_race;
+      Alcotest.test_case "clock shifting (persistence)" `Quick test_persistence_shifts_clocks;
+      Alcotest.test_case "make validation" `Quick test_make_validation;
+      Alcotest.test_case "figure 2: structure" `Quick test_fig2_translation_structure;
+      Alcotest.test_case "figure 2: marking equivalence" `Quick test_fig2_marking_equivalence;
+      Alcotest.test_case "figure 2: busy places track RFT" `Quick test_fig2_busy_places_track_rft;
+      Alcotest.test_case "of_tpn rejects symbolic" `Quick test_of_tpn_rejects_symbolic;
+    ] )

@@ -1,0 +1,143 @@
+(* Tests for timed-net construction: specs, conflict sets, validation. *)
+
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Var = Tpan_symbolic.Var
+module Tpn = Tpan_core.Tpn
+module SW = Tpan_protocols.Stopwait
+
+let test_conflict_sets_stopwait () =
+  let tpn = SW.concrete SW.paper_params in
+  let net = Tpn.net tpn in
+  let cs name = Tpn.conflict_set_of tpn (Net.trans_of_name net name) in
+  (* the paper's three non-trivial conflict sets *)
+  Alcotest.(check bool) "t4/t5 share a set" true (cs "t4" = cs "t5");
+  Alcotest.(check bool) "t8/t9 share a set" true (cs "t8" = cs "t9");
+  Alcotest.(check bool) "t3/t7 share a set (timeout vs ack)" true (cs "t3" = cs "t7");
+  Alcotest.(check bool) "packet and ack sets distinct" true (cs "t4" <> cs "t8");
+  Alcotest.(check bool) "t2 alone" true (cs "t2" <> cs "t4" && cs "t2" <> cs "t3");
+  let sets = Tpn.conflict_sets tpn in
+  let sizes = List.sort compare (Array.to_list (Array.map List.length sets)) in
+  Alcotest.(check (list int)) "partition sizes" [ 1; 1; 1; 2; 2; 2 ] sizes
+
+let test_spec_defaults () =
+  let b = Net.builder "n" in
+  let p = Net.add_place b ~init:1 "p" in
+  let _ = Net.add_transition b ~name:"t" ~inputs:[ (p, 1) ] ~outputs:[ (p, 1) ] in
+  let tpn = Tpn.make (Net.build b) [ ("t", Tpn.spec ()) ] in
+  Alcotest.(check bool) "default enabling 0" true (Q.is_zero (Tpn.enabling_q tpn 0));
+  Alcotest.(check bool) "default firing 0" true (Q.is_zero (Tpn.firing_q tpn 0));
+  Alcotest.(check bool) "default freq 1" true (Q.equal Q.one (Tpn.frequency_q tpn 0));
+  Alcotest.(check bool) "concrete" true (Tpn.is_concrete tpn)
+
+let test_make_validation () =
+  let b = Net.builder "n" in
+  let p = Net.add_place b ~init:1 "p" in
+  let _ = Net.add_transition b ~name:"t" ~inputs:[ (p, 1) ] ~outputs:[] in
+  let _ = Net.add_transition b ~name:"u" ~inputs:[ (p, 1) ] ~outputs:[] in
+  let net = Net.build b in
+  Alcotest.check_raises "missing spec"
+    (Invalid_argument "Tpn.make: missing spec for transition \"u\"") (fun () ->
+      ignore (Tpn.make net [ ("t", Tpn.spec ()) ]));
+  Alcotest.check_raises "unknown transition"
+    (Invalid_argument "Tpn.make: unknown transition \"zz\"") (fun () ->
+      ignore (Tpn.make net [ ("zz", Tpn.spec ()) ]));
+  (try
+     ignore (Tpn.make net [ ("t", Tpn.spec ~firing:(Tpn.Fixed (Q.of_int (-1))) ()); ("u", Tpn.spec ()) ]);
+     Alcotest.fail "negative firing time accepted"
+   with Tpn.Unsupported _ -> ());
+  (* conflict-set override must match the structural partition *)
+  (try
+     let b2 = Net.builder "n2" in
+     let p1 = Net.add_place b2 ~init:1 "p1" in
+     let p2 = Net.add_place b2 ~init:1 "p2" in
+     let _ = Net.add_transition b2 ~name:"a" ~inputs:[ (p1, 1) ] ~outputs:[] in
+     let _ = Net.add_transition b2 ~name:"b" ~inputs:[ (p2, 1) ] ~outputs:[] in
+     ignore
+       (Tpn.make
+          ~conflict_sets:[ ([ "a"; "b" ], [ Q.one; Q.one ]) ]
+          (Net.build b2)
+          [ ("a", Tpn.spec ()); ("b", Tpn.spec ()) ]);
+     Alcotest.fail "non-structural conflict set accepted"
+   with Tpn.Unsupported _ -> ())
+
+let test_conflict_set_frequency_override () =
+  let tpn =
+    Tpn.make
+      ~conflict_sets:[ ([ "t4"; "t5" ], [ Q.of_ints 1 10; Q.of_ints 9 10 ]) ]
+      (SW.net ())
+      (List.map
+         (fun t -> (t, Tpn.spec ()))
+         [ "t1"; "t2"; "t3"; "t4"; "t5"; "t6"; "t7"; "t8"; "t9" ])
+  in
+  let net = Tpn.net tpn in
+  Alcotest.(check bool) "override applied" true
+    (Q.equal (Q.of_ints 1 10) (Tpn.frequency_q tpn (Net.trans_of_name net "t4")))
+
+let test_symbolic_accessors () =
+  let tpn = SW.symbolic () in
+  let net = Tpn.net tpn in
+  let t5 = Net.trans_of_name net "t5" in
+  Alcotest.(check bool) "not concrete" false (Tpn.is_concrete tpn);
+  (try
+     ignore (Tpn.firing_q tpn t5);
+     Alcotest.fail "firing_q should reject symbolic"
+   with Tpn.Unsupported _ -> ());
+  let e = Tpn.firing_expr tpn t5 in
+  Alcotest.(check string) "expr name" "F(t5)" (Format.asprintf "%a" Tpan_symbolic.Linexpr.pp e);
+  Alcotest.(check bool) "zero-frequency timeout" true
+    (Tpn.is_zero_frequency tpn (Net.trans_of_name net "t3"));
+  Alcotest.(check bool) "symbolic freq assumed positive" false
+    (Tpn.is_zero_frequency tpn (Net.trans_of_name net "t4"));
+  let vars = Tpn.time_vars tpn in
+  Alcotest.(check int) "ten time symbols (E(t3) + nine F)" 10 (List.length vars)
+
+let test_bind_times () =
+  let tpn = SW.symbolic () in
+  let p = SW.paper_params in
+  let bindings =
+    [
+      ("E(t3)", p.SW.timeout);
+      ("F(t1)", p.SW.send_time); ("F(t2)", p.SW.send_time); ("F(t3)", p.SW.send_time);
+      ("F(t4)", p.SW.transit_time); ("F(t5)", p.SW.transit_time);
+      ("F(t6)", p.SW.process_time); ("F(t7)", p.SW.process_time);
+      ("F(t8)", p.SW.transit_time); ("F(t9)", p.SW.transit_time);
+      ("f(t4)", Q.of_ints 1 20); ("f(t5)", Q.of_ints 19 20);
+      ("f(t8)", Q.of_ints 19 20); ("f(t9)", Q.of_ints 1 20);
+    ]
+  in
+  let bound = Tpn.bind_times tpn bindings in
+  Alcotest.(check bool) "fully concrete after binding" true (Tpn.is_concrete bound);
+  let net = Tpn.net bound in
+  Alcotest.(check bool) "bound value" true
+    (Q.equal p.SW.transit_time (Tpn.firing_q bound (Net.trans_of_name net "t5")));
+  (* a binding violating constraint (1) must be rejected *)
+  let bad = ("E(t3)", Q.of_int 10) :: List.remove_assoc "E(t3)" bindings in
+  (try
+     ignore (Tpn.bind_times tpn bad);
+     Alcotest.fail "constraint-violating binding accepted"
+   with Tpn.Unsupported _ -> ())
+
+let test_paper_point_satisfies_constraints () =
+  (* Constraint (1): 1000 > 106.7 + 13.5 + 106.7 = 226.9 *)
+  let env v =
+    match Var.name v with
+    | "E(t3)" -> Q.of_int 1000
+    | "F(t5)" | "F(t4)" | "F(t8)" | "F(t9)" -> Q.of_decimal_string "106.7"
+    | "F(t6)" | "F(t7)" -> Q.of_decimal_string "13.5"
+    | _ -> Q.one
+  in
+  Alcotest.(check bool) "paper point is a model" true
+    (Tpan_symbolic.Constraints.satisfies env SW.symbolic_constraints)
+
+let suite =
+  ( "tpn",
+    [
+      Alcotest.test_case "stopwait conflict sets" `Quick test_conflict_sets_stopwait;
+      Alcotest.test_case "spec defaults" `Quick test_spec_defaults;
+      Alcotest.test_case "make validation" `Quick test_make_validation;
+      Alcotest.test_case "frequency override" `Quick test_conflict_set_frequency_override;
+      Alcotest.test_case "symbolic accessors" `Quick test_symbolic_accessors;
+      Alcotest.test_case "bind_times" `Quick test_bind_times;
+      Alcotest.test_case "paper point satisfies constraints" `Quick test_paper_point_satisfies_constraints;
+    ] )

@@ -1,0 +1,257 @@
+(* Validation of the concrete Timed Reachability Graph against the paper's
+   Figure 4: 18 states, two branching decision nodes, exact delays. *)
+
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Marking = Tpan_petri.Marking
+module Tpn = Tpan_core.Tpn
+module Sem = Tpan_core.Semantics
+module CG = Tpan_core.Concrete
+module SW = Tpan_protocols.Stopwait
+
+let qd = Q.of_decimal_string
+
+let graph = lazy (CG.build (SW.concrete SW.paper_params))
+
+let find_state g pred =
+  let n = Array.length g.Sem.states in
+  let rec go i = if i >= n then None else if pred g.Sem.states.(i) then Some i else go (i + 1) in
+  go 0
+
+let marking_is g names st =
+  let net = Tpn.net g.Sem.tpn in
+  let expected = Array.make (Net.num_places net) 0 in
+  List.iter (fun n -> expected.(Net.place_of_name net n) <- expected.(Net.place_of_name net n) + 1) names;
+  Marking.equal st.Sem.marking expected
+
+let test_figure4_shape () =
+  let g = Lazy.force graph in
+  Alcotest.(check int) "18 states (Figure 4)" 18 (CG.Graph.num_states g);
+  Alcotest.(check int) "20 edges" 20 (CG.Graph.num_edges g);
+  Alcotest.(check int) "2 branching decision nodes" 2 (List.length (Sem.branching_states g));
+  Alcotest.(check (list int)) "no terminal states" [] (CG.Graph.terminal_states g)
+
+let test_figure4_decision_nodes () =
+  let g = Lazy.force graph in
+  (* the packet decision: {p2,p4,p8} with timeout armed at 1000 *)
+  let d1 =
+    find_state g (fun st ->
+        marking_is g [ "p2"; "p4"; "p8" ] st
+        && Q.equal st.Sem.ret.(Net.trans_of_name (Tpn.net g.Sem.tpn) "t3") (Q.of_int 1000))
+  in
+  (* the ack decision: {p4,p5,p8} with RET(t3) = 879.8 *)
+  let d2 =
+    find_state g (fun st ->
+        marking_is g [ "p4"; "p5"; "p8" ] st
+        && Q.equal st.Sem.ret.(Net.trans_of_name (Tpn.net g.Sem.tpn) "t3") (qd "879.8"))
+  in
+  let branching = Sem.branching_states g in
+  (match d1 with
+   | Some i -> Alcotest.(check bool) "packet decision branches" true (List.mem i branching)
+   | None -> Alcotest.fail "packet decision state not found");
+  match d2 with
+  | Some i -> Alcotest.(check bool) "ack decision branches" true (List.mem i branching)
+  | None -> Alcotest.fail "ack decision state (RET 879.8) not found"
+
+let test_figure4_ret_values () =
+  let g = Lazy.force graph in
+  let t3 = Net.trans_of_name (Tpn.net g.Sem.tpn) "t3" in
+  let rets =
+    Array.to_list g.Sem.states
+    |> List.filter_map (fun st ->
+           let r = st.Sem.ret.(t3) in
+           if Q.is_zero r then None else Some r)
+    |> List.sort_uniq Q.compare
+  in
+  let expected = List.map qd [ "773.1"; "879.8"; "893.3"; "1000" ] in
+  Alcotest.(check int) "four distinct timeout residues" 4 (List.length rets);
+  List.iter2
+    (fun a b -> Alcotest.(check bool) "ret value" true (Q.equal a b))
+    expected rets
+
+let test_figure4_rft_values () =
+  let g = Lazy.force graph in
+  let rfts =
+    Array.to_list g.Sem.states
+    |> List.concat_map (fun st ->
+           Array.to_list st.Sem.rft |> List.filter (fun x -> not (Q.is_zero x)))
+    |> List.sort_uniq Q.compare
+  in
+  let expected = List.map qd [ "1"; "13.5"; "106.7" ] in
+  Alcotest.(check int) "three distinct firing residues" 3 (List.length rfts);
+  List.iter2 (fun a b -> Alcotest.(check bool) "rft value" true (Q.equal a b)) expected rfts
+
+let test_figure4_edge_delays () =
+  let g = Lazy.force graph in
+  let delays = ref [] in
+  Array.iter
+    (fun edges ->
+      List.iter
+        (fun (e : CG.Graph.edge) -> if not (Q.is_zero e.Sem.delay) then delays := e.Sem.delay :: !delays)
+        edges)
+    g.Sem.out;
+  let distinct = List.sort_uniq Q.compare !delays in
+  let expected = List.map qd [ "1"; "13.5"; "106.7"; "773.1"; "893.3" ] in
+  Alcotest.(check int) "five distinct positive delays" 5 (List.length distinct);
+  List.iter2 (fun a b -> Alcotest.(check bool) "delay" true (Q.equal a b)) expected distinct
+
+let test_probabilities () =
+  let g = Lazy.force graph in
+  (* every decision state's outgoing probabilities sum to 1 *)
+  List.iter
+    (fun i ->
+      let total =
+        List.fold_left (fun acc (e : CG.Graph.edge) -> Q.add acc e.Sem.prob) Q.zero g.Sem.out.(i)
+      in
+      Alcotest.(check bool) "sums to one" true (Q.equal Q.one total))
+    (Sem.branching_states g);
+  (* the loss branches carry probability 0.05 *)
+  let five_percent =
+    Array.to_list g.Sem.out
+    |> List.concat_map Fun.id
+    |> List.filter (fun (e : CG.Graph.edge) -> Q.equal e.Sem.prob (qd "0.05"))
+  in
+  Alcotest.(check int) "two 5% branches" 2 (List.length five_percent)
+
+let test_timeout_priority () =
+  (* With zero transit times and E(t3) binding arrival and timeout to the
+     same instant, the zero-frequency timeout must lose against t7: the
+     protocol never times out when the ack arrives simultaneously. *)
+  let p = { SW.paper_params with SW.timeout = Q.add (qd "106.7") (Q.add (qd "13.5") (qd "106.7")) } in
+  (* timeout = exactly the one-way trip: E(t3) = F(t5)+F(t6)+F(t8); the ack
+     arrives exactly when the timer expires. *)
+  let tpn = SW.concrete p in
+  let g = CG.build tpn in
+  let net = Tpn.net tpn in
+  let t7 = Net.trans_of_name net "t7" and t3 = Net.trans_of_name net "t3" in
+  (* find the state where both t7 and t3 are firable: outgoing selector must
+     fire t7 (probability 1), never t3 *)
+  let found = ref false in
+  Array.iteri
+    (fun i st ->
+      let firable_t7 =
+        Marking.enabled net st.Sem.marking t7 && Q.is_zero st.Sem.ret.(t7)
+        && Marking.enabled net st.Sem.marking t3 && Q.is_zero st.Sem.ret.(t3)
+      in
+      if firable_t7 then begin
+        found := true;
+        List.iter
+          (fun (e : CG.Graph.edge) ->
+            Alcotest.(check bool) "t7 wins" true (List.mem t7 e.Sem.fired);
+            Alcotest.(check bool) "t3 suppressed" false (List.mem t3 e.Sem.fired))
+          g.Sem.out.(i)
+      end)
+    g.Sem.states;
+  Alcotest.(check bool) "simultaneous state exists" true !found
+
+let test_initial_state () =
+  let tpn = SW.concrete SW.paper_params in
+  let s0 = CG.Graph.initial_state tpn in
+  let net = Tpn.net tpn in
+  Alcotest.(check int) "p1 marked" 1 (Marking.tokens s0.Sem.marking (Net.place_of_name net "p1"));
+  Alcotest.(check int) "p8 marked" 1 (Marking.tokens s0.Sem.marking (Net.place_of_name net "p8"));
+  Alcotest.(check bool) "all RFT zero" true (Array.for_all Q.is_zero s0.Sem.rft);
+  Alcotest.(check bool) "all RET zero (t2 has E=0)" true (Array.for_all Q.is_zero s0.Sem.ret)
+
+let test_zero_firing_time () =
+  (* A transition with F = 0 completes instantaneously: its outputs appear
+     in the same step and downstream work proceeds. *)
+  let b = Net.builder "instant" in
+  let a = Net.add_place b ~init:1 "a" in
+  let c = Net.add_place b "c" in
+  let d = Net.add_place b "d" in
+  let _ = Net.add_transition b ~name:"zero" ~inputs:[ (a, 1) ] ~outputs:[ (c, 1) ] in
+  let _ = Net.add_transition b ~name:"slow" ~inputs:[ (c, 1) ] ~outputs:[ (d, 1) ] in
+  let net = Net.build b in
+  let tpn =
+    Tpn.make net
+      [ ("zero", Tpn.spec ()); ("slow", Tpn.spec ~firing:(Tpn.Fixed (Q.of_int 5)) ()) ]
+  in
+  let g = CG.build tpn in
+  let terminal = CG.Graph.terminal_states g in
+  Alcotest.(check int) "one terminal" 1 (List.length terminal);
+  let tstate = g.Sem.states.(List.hd terminal) in
+  Alcotest.(check int) "token reached d" 1
+    (Marking.tokens tstate.Sem.marking (Net.place_of_name net "d"))
+
+let test_multiple_firing_rejected () =
+  (* two tokens in the input of a single transition: firing must disable it,
+     so this net violates the modelling assumption *)
+  let b = Net.builder "double" in
+  let p = Net.add_place b ~init:2 "p" in
+  let _ = Net.add_transition b ~name:"t" ~inputs:[ (p, 1) ] ~outputs:[] in
+  let tpn = Tpn.make (Net.build b) [ ("t", Tpn.spec ~firing:(Tpn.Fixed Q.one) ()) ] in
+  (try
+     ignore (CG.build tpn);
+     Alcotest.fail "multiply-enabled transition accepted"
+   with Tpn.Unsupported _ -> ())
+
+let test_symbolic_net_rejected_by_concrete () =
+  try
+    ignore (CG.build (SW.symbolic ()));
+    Alcotest.fail "symbolic net accepted by concrete builder"
+  with Tpn.Unsupported _ -> ()
+
+let test_simultaneous_decisions () =
+  (* Two independent lossy channels whose packets arrive at the SAME
+     instant: the decision state has two firable conflict sets, so the
+     selectors are their cross product and the probabilities multiply
+     (Figure 3's "cross product of firable conflict sets"). *)
+  let b = Net.builder "twochan" in
+  let m1 = Net.add_place b ~init:1 "m1" in
+  let m2 = Net.add_place b ~init:1 "m2" in
+  let d1 = Net.add_place b "d1" in
+  let d2 = Net.add_place b "d2" in
+  let t name inputs outputs = ignore (Net.add_transition b ~name ~inputs ~outputs) in
+  t "lose1" [ (m1, 1) ] [];
+  t "ok1" [ (m1, 1) ] [ (d1, 1) ];
+  t "lose2" [ (m2, 1) ] [];
+  t "ok2" [ (m2, 1) ] [ (d2, 1) ];
+  let net = Net.build b in
+  let q fr = Tpn.Freq (Q.of_ints fr 10) in
+  let tpn =
+    Tpn.make net
+      [
+        ("lose1", Tpn.spec ~firing:(Tpn.Fixed (Q.of_int 5)) ~frequency:(q 3) ());
+        ("ok1", Tpn.spec ~firing:(Tpn.Fixed (Q.of_int 5)) ~frequency:(q 7) ());
+        ("lose2", Tpn.spec ~firing:(Tpn.Fixed (Q.of_int 9)) ~frequency:(q 4) ());
+        ("ok2", Tpn.spec ~firing:(Tpn.Fixed (Q.of_int 9)) ~frequency:(q 6) ());
+      ]
+  in
+  let g = CG.build tpn in
+  (* initial state: both conflict sets firable simultaneously -> 4 edges *)
+  let first = g.Sem.out.(0) in
+  Alcotest.(check int) "four selectors" 4 (List.length first);
+  let prob fired_names =
+    let names e = List.sort compare (List.map (Net.trans_name net) e.Sem.fired) in
+    match List.find_opt (fun e -> names e = List.sort compare fired_names) first with
+    | Some e -> e.Sem.prob
+    | None -> Alcotest.fail ("selector not found: " ^ String.concat "," fired_names)
+  in
+  let qq a b = Q.mul (Q.of_ints a 10) (Q.of_ints b 10) in
+  Alcotest.(check bool) "p(ok1,ok2) = 0.42" true (Q.equal (prob [ "ok1"; "ok2" ]) (qq 7 6));
+  Alcotest.(check bool) "p(lose1,lose2) = 0.12" true (Q.equal (prob [ "lose1"; "lose2" ]) (qq 3 4));
+  Alcotest.(check bool) "p(ok1,lose2) = 0.28" true (Q.equal (prob [ "ok1"; "lose2" ]) (qq 7 4));
+  Alcotest.(check bool) "probabilities sum to 1" true
+    (Q.equal Q.one (List.fold_left (fun acc (e : CG.Graph.edge) -> Q.add acc e.Sem.prob) Q.zero first));
+  (* each selector fires exactly one transition from each set *)
+  List.iter
+    (fun (e : CG.Graph.edge) -> Alcotest.(check int) "two transitions per selector" 2 (List.length e.Sem.fired))
+    first
+
+let suite =
+  ( "trg_concrete",
+    [
+      Alcotest.test_case "figure 4: shape" `Quick test_figure4_shape;
+      Alcotest.test_case "figure 4: decision nodes" `Quick test_figure4_decision_nodes;
+      Alcotest.test_case "figure 4: RET values" `Quick test_figure4_ret_values;
+      Alcotest.test_case "figure 4: RFT values" `Quick test_figure4_rft_values;
+      Alcotest.test_case "figure 4: edge delays" `Quick test_figure4_edge_delays;
+      Alcotest.test_case "branch probabilities" `Quick test_probabilities;
+      Alcotest.test_case "timeout priority (zero frequency)" `Quick test_timeout_priority;
+      Alcotest.test_case "initial state" `Quick test_initial_state;
+      Alcotest.test_case "zero firing time" `Quick test_zero_firing_time;
+      Alcotest.test_case "multiple firing rejected" `Quick test_multiple_firing_rejected;
+      Alcotest.test_case "concrete builder rejects symbols" `Quick test_symbolic_net_rejected_by_concrete;
+      Alcotest.test_case "simultaneous decisions (selector cross product)" `Quick test_simultaneous_decisions;
+    ] )
