@@ -25,15 +25,31 @@ module Sim = Tpan_sim.Simulator
 module SW = Tpan_protocols.Stopwait
 module Abp = Tpan_protocols.Abp
 module Sc = Tpan_protocols.Shared_channel
+module O = Tpan_symbolic.Oracle
 
 let failures = ref 0
+let passes = ref 0
 
 let check name cond =
-  if cond then Format.printf "  [PASS] %s@." name
+  if cond then begin
+    incr passes;
+    Format.printf "  [PASS] %s@." name
+  end
   else begin
     incr failures;
     Format.printf "  [FAIL] %s@." name
   end
+
+(* per-section wall times, oracle statistics and microbenchmark rows are
+   collected as the harness runs and dumped to BENCH_tpan.json at the end *)
+let figure_times : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Sys.time () in
+  f ();
+  figure_times := (name, Sys.time () -. t0) :: !figure_times
+
+let oracle_records : (string * O.stats) list ref = ref []
 
 let section id title = Format.printf "@.==================== %s: %s ====================@." id title
 
@@ -691,6 +707,32 @@ let ext_exp () =
   check "Erlang stages converge monotonically toward the deterministic bound"
     (match fractions with [ a; b; c ] -> a < b && b < c && c < 1.0 | _ -> false)
 
+(* ---------------- ORACLE ---------------- *)
+
+let oracle_model name make_tpn =
+  (* a fresh net so the counters cover exactly one build + analysis *)
+  let tpn = make_tpn () in
+  let g = SG.build tpn in
+  let _ = M.Symbolic.analyze g in
+  let st = O.stats (Tpn.oracle tpn) in
+  Format.printf "  %s: %a@." name O.pp_stats st;
+  oracle_records := (name, st) :: !oracle_records;
+  st
+
+let oracle () =
+  section "ORACLE" "memoized constraint oracle vs direct Fourier-Motzkin";
+  let sw = oracle_model "stopwait" SW.symbolic in
+  let abp = oracle_model "abp" Abp.symbolic in
+  check "every query is answered without error (no unaccounted misses)"
+    (let total st = st.O.trivial + st.O.hits + st.O.misses in
+     total sw = sw.O.queries && total abp = abp.O.queries);
+  check "stop-and-wait: >= 5x fewer eliminations than the uncached procedure"
+    (sw.O.baseline_fm_runs >= 5 * sw.O.fm_runs);
+  check "ABP: >= 5x fewer eliminations than the uncached procedure"
+    (abp.O.baseline_fm_runs >= 5 * abp.O.fm_runs);
+  check "witness filter fires (refutations without elimination)"
+    (sw.O.witness_refutations > 0)
+
 (* ---------------- PERF (bechamel) ---------------- *)
 
 let perf () =
@@ -719,6 +761,21 @@ let perf () =
                   [ Lin.var (Var.firing "t5"); Lin.var (Var.firing "t6"); Lin.var (Var.firing "t8") ]
               in
               fun () -> Tpan_symbolic.Constraints.compare_exprs cs rt e3));
+        Test.make ~name:"oracle/entailment-cached"
+          (Staged.stage
+             (* the same query as fm/entailment, answered from the memo *)
+             (let o = Tpn.oracle stpn in
+              let e3 = Lin.var (Var.enabling "t3") in
+              let rt =
+                List.fold_left Lin.add Lin.zero
+                  [ Lin.var (Var.firing "t5"); Lin.var (Var.firing "t6"); Lin.var (Var.firing "t8") ]
+              in
+              ignore (O.compare_exprs o rt e3);
+              fun () -> O.compare_exprs o rt e3));
+        Test.make ~name:"oracle/preprocess"
+          (Staged.stage
+             (let cs = Tpn.constraints stpn in
+              fun () -> O.make cs));
         Test.make ~name:"sim/stopwait-10k-ms"
           (Staged.stage (fun () -> Sim.run ~seed:1 ~horizon:(Q.of_int 10_000) ctpn));
         Test.make ~name:"bigint/mul-256-digit"
@@ -740,47 +797,91 @@ let perf () =
   let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
   let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
   Format.printf "  %-38s %14s %8s@." "benchmark" "time/run" "r^2";
-  List.iter
-    (fun (name, ols) ->
-      let est = match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan in
-      let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> Float.nan in
-      let human t =
-        if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
-        else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
-        else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
-        else Printf.sprintf "%.0f ns" t
-      in
-      Format.printf "  %-38s %14s %8.4f@." name (human est) r2)
-    rows;
+  let measured =
+    List.map
+      (fun (name, ols) ->
+        let est = match Analyze.OLS.estimates ols with Some (e :: _) -> e | _ -> Float.nan in
+        let r2 = match Analyze.OLS.r_square ols with Some r -> r | None -> Float.nan in
+        let human t =
+          if t > 1e9 then Printf.sprintf "%.2f s" (t /. 1e9)
+          else if t > 1e6 then Printf.sprintf "%.2f ms" (t /. 1e6)
+          else if t > 1e3 then Printf.sprintf "%.2f us" (t /. 1e3)
+          else Printf.sprintf "%.0f ns" t
+        in
+        Format.printf "  %-38s %14s %8.4f@." name (human est) r2;
+        (name, est, r2))
+      rows
+  in
   check "all benchmarks produced estimates"
-    (List.for_all
-       (fun (_, ols) ->
-         match Analyze.OLS.estimates ols with Some (e :: _) -> e > 0. | _ -> false)
-       rows)
+    (List.for_all (fun (_, est, _) -> est > 0.) measured);
+  measured
+
+(* ---------------- BENCH_tpan.json ---------------- *)
+
+let emit_json ~micro path =
+  let buf = Buffer.create 4096 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  let escape s =
+    String.concat ""
+      (List.map
+         (function
+           | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n"
+           | c -> String.make 1 c)
+         (List.init (String.length s) (String.get s)))
+  in
+  let num x = if Float.is_finite x then Printf.sprintf "%.6f" x else "null" in
+  let sep xs f = List.iteri (fun i x -> if i > 0 then pr ",\n"; f x) xs in
+  pr "{\n  \"figures\": [\n";
+  sep (List.rev !figure_times) (fun (name, s) ->
+      pr "    {\"name\": \"%s\", \"seconds\": %s}" (escape name) (num s));
+  pr "\n  ],\n  \"oracle\": [\n";
+  sep (List.rev !oracle_records) (fun (model, (st : O.stats)) ->
+      let reduction =
+        if st.O.fm_runs = 0 then float_of_int st.O.baseline_fm_runs
+        else float_of_int st.O.baseline_fm_runs /. float_of_int st.O.fm_runs
+      in
+      pr
+        "    {\"model\": \"%s\", \"queries\": %d, \"trivial\": %d, \"hits\": %d, \
+         \"misses\": %d, \"witness_refutations\": %d, \"fm_runs\": %d, \
+         \"baseline_fm_runs\": %d, \"reduction_factor\": %s}"
+        (escape model) st.O.queries st.O.trivial st.O.hits st.O.misses
+        st.O.witness_refutations st.O.fm_runs st.O.baseline_fm_runs (num reduction));
+  pr "\n  ],\n  \"microbench\": [\n";
+  sep micro (fun (name, ns, r2) ->
+      pr "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}" (escape name)
+        (num ns) (num r2));
+  pr "\n  ],\n  \"checks\": {\"passed\": %d, \"failed\": %d}\n}\n" !passes !failures;
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Format.printf "@.wrote %s@." path
 
 let () =
   Format.printf "tpan reproduction harness — Razouk, Timed Petri Net performance expressions@.";
-  fig1 ();
-  fig4 ();
-  fig5 ();
-  fig6 ();
-  fig7 ();
-  fig8 ();
-  thrpt ();
-  ext_sweep ();
-  ext_timeout ();
-  ext_abp ();
-  ext_sched ();
-  ext_latency ();
-  ext_interval ();
-  ext_ring ();
-  ext_pipe ();
-  ext_window ();
-  ext_sens ();
-  ext_batch ();
-  ext_range ();
-  ext_exp ();
-  perf ();
+  timed "FIG1" fig1;
+  timed "FIG4" fig4;
+  timed "FIG5" fig5;
+  timed "FIG6" fig6;
+  timed "FIG7" fig7;
+  timed "FIG8" fig8;
+  timed "THRPT" thrpt;
+  timed "EXT-SWEEP" ext_sweep;
+  timed "EXT-TIMEOUT" ext_timeout;
+  timed "EXT-ABP" ext_abp;
+  timed "EXT-SCHED" ext_sched;
+  timed "EXT-LATENCY" ext_latency;
+  timed "EXT-INTERVAL" ext_interval;
+  timed "EXT-RING" ext_ring;
+  timed "EXT-PIPE" ext_pipe;
+  timed "EXT-WINDOW" ext_window;
+  timed "EXT-SENS" ext_sens;
+  timed "EXT-BATCH" ext_batch;
+  timed "EXT-RANGE" ext_range;
+  timed "EXT-EXP" ext_exp;
+  timed "ORACLE" oracle;
+  let micro = ref [] in
+  timed "PERF" (fun () -> micro := perf ());
+  emit_json ~micro:!micro "BENCH_tpan.json";
   Format.printf "@.====================@.";
   if !failures = 0 then Format.printf "ALL CHECKS PASSED@."
   else begin

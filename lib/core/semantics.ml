@@ -330,14 +330,10 @@ module Make (D : DOMAIN) = struct
     let kinds = Array.map (kind_of_state tpn) states in
     { tpn; states; out; kinds }
 
-  let decision_states g =
-    List.filter (fun i -> g.kinds.(i) = Decision) (List.init (Array.length g.states) Fun.id)
-
-  let terminal_states g =
-    List.filter (fun i -> g.kinds.(i) = Terminal) (List.init (Array.length g.states) Fun.id)
-
-  let num_states g = Array.length g.states
-  let num_edges g = Array.fold_left (fun acc l -> acc + List.length l) 0 g.out
+  let decision_states = graph_decision_states
+  let terminal_states = graph_terminal_states
+  let num_states = graph_num_states
+  let num_edges = graph_num_edges
 
   let pp_state tpn fmt st =
     let net = Tpn.net tpn in

@@ -5,6 +5,7 @@ module Lin = Tpan_symbolic.Linexpr
 module Poly = Tpan_symbolic.Poly
 module Rf = Tpan_symbolic.Ratfun
 module C = Tpan_symbolic.Constraints
+module O = Tpan_symbolic.Oracle
 
 exception Insufficient of { lhs : Lin.t; rhs : Lin.t; hint : string }
 
@@ -21,13 +22,13 @@ module Domain = struct
 
   let normalize tpn e =
     if Lin.is_const e then e
-    else if C.entails (Tpn.constraints tpn) `Eq e Lin.zero then Lin.zero
+    else if O.entails (Tpn.oracle tpn) `Eq e Lin.zero then Lin.zero
     else e
 
   let compare_time tpn a b =
     if Lin.equal a b then `Eq
     else
-      match C.compare_exprs (Tpn.constraints tpn) a b with
+      match O.compare_exprs (Tpn.oracle tpn) a b with
       | C.Lt -> `Lt
       | C.Eq -> `Eq
       | C.Gt -> `Gt

@@ -22,6 +22,9 @@ type t = {
   net : Net.t;
   specs : spec array;
   constraints : Constraints.t;
+  oracle : Tpan_symbolic.Oracle.t Lazy.t;
+      (* built once per constraint system; all symbolic ordering queries go
+         through it (preprocessing + witness filter + memoized verdicts) *)
   cs_of : int array; (* transition -> conflict-set id *)
   css : Net.trans list array; (* conflict-set id -> members *)
 }
@@ -122,10 +125,11 @@ let make ?(constraints = Constraints.empty) ?(conflict_sets = []) net specs_alis
           specs.(t) <- { (specs.(t)) with frequency = Freq f })
         ts freqs)
     conflict_sets;
-  { net; specs; constraints; cs_of; css }
+  { net; specs; constraints; oracle = lazy (Tpan_symbolic.Oracle.make constraints); cs_of; css }
 
 let net g = g.net
 let constraints g = g.constraints
+let oracle g = Lazy.force g.oracle
 let enabling g t = g.specs.(t).enabling
 let firing g t = g.specs.(t).firing
 let frequency g t = g.specs.(t).frequency

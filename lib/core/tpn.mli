@@ -66,6 +66,14 @@ val make :
 val net : t -> Net.t
 val constraints : t -> Tpan_symbolic.Constraints.t
 
+val oracle : t -> Tpan_symbolic.Oracle.t
+(** The net's memoizing constraint oracle, built lazily (once) from
+    {!constraints}. All symbolic ordering queries should go through it:
+    verdicts agree with the direct {!Tpan_symbolic.Constraints} procedures
+    but preprocessing, the witness-point filter and the verdict memo table
+    make repeated queries cheap. Shared by nets derived with
+    {!bind_times}. *)
+
 val enabling : t -> Net.trans -> time_spec
 val firing : t -> Net.trans -> time_spec
 val frequency : t -> Net.trans -> freq_spec

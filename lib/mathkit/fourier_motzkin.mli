@@ -60,6 +60,19 @@ val satisfies : (int -> Q.t) -> constr -> bool
 val feasible : constr list -> bool
 (** Is there a rational assignment satisfying every constraint? *)
 
+val normalize_system : constr list -> constr list option
+(** Split equalities into inequality pairs, scale every inequality to a
+    canonical direction, collapse proportional constraints to the strongest
+    one and drop satisfied constant constraints. [None] when a constant
+    constraint is violated (the system is trivially infeasible). The result
+    is equivalent to the input. *)
+
+val find_model : constr list -> (int * Q.t) list option
+(** A rational model of the system, or [None] if infeasible. Variables
+    absent from the returned assignment are implicitly [0]. Where a
+    variable's feasible interval is wide the midpoint is chosen, so the
+    model tends to lie in the interior of the feasible region. *)
+
 val entails : constr list -> constr -> bool
 (** [entails cs c]: does every model of [cs] satisfy [c]? *)
 
