@@ -40,14 +40,39 @@ let check name cond =
     Format.printf "  [FAIL] %s@." name
   end
 
-(* per-section wall times, oracle statistics and microbenchmark rows are
-   collected as the harness runs and dumped to BENCH_tpan.json at the end *)
-let figure_times : (string * float) list ref = ref []
+(* per-section wall times, GC deltas, oracle statistics and microbenchmark
+   rows are collected as the harness runs and dumped to BENCH_tpan.json at
+   the end *)
+type gc_delta = {
+  minor_words : float;
+  major_words : float;
+  promoted_words : float;
+  major_collections : int;
+  compactions : int;
+}
+
+let figure_times : (string * float * gc_delta) list ref = ref []
 
 let timed name f =
+  let g0 = Gc.quick_stat () in
+  (* quick_stat's allocation fields only refresh at collection slices on
+     OCaml 5; Gc.minor_words reads the allocation pointer directly *)
+  let mw0 = Gc.minor_words () in
   let t0 = Sys.time () in
   f ();
-  figure_times := (name, Sys.time () -. t0) :: !figure_times
+  let dt = Sys.time () -. t0 in
+  let g1 = Gc.quick_stat () in
+  figure_times :=
+    ( name,
+      dt,
+      {
+        minor_words = Gc.minor_words () -. mw0;
+        major_words = g1.Gc.major_words -. g0.Gc.major_words;
+        promoted_words = g1.Gc.promoted_words -. g0.Gc.promoted_words;
+        major_collections = g1.Gc.major_collections - g0.Gc.major_collections;
+        compactions = g1.Gc.compactions - g0.Gc.compactions;
+      } )
+    :: !figure_times
 
 let oracle_records : (string * O.stats) list ref = ref []
 
@@ -832,8 +857,28 @@ let emit_json ~micro path =
   let num x = if Float.is_finite x then Printf.sprintf "%.6f" x else "null" in
   let sep xs f = List.iteri (fun i x -> if i > 0 then pr ",\n"; f x) xs in
   pr "{\n  \"figures\": [\n";
-  sep (List.rev !figure_times) (fun (name, s) ->
-      pr "    {\"name\": \"%s\", \"seconds\": %s}" (escape name) (num s));
+  sep (List.rev !figure_times) (fun (name, s, gc) ->
+      pr
+        "    {\"name\": \"%s\", \"seconds\": %s, \"gc\": {\"minor_words\": %s, \
+         \"major_words\": %s, \"promoted_words\": %s, \"major_collections\": %d, \
+         \"compactions\": %d}}"
+        (escape name) (num s) (num gc.minor_words) (num gc.major_words)
+        (num gc.promoted_words) gc.major_collections gc.compactions);
+  pr "\n  ],\n  \"metrics\": [\n";
+  sep
+    (Tpan_obs.Metrics.snapshot ())
+    (fun (name, v) ->
+      match v with
+      | Tpan_obs.Metrics.Counter_v n ->
+        pr "    {\"name\": \"%s\", \"kind\": \"counter\", \"value\": %d}" (escape name) n
+      | Tpan_obs.Metrics.Gauge_v x ->
+        pr "    {\"name\": \"%s\", \"kind\": \"gauge\", \"value\": %s}" (escape name) (num x)
+      | Tpan_obs.Metrics.Histogram_v h ->
+        pr
+          "    {\"name\": \"%s\", \"kind\": \"histogram\", \"count\": %d, \"sum\": %s, \
+           \"p50\": %s, \"p90\": %s, \"p99\": %s, \"max\": %s}"
+          (escape name) h.count (num h.sum) (num h.p50) (num h.p90) (num h.p99)
+          (num h.max));
   pr "\n  ],\n  \"oracle\": [\n";
   sep (List.rev !oracle_records) (fun (model, (st : O.stats)) ->
       let reduction =

@@ -18,6 +18,7 @@ module DG = Tpan_perf.Decision_graph
 module Rates = Tpan_perf.Rates
 module M = Tpan_perf.Measures
 module Sim = Tpan_sim.Simulator
+module Obs = Tpan_obs
 
 open Cmdliner
 
@@ -74,11 +75,54 @@ let handle_errors f =
     Printf.eprintf
       "the system is deterministic from some decision node on; use the cycle analysis\n";
     exit 4
+  | Reach.State_limit n ->
+    Printf.eprintf
+      "state budget exhausted: exploration truncated at %d states (raise --max-states)\n" n;
+    exit 5
   | Sys_error msg ->
     Printf.eprintf "error: %s\n" msg;
     exit 2
 
 let qf q = Format.asprintf "%a" (Q.pp_decimal ~digits:6) q
+
+(* ----- observability options (shared by every subcommand) ----- *)
+
+let progress_enabled = ref false
+
+let progress label =
+  if !progress_enabled then Obs.Progress.stderr_reporter ~label ()
+  else fun (_ : int) -> ()
+
+let obs_setup trace_file metrics progress =
+  progress_enabled := progress;
+  if metrics then Obs.Metrics.set_timing true;
+  if trace_file <> None then Obs.Trace.set_enabled true;
+  (match trace_file with
+   | None -> ()
+   | Some path ->
+     at_exit (fun () ->
+         try
+           let oc = open_out path in
+           Obs.Trace.write_ndjson oc;
+           close_out oc
+         with Sys_error msg -> Printf.eprintf "warning: cannot write trace: %s\n" msg));
+  if metrics then at_exit (fun () -> Format.eprintf "@[%a@]@." Obs.Metrics.pp_table ())
+
+let obs_term =
+  let trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write the span log as NDJSON (Chrome-trace events, one per line) to $(docv) on exit.")
+  in
+  let metrics_arg =
+    Arg.(value & flag & info [ "metrics" ] ~doc:"Print the metrics table to stderr on exit.")
+  in
+  let progress_arg =
+    Arg.(value & flag & info [ "progress" ] ~doc:"Report exploration progress to stderr.")
+  in
+  Term.(const obs_setup $ trace_arg $ metrics_arg $ progress_arg)
 
 (* ----- common options ----- *)
 
@@ -105,7 +149,7 @@ let with_net file model k = handle_errors (fun () ->
 (* ----- show ----- *)
 
 let show_cmd =
-  let run file model =
+  let run () file model =
     with_net file model (fun tpn ->
         print_string (Tpan_dsl.Printer.to_string tpn);
         let net = Tpn.net tpn in
@@ -121,17 +165,17 @@ let show_cmd =
   in
   Cmd.v
     (Cmd.info "show" ~doc:"Print the net, its timing table and conflict sets.")
-    Term.(const run $ file_arg $ model_arg)
+    Term.(const run $ obs_term $ file_arg $ model_arg)
 
 (* ----- reach (untimed analysis) ----- *)
 
 let reach_cmd =
-  let run file model max_states =
+  let run () file model max_states =
     with_net file model (fun tpn ->
         let net = Tpn.net tpn in
-        let tree = Cover.build ~max_nodes:max_states net in
+        let tree = Cover.build ~max_nodes:max_states ~on_progress:(progress "coverability") net in
         if Cover.is_bounded tree then begin
-          let g = Reach.explore ~max_states net in
+          let g = Reach.explore ~max_states ~on_progress:(progress "reachability") net in
           Printf.printf "bounded: yes\nstates: %d\nedges: %d\ndeadlocks: %d\nsafe: %b\n"
             (Reach.num_states g) (Reach.num_edges g)
             (List.length (Reach.deadlocks g))
@@ -155,7 +199,7 @@ let reach_cmd =
   in
   Cmd.v
     (Cmd.info "reach" ~doc:"Untimed analysis: boundedness, reachability, invariants.")
-    Term.(const run $ file_arg $ model_arg $ max_states_arg)
+    Term.(const run $ obs_term $ file_arg $ model_arg $ max_states_arg)
 
 (* ----- analyze (concrete) ----- *)
 
@@ -167,9 +211,9 @@ let throughput_arg =
         ~doc:"Report the completion rate of this transition (repeatable).")
 
 let analyze_cmd =
-  let run file model max_states throughputs =
+  let run () file model max_states throughputs =
     with_net file model (fun tpn ->
-        let g = CG.build ~max_states tpn in
+        let g = CG.build ~max_states ~on_progress:(progress "TRG") tpn in
         Format.printf "timed reachability graph: %d states, %d edges@." (CG.Graph.num_states g)
           (CG.Graph.num_edges g);
         (match M.Concrete.analyze g with
@@ -195,14 +239,14 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Concrete timed analysis: TRG, decision graph, throughput.")
-    Term.(const run $ file_arg $ model_arg $ max_states_arg $ throughput_arg)
+    Term.(const run $ obs_term $ file_arg $ model_arg $ max_states_arg $ throughput_arg)
 
 (* ----- symbolic ----- *)
 
 let symbolic_cmd =
-  let run file model max_states throughputs point =
+  let run () file model max_states throughputs point =
     with_net file model (fun tpn ->
-        let g = SG.build ~max_states tpn in
+        let g = SG.build ~max_states ~on_progress:(progress "symbolic TRG") tpn in
         Format.printf "symbolic timed reachability graph: %d states, %d edges@."
           (SG.Graph.num_states g) (SG.Graph.num_edges g);
         let audit = SG.constraint_audit g in
@@ -246,12 +290,12 @@ let symbolic_cmd =
   in
   Cmd.v
     (Cmd.info "symbolic" ~doc:"Symbolic analysis: expressions for rates and throughput.")
-    Term.(const run $ file_arg $ model_arg $ max_states_arg $ throughput_arg $ point_arg)
+    Term.(const run $ obs_term $ file_arg $ model_arg $ max_states_arg $ throughput_arg $ point_arg)
 
 (* ----- simulate ----- *)
 
 let simulate_cmd =
-  let run file model horizon seed runs throughputs point =
+  let run () file model horizon seed runs throughputs point =
     with_net file model (fun tpn ->
         let horizon = Q.of_decimal_string horizon in
         (* a symbolic net can be simulated once its symbols are bound *)
@@ -291,12 +335,12 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Monte-Carlo simulation of a (possibly bound-symbolic) net.")
-    Term.(const run $ file_arg $ model_arg $ horizon_arg $ seed_arg $ runs_arg $ throughput_arg $ point_arg)
+    Term.(const run $ obs_term $ file_arg $ model_arg $ horizon_arg $ seed_arg $ runs_arg $ throughput_arg $ point_arg)
 
 (* ----- latency ----- *)
 
 let latency_cmd =
-  let run file model max_states events point =
+  let run () file model max_states events point =
     with_net file model (fun tpn ->
         let module P = Tpan_perf.Passage in
         if Tpn.is_concrete tpn then begin
@@ -340,12 +384,12 @@ let latency_cmd =
   in
   Cmd.v
     (Cmd.info "latency" ~doc:"Mean first-passage time to a transition's completion.")
-    Term.(const run $ file_arg $ model_arg $ max_states_arg $ event_arg $ point_arg)
+    Term.(const run $ obs_term $ file_arg $ model_arg $ max_states_arg $ event_arg $ point_arg)
 
 (* ----- sweep ----- *)
 
 let sweep_cmd =
-  let run file model max_states trans var lo hi steps point =
+  let run () file model max_states trans var lo hi steps point =
     with_net file model (fun tpn ->
         let g = SG.build ~max_states tpn in
         let res = M.Symbolic.analyze g in
@@ -390,12 +434,12 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep"
        ~doc:"Evaluate the symbolic throughput across a parameter range (one derivation, many points).")
-    Term.(const run $ file_arg $ model_arg $ max_states_arg $ trans_arg $ var_arg $ lo_arg $ hi_arg $ steps_arg $ point_arg)
+    Term.(const run $ obs_term $ file_arg $ model_arg $ max_states_arg $ trans_arg $ var_arg $ lo_arg $ hi_arg $ steps_arg $ point_arg)
 
 (* ----- check ----- *)
 
 let check_cmd =
-  let run file model max_states =
+  let run () file model max_states =
     with_net file model (fun tpn ->
         let net = Tpn.net tpn in
         Format.printf "net class: %a@." Tpan_petri.Classify.pp (Tpan_petri.Classify.classify net);
@@ -440,12 +484,12 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Validate a model: net class, constraints, siphons, timed safety.")
-    Term.(const run $ file_arg $ model_arg $ max_states_arg)
+    Term.(const run $ obs_term $ file_arg $ model_arg $ max_states_arg)
 
 (* ----- report ----- *)
 
 let report_cmd =
-  let run file model max_states events =
+  let run () file model max_states events =
     with_net file model (fun tpn ->
         if Tpn.is_concrete tpn then
           Tpan_perf.Report.concrete ~max_states ~events Format.std_formatter tpn
@@ -460,12 +504,89 @@ let report_cmd =
   in
   Cmd.v
     (Cmd.info "report" ~doc:"Full analysis report: structure, invariants, siphons, steady state, latencies.")
-    Term.(const run $ file_arg $ model_arg $ max_states_arg $ event_arg)
+    Term.(const run $ obs_term $ file_arg $ model_arg $ max_states_arg $ event_arg)
+
+(* ----- profile ----- *)
+
+let profile_cmd =
+  let run () file model max_states =
+    with_net file model (fun tpn ->
+        Obs.Trace.set_enabled true;
+        let concrete = Tpn.is_concrete tpn in
+        (* Run the full analyze pipeline; a net without a steady state still
+           yields a breakdown of the stages that did run. *)
+        let states, edges, note =
+          if concrete then begin
+            let g = CG.build ~max_states ~on_progress:(progress "TRG build") tpn in
+            let note =
+              match M.Concrete.analyze g with
+              | (_ : M.Concrete.result) -> None
+              | exception Rates.Unsolvable msg -> Some msg
+              | exception DG.Deterministic_cycle _ ->
+                Some "deterministic from some decision node on (no rate solve)"
+            in
+            (CG.Graph.num_states g, CG.Graph.num_edges g, note)
+          end
+          else begin
+            let g = SG.build ~max_states ~on_progress:(progress "TRG build") tpn in
+            let note =
+              match M.Symbolic.analyze g with
+              | (_ : M.Symbolic.result) -> None
+              | exception Rates.Unsolvable msg -> Some msg
+              | exception DG.Deterministic_cycle _ ->
+                Some "deterministic from some decision node on (no rate solve)"
+            in
+            (SG.Graph.num_states g, SG.Graph.num_edges g, note)
+          end
+        in
+        let ms name = Obs.Trace.total_duration name *. 1000. in
+        let cnt = Obs.Metrics.counter_value in
+        let gauge name =
+          match Obs.Metrics.find name with Some (Obs.Metrics.Gauge_v v) -> int_of_float v | _ -> 0
+        in
+        Printf.printf "profile (%s pipeline, %d states, %d edges)\n\n"
+          (if concrete then "concrete" else "symbolic")
+          states edges;
+        Printf.printf "%-26s %12s  %s\n" "stage" "time (ms)" "counters";
+        Printf.printf "%-26s %12.3f  states=%d edges=%d frontier_peak=%d\n" "TRG build"
+          (ms (if concrete then "concrete.build" else "symbolic.build"))
+          (cnt "core.semantics.states_interned")
+          (cnt "core.semantics.edges")
+          (gauge "core.semantics.frontier_peak");
+        Printf.printf "%-26s %12s  queries=%d trivial=%d memo_hits=%d witness_refutations=%d\n"
+          "oracle queries" "-"
+          (cnt "symbolic.oracle.queries")
+          (cnt "symbolic.oracle.trivial")
+          (cnt "symbolic.oracle.memo_hits")
+          (cnt "symbolic.oracle.witness_refutations");
+        Printf.printf "%-26s %12s  eliminations=%d constraints_pruned=%d feasible_checks=%d\n"
+          "FM eliminations" "-"
+          (cnt "mathkit.fm.eliminations")
+          (cnt "mathkit.fm.constraints_pruned")
+          (cnt "mathkit.fm.feasible_checks");
+        Printf.printf "%-26s %12.3f  nodes=%d edges=%d states_collapsed=%d\n"
+          "decision-graph collapse"
+          (ms "decision_graph.collapse")
+          (cnt "perf.decision_graph.nodes")
+          (cnt "perf.decision_graph.edges")
+          (cnt "perf.decision_graph.states_collapsed");
+        Printf.printf "%-26s %12.3f  solves=%d\n" "rate solve" (ms "rates.solve")
+          (cnt "perf.rates.solves");
+        (match note with
+         | Some msg -> Printf.printf "\nnote: steady-state analysis stopped early: %s\n" msg
+         | None -> ());
+        Printf.printf "\nspan tree:\n";
+        Format.printf "%a@." Obs.Trace.pp_tree ())
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run the full analyze pipeline and print a per-stage time/count breakdown.")
+    Term.(const run $ obs_term $ file_arg $ model_arg $ max_states_arg)
 
 (* ----- dot ----- *)
 
 let dot_cmd =
-  let run file model what max_states =
+  let run () file model what max_states =
     with_net file model (fun tpn ->
         match what with
         | "net" -> print_string (Tpan_petri.Dot.net_to_dot (Tpn.net tpn))
@@ -490,11 +611,11 @@ let dot_cmd =
   in
   Cmd.v
     (Cmd.info "dot" ~doc:"Emit Graphviz DOT for the net or its graphs.")
-    Term.(const run $ file_arg $ model_arg $ what_arg $ max_states_arg)
+    Term.(const run $ obs_term $ file_arg $ model_arg $ what_arg $ max_states_arg)
 
 let () =
   let info =
     Cmd.info "tpan" ~version:"1.0.0"
       ~doc:"Performance analysis of communication protocols from Timed Petri Net models"
   in
-  exit (Cmd.eval (Cmd.group info [ show_cmd; reach_cmd; analyze_cmd; symbolic_cmd; simulate_cmd; sweep_cmd; latency_cmd; check_cmd; report_cmd; dot_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ show_cmd; reach_cmd; analyze_cmd; symbolic_cmd; simulate_cmd; sweep_cmd; latency_cmd; check_cmd; report_cmd; profile_cmd; dot_cmd ]))

@@ -38,10 +38,14 @@ end
 
 module Graph = Semantics.Make (Domain)
 
-let build ?max_states tpn =
+let build ?max_states ?on_progress tpn =
   if not (Tpn.is_concrete tpn) then
     raise (Tpn.Unsupported "Concrete.build: net has symbolic times or frequencies");
-  Graph.build ?max_states tpn
+  Tpan_obs.Trace.with_span "concrete.build" @@ fun sp ->
+  let g = Graph.build ?max_states ?on_progress tpn in
+  Tpan_obs.Trace.add_attr_int sp "states" (Graph.num_states g);
+  Tpan_obs.Trace.add_attr_int sp "edges" (Graph.num_edges g);
+  g
 
 let total_delay edges = List.fold_left (fun acc (e : Graph.edge) -> Q.add acc e.delay) Q.zero edges
 

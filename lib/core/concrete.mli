@@ -10,8 +10,10 @@ module Domain :
 
 module Graph : module type of Semantics.Make (Domain)
 
-val build : ?max_states:int -> Tpn.t -> Graph.graph
-(** @raise Tpn.Unsupported if the net has symbolic times/frequencies. *)
+val build : ?max_states:int -> ?on_progress:(int -> unit) -> Tpn.t -> Graph.graph
+(** Builds under a ["concrete.build"] trace span; [on_progress] as in
+    {!Semantics.Make.build}.
+    @raise Tpn.Unsupported if the net has symbolic times/frequencies. *)
 
 val total_delay : Graph.edge list -> Q.t
 (** Sum of edge delays along a path. *)

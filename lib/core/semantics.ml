@@ -1,5 +1,13 @@
 module Net = Tpan_petri.Net
 module Marking = Tpan_petri.Marking
+module Metrics = Tpan_obs.Metrics
+
+(* Shared across Make instances: one TRG is built per run, and the profile
+   view wants concrete and symbolic builds under the same names. *)
+let m_states = Metrics.counter "core.semantics.states_interned"
+let m_edges = Metrics.counter "core.semantics.edges"
+let m_frontier_peak = Metrics.gauge "core.semantics.frontier_peak"
+let h_successors = Metrics.histogram "core.semantics.successor_seconds"
 
 module type DOMAIN = sig
   type time
@@ -293,7 +301,7 @@ module Make (D : DOMAIN) = struct
     let hash = state_hash
   end)
 
-  let build ?(max_states = 100_000) tpn =
+  let build ?(max_states = 100_000) ?(on_progress = fun _ -> ()) tpn =
     let index = ST.create 256 in
     let states = ref [] and count = ref 0 in
     let intern st =
@@ -305,6 +313,8 @@ module Make (D : DOMAIN) = struct
         incr count;
         ST.add index st i;
         states := st :: !states;
+        Metrics.Counter.incr m_states;
+        on_progress !count;
         (i, true)
     in
     let s0 = initial_state tpn in
@@ -313,15 +323,21 @@ module Make (D : DOMAIN) = struct
     Queue.add (i0, s0) queue;
     let out = Hashtbl.create 256 in
     while not (Queue.is_empty queue) do
+      Metrics.Gauge.set_max m_frontier_peak (float_of_int (Queue.length queue));
       let i, st = Queue.take queue in
+      let succs =
+        if Metrics.timing_on () then Metrics.time h_successors (fun () -> successors tpn st)
+        else successors tpn st
+      in
       let edges =
         List.map
           (fun (d, st') ->
             let j, fresh = intern st' in
             if fresh then Queue.add (j, st') queue;
+            Metrics.Counter.incr m_edges;
             { src = i; dst = j; delay = d.e_delay; prob = d.e_prob; fired = d.e_fired;
               completed = d.e_completed; justification = d.e_justification })
-          (successors tpn st)
+          succs
       in
       Hashtbl.replace out i edges
     done;

@@ -117,8 +117,10 @@ module Make (D : DOMAIN) : sig
   val successors : Tpn.t -> state -> (edge_data * state) list
   (** Raw successor computation (Figure 3); [edge_data] lacks indices. *)
 
-  val build : ?max_states:int -> Tpn.t -> graph
+  val build : ?max_states:int -> ?on_progress:(int -> unit) -> Tpn.t -> graph
   (** Full graph by BFS with state deduplication (default limit 100_000).
+      [on_progress] is called with the running state count after each
+      fresh state is interned (throttle with {!Tpan_obs.Progress.every}).
       @raise Tpn.Unsupported on nets violating the paper's assumptions
       @raise Tpan_petri.Reachability.State_limit when the budget is hit *)
 

@@ -64,7 +64,12 @@ end
 
 module Graph = Semantics.Make (Domain)
 
-let build ?max_states tpn = Graph.build ?max_states tpn
+let build ?max_states ?on_progress tpn =
+  Tpan_obs.Trace.with_span "symbolic.build" @@ fun sp ->
+  let g = Graph.build ?max_states ?on_progress tpn in
+  Tpan_obs.Trace.add_attr_int sp "states" (Graph.num_states g);
+  Tpan_obs.Trace.add_attr_int sp "edges" (Graph.num_edges g);
+  g
 
 let total_delay edges =
   List.fold_left (fun acc (e : Graph.edge) -> Lin.add acc e.delay) Lin.zero edges

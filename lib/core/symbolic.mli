@@ -22,8 +22,10 @@ module Domain :
 
 module Graph : module type of Semantics.Make (Domain)
 
-val build : ?max_states:int -> Tpn.t -> Graph.graph
-(** Works for any net (concrete specs become constant expressions).
+val build : ?max_states:int -> ?on_progress:(int -> unit) -> Tpn.t -> Graph.graph
+(** Works for any net (concrete specs become constant expressions). Builds
+    under a ["symbolic.build"] trace span; [on_progress] as in
+    {!Semantics.Make.build}.
     @raise Insufficient when the constraint system is too weak
     @raise Tpn.Unsupported on nets violating the modelling assumptions *)
 

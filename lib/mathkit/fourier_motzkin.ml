@@ -110,6 +110,13 @@ let satisfies env c =
 module IntSet = Set.Make (Int)
 module FormMap = Map.Make (Linform)
 
+module Metrics = Tpan_obs.Metrics
+
+let m_feasible_checks = Metrics.counter "mathkit.fm.feasible_checks"
+let m_eliminations = Metrics.counter "mathkit.fm.eliminations"
+let m_constraints_pruned = Metrics.counter "mathkit.fm.constraints_pruned"
+let m_find_model_calls = Metrics.counter "mathkit.fm.find_model_calls"
+
 let split c =
   match c.rel with
   | Eq -> [ { form = c.form; rel = Ge }; { form = Linform.neg c.form; rel = Ge } ]
@@ -156,10 +163,13 @@ let prune cs =
           end)
         FormMap.empty cs
     in
-    Some
-      (FormMap.fold
-         (fun key (cst, rel) acc -> { form = Linform.add key (Linform.const cst); rel } :: acc)
-         keyed [])
+    let kept =
+      FormMap.fold
+        (fun key (cst, rel) acc -> { form = Linform.add key (Linform.const cst); rel } :: acc)
+        keyed []
+    in
+    Metrics.Counter.add m_constraints_pruned (List.length cs - List.length kept);
+    Some kept
   with Infeasible -> None
 
 let all_vars cs =
@@ -206,6 +216,7 @@ let partition v cs =
 (* A pair (l: a·v + L' ≥/> 0 with a>0) and (u: b·v + U' ≥/> 0 with b<0)
    combines into (-b)·(l.form) + a·(u.form) ≥/> 0, which cancels v. *)
 let eliminate v cs =
+  Metrics.Counter.incr m_eliminations;
   let lower, upper, rest = partition v cs in
   let combine l u =
     let a = Linform.coeff v l.form and b = Linform.coeff v u.form in
@@ -218,6 +229,7 @@ let eliminate v cs =
 let normalize_system constraints = prune (List.concat_map split constraints)
 
 let feasible constraints =
+  Metrics.Counter.incr m_feasible_checks;
   let rec run = function
     | None -> false
     | Some [] -> true
@@ -234,6 +246,7 @@ let feasible constraints =
    oracle's witness filter better than a boundary one). Variables dropped
    along the way default to 0; callers must treat absent variables as 0. *)
 let find_model constraints =
+  Metrics.Counter.incr m_find_model_calls;
   let rec go cs =
     match prune cs with
     | None -> None

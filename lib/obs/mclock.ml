@@ -1,0 +1,6 @@
+(* Wall-clock time in seconds. [Unix.gettimeofday] is the finest-grained
+   clock the stdlib + unix expose (~1 us); spans and stage timings live in
+   the millisecond range, so that resolution is ample. [Sys.time] is CPU
+   time and would hide blocking, so it is deliberately not used here. *)
+
+let now = Unix.gettimeofday

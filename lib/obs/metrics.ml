@@ -1,0 +1,166 @@
+module Counter = struct
+  type t = { mutable v : int }
+
+  let create () = { v = 0 }
+  let incr c = c.v <- c.v + 1
+  let add c n = c.v <- c.v + n
+  let value c = c.v
+  let reset c = c.v <- 0
+end
+
+module Gauge = struct
+  type t = { mutable g : float }
+
+  let create () = { g = 0. }
+  let set g x = g.g <- x
+  let set_max g x = if x > g.g then g.g <- x
+  let value g = g.g
+  let reset g = g.g <- 0.
+end
+
+module Histogram = struct
+  type t = {
+    mutable data : float array;
+    mutable stored : int;  (* valid prefix of [data] *)
+    mutable total : int;  (* observations ever, drives round-robin overwrite *)
+    mutable sum : float;
+    mutable max_v : float;
+    cap : int;
+  }
+
+  let create ?(cap = 8192) () =
+    if cap <= 0 then invalid_arg "Histogram.create: cap must be positive";
+    { data = [||]; stored = 0; total = 0; sum = 0.; max_v = neg_infinity; cap }
+
+  let observe h x =
+    (if h.stored < h.cap then begin
+       if h.stored >= Array.length h.data then begin
+         let grown = Array.make (max 64 (min h.cap (2 * Array.length h.data))) 0. in
+         Array.blit h.data 0 grown 0 h.stored;
+         h.data <- grown
+       end;
+       h.data.(h.stored) <- x;
+       h.stored <- h.stored + 1
+     end
+     else h.data.(h.total mod h.cap) <- x);
+    h.total <- h.total + 1;
+    h.sum <- h.sum +. x;
+    if x > h.max_v then h.max_v <- x
+
+  let count h = h.total
+  let sum h = h.sum
+  let max_value h = if h.total = 0 then Float.nan else h.max_v
+
+  let percentile h q =
+    if h.stored = 0 then Float.nan
+    else begin
+      let sorted = Array.sub h.data 0 h.stored in
+      Array.sort compare sorted;
+      let rank = int_of_float (Float.ceil (q *. float_of_int h.stored)) - 1 in
+      sorted.(max 0 (min (h.stored - 1) rank))
+    end
+
+  let reset h =
+    h.stored <- 0;
+    h.total <- 0;
+    h.sum <- 0.;
+    h.max_v <- neg_infinity
+end
+
+(* ---------------- timing switch ---------------- *)
+
+let timing = ref false
+let set_timing b = timing := b
+let timing_on () = !timing
+
+let time h f =
+  if not !timing then f ()
+  else begin
+    let t0 = Mclock.now () in
+    Fun.protect ~finally:(fun () -> Histogram.observe h (Mclock.now () -. t0)) f
+  end
+
+(* ---------------- registry ---------------- *)
+
+type metric = C of Counter.t | G of Gauge.t | H of Histogram.t
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let register name kind_of make =
+  match Hashtbl.find_opt registry name with
+  | Some m ->
+    (match kind_of m with
+     | Some x -> x
+     | None -> invalid_arg (Printf.sprintf "Metrics: %S is registered as another kind" name))
+  | None ->
+    let x, m = make () in
+    Hashtbl.add registry name m;
+    x
+
+let counter name =
+  register name (function C c -> Some c | _ -> None) (fun () ->
+      let c = Counter.create () in
+      (c, C c))
+
+let gauge name =
+  register name (function G g -> Some g | _ -> None) (fun () ->
+      let g = Gauge.create () in
+      (g, G g))
+
+let histogram name =
+  register name (function H h -> Some h | _ -> None) (fun () ->
+      let h = Histogram.create () in
+      (h, H h))
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { count : int; sum : float; p50 : float; p90 : float; p99 : float; max : float }
+
+let value_of = function
+  | C c -> Counter_v (Counter.value c)
+  | G g -> Gauge_v (Gauge.value g)
+  | H h ->
+    Histogram_v
+      {
+        count = Histogram.count h;
+        sum = Histogram.sum h;
+        p50 = Histogram.percentile h 0.5;
+        p90 = Histogram.percentile h 0.9;
+        p99 = Histogram.percentile h 0.99;
+        max = Histogram.max_value h;
+      }
+
+let snapshot () =
+  Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let find name = Option.map value_of (Hashtbl.find_opt registry name)
+
+let counter_value name =
+  match find name with Some (Counter_v n) -> n | _ -> 0
+
+let reset_all () =
+  Hashtbl.iter
+    (fun _ -> function
+      | C c -> Counter.reset c
+      | G g -> Gauge.reset g
+      | H h -> Histogram.reset h)
+    registry
+
+let pp_table fmt () =
+  let entries = snapshot () in
+  Format.pp_open_vbox fmt 0;
+  Format.fprintf fmt "%-48s %s@," "metric" "value";
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter_v n -> Format.fprintf fmt "%-48s %d@," name n
+      | Gauge_v x -> Format.fprintf fmt "%-48s %g@," name x
+      | Histogram_v h ->
+        if h.count = 0 then Format.fprintf fmt "%-48s (empty)@," name
+        else
+          Format.fprintf fmt "%-48s count=%d sum=%.6f p50=%.6f p90=%.6f p99=%.6f max=%.6f@,"
+            name h.count h.sum h.p50 h.p90 h.p99 h.max)
+    entries;
+  Format.pp_close_box fmt ()

@@ -1,0 +1,102 @@
+(** Metrics registry: named counters, gauges and latency histograms shared
+    by the whole pipeline.
+
+    Counters and gauges are plain mutable ints/floats — one store per
+    update, cheap enough to leave permanently on in every hot loop.
+    Histogram {e timing} (the only part that touches the clock or
+    allocates) is gated behind a global switch ({!set_timing}) that
+    defaults to off, so an uninstrumented run pays nothing beyond the
+    integer bumps.
+
+    Naming convention: [<lib>.<module>.<metric>], e.g.
+    [mathkit.fm.eliminations], [core.semantics.states_interned],
+    [symbolic.oracle.memo_hits]. The registry is global and process-wide;
+    metrics registered by library initialization appear in {!snapshot}
+    with zero values until first touched. *)
+
+module Counter : sig
+  type t
+
+  val create : unit -> t
+  (** A standalone (unregistered) counter — e.g. per-instance statistics
+      that also feed a registered aggregate. *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+end
+
+module Gauge : sig
+  type t
+
+  val create : unit -> t
+  val set : t -> float -> unit
+
+  val set_max : t -> float -> unit
+  (** Keep the maximum of the current and the given value. *)
+
+  val value : t -> float
+  val reset : t -> unit
+end
+
+module Histogram : sig
+  type t
+
+  val create : ?cap:int -> unit -> t
+  (** [cap] (default 8192) bounds the stored sample window: beyond it, new
+      observations overwrite the oldest slots round-robin, while [count],
+      [sum] and [max_value] stay exact over the full stream. *)
+
+  val observe : t -> float -> unit
+  val count : t -> int
+  val sum : t -> float
+  val max_value : t -> float
+
+  val percentile : t -> float -> float
+  (** [percentile h q] with [q] in [\[0, 1\]]: nearest-rank percentile over
+      the stored window. [nan] when empty. *)
+
+  val reset : t -> unit
+end
+
+(** {1 Timing switch} *)
+
+val set_timing : bool -> unit
+(** Enable clock reads for {!time}. Off by default. *)
+
+val timing_on : unit -> bool
+
+val time : Histogram.t -> (unit -> 'a) -> 'a
+(** Run the thunk; when timing is on, observe its wall duration (seconds)
+    into the histogram (also on exceptional exit). When off, just runs the
+    thunk. Call sites on hot paths should guard with {!timing_on} to avoid
+    even the closure allocation. *)
+
+(** {1 Registry} *)
+
+val counter : string -> Counter.t
+(** Find-or-create the registered counter of that name.
+    @raise Invalid_argument if the name is registered as another kind. *)
+
+val gauge : string -> Gauge.t
+val histogram : string -> Histogram.t
+
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of { count : int; sum : float; p50 : float; p90 : float; p99 : float; max : float }
+
+val snapshot : unit -> (string * value) list
+(** Every registered metric, sorted by name. *)
+
+val find : string -> value option
+
+val counter_value : string -> int
+(** Value of a registered counter; [0] when absent (or not a counter). *)
+
+val reset_all : unit -> unit
+(** Zero every registered metric (standalone counters are untouched). *)
+
+val pp_table : Format.formatter -> unit -> unit
+(** Human-readable two-column table of {!snapshot}. *)

@@ -1,0 +1,4 @@
+let every n f count = if n > 0 && count > 0 && count mod n = 0 then f count
+
+let stderr_reporter ?(interval = 10_000) ~label () =
+  every interval (fun n -> Printf.eprintf "%s: %d states\n%!" label n)

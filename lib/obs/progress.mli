@@ -1,0 +1,12 @@
+(** Helpers for [?on_progress:(int -> unit)] callbacks used by the long
+    explorations ([Tpan_core.Semantics], [Tpan_petri.Reachability],
+    [Tpan_petri.Coverability]). *)
+
+val every : int -> (int -> unit) -> int -> unit
+(** [every n f] is a callback that forwards to [f] only when the count
+    is a positive multiple of [n] — throttles per-state callbacks down
+    to periodic reports. *)
+
+val stderr_reporter : ?interval:int -> label:string -> unit -> int -> unit
+(** A throttled callback printing ["<label>: <n> states"] to stderr
+    every [interval] (default 10_000) counts. *)

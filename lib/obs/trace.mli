@@ -1,0 +1,68 @@
+(** Hierarchical spans.
+
+    A span records a named region of execution: wall-clock start and
+    duration, string key/value attributes, and child spans. Tracing is
+    off by default; when disabled, {!with_span} runs the thunk against a
+    shared dummy span and records nothing — no clock read, no
+    allocation beyond the closure the caller already built.
+
+    Completed root spans accumulate in an in-process buffer; export them
+    with {!write_ndjson} (one Chrome-trace-compatible ["X"] event per
+    line) or render them with {!pp_tree}. *)
+
+type span
+
+val set_enabled : bool -> unit
+(** Also flips {!Metrics.set_timing} on/off so span-level and
+    histogram-level timing stay consistent. *)
+
+val enabled : unit -> bool
+
+val with_span : string -> (span -> 'a) -> 'a
+(** [with_span name f] runs [f sp] with a fresh span pushed on the
+    current span stack; the span is closed (duration recorded, attached
+    to its parent or to the root buffer) when [f] returns, including on
+    exceptional exit. When tracing is disabled, [f] receives a dummy
+    span and nothing is recorded. *)
+
+val add_attr : span -> string -> string -> unit
+(** Attach a key/value attribute. No-op on the dummy span. *)
+
+val add_attr_int : span -> string -> int -> unit
+
+(** {1 Completed events} *)
+
+type event = {
+  name : string;
+  start : float;  (** seconds since the trace epoch (module load) *)
+  dur : float;  (** seconds *)
+  depth : int;  (** 0 = root *)
+  attrs : (string * string) list;
+}
+
+val events : unit -> event list
+(** All completed spans, in completion order (children before their
+    parent, since a parent closes last). *)
+
+val clear : unit -> unit
+(** Drop buffered events. Does not change {!enabled}. *)
+
+val total_duration : string -> float
+(** Sum of [dur] over completed events with that name; [0.] if none. *)
+
+(** {1 Export} *)
+
+val write_ndjson : out_channel -> unit
+(** One JSON object per line, Chrome trace event format: [ph:"X"],
+    [ts]/[dur] in microseconds, attributes under [args]. A Chrome trace
+    viewer loads the file as a JSON array after wrapping, and line-based
+    tools can stream it. *)
+
+val parse_line : string -> event option
+(** Parse one NDJSON line written by {!write_ndjson} back into an
+    {!event} ([ts]/[dur] converted back to seconds; [depth] read from
+    the exported [args]). [None] on malformed input. *)
+
+val pp_tree : Format.formatter -> unit -> unit
+(** Human-readable indented tree of the buffered events with durations
+    in milliseconds. *)

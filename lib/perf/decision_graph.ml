@@ -17,7 +17,12 @@ type ('t, 'p) t = { nodes : int list; edges : ('t, 'p) dedge list }
 
 exception Deterministic_cycle of int list
 
+let m_nodes = Tpan_obs.Metrics.counter "perf.decision_graph.nodes"
+let m_edges = Tpan_obs.Metrics.counter "perf.decision_graph.edges"
+let m_collapsed = Tpan_obs.Metrics.counter "perf.decision_graph.states_collapsed"
+
 let of_graph ~add ~mul (g : ('t, 'p) Semantics.graph) =
+  Tpan_obs.Trace.with_span "decision_graph.collapse" @@ fun sp ->
   let nodes = Semantics.branching_states g in
   let is_decision = Array.make (Array.length g.Semantics.states) false in
   List.iter (fun i -> is_decision.(i) <- true) nodes;
@@ -50,6 +55,12 @@ let of_graph ~add ~mul (g : ('t, 'p) Semantics.graph) =
   let edges =
     List.concat_map (fun n -> List.map (collapse n) g.Semantics.out.(n)) nodes
   in
+  Tpan_obs.Metrics.Counter.add m_nodes (List.length nodes);
+  Tpan_obs.Metrics.Counter.add m_edges (List.length edges);
+  Tpan_obs.Metrics.Counter.add m_collapsed
+    (max 0 (Array.length g.Semantics.states - List.length nodes));
+  Tpan_obs.Trace.add_attr_int sp "nodes" (List.length nodes);
+  Tpan_obs.Trace.add_attr_int sp "edges" (List.length edges);
   { nodes; edges }
 
 let out_edges dg n = List.filter (fun e -> e.src = n) dg.edges

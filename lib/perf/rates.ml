@@ -80,8 +80,13 @@ let strongly_connected (dg : _ Decision_graph.t) =
     let fwd = reach targets_of and bwd = reach sources_of in
     List.for_all (fun n -> Hashtbl.mem fwd n && Hashtbl.mem bwd n) dg.Decision_graph.nodes
 
+let m_solves = Tpan_obs.Metrics.counter "perf.rates.solves"
+
 let solve (type f) ~(field : f field) ~embed_prob ~embed_delay ?normalize_at
     (dg : ('t, 'p) Decision_graph.t) : ('t, 'p, f) result =
+  Tpan_obs.Trace.with_span "rates.solve" @@ fun sp ->
+  Tpan_obs.Metrics.Counter.incr m_solves;
+  Tpan_obs.Trace.add_attr_int sp "nodes" (List.length dg.Decision_graph.nodes);
   let nodes = Array.of_list dg.Decision_graph.nodes in
   let k = Array.length nodes in
   if k = 0 then raise (Unsolvable "no decision nodes (deterministic system)");

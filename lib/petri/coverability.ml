@@ -35,7 +35,9 @@ let accelerate ancestors m =
     ancestors;
   m'
 
-let build ?(max_nodes = 100_000) net =
+let m_nodes = Tpan_obs.Metrics.counter "petri.coverability.nodes"
+
+let build ?(max_nodes = 100_000) ?(on_progress = fun _ -> ()) net =
   let nodes = ref [] and count = ref 0 in
   let children = Hashtbl.create 256 in
   let add m =
@@ -43,6 +45,8 @@ let build ?(max_nodes = 100_000) net =
     let i = !count in
     incr count;
     nodes := m :: !nodes;
+    Tpan_obs.Metrics.Counter.incr m_nodes;
+    on_progress !count;
     i
   in
   (* DFS keeping the ancestor chain for acceleration; [seen] prunes repeats

@@ -17,8 +17,10 @@ type tree = {
   children : (Net.trans * int) list array;
 }
 
-val build : ?max_nodes:int -> Net.t -> tree
-(** @raise Reachability.State_limit if the tree exceeds [max_nodes]
+val build : ?max_nodes:int -> ?on_progress:(int -> unit) -> Net.t -> tree
+(** [on_progress] is called with the running node count after each node
+    is added (throttle with {!Tpan_obs.Progress.every}).
+    @raise Reachability.State_limit if the tree exceeds [max_nodes]
     (default 100_000). *)
 
 val is_bounded : tree -> bool

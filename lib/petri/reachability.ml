@@ -13,7 +13,9 @@ module MT = Hashtbl.Make (struct
   let hash = Marking.hash
 end)
 
-let explore ?(max_states = 100_000) net =
+let m_states = Tpan_obs.Metrics.counter "petri.reachability.states"
+
+let explore ?(max_states = 100_000) ?(on_progress = fun _ -> ()) net =
   let index = MT.create 1024 in
   let states = ref [] in
   let count = ref 0 in
@@ -26,6 +28,8 @@ let explore ?(max_states = 100_000) net =
       incr count;
       MT.add index m i;
       states := m :: !states;
+      Tpan_obs.Metrics.Counter.incr m_states;
+      on_progress !count;
       (i, true)
   in
   let queue = Queue.create () in

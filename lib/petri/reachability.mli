@@ -12,9 +12,11 @@ exception State_limit of int
 (** Raised when exploration exceeds the state budget: the net may be
     unbounded (use {!Coverability}) or just large. *)
 
-val explore : ?max_states:int -> Net.t -> graph
+val explore : ?max_states:int -> ?on_progress:(int -> unit) -> Net.t -> graph
 (** Breadth-first enumeration of the reachable markings under atomic
-    (untimed) firing. [max_states] defaults to 100_000. *)
+    (untimed) firing. [max_states] defaults to 100_000. [on_progress] is
+    called with the running state count after each fresh marking is
+    interned (throttle with {!Tpan_obs.Progress.every}). *)
 
 val num_states : graph -> int
 val num_edges : graph -> int

@@ -14,7 +14,12 @@ type stats = {
 
 type event = { at : Q.t; seq : int; trans : Net.trans }
 
+let m_steps = Tpan_obs.Metrics.counter "sim.simulator.steps"
+let m_firings = Tpan_obs.Metrics.counter "sim.simulator.firings"
+let m_completions = Tpan_obs.Metrics.counter "sim.simulator.completions"
+
 let run ?(seed = 42) ?(warmup = Q.zero) ~horizon tpn =
+  Tpan_obs.Trace.with_span "sim.run" @@ fun _sp ->
   if Q.sign warmup < 0 then invalid_arg "Simulator.run: negative warmup";
   if not (Tpn.is_concrete tpn) then
     raise (Tpn.Unsupported "Simulator.run: net has symbolic times or frequencies");
@@ -65,6 +70,7 @@ let run ?(seed = 42) ?(warmup = Q.zero) ~horizon tpn =
   in
   let counting () = Q.compare !clock warmup >= 0 in
   let begin_firing t =
+    Tpan_obs.Metrics.Counter.incr m_firings;
     if counting () then began.(t) <- began.(t) + 1;
     List.iter (fun (p, w) -> marking.(p) <- marking.(p) - w) (Net.inputs net t);
     enabled_since.(t) <- None;
@@ -125,6 +131,7 @@ let run ?(seed = 42) ?(warmup = Q.zero) ~horizon tpn =
   let deadlocked = ref false in
   let running = ref true in
   while !running do
+    Tpan_obs.Metrics.Counter.incr m_steps;
     (* next moment anything must happen *)
     let next_firable =
       List.fold_left
@@ -160,6 +167,7 @@ let run ?(seed = 42) ?(warmup = Q.zero) ~horizon tpn =
         match Heap.peek completions with
         | Some e when Q.equal e.at !clock ->
           ignore (Heap.pop_exn completions);
+          Tpan_obs.Metrics.Counter.incr m_completions;
           firing.(e.trans) <- false;
           if counting () then completed.(e.trans) <- completed.(e.trans) + 1;
           List.iter (fun (p, w) -> marking.(p) <- marking.(p) + w) (Net.outputs net e.trans);

@@ -4,6 +4,8 @@ module L = FM.Linform
 module IntMap = Map.Make (Int)
 module IntSet = Set.Make (Int)
 
+module Metrics = Tpan_obs.Metrics
+
 type stats = {
   queries : int;
   trivial : int;
@@ -14,15 +16,32 @@ type stats = {
   baseline_fm_runs : int;
 }
 
+(* Per-instance counters back the legacy [stats]/[reset_stats] API;
+   every bump is mirrored into the process-wide registry aggregates
+   below so `tpan profile` / `--metrics` see all oracles combined.
+   [reset_stats] only touches the per-instance side. *)
 type mutable_stats = {
-  mutable m_queries : int;
-  mutable m_trivial : int;
-  mutable m_hits : int;
-  mutable m_misses : int;
-  mutable m_witness_refutations : int;
-  mutable m_fm_runs : int;
-  mutable m_baseline : int;
+  c_queries : Metrics.Counter.t;
+  c_trivial : Metrics.Counter.t;
+  c_hits : Metrics.Counter.t;
+  c_misses : Metrics.Counter.t;
+  c_witness_refutations : Metrics.Counter.t;
+  c_fm_runs : Metrics.Counter.t;
+  c_baseline : Metrics.Counter.t;
 }
+
+let g_queries = Metrics.counter "symbolic.oracle.queries"
+let g_trivial = Metrics.counter "symbolic.oracle.trivial"
+let g_hits = Metrics.counter "symbolic.oracle.memo_hits"
+let g_misses = Metrics.counter "symbolic.oracle.memo_misses"
+let g_witness_refutations = Metrics.counter "symbolic.oracle.witness_refutations"
+let g_fm_runs = Metrics.counter "symbolic.oracle.fm_runs"
+let g_baseline = Metrics.counter "symbolic.oracle.baseline_fm_runs"
+let g_instances = Metrics.counter "symbolic.oracle.instances"
+
+let bump local global =
+  Metrics.Counter.incr local;
+  Metrics.Counter.incr global
 
 (* Cached knowledge about one canonical difference form [k] (first
    coefficient +1): does the store entail k ≥ 0 / k > 0, and the same for
@@ -78,16 +97,17 @@ let to_fm_parts (rel : Constraints.relation) lhs rhs =
 
 let fresh_stats () =
   {
-    m_queries = 0;
-    m_trivial = 0;
-    m_hits = 0;
-    m_misses = 0;
-    m_witness_refutations = 0;
-    m_fm_runs = 0;
-    m_baseline = 0;
+    c_queries = Metrics.Counter.create ();
+    c_trivial = Metrics.Counter.create ();
+    c_hits = Metrics.Counter.create ();
+    c_misses = Metrics.Counter.create ();
+    c_witness_refutations = Metrics.Counter.create ();
+    c_fm_runs = Metrics.Counter.create ();
+    c_baseline = Metrics.Counter.create ();
   }
 
 let make ?(memo = true) ?(witness = true) cs =
+  Metrics.Counter.incr g_instances;
   let entries = Constraints.constraints cs in
   let parts = List.map (fun (_, rel, lhs, rhs) -> to_fm_parts rel lhs rhs) entries in
   (* Collect the time symbols mentioned anywhere: their non-negativity is
@@ -214,7 +234,7 @@ let query_extras o d =
     (L.vars d)
 
 let run_fm o goal_neg d =
-  o.s.m_fm_runs <- o.s.m_fm_runs + 1;
+  bump o.s.c_fm_runs g_fm_runs;
   not (FM.feasible (goal_neg :: (query_extras o d @ o.store)))
 
 type field = Nonneg | Pos
@@ -246,15 +266,15 @@ let remember o key flipped field value =
 
 (* Does the store entail [d ≥ 0] (Nonneg) or [d > 0] (Pos)? *)
 let decide o field d =
-  o.s.m_queries <- o.s.m_queries + 1;
+  bump o.s.c_queries g_queries;
   if L.is_const d then begin
-    o.s.m_trivial <- o.s.m_trivial + 1;
+    bump o.s.c_trivial g_trivial;
     let s = Q.sign (L.constant d) in
     (not o.consistent) || (match field with Nonneg -> s >= 0 | Pos -> s > 0)
   end
   else if not o.consistent then begin
     (* vacuous: every model (there are none) satisfies everything *)
-    o.s.m_trivial <- o.s.m_trivial + 1;
+    bump o.s.c_trivial g_trivial;
     true
   end
   else begin
@@ -266,10 +286,10 @@ let decide o field d =
     let cached = if o.memo_on then lookup o key flipped field else None in
     match cached with
     | Some v ->
-      o.s.m_hits <- o.s.m_hits + 1;
+      bump o.s.c_hits g_hits;
       v
     | None ->
-      o.s.m_misses <- o.s.m_misses + 1;
+      bump o.s.c_misses g_misses;
       let refuted =
         o.witness_on
         && (match o.witness_env with
@@ -280,7 +300,7 @@ let decide o field d =
       in
       let value =
         if refuted then begin
-          o.s.m_witness_refutations <- o.s.m_witness_refutations + 1;
+          bump o.s.c_witness_refutations g_witness_refutations;
           false
         end
         else
@@ -296,7 +316,9 @@ let decide o field d =
       value
   end
 
-let charge o n = o.s.m_baseline <- o.s.m_baseline + n
+let charge o n =
+  Metrics.Counter.add o.s.c_baseline n;
+  Metrics.Counter.add g_baseline n
 
 (* ---------------- public queries ---------------- *)
 
@@ -328,23 +350,23 @@ let compare_exprs o a b : Constraints.comparison =
 
 let stats o =
   {
-    queries = o.s.m_queries;
-    trivial = o.s.m_trivial;
-    hits = o.s.m_hits;
-    misses = o.s.m_misses;
-    witness_refutations = o.s.m_witness_refutations;
-    fm_runs = o.s.m_fm_runs;
-    baseline_fm_runs = o.s.m_baseline;
+    queries = Metrics.Counter.value o.s.c_queries;
+    trivial = Metrics.Counter.value o.s.c_trivial;
+    hits = Metrics.Counter.value o.s.c_hits;
+    misses = Metrics.Counter.value o.s.c_misses;
+    witness_refutations = Metrics.Counter.value o.s.c_witness_refutations;
+    fm_runs = Metrics.Counter.value o.s.c_fm_runs;
+    baseline_fm_runs = Metrics.Counter.value o.s.c_baseline;
   }
 
 let reset_stats o =
-  o.s.m_queries <- 0;
-  o.s.m_trivial <- 0;
-  o.s.m_hits <- 0;
-  o.s.m_misses <- 0;
-  o.s.m_witness_refutations <- 0;
-  o.s.m_fm_runs <- 0;
-  o.s.m_baseline <- 0
+  Metrics.Counter.reset o.s.c_queries;
+  Metrics.Counter.reset o.s.c_trivial;
+  Metrics.Counter.reset o.s.c_hits;
+  Metrics.Counter.reset o.s.c_misses;
+  Metrics.Counter.reset o.s.c_witness_refutations;
+  Metrics.Counter.reset o.s.c_fm_runs;
+  Metrics.Counter.reset o.s.c_baseline
 
 let pp_stats fmt s =
   Format.fprintf fmt

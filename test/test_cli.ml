@@ -62,6 +62,50 @@ let test_sweep () =
     ^ "-p 'f(t4)=0.05' -p 'f(t5)=0.95' -p 'f(t8)=0.95' -p 'f(t9)=0.05'")
     [ "E(t3)"; "0.003708"; "0.002851" ]
 
+let test_profile () =
+  check_run "profile" (Printf.sprintf "profile %s" stopwait_tpn)
+    [
+      "profile";
+      "TRG build";
+      "oracle queries";
+      "FM eliminations";
+      "decision-graph collapse";
+      "rate solve";
+      "span tree";
+    ];
+  check_run "profile symbolic" (Printf.sprintf "profile %s" symbolic_tpn)
+    [ "symbolic pipeline"; "TRG build"; "oracle queries" ]
+
+let test_trace_flag () =
+  let trace = Filename.temp_file "tpan_cli" ".ndjson" in
+  let rc, _ = run_capture (Printf.sprintf "analyze %s -t t7 --trace %s" stopwait_tpn trace) in
+  Alcotest.(check int) "analyze --trace exits 0" 0 rc;
+  let ic = open_in trace in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove trace;
+  Alcotest.(check bool) "trace file has events" true (List.length !lines > 0);
+  List.iter
+    (fun line ->
+      match Tpan_obs.Trace.parse_line line with
+      | Some e -> Alcotest.(check bool) "event has a name" true (String.length e.name > 0)
+      | None -> Alcotest.fail (Printf.sprintf "unparseable trace line: %s" line))
+    !lines;
+  let names =
+    List.filter_map
+      (fun l -> Option.map (fun (e : Tpan_obs.Trace.event) -> e.name) (Tpan_obs.Trace.parse_line l))
+      !lines
+  in
+  Alcotest.(check bool) "trace covers the TRG build" true (List.mem "concrete.build" names)
+
+let test_metrics_flag () =
+  check_run "metrics" (Printf.sprintf "analyze %s -t t7 --metrics" stopwait_tpn)
+    [ "metric"; "core.semantics.states_interned"; "perf.rates.solves" ]
+
 let test_error_paths () =
   let rc, out = run_capture "analyze -m nonsense" in
   Alcotest.(check bool) "unknown model fails" true (rc <> 0);
@@ -79,5 +123,8 @@ let suite =
       Alcotest.test_case "simulate" `Quick test_simulate;
       Alcotest.test_case "dot outputs" `Quick test_dot;
       Alcotest.test_case "sweep" `Quick test_sweep;
+      Alcotest.test_case "profile" `Quick test_profile;
+      Alcotest.test_case "--trace writes NDJSON" `Quick test_trace_flag;
+      Alcotest.test_case "--metrics prints table" `Quick test_metrics_flag;
       Alcotest.test_case "error paths" `Quick test_error_paths;
     ] )

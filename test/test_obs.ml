@@ -1,0 +1,186 @@
+(* Unit tests for the Tpan_obs observability layer: metrics registry,
+   histogram percentiles, span nesting, disabled-mode no-ops and the
+   NDJSON export/parse round-trip. *)
+
+module Metrics = Tpan_obs.Metrics
+module Trace = Tpan_obs.Trace
+module Progress = Tpan_obs.Progress
+
+let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
+
+let test_counter_gauge () =
+  let c = Metrics.Counter.create () in
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 41;
+  Alcotest.(check int) "counter accumulates" 42 (Metrics.Counter.value c);
+  Metrics.Counter.reset c;
+  Alcotest.(check int) "counter resets" 0 (Metrics.Counter.value c);
+  let g = Metrics.Gauge.create () in
+  Metrics.Gauge.set g 3.5;
+  Metrics.Gauge.set_max g 2.0;
+  Alcotest.(check bool) "set_max keeps max" true (feq (Metrics.Gauge.value g) 3.5);
+  Metrics.Gauge.set_max g 7.0;
+  Alcotest.(check bool) "set_max raises" true (feq (Metrics.Gauge.value g) 7.0)
+
+let test_histogram_percentiles () =
+  let h = Metrics.Histogram.create () in
+  (* 1..100 in scrambled order: percentile must sort, not trust arrival *)
+  for i = 0 to 99 do
+    Metrics.Histogram.observe h (float_of_int (((i * 37) mod 100) + 1))
+  done;
+  Alcotest.(check int) "count" 100 (Metrics.Histogram.count h);
+  Alcotest.(check bool) "sum" true (feq (Metrics.Histogram.sum h) 5050.0);
+  Alcotest.(check bool) "max" true (feq (Metrics.Histogram.max_value h) 100.0);
+  Alcotest.(check bool) "p50" true (feq (Metrics.Histogram.percentile h 0.5) 50.0);
+  Alcotest.(check bool) "p90" true (feq (Metrics.Histogram.percentile h 0.9) 90.0);
+  Alcotest.(check bool) "p99" true (feq (Metrics.Histogram.percentile h 0.99) 99.0);
+  Alcotest.(check bool) "p100" true (feq (Metrics.Histogram.percentile h 1.0) 100.0);
+  let empty = Metrics.Histogram.create () in
+  Alcotest.(check bool) "empty percentile is nan" true
+    (Float.is_nan (Metrics.Histogram.percentile empty 0.5))
+
+let test_histogram_window_cap () =
+  let h = Metrics.Histogram.create ~cap:8 () in
+  for i = 1 to 100 do
+    Metrics.Histogram.observe h (float_of_int i)
+  done;
+  (* count/sum/max are exact over the stream even though only 8 samples
+     are retained for percentiles *)
+  Alcotest.(check int) "count exact past cap" 100 (Metrics.Histogram.count h);
+  Alcotest.(check bool) "sum exact past cap" true (feq (Metrics.Histogram.sum h) 5050.0);
+  Alcotest.(check bool) "max exact past cap" true
+    (feq (Metrics.Histogram.max_value h) 100.0);
+  (* the retained window is the last 8 observations: 93..100 *)
+  Alcotest.(check bool) "windowed p0 is recent" true
+    (Metrics.Histogram.percentile h 0.0 >= 93.0)
+
+let test_registry () =
+  let c = Metrics.counter "test_obs.registry.c" in
+  let c' = Metrics.counter "test_obs.registry.c" in
+  Metrics.Counter.incr c;
+  Alcotest.(check int) "find-or-create shares the store" 1 (Metrics.Counter.value c');
+  Alcotest.(check int) "counter_value reads registry" 1
+    (Metrics.counter_value "test_obs.registry.c");
+  Alcotest.(check int) "counter_value absent -> 0" 0
+    (Metrics.counter_value "test_obs.registry.nope");
+  (match Metrics.find "test_obs.registry.c" with
+  | Some (Metrics.Counter_v 1) -> ()
+  | _ -> Alcotest.fail "find should see Counter_v 1");
+  Alcotest.(check bool) "kind mismatch rejected" true
+    (try
+       ignore (Metrics.gauge "test_obs.registry.c");
+       false
+     with Invalid_argument _ -> true);
+  let names = List.map fst (Metrics.snapshot ()) in
+  Alcotest.(check bool) "snapshot sorted" true
+    (List.sort compare names = names)
+
+let test_disabled_mode () =
+  Trace.set_enabled false;
+  Trace.clear ();
+  let r =
+    Trace.with_span "off.outer" (fun sp ->
+        Trace.add_attr sp "k" "v";
+        Trace.with_span "off.inner" (fun _ -> 17))
+  in
+  Alcotest.(check int) "thunk result passes through" 17 r;
+  Alcotest.(check int) "no events buffered" 0 (List.length (Trace.events ()));
+  (* timing switch off: Metrics.time must still run the thunk *)
+  Metrics.set_timing false;
+  let h = Metrics.Histogram.create () in
+  Alcotest.(check int) "time runs thunk when off" 5 (Metrics.time h (fun () -> 5));
+  Alcotest.(check int) "no observation when off" 0 (Metrics.Histogram.count h)
+
+let test_span_nesting () =
+  Trace.set_enabled true;
+  Trace.clear ();
+  let r =
+    Trace.with_span "outer" (fun sp ->
+        Trace.add_attr sp "stage" "test";
+        Trace.with_span "inner" (fun sp' ->
+            Trace.add_attr_int sp' "n" 3;
+            2) + 1)
+  in
+  Trace.set_enabled false;
+  Alcotest.(check int) "result threads through" 3 r;
+  let evs = Trace.events () in
+  Alcotest.(check int) "two events" 2 (List.length evs);
+  let inner = List.find (fun (e : Trace.event) -> e.name = "inner") evs in
+  let outer = List.find (fun (e : Trace.event) -> e.name = "outer") evs in
+  Alcotest.(check int) "outer is root" 0 outer.depth;
+  Alcotest.(check int) "inner is nested" 1 inner.depth;
+  Alcotest.(check bool) "child within parent" true
+    (inner.start >= outer.start
+    && inner.start +. inner.dur <= outer.start +. outer.dur +. 1e-6);
+  Alcotest.(check (list (pair string string))) "attrs kept" [ ("n", "3") ] inner.attrs;
+  Alcotest.(check bool) "total_duration sums" true
+    (feq ~eps:1e-12 (Trace.total_duration "outer") outer.dur);
+  Trace.clear ()
+
+let test_ndjson_roundtrip () =
+  Trace.set_enabled true;
+  Trace.clear ();
+  ignore
+    (Trace.with_span "root \"quoted\"\nname" (fun sp ->
+         Trace.add_attr sp "file" "a\\b.tpn";
+         Trace.with_span "child" (fun sp' ->
+             Trace.add_attr_int sp' "states" 18;
+             ())));
+  Trace.set_enabled false;
+  let path = Filename.temp_file "tpan_obs" ".ndjson" in
+  let oc = open_out path in
+  Trace.write_ndjson oc;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let lines = List.rev !lines in
+  Alcotest.(check int) "one line per event" 2 (List.length lines);
+  let parsed = List.filter_map Trace.parse_line lines in
+  Alcotest.(check int) "every line parses" 2 (List.length parsed);
+  let originals = Trace.events () in
+  List.iter
+    (fun (e : Trace.event) ->
+      let o =
+        List.find (fun (o : Trace.event) -> o.name = e.name) originals
+      in
+      Alcotest.(check int) (e.name ^ ": depth survives") o.depth e.depth;
+      Alcotest.(check (list (pair string string)))
+        (e.name ^ ": attrs survive") o.attrs e.attrs;
+      (* timestamps go through microsecond formatting: 1e-6 s precision *)
+      Alcotest.(check bool) (e.name ^ ": start survives") true
+        (feq ~eps:1e-5 o.start e.start);
+      Alcotest.(check bool) (e.name ^ ": dur survives") true
+        (feq ~eps:1e-5 o.dur e.dur))
+    parsed;
+  Alcotest.(check (option reject)) "garbage does not parse" None
+    (Option.map ignore (Trace.parse_line "not json at all"));
+  Trace.clear ()
+
+let test_progress () =
+  let hits = ref [] in
+  let hook = Progress.every 10 (fun n -> hits := n :: !hits) in
+  for i = 1 to 35 do
+    hook i
+  done;
+  Alcotest.(check (list int)) "fires every interval" [ 30; 20; 10 ] !hits;
+  let silent = Progress.every 0 (fun _ -> Alcotest.fail "interval 0 must not fire") in
+  silent 5
+
+let suite =
+  ( "obs",
+    [
+      Alcotest.test_case "counter & gauge" `Quick test_counter_gauge;
+      Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+      Alcotest.test_case "histogram window cap" `Quick test_histogram_window_cap;
+      Alcotest.test_case "registry" `Quick test_registry;
+      Alcotest.test_case "disabled mode is a no-op" `Quick test_disabled_mode;
+      Alcotest.test_case "span nesting" `Quick test_span_nesting;
+      Alcotest.test_case "ndjson round-trip" `Quick test_ndjson_roundtrip;
+      Alcotest.test_case "progress hooks" `Quick test_progress;
+    ] )
