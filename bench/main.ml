@@ -76,6 +76,10 @@ let timed name f =
 
 let oracle_records : (string * O.stats) list ref = ref []
 
+(* (workload, jobs, wall seconds at -j1, wall seconds at -jN); dumped as
+   the "parallel" array of BENCH_tpan.json *)
+let parallel_records : (string * int * float * float) list ref = ref []
+
 let section id title = Format.printf "@.==================== %s: %s ====================@." id title
 
 let qd = Q.of_decimal_string
@@ -314,42 +318,54 @@ let thrpt () =
 
 (* ---------------- EXT-SWEEP ---------------- *)
 
+(* one loss-rate point: symbolic eval + simulation + full ABP analysis.
+   Pure in the loss percentage, so the points fan out on the worker pool;
+   each replication seeds from its own pct, keeping rows -j independent *)
+let sweep_point thr pct =
+  let loss = Q.of_ints pct 100 in
+  let keep = Q.sub Q.one loss in
+  let a =
+    M.Symbolic.eval_at thr
+      (paper_time_bindings
+      @ [ ("f(t4)", loss); ("f(t5)", keep); ("f(t8)", keep); ("f(t9)", loss) ])
+  in
+  let p = { SW.paper_params with SW.packet_loss = loss; ack_loss = loss } in
+  let tpn = SW.concrete p in
+  let stats = Sim.run ~seed:(1000 + pct) ~horizon:(Q.of_int 600_000) tpn in
+  let sim = Sim.throughput stats (Net.trans_of_name (Tpn.net tpn) "t7") in
+  let abp_tpn =
+    Abp.concrete { Abp.default_params with Abp.packet_loss = loss; ack_loss = loss }
+  in
+  let abp_g = CG.build abp_tpn in
+  let abp_res = M.Concrete.analyze abp_g in
+  let abp =
+    List.fold_left
+      (fun acc t -> Q.add acc (M.Concrete.throughput abp_res abp_g t))
+      Q.zero Abp.deliveries
+  in
+  (pct, Q.to_float a *. 1000., sim *. 1000., Q.to_float abp *. 1000.)
+
+let sweep_pcts = [ 1; 2; 5; 10; 20; 30 ]
+
 let ext_sweep () =
   section "EXT-SWEEP" "throughput vs loss rate (analytic, simulated, ABP)";
   let thr = M.Symbolic.throughput sres sgraph SW.t_process_ack in
+  (* the points run on the pool; rows come back in input order, so the
+     table and the monotonicity check are identical at any jobs count *)
+  let rows = Tpan_par.Pool.map (sweep_point thr) sweep_pcts in
   Format.printf "  %6s  %12s  %12s  %12s@." "loss" "analytic/s" "simulated/s" "ABP/s";
-  let monotone = ref true in
-  let last = ref infinity in
   List.iter
-    (fun pct ->
-      let loss = Q.of_ints pct 100 in
-      let keep = Q.sub Q.one loss in
-      let a =
-        M.Symbolic.eval_at thr
-          (paper_time_bindings
-          @ [ ("f(t4)", loss); ("f(t5)", keep); ("f(t8)", keep); ("f(t9)", loss) ])
-      in
-      let p = { SW.paper_params with SW.packet_loss = loss; ack_loss = loss } in
-      let tpn = SW.concrete p in
-      let stats = Sim.run ~seed:(1000 + pct) ~horizon:(Q.of_int 600_000) tpn in
-      let sim = Sim.throughput stats (Net.trans_of_name (Tpn.net tpn) "t7") in
-      let abp_tpn =
-        Abp.concrete { Abp.default_params with Abp.packet_loss = loss; ack_loss = loss }
-      in
-      let abp_g = CG.build abp_tpn in
-      let abp_res = M.Concrete.analyze abp_g in
-      let abp =
-        List.fold_left
-          (fun acc t -> Q.add acc (M.Concrete.throughput abp_res abp_g t))
-          Q.zero Abp.deliveries
-      in
-      let af = Q.to_float a *. 1000. in
-      if af > !last then monotone := false;
-      last := af;
-      Format.printf "  %5d%%  %12.4f  %12.4f  %12.4f@." pct af (sim *. 1000.)
-        (Q.to_float abp *. 1000.))
-    [ 1; 2; 5; 10; 20; 30 ];
-  check "throughput decreases monotonically with loss" !monotone
+    (fun (pct, af, sim, abp) ->
+      Format.printf "  %5d%%  %12.4f  %12.4f  %12.4f@." pct af sim abp)
+    rows;
+  let monotone =
+    let rec go last = function
+      | [] -> true
+      | (_, af, _, _) :: rest -> af <= last && go af rest
+    in
+    go infinity rows
+  in
+  check "throughput decreases monotonically with loss" monotone
 
 (* ---------------- EXT-TIMEOUT ---------------- *)
 
@@ -711,7 +727,10 @@ let ext_exp () =
   Format.printf "  sequential ring (equal means): det %s = exp %s@." (qf rdet) (qf rexp);
   check "sequential systems are insensitive to the distribution assumption"
     (Q.equal rdet rexp);
-  (* Erlang-k stages: shrinking the service variance closes the gap *)
+  (* Erlang-k stages: shrinking the service variance closes the gap. The
+     three expansions are independent solves, so they fan out on the pool
+     (inside a worker the rate solver's own row-parallelism steps aside
+     via the nested guard); printing happens after the join, in order *)
   let thr k =
     let tpn = Exp.erlang_expand ~stages:k (PL.concrete p) in
     let c = Exp.build ~max_states:200_000 tpn in
@@ -719,18 +738,98 @@ let ext_exp () =
     let name = PL.t_deliver ^ (if k = 1 then "" else "__" ^ string_of_int (k - 1)) in
     Exp.throughput c ~steady:pi (Net.trans_of_name (Tpn.net tpn) name)
   in
+  let stages = [ 1; 2; 3 ] in
+  let values = Tpan_par.Pool.map thr stages in
   let fractions =
-    List.map
-      (fun k ->
-        let v = thr k in
+    List.map2
+      (fun k v ->
         let frac = Q.to_float v /. Q.to_float det in
         Format.printf "  pipeline under Erlang-%d service: %.1f%% of deterministic@." k
           (100. *. frac);
         frac)
-      [ 1; 2; 3 ]
+      stages values
   in
   check "Erlang stages converge monotonically toward the deterministic bound"
     (match fractions with [ a; b; c ] -> a < b && b < c && c < 1.0 | _ -> false)
+
+(* ---------------- EXT-PAR ---------------- *)
+
+(* Speedup of the worker pool on the three workloads the CLI parallelises:
+   the parameter-grid sweep, the exponential (Markov) solve whose
+   elimination loop runs through [parallel_for], and Monte-Carlo
+   replication. Each workload runs at -j1 and at the recommended jobs
+   count; the results must be identical (the pool's headline guarantee)
+   and both wall times are recorded in BENCH_tpan.json. The >= 2x speedup
+   check only applies on multicore hosts — on a single-core container the
+   pool degrades to the sequential path and the ratio is ~1. *)
+let ext_par () =
+  section "EXT-PAR" "worker-pool speedup and -j determinism";
+  let module Pool = Tpan_par.Pool in
+  let module Sweep = Tpan_perf.Sweep in
+  let module Exp = Tpan_perf.Exponential in
+  let module PL = Tpan_protocols.Pipeline in
+  let jn = Pool.recommended_jobs () in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let record name run_at =
+    let r1, t1 = wall (fun () -> run_at 1) in
+    let rn, tn = wall (fun () -> run_at jn) in
+    parallel_records := (name, jn, t1, tn) :: !parallel_records;
+    Format.printf "  %-18s  j1 %8.3f s   j%d %8.3f s   speedup %.2fx@." name t1 jn tn
+      (t1 /. tn);
+    (r1, rn)
+  in
+  (* 1. concrete parameter-grid sweep: per-point rebuild + full analysis *)
+  let axes =
+    [ { Sweep.name = "timeout"; lo = Q.of_int 250; hi = Q.of_int 1000; steps = 8 } ]
+  in
+  let make pt =
+    SW.concrete { SW.paper_params with SW.timeout = List.assoc "timeout" pt }
+  in
+  let s1, sn =
+    record "sweep-grid" (fun jobs ->
+        Sweep.over_tpn ~jobs ~make ~throughputs:[ SW.t_process_ack ] axes)
+  in
+  check "sweep grid is byte-identical at -j1 and -jN"
+    (Tpan_obs.Jsonv.to_string (Sweep.to_json s1)
+    = Tpan_obs.Jsonv.to_string (Sweep.to_json sn));
+  (* 2. Markov solve of the Erlang-3 pipeline: the dominant EXT-EXP cost;
+     the parallelism lives inside the exact Gauss-Jordan elimination *)
+  let e1, en =
+    record "erlang-3-solve" (fun jobs ->
+        Pool.set_default_jobs jobs;
+        let tpn = Exp.erlang_expand ~stages:3 (PL.concrete PL.default_params) in
+        let c = Exp.build ~max_states:200_000 tpn in
+        let pi = Exp.steady_state c in
+        let name = PL.t_deliver ^ "__2" in
+        Exp.throughput c ~steady:pi (Net.trans_of_name (Tpn.net tpn) name))
+  in
+  Pool.set_default_jobs jn;
+  check "Markov solve is exact and identical at -j1 and -jN" (Q.equal e1 en);
+  (* 3. Monte-Carlo replication with split seeds *)
+  let t7 = Net.trans_of_name (Tpn.net ctpn) "t7" in
+  let m1, mn =
+    record "monte-carlo-x8" (fun jobs ->
+        Sim.run_many ~seed:11 ~jobs ~runs:8 ~horizon:(Q.of_int 150_000) ctpn
+          (fun stats -> Sim.throughput stats t7))
+  in
+  check "Monte-Carlo estimate is bit-identical at -j1 and -jN" (m1 = mn);
+  if jn > 1 then begin
+    let speedup name =
+      match List.find_opt (fun (n, _, _, _) -> n = name) !parallel_records with
+      | Some (_, _, t1, tn) -> t1 /. tn
+      | None -> 0.
+    in
+    check "Markov solve speeds up >= 2x on the pool" (speedup "erlang-3-solve" >= 2.0);
+    check "Monte-Carlo replication speeds up >= 2x on the pool"
+      (speedup "monte-carlo-x8" >= 2.0)
+  end
+  else
+    Format.printf
+      "  single-core host (recommended jobs = 1): speedup checks not applicable@."
 
 (* ---------------- ORACLE ---------------- *)
 
@@ -803,6 +902,11 @@ let perf () =
               fun () -> O.make cs));
         Test.make ~name:"sim/stopwait-10k-ms"
           (Staged.stage (fun () -> Sim.run ~seed:1 ~horizon:(Q.of_int 10_000) ctpn));
+        Test.make ~name:"par/map-fanout-64"
+          (Staged.stage
+             (* fork-join overhead of one pool dispatch over 64 tasks *)
+             (let xs = List.init 64 Fun.id in
+              fun () -> Tpan_par.Pool.map (fun x -> x * x) xs));
         Test.make ~name:"bigint/mul-256-digit"
           (Staged.stage
              (let a = B.pow (B.of_int 10) 255 in
@@ -891,6 +995,13 @@ let emit_json ~micro path =
          \"baseline_fm_runs\": %d, \"reduction_factor\": %s}"
         (escape model) st.O.queries st.O.trivial st.O.hits st.O.misses
         st.O.witness_refutations st.O.fm_runs st.O.baseline_fm_runs (num reduction));
+  pr "\n  ],\n  \"parallel\": [\n";
+  sep (List.rev !parallel_records) (fun (name, jobs, t1, tn) ->
+      pr
+        "    {\"workload\": \"%s\", \"jobs\": %d, \"seconds_j1\": %s, \"seconds_jn\": %s, \
+         \"speedup\": %s}"
+        (escape name) jobs (num t1) (num tn)
+        (num (if tn > 0. then t1 /. tn else Float.nan)));
   pr "\n  ],\n  \"microbench\": [\n";
   sep micro (fun (name, ns, r2) ->
       pr "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}" (escape name)
@@ -923,6 +1034,7 @@ let () =
   timed "EXT-BATCH" ext_batch;
   timed "EXT-RANGE" ext_range;
   timed "EXT-EXP" ext_exp;
+  timed "EXT-PAR" ext_par;
   timed "ORACLE" oracle;
   let micro = ref [] in
   timed "PERF" (fun () -> micro := perf ());

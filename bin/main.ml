@@ -22,66 +22,29 @@ module Obs = Tpan_obs
 
 open Cmdliner
 
-(* ----- net sources ----- *)
+(* ----- error reporting -----
 
-let builtin_models =
-  [
-    ("stopwait", fun () -> Tpan_protocols.Stopwait.concrete Tpan_protocols.Stopwait.paper_params);
-    ("stopwait-sym", fun () -> Tpan_protocols.Stopwait.symbolic ());
-    ("abp", fun () -> Tpan_protocols.Abp.concrete Tpan_protocols.Abp.default_params);
-    ("abp-sym", fun () -> Tpan_protocols.Abp.symbolic ());
-    ("handshake", fun () -> Tpan_protocols.Handshake.concrete Tpan_protocols.Handshake.default_params);
-    ("handshake-sym", fun () -> Tpan_protocols.Handshake.symbolic ());
-    ("channel", fun () -> Tpan_protocols.Shared_channel.concrete Tpan_protocols.Shared_channel.default_params);
-    ("scheduler-sym", fun () -> Tpan_protocols.Shared_channel.symbolic ());
-    ("ring", fun () -> Tpan_protocols.Token_ring.concrete Tpan_protocols.Token_ring.default_params);
-    ("ring-sym", fun () -> Tpan_protocols.Token_ring.symbolic ~stations:4);
-    ("pipeline", fun () -> Tpan_protocols.Pipeline.concrete Tpan_protocols.Pipeline.default_params);
-    ("batch", fun () -> Tpan_protocols.Batch.concrete Tpan_protocols.Batch.default_params);
-  ]
+   Every analysis failure is a [Tpan.Error.t] value; the CLI's only jobs
+   are the human rendering (historical wording kept) and the stable exit
+   code, both owned by the facade. *)
 
-let load_net file model =
-  match (file, model) with
-  | Some f, None -> Ok (Tpan_dsl.Parser.parse_file f)
-  | None, Some m ->
-    (match List.assoc_opt m builtin_models with
-     | Some mk -> Ok (mk ())
-     | None ->
-       Error
-         (Printf.sprintf "unknown model %S (available: %s)" m
-            (String.concat ", " (List.map fst builtin_models))))
-  | Some _, Some _ -> Error "give either a file or --model, not both"
-  | None, None -> Error "give a .tpn file or --model NAME"
+let render_error (e : Tpan.Error.t) =
+  match e with
+  | Unsupported _ | Io_error _ | Invalid_input _ -> "error: " ^ Tpan.Error.to_string e
+  | _ -> Tpan.Error.to_string e
+
+let fail err =
+  Printf.eprintf "%s\n" (render_error err);
+  exit (Tpan.Error.exit_code err)
+
+let fail_input msg = fail (Tpan.Error.Invalid_input msg)
 
 let handle_errors f =
   try f () with
-  | Tpn.Unsupported msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 2
-  | Tpan_dsl.Parser.Parse_error (pos, msg) ->
-    Printf.eprintf "parse error at line %d, column %d: %s\n" pos.Tpan_dsl.Lexer.line
-      pos.Tpan_dsl.Lexer.col msg;
-    exit 2
-  | SG.Insufficient { lhs; rhs; hint } ->
-    Printf.eprintf "insufficient timing constraints: cannot order %s and %s\n  %s\n"
-      (Format.asprintf "%a" Lin.pp lhs)
-      (Format.asprintf "%a" Lin.pp rhs)
-      hint;
-    exit 3
-  | Rates.Unsolvable msg ->
-    Printf.eprintf "rate equations unsolvable: %s\n" msg;
-    exit 4
-  | DG.Deterministic_cycle _ ->
-    Printf.eprintf
-      "the system is deterministic from some decision node on; use the cycle analysis\n";
-    exit 4
-  | Reach.State_limit n ->
-    Printf.eprintf
-      "state budget exhausted: exploration truncated at %d states (raise --max-states)\n" n;
-    exit 5
-  | Sys_error msg ->
-    Printf.eprintf "error: %s\n" msg;
-    exit 2
+  | e ->
+    (match Tpan.Error.of_exn e with
+     | Some err -> fail err
+     | None -> raise e)
 
 let qf q = Format.asprintf "%a" (Q.pp_decimal ~digits:6) q
 
@@ -93,7 +56,12 @@ let progress label =
   if !progress_enabled then Obs.Progress.stderr_reporter ~label ()
   else fun (_ : int) -> ()
 
-let obs_setup trace_file metrics progress =
+let obs_setup trace_file metrics progress jobs =
+  (match jobs with
+   | None -> ()
+   | Some 0 -> Tpan_par.Pool.set_default_jobs (Tpan_par.Pool.recommended_jobs ())
+   | Some n when n > 0 -> Tpan_par.Pool.set_default_jobs n
+   | Some _ -> fail_input "-j expects a non-negative jobs count (0 = auto)");
   progress_enabled := progress;
   if metrics then Obs.Metrics.set_timing true;
   if trace_file <> None then Obs.Trace.set_enabled true;
@@ -122,7 +90,17 @@ let obs_term =
   let progress_arg =
     Arg.(value & flag & info [ "progress" ] ~doc:"Report exploration progress to stderr.")
   in
-  Term.(const obs_setup $ trace_arg $ metrics_arg $ progress_arg)
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains for parallel work (sweeps, replicated simulation, large rate \
+             solves). 0 picks the machine's recommended count. Results are identical for \
+             any value; default 1.")
+  in
+  Term.(const obs_setup $ trace_arg $ metrics_arg $ progress_arg $ jobs_arg)
 
 (* ----- common options ----- *)
 
@@ -134,17 +112,24 @@ let model_arg =
     value
     & opt (some string) None
     & info [ "m"; "model" ] ~docv:"NAME"
-        ~doc:"Built-in model (stopwait, stopwait-sym, abp, abp-sym, handshake, handshake-sym, channel, scheduler-sym, ring, ring-sym, pipeline, batch).")
+        ~doc:
+          (Printf.sprintf "Built-in model (%s)." (String.concat ", " Tpan.Models.names)))
 
 let max_states_arg =
   Arg.(value & opt int 100_000 & info [ "max-states" ] ~docv:"N" ~doc:"State budget.")
 
-let with_net file model k = handle_errors (fun () ->
-    match load_net file model with
-    | Error msg ->
-      Printf.eprintf "error: %s\n" msg;
-      exit 2
-    | Ok tpn -> k tpn)
+let source_of file model =
+  match (file, model) with
+  | Some f, None -> Tpan.Analysis.File f
+  | None, Some m -> Tpan.Analysis.Builtin m
+  | Some _, Some _ -> fail_input "give either a file or --model, not both"
+  | None, None -> fail_input "give a .tpn file or --model NAME"
+
+let with_net file model k =
+  handle_errors (fun () ->
+      match Tpan.Analysis.load (source_of file model) with
+      | Ok tpn -> k tpn
+      | Error e -> fail e)
 
 (* ----- show ----- *)
 
@@ -210,8 +195,24 @@ let throughput_arg =
     & info [ "t"; "throughput" ] ~docv:"TRANS"
         ~doc:"Report the completion rate of this transition (repeatable).")
 
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:"Emit a versioned JSON document (\"schema\": 1) instead of the human report.")
+
+let print_json doc = print_endline (Obs.Jsonv.to_string_hum doc)
+
 let analyze_cmd =
-  let run () file model max_states throughputs =
+  let run () file model max_states throughputs json =
+    if json then
+      with_net file model (fun tpn ->
+          match Tpan.Analysis.analyze ~max_states ~throughputs tpn with
+          | Ok report ->
+            let report = { report with Tpan.Analysis.model } in
+            print_json (Tpan.Analysis.report_to_json report)
+          | Error e -> fail e)
+    else
     with_net file model (fun tpn ->
         let g = CG.build ~max_states ~on_progress:(progress "TRG") tpn in
         Format.printf "timed reachability graph: %d states, %d edges@." (CG.Graph.num_states g)
@@ -239,7 +240,7 @@ let analyze_cmd =
   in
   Cmd.v
     (Cmd.info "analyze" ~doc:"Concrete timed analysis: TRG, decision graph, throughput.")
-    Term.(const run $ obs_term $ file_arg $ model_arg $ max_states_arg $ throughput_arg)
+    Term.(const run $ obs_term $ file_arg $ model_arg $ max_states_arg $ throughput_arg $ json_arg)
 
 (* ----- symbolic ----- *)
 
@@ -295,7 +296,7 @@ let symbolic_cmd =
 (* ----- simulate ----- *)
 
 let simulate_cmd =
-  let run () file model horizon seed runs throughputs point =
+  let run () file model horizon seed runs throughputs point json =
     with_net file model (fun tpn ->
         let horizon = Q.of_decimal_string horizon in
         (* a symbolic net can be simulated once its symbols are bound *)
@@ -304,22 +305,68 @@ let simulate_cmd =
           else Tpn.bind_times tpn (List.map (fun (k, v) -> (k, Q.of_decimal_string v)) point)
         in
         let net = Tpn.net tpn in
-        List.iter
-          (fun name ->
-            let t = Net.trans_of_name net name in
-            if runs <= 1 then begin
-              let stats = Sim.run ~seed ~horizon tpn in
-              Printf.printf "throughput(%s): %.6g per time unit%s\n" name
-                (Sim.throughput stats t)
-                (if stats.Sim.deadlocked then " (deadlocked)" else "")
-            end
-            else begin
-              let est = Sim.replicate ~seed ~runs ~horizon tpn (fun s -> Sim.throughput s t) in
-              let lo, hi = est.Sim.ci95 in
-              Printf.printf "throughput(%s): %.6g +/- %.2g (95%%: [%.6g, %.6g], %d runs)\n"
-                name est.Sim.mean (1.96 *. est.Sim.std_error) lo hi est.Sim.runs
-            end)
-          throughputs)
+        (* Single run: one trajectory. Replications: [run_many] splits the
+           seeds and fans the runs out over the worker pool ([-j]); the
+           estimate is bit-identical at any jobs count. *)
+        let results =
+          List.map
+            (fun name ->
+              let t = Net.trans_of_name net name in
+              if runs <= 1 then begin
+                let stats = Sim.run ~seed ~horizon tpn in
+                (name, `Single (Sim.throughput stats t, stats.Sim.deadlocked))
+              end
+              else
+                let est = Sim.run_many ~seed ~runs ~horizon tpn (fun s -> Sim.throughput s t) in
+                (name, `Estimate est))
+            throughputs
+        in
+        if json then
+          print_json
+            (Obs.Jsonv.Obj
+               [
+                 ("schema", Obs.Jsonv.Int 1);
+                 ("kind", Obs.Jsonv.Str "simulation");
+                 ("horizon", Obs.Jsonv.Raw (qf horizon));
+                 ("seed", Obs.Jsonv.Int seed);
+                 ("runs", Obs.Jsonv.Int (max 1 runs));
+                 ( "throughputs",
+                   Obs.Jsonv.Obj
+                     (List.map
+                        (fun (name, r) ->
+                          match r with
+                          | `Single (v, deadlocked) ->
+                            ( name,
+                              Obs.Jsonv.Obj
+                                [
+                                  ("mean", Obs.Jsonv.Float v);
+                                  ("deadlocked", Obs.Jsonv.Bool deadlocked);
+                                ] )
+                          | `Estimate est ->
+                            let lo, hi = est.Sim.ci95 in
+                            ( name,
+                              Obs.Jsonv.Obj
+                                [
+                                  ("mean", Obs.Jsonv.Float est.Sim.mean);
+                                  ("std_error", Obs.Jsonv.Float est.Sim.std_error);
+                                  ( "ci95",
+                                    Obs.Jsonv.List [ Obs.Jsonv.Float lo; Obs.Jsonv.Float hi ]
+                                  );
+                                ] ))
+                        results) );
+               ])
+        else
+          List.iter
+            (fun (name, r) ->
+              match r with
+              | `Single (v, deadlocked) ->
+                Printf.printf "throughput(%s): %.6g per time unit%s\n" name v
+                  (if deadlocked then " (deadlocked)" else "")
+              | `Estimate est ->
+                let lo, hi = est.Sim.ci95 in
+                Printf.printf "throughput(%s): %.6g +/- %.2g (95%%: [%.6g, %.6g], %d runs)\n"
+                  name est.Sim.mean (1.96 *. est.Sim.std_error) lo hi est.Sim.runs)
+            results)
   in
   let horizon_arg =
     Arg.(value & opt string "1000000" & info [ "horizon" ] ~docv:"T" ~doc:"Simulated time span.")
@@ -335,7 +382,7 @@ let simulate_cmd =
   in
   Cmd.v
     (Cmd.info "simulate" ~doc:"Monte-Carlo simulation of a (possibly bound-symbolic) net.")
-    Term.(const run $ obs_term $ file_arg $ model_arg $ horizon_arg $ seed_arg $ runs_arg $ throughput_arg $ point_arg)
+    Term.(const run $ obs_term $ file_arg $ model_arg $ horizon_arg $ seed_arg $ runs_arg $ throughput_arg $ point_arg $ json_arg)
 
 (* ----- latency ----- *)
 
@@ -388,53 +435,106 @@ let latency_cmd =
 
 (* ----- sweep ----- *)
 
+(* The sweep engine has two evaluation paths:
+
+   - a concrete built-in model: each grid point rebuilds the net with the
+     axis parameters overridden and runs the full exact analysis — points
+     are independent, so they fan out over the worker pool;
+   - a symbolic net: the closed-form throughput is derived once and merely
+     evaluated per point (the paper's argument for symbolic derivation).
+
+   Either way the grid is row-major and results land in input order, so
+   the table (and its CSV/JSON renderings) is byte-identical for any -j. *)
 let sweep_cmd =
-  let run () file model max_states trans var lo hi steps point =
-    with_net file model (fun tpn ->
-        let g = SG.build ~max_states tpn in
-        let res = M.Symbolic.analyze g in
-        let thr = M.Symbolic.throughput res g trans in
-        let bindings = List.map (fun (k, v) -> (k, Q.of_decimal_string v)) point in
-        let lo = Q.of_decimal_string lo and hi = Q.of_decimal_string hi in
-        if steps < 2 then begin
-          Printf.eprintf "error: need at least 2 steps\n";
-          exit 2
-        end;
-        let step = Q.div (Q.sub hi lo) (Q.of_int (steps - 1)) in
-        Format.printf "%-14s %-16s@." var ("throughput(" ^ trans ^ ")");
-        for i = 0 to steps - 1 do
-          let x = Q.add lo (Q.mul (Q.of_int i) step) in
-          let b = (var, x) :: List.remove_assoc var bindings in
-          match M.Symbolic.eval_at thr b with
-          | v -> Format.printf "%-14s %-16s@." (qf x) (qf v)
-          | exception Not_found ->
-            Printf.eprintf
-              "error: the expression mentions a symbol with no binding; pass all others via -p\n";
-            exit 2
-          | exception Division_by_zero ->
-            Format.printf "%-14s %-16s@." (qf x) "(pole)"
-        done;
-        Format.print_flush ())
+  let module Sweep = Tpan_perf.Sweep in
+  let run () file model max_states trans vary point csv json =
+    handle_errors @@ fun () ->
+    let axes =
+      List.map
+        (fun spec ->
+          match Sweep.parse_axis spec with Ok a -> a | Error msg -> fail_input msg)
+        vary
+    in
+    if axes = [] then fail_input "give at least one --vary NAME=LO..HI:STEPS";
+    let bindings = List.map (fun (k, v) -> (k, Q.of_decimal_string v)) point in
+    let table =
+      match model with
+      | Some name when (match Tpan.Models.find name with
+                        | Some m -> m.Tpan.Models.params <> []
+                        | None -> false) ->
+        (* concrete built-in: axes are model parameters *)
+        let m = Option.get (Tpan.Models.find name) in
+        List.iter
+          (fun (a : Sweep.axis) ->
+            if not (List.mem_assoc a.Sweep.name m.Tpan.Models.params) then
+              fail_input
+                (Printf.sprintf "model %s has no parameter %S (available: %s)" name
+                   a.Sweep.name
+                   (String.concat ", " (List.map fst m.Tpan.Models.params))))
+          axes;
+        if bindings <> [] then
+          fail_input "-p binds symbols of a symbolic net; concrete sweeps take axes only";
+        let throughputs = if trans = [] then m.Tpan.Models.deliveries else trans in
+        Sweep.over_tpn ~max_states
+          ~make:(fun pt -> m.Tpan.Models.make pt)
+          ~throughputs axes
+      | _ ->
+        (* symbolic path: derive the closed form once, evaluate per point *)
+        with_net file model @@ fun tpn ->
+        if Tpn.is_concrete tpn then
+          fail_input
+            "sweeping a concrete net needs a built-in model (--model NAME) so axes can \
+             name its parameters; for a .tpn file use its symbolic variant"
+        else begin
+          let g = SG.build ~max_states tpn in
+          let res = M.Symbolic.analyze g in
+          if trans = [] then
+            fail_input "give at least one -t TRANS to sweep a symbolic throughput";
+          let exprs =
+            List.map (fun t -> ("thr(" ^ t ^ ")", M.Symbolic.throughput res g t)) trans
+          in
+          Sweep.over_expr ~bindings ~exprs axes
+        end
+    in
+    if json then print_json (Sweep.to_json table)
+    else if csv then print_string (Sweep.to_csv table)
+    else Format.printf "%a@?" Sweep.pp table
   in
   let trans_arg =
-    Arg.(required & opt (some string) None & info [ "t"; "throughput" ] ~docv:"TRANS"
-           ~doc:"Transition whose completion rate to sweep.")
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "t"; "throughput" ] ~docv:"TRANS"
+          ~doc:
+            "Transition whose completion rate to tabulate (repeatable; defaults to the \
+             model's delivery transitions).")
   in
-  let var_arg =
-    Arg.(required & opt (some string) None & info [ "var" ] ~docv:"SYMBOL"
-           ~doc:"Symbol to sweep, e.g. 'E(t3)'.")
+  let vary_arg =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "vary" ] ~docv:"NAME=LO..HI:STEPS"
+          ~doc:
+            "Sweep axis, e.g. --vary timeout=80..200:8 (repeatable; several axes form \
+             their cartesian grid). For a concrete model NAME is a parameter; for a \
+             symbolic net it is a symbol such as 'E(t3)'.")
   in
-  let lo_arg = Arg.(value & opt string "0" & info [ "from" ] ~docv:"LO" ~doc:"Range start.") in
-  let hi_arg = Arg.(value & opt string "1" & info [ "to" ] ~docv:"HI" ~doc:"Range end.") in
-  let steps_arg = Arg.(value & opt int 11 & info [ "steps" ] ~docv:"N" ~doc:"Sample count.") in
   let point_arg =
-    Arg.(value & opt_all (pair ~sep:'=' string string) []
-         & info [ "p"; "point" ] ~docv:"VAR=VALUE" ~doc:"Fix the other symbols (repeatable).")
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string string) []
+      & info [ "p"; "point" ] ~docv:"VAR=VALUE"
+          ~doc:"Fix the non-swept symbols of a symbolic net (repeatable).")
   in
+  let csv_arg = Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of a table.") in
   Cmd.v
     (Cmd.info "sweep"
-       ~doc:"Evaluate the symbolic throughput across a parameter range (one derivation, many points).")
-    Term.(const run $ obs_term $ file_arg $ model_arg $ max_states_arg $ trans_arg $ var_arg $ lo_arg $ hi_arg $ steps_arg $ point_arg)
+       ~doc:
+         "Tabulate throughput over a parameter grid, in parallel (-j); identical output \
+          for any jobs count.")
+    Term.(
+      const run $ obs_term $ file_arg $ model_arg $ max_states_arg $ trans_arg $ vary_arg
+      $ point_arg $ csv_arg $ json_arg)
 
 (* ----- check ----- *)
 

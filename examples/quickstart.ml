@@ -1,13 +1,13 @@
-(* Quickstart: model a protocol, build its timed reachability graph, and get
-   a throughput number — the complete pipeline in ~40 lines.
+(* Quickstart: model a protocol and get a throughput number through the
+   Tpan.Analysis facade — build a net, call analyze, read the report.
+   Every failure mode comes back as a value (Tpan.Error.t), so the example
+   has no exception handling.
 
    Run with: dune exec examples/quickstart.exe *)
 
 module Q = Tpan_mathkit.Q
 module Net = Tpan_petri.Net
 module Tpn = Tpan_core.Tpn
-module Concrete = Tpan_core.Concrete
-module Measures = Tpan_perf.Measures
 
 let () =
   (* 1. Describe the net: a sender that transmits and waits for an ack over
@@ -41,15 +41,19 @@ let () =
       ]
   in
 
-  (* 3. Analyze: timed reachability graph -> decision graph -> rates. *)
-  let graph = Concrete.build tpn in
-  Format.printf "reachability graph: %d states@." (Concrete.Graph.num_states graph);
-  let result = Measures.Concrete.analyze graph in
-  let throughput = Measures.Concrete.throughput result graph "done_" in
-  Format.printf "throughput: %a messages per ms (%.2f msg/s)@."
-    (Q.pp_decimal ~digits:6) throughput
-    (Q.to_float throughput *. 1000.);
-  Format.printf "mean time per message: %a ms@." (Q.pp_decimal ~digits:3) (Q.inv throughput);
+  (* 3. Analyze through the facade: one call runs timed reachability,
+     decision-graph collapse and the rate solve. *)
+  (match Tpan.Analysis.(analyze ~throughputs:[ "done_" ] tpn) with
+   | Error e ->
+     Format.printf "analysis failed: %s@." (Tpan.Error.to_string e)
+   | Ok report ->
+     Format.printf "reachability graph: %d states@." report.Tpan.Analysis.states;
+     let throughput = List.assoc "done_" report.Tpan.Analysis.throughputs in
+     Format.printf "throughput: %a messages per ms (%.2f msg/s)@."
+       (Q.pp_decimal ~digits:6) throughput
+       (Q.to_float throughput *. 1000.);
+     Format.printf "mean time per message: %a ms@." (Q.pp_decimal ~digits:3)
+       (Q.inv throughput));
 
   (* 4. Cross-check by simulation. *)
   let stats = Tpan_sim.Simulator.run ~seed:7 ~horizon:(ms 1_000_000) tpn in

@@ -1,0 +1,47 @@
+(** Unified error values for the analysis pipeline.
+
+    Every failure mode the pipeline can hit — unsupported net features,
+    truncated exploration, unsolvable rate equations, parse errors — has a
+    variant here, so [result]-typed entry points ([Reachability.explore_result],
+    [Exponential.build_result], [Tpan.Analysis.*], …) share one error type
+    and the CLI maps them all onto stable exit codes in one place.
+
+    Layering: this module lives in [tpan_core], below [tpan_perf] and
+    [tpan_dsl], so {!of_exn} only classifies the exceptions core can see
+    ([Tpn.Unsupported], [Symbolic.Insufficient], [Reachability.State_limit],
+    [Sys_error]). The facade's [Tpan.Error.of_exn] extends the match to
+    perf- and parser-level exceptions. *)
+
+type t =
+  | Unsupported of string
+      (** The net uses a feature outside the analyzable class (e.g. a
+          non-conflict-free concrete TPN for decision-graph collapse). *)
+  | Insufficient of { lhs : string; rhs : string; hint : string }
+      (** Symbolic exploration could not order two clock expressions;
+          [lhs]/[rhs] are rendered linear expressions. *)
+  | State_limit of int
+      (** Exploration truncated at the given state budget. *)
+  | Unsolvable of string
+      (** The traversal-rate equations have no unique solution. *)
+  | Deterministic_cycle of int list
+      (** Decision-graph collapse found the system deterministic from some
+          node on; the cycle analysis applies instead. *)
+  | Parse_error of { line : int; col : int; msg : string }
+  | Io_error of string
+  | Invalid_input of string
+      (** A malformed request (bad parameter name, bad grid spec, …). *)
+
+val to_string : t -> string
+(** One-line human rendering, matching the CLI's historical wording. *)
+
+val exit_code : t -> int
+(** Stable process exit code: 2 for input-side errors ([Unsupported],
+    [Parse_error], [Io_error], [Invalid_input]), 3 for [Insufficient],
+    4 for [Unsolvable] and [Deterministic_cycle], 5 for [State_limit]. *)
+
+val of_exn : exn -> t option
+(** Classify the core-visible analysis exceptions; [None] for anything
+    this layer doesn't know (perf/parser exceptions — see
+    [Tpan.Error.of_exn] — and genuine bugs). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,28 @@
+(** Minimal JSON document builder (no JSON library in the toolchain).
+
+    Used for the CLI's [--json] output and the sweep engine's machine
+    output. Rendering is deterministic: object fields print in the order
+    given, numbers print exactly as formatted by the caller ({!Raw}) or
+    with ["%.17g"] ({!Float}), so identical values yield identical bytes —
+    the property the parallel-determinism tests assert on. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Raw of string  (** pre-formatted number (e.g. a [Q.pp_decimal] render); emitted verbatim *)
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val escape : string -> string
+(** JSON string-body escaping (no surrounding quotes). *)
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+(** Compact rendering, no trailing newline. *)
+
+val to_string_hum : t -> string
+(** Two-space indented rendering, for human eyes. *)

@@ -1,38 +1,113 @@
-module Counter = struct
-  type t = { mutable v : int }
+(* Counters, gauges and histograms are plain mutable cells on the main
+   domain. Worker domains (created by Tpan_par.Pool) install a domain-local
+   delta buffer: every update lands in the buffer instead of the shared
+   cell, and the pool merges the buffers into the global cells at join
+   time. This keeps the hot-path cost at one DLS read + one store and makes
+   metric totals independent of how work was scheduled. *)
 
-  let create () = { v = 0 }
-  let incr c = c.v <- c.v + 1
-  let add c n = c.v <- c.v + n
-  let value c = c.v
-  let reset c = c.v <- 0
+let next_id = Atomic.make 0
+let new_id () = Atomic.fetch_and_add next_id 1
+
+type counter = { cid : int; mutable cv : int }
+type gauge = { gid : int; mutable gv : float }
+
+type histogram = {
+  hid : int;
+  mutable data : float array;
+  mutable stored : int;  (* valid prefix of [data] *)
+  mutable total : int;  (* observations ever, drives round-robin overwrite *)
+  mutable hsum : float;
+  mutable max_v : float;
+  cap : int;
+}
+
+(* ---------------- domain-local delta buffers ---------------- *)
+
+module Local = struct
+  type buf = {
+    counters : (int, counter * int ref) Hashtbl.t;
+    gauges : (int, gauge * float ref) Hashtbl.t;
+    hists : (int, histogram * float list ref) Hashtbl.t;
+  }
+
+  type deltas = buf
+
+  let key : buf option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+  let current () = Domain.DLS.get key
+
+  let install () =
+    Domain.DLS.set key
+      (Some
+         { counters = Hashtbl.create 16; gauges = Hashtbl.create 8; hists = Hashtbl.create 8 })
+
+  let collect () =
+    match current () with
+    | None -> invalid_arg "Metrics.Local.collect: no buffer installed"
+    | Some b ->
+      Domain.DLS.set key None;
+      b
+
+  let bump_counter b c n =
+    match Hashtbl.find_opt b.counters c.cid with
+    | Some (_, r) -> r := !r + n
+    | None -> Hashtbl.add b.counters c.cid (c, ref n)
+
+  let bump_gauge b g x =
+    match Hashtbl.find_opt b.gauges g.gid with
+    | Some (_, r) -> if x > !r then r := x
+    | None -> Hashtbl.add b.gauges g.gid (g, ref x)
+
+  let bump_hist b h x =
+    match Hashtbl.find_opt b.hists h.hid with
+    | Some (_, r) -> r := x :: !r
+    | None -> Hashtbl.add b.hists h.hid (h, ref [ x ])
+end
+
+module Counter = struct
+  type t = counter
+
+  let create () = { cid = new_id (); cv = 0 }
+
+  let add c n =
+    match Local.current () with
+    | None -> c.cv <- c.cv + n
+    | Some b -> Local.bump_counter b c n
+
+  let incr c = add c 1
+  let value c = c.cv
+  let reset c = c.cv <- 0
 end
 
 module Gauge = struct
-  type t = { mutable g : float }
+  type t = gauge
 
-  let create () = { g = 0. }
-  let set g x = g.g <- x
-  let set_max g x = if x > g.g then g.g <- x
-  let value g = g.g
-  let reset g = g.g <- 0.
+  let create () = { gid = new_id (); gv = 0. }
+
+  (* In a worker domain both [set] and [set_max] merge by maximum: the
+     gauges updated on parallel paths are peaks, and last-writer-wins has
+     no deterministic meaning across domains. *)
+  let set g x =
+    match Local.current () with
+    | None -> g.gv <- x
+    | Some b -> Local.bump_gauge b g x
+
+  let set_max g x =
+    match Local.current () with
+    | None -> if x > g.gv then g.gv <- x
+    | Some b -> Local.bump_gauge b g x
+
+  let value g = g.gv
+  let reset g = g.gv <- 0.
 end
 
 module Histogram = struct
-  type t = {
-    mutable data : float array;
-    mutable stored : int;  (* valid prefix of [data] *)
-    mutable total : int;  (* observations ever, drives round-robin overwrite *)
-    mutable sum : float;
-    mutable max_v : float;
-    cap : int;
-  }
+  type t = histogram
 
   let create ?(cap = 8192) () =
     if cap <= 0 then invalid_arg "Histogram.create: cap must be positive";
-    { data = [||]; stored = 0; total = 0; sum = 0.; max_v = neg_infinity; cap }
+    { hid = new_id (); data = [||]; stored = 0; total = 0; hsum = 0.; max_v = neg_infinity; cap }
 
-  let observe h x =
+  let observe_direct h x =
     (if h.stored < h.cap then begin
        if h.stored >= Array.length h.data then begin
          let grown = Array.make (max 64 (min h.cap (2 * Array.length h.data))) 0. in
@@ -44,11 +119,16 @@ module Histogram = struct
      end
      else h.data.(h.total mod h.cap) <- x);
     h.total <- h.total + 1;
-    h.sum <- h.sum +. x;
+    h.hsum <- h.hsum +. x;
     if x > h.max_v then h.max_v <- x
 
+  let observe h x =
+    match Local.current () with
+    | None -> observe_direct h x
+    | Some b -> Local.bump_hist b h x
+
   let count h = h.total
-  let sum h = h.sum
+  let sum h = h.hsum
   let max_value h = if h.total = 0 then Float.nan else h.max_v
 
   let percentile h q =
@@ -63,9 +143,14 @@ module Histogram = struct
   let reset h =
     h.stored <- 0;
     h.total <- 0;
-    h.sum <- 0.;
+    h.hsum <- 0.;
     h.max_v <- neg_infinity
 end
+
+let merge_deltas (b : Local.deltas) =
+  Hashtbl.iter (fun _ (c, r) -> c.cv <- c.cv + !r) b.Local.counters;
+  Hashtbl.iter (fun _ (g, r) -> if !r > g.gv then g.gv <- !r) b.Local.gauges;
+  Hashtbl.iter (fun _ (h, r) -> List.iter (Histogram.observe_direct h) (List.rev !r)) b.Local.hists
 
 (* ---------------- timing switch ---------------- *)
 
@@ -85,8 +170,10 @@ let time h f =
 type metric = C of Counter.t | G of Gauge.t | H of Histogram.t
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
 
 let register name kind_of make =
+  Mutex.protect registry_lock @@ fun () ->
   match Hashtbl.find_opt registry name with
   | Some m ->
     (match kind_of m with
@@ -132,15 +219,22 @@ let value_of = function
       }
 
 let snapshot () =
-  Hashtbl.fold (fun name m acc -> (name, value_of m) :: acc) registry []
+  let entries =
+    Mutex.protect registry_lock @@ fun () ->
+    Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  in
+  List.map (fun (name, m) -> (name, value_of m)) entries
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let find name = Option.map value_of (Hashtbl.find_opt registry name)
+let find name =
+  let m = Mutex.protect registry_lock @@ fun () -> Hashtbl.find_opt registry name in
+  Option.map value_of m
 
 let counter_value name =
   match find name with Some (Counter_v n) -> n | _ -> 0
 
 let reset_all () =
+  Mutex.protect registry_lock @@ fun () ->
   Hashtbl.iter
     (fun _ -> function
       | C c -> Counter.reset c

@@ -98,5 +98,33 @@ val counter_value : string -> int
 val reset_all : unit -> unit
 (** Zero every registered metric (standalone counters are untouched). *)
 
+(** {1 Per-domain delta buffers}
+
+    Worker domains must not race on the shared cells. A worker calls
+    {!Local.install} before running tasks; from then on every update made
+    on that domain lands in a domain-local buffer. When the worker is done
+    it calls {!Local.collect} and hands the buffer to the joining domain,
+    which folds it into the global registry with {!merge_deltas}.
+    [Tpan_par.Pool] does all of this automatically.
+
+    Merge semantics: counters add their deltas (totals are therefore
+    independent of scheduling); gauges merge by maximum (the gauges touched
+    on parallel paths are peaks — in a worker, [Gauge.set] behaves like
+    [Gauge.set_max]); histograms replay their buffered observations. *)
+
+module Local : sig
+  type deltas
+
+  val install : unit -> unit
+  (** Redirect this domain's metric updates into a fresh buffer. *)
+
+  val collect : unit -> deltas
+  (** Detach and return the buffer, restoring direct updates.
+      @raise Invalid_argument if no buffer is installed. *)
+end
+
+val merge_deltas : Local.deltas -> unit
+(** Fold a collected buffer into the global cells (call after join). *)
+
 val pp_table : Format.formatter -> unit -> unit
 (** Human-readable two-column table of {!snapshot}. *)

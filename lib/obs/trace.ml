@@ -24,28 +24,34 @@ let enabled () = !enabled_flag
 
 (* Span starts are stored relative to this process-level epoch so the
    exported microsecond timestamps stay small enough for exact float
-   representation. *)
+   representation.
+
+   Nesting depth is tracked per domain (a worker's spans start at depth 0);
+   the completed-event list is shared, so pushes are mutex-protected. *)
 let t0 = Mclock.now ()
-let cur_depth = ref 0
+let cur_depth : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 let completed : event list ref = ref []
+let completed_lock = Mutex.create ()
 let dummy = { sp_name = ""; sp_start = 0.; sp_depth = 0; sp_attrs = []; sp_real = false }
 
 let with_span name f =
   if not !enabled_flag then f dummy
   else begin
+    let depth = Domain.DLS.get cur_depth in
     let sp =
-      { sp_name = name; sp_start = Mclock.now () -. t0; sp_depth = !cur_depth;
+      { sp_name = name; sp_start = Mclock.now () -. t0; sp_depth = !depth;
         sp_attrs = []; sp_real = true }
     in
-    incr cur_depth;
+    incr depth;
     Fun.protect
       ~finally:(fun () ->
-        decr cur_depth;
+        decr depth;
         let dur = Mclock.now () -. t0 -. sp.sp_start in
-        completed :=
+        let e =
           { name = sp.sp_name; start = sp.sp_start; dur; depth = sp.sp_depth;
             attrs = List.rev sp.sp_attrs }
-          :: !completed)
+        in
+        Mutex.protect completed_lock (fun () -> completed := e :: !completed))
       (fun () -> f sp)
   end
 

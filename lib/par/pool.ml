@@ -1,0 +1,118 @@
+type error = { index : int; message : string; exn : exn }
+
+(* ---------------- jobs accounting ---------------- *)
+
+let recommended_jobs () =
+  let from_env =
+    match Sys.getenv_opt "TPAN_JOBS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> Some n
+      | _ -> None)
+    | None -> None
+  in
+  let n =
+    match from_env with Some n -> n | None -> Domain.recommended_domain_count ()
+  in
+  max 1 (min 64 n)
+
+let default = ref 1
+let set_default_jobs n = default := max 1 n
+let default_jobs () = !default
+
+(* ---------------- nested-call guard ---------------- *)
+
+let worker_flag : bool ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref false)
+let in_worker () = !(Domain.DLS.get worker_flag)
+
+let with_worker_flag f =
+  let flag = Domain.DLS.get worker_flag in
+  let saved = !flag in
+  flag := true;
+  Fun.protect ~finally:(fun () -> flag := saved) f
+
+let effective_jobs jobs n =
+  let j = match jobs with Some j -> max 1 j | None -> default_jobs () in
+  min j (max 1 n)
+
+(* ---------------- ordered map ---------------- *)
+
+let try_map_seq f xs =
+  List.mapi
+    (fun i x ->
+      try Ok (f x)
+      with e -> Error { index = i; message = Printexc.to_string e; exn = e })
+    xs
+
+let try_map ?jobs f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let j = effective_jobs jobs n in
+  if n = 0 || j <= 1 || in_worker () then try_map_seq f xs
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let rec work () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        results.(i) <-
+          Some
+            (try Ok (f arr.(i))
+             with e -> Error { index = i; message = Printexc.to_string e; exn = e });
+        work ()
+      end
+    in
+    let worker () =
+      Tpan_obs.Metrics.Local.install ();
+      with_worker_flag work;
+      Tpan_obs.Metrics.Local.collect ()
+    in
+    let domains = Array.init (j - 1) (fun _ -> Domain.spawn worker) in
+    with_worker_flag work;
+    let deltas = Array.map Domain.join domains in
+    Array.iter Tpan_obs.Metrics.merge_deltas deltas;
+    Array.to_list (Array.map Option.get results)
+  end
+
+let map ?jobs f xs =
+  let n = List.length xs in
+  if n = 0 || effective_jobs jobs n <= 1 || in_worker () then List.map f xs
+  else
+    let reraise_first = function
+      | Ok y -> y
+      | Error e -> raise e.exn
+    in
+    List.map reraise_first (try_map ?jobs f xs)
+
+(* ---------------- block-parallel for ---------------- *)
+
+let parallel_for ?jobs ?(min_chunk = 1) n body =
+  if n > 0 then begin
+    let j = match jobs with Some j -> max 1 j | None -> default_jobs () in
+    let blocks = min j (max 1 (n / max 1 min_chunk)) in
+    if blocks <= 1 || in_worker () then body 0 (n - 1)
+    else begin
+      let size = (n + blocks - 1) / blocks in
+      let bounds =
+        Array.to_list (Array.init blocks (fun k -> (k * size, min n ((k + 1) * size) - 1)))
+        |> List.filter (fun (lo, hi) -> lo <= hi)
+        |> Array.of_list
+      in
+      let nb = Array.length bounds in
+      let failures = Array.make nb None in
+      let run k =
+        let lo, hi = bounds.(k) in
+        try body lo hi with e -> failures.(k) <- Some e
+      in
+      let worker k () =
+        Tpan_obs.Metrics.Local.install ();
+        with_worker_flag (fun () -> run k);
+        Tpan_obs.Metrics.Local.collect ()
+      in
+      let domains = Array.init (nb - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+      with_worker_flag (fun () -> run 0);
+      let deltas = Array.map Domain.join domains in
+      Array.iter Tpan_obs.Metrics.merge_deltas deltas;
+      Array.iter (function Some e -> raise e | None -> ()) failures
+    end
+  end

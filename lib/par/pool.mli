@@ -1,0 +1,66 @@
+(** Fork-join worker pool over OCaml 5 domains.
+
+    The pool's one guarantee is {e determinism}: for any jobs count,
+    {!map} returns exactly [List.map f xs] — results land in the slot of
+    their input regardless of which domain computed them or in what
+    order. Combined with the exact rational arithmetic used throughout
+    the analysis pipeline, a parallel sweep is byte-identical to a
+    sequential one.
+
+    Design notes:
+
+    - Fork-join, spawn-per-call: each [map] spawns up to [jobs - 1]
+      domains and joins them before returning. Domain spawn is tens of
+      microseconds — negligible against the multi-millisecond tasks this
+      pool exists for — and the absence of a persistent pool means no
+      shutdown protocol, no idle domains inside library clients, and no
+      interference with other users of the domain budget.
+    - Work stealing via a single [Atomic] index over the input array;
+      the calling domain participates, so [jobs = 1] equals plain
+      [List.map] even in cost.
+    - Worker domains install a {!Tpan_obs.Metrics.Local} delta buffer;
+      the buffers are folded into the global registry at join time, so
+      metric totals are scheduling-independent too.
+    - Nested calls run sequentially: a task that itself calls [map]
+      (e.g. a parallel linear solve inside a parallel sweep point) gets
+      the sequential fast path instead of a domain explosion. *)
+
+val recommended_jobs : unit -> int
+(** Domains worth using on this machine: [TPAN_JOBS] when set to a
+    positive integer, else [Domain.recommended_domain_count ()], capped
+    at 64. Always at least 1. *)
+
+val set_default_jobs : int -> unit
+(** Set the jobs count used when [?jobs] is omitted ([max 1 n]). The CLI
+    wires [-j] to this. Defaults to 1 — parallelism is opt-in. *)
+
+val default_jobs : unit -> int
+
+val in_worker : unit -> bool
+(** True while executing inside a pool worker (or inside a task run on
+    the calling domain during a parallel region). Used by library code
+    to pick a sequential algorithm rather than nesting pools. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] is [List.map f xs], computed by up to [jobs]
+    domains. An exception raised by any [f x] is re-raised on the
+    calling domain after all workers have joined (the first by input
+    order wins, deterministically). *)
+
+type error = { index : int; message : string; exn : exn }
+(** A task failure: input position, [Printexc.to_string] render, and the
+    original exception. *)
+
+val try_map : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, error) result list
+(** Like {!map} but captures each task's failure in its slot instead of
+    re-raising, so one bad sweep point doesn't lose the rest of the
+    grid. Result order matches input order. *)
+
+val parallel_for : ?jobs:int -> ?min_chunk:int -> int -> (int -> int -> unit) -> unit
+(** [parallel_for n body] partitions [0 .. n-1] into contiguous blocks
+    of at least [min_chunk] (default 1) indices and runs [body lo hi]
+    (inclusive bounds) on up to [jobs] domains, the caller included.
+    Blocks are disjoint, so [body] may write disjoint array slots
+    without synchronisation. Joins all domains before returning;
+    exceptions re-raise after the join. Runs sequentially when [n] is
+    small, [jobs <= 1], or already inside a worker. *)

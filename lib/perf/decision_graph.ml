@@ -139,3 +139,9 @@ let to_dot ~pp_delay ~pp_prob dg =
     dg.edges;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
+
+let collapse_result ~add ~mul g =
+  match of_graph ~add ~mul g with
+  | dg -> Ok dg
+  | exception Deterministic_cycle cycle ->
+    Error (Tpan_core.Error.Deterministic_cycle cycle)

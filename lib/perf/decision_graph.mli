@@ -68,3 +68,10 @@ val to_dot :
   string
 (** Graphviz rendering: decision nodes as diamonds, edges labelled
     [p / d]. *)
+
+val collapse_result :
+  add:('t -> 't -> 't) ->
+  mul:('p -> 'p -> 'p) ->
+  ('t, 'p) Semantics.graph ->
+  (('t, 'p) t, Tpan_core.Error.t) result
+(** {!of_graph} with [Deterministic_cycle] returned as a value. *)

@@ -1,0 +1,13 @@
+(* Perf-level exception classification: extends [Tpan_core.Error.of_exn]
+   with the exceptions defined in this library. The facade's
+   [Tpan.Error.of_exn] adds the parser layer on top of this. *)
+
+module Error = Tpan_core.Error
+
+let of_exn = function
+  | Rates.Unsolvable msg -> Some (Error.Unsolvable msg)
+  | Decision_graph.Deterministic_cycle cycle -> Some (Error.Deterministic_cycle cycle)
+  | e -> Error.of_exn e
+
+let wrap f = match f () with v -> Ok v | exception e -> (
+  match of_exn e with Some err -> Error err | None -> raise e)

@@ -1,0 +1,204 @@
+module Q = Tpan_mathkit.Q
+module Error = Tpan_core.Error
+module CG = Tpan_core.Concrete
+module J = Tpan_obs.Jsonv
+
+type axis = { name : string; lo : Q.t; hi : Q.t; steps : int }
+
+let parse_axis spec =
+  let fail () =
+    Error (Printf.sprintf "bad grid spec %S (expected NAME=LO..HI:STEPS)" spec)
+  in
+  match String.index_opt spec '=' with
+  | None -> fail ()
+  | Some eq -> (
+    let name = String.trim (String.sub spec 0 eq) in
+    let rhs = String.sub spec (eq + 1) (String.length spec - eq - 1) in
+    match String.index_opt rhs ':' with
+    | None -> fail ()
+    | Some colon -> (
+      let range = String.sub rhs 0 colon in
+      let steps_s = String.sub rhs (colon + 1) (String.length rhs - colon - 1) in
+      match
+        let dots =
+          let rec find i =
+            if i + 1 >= String.length range then None
+            else if range.[i] = '.' && range.[i + 1] = '.' then Some i
+            else find (i + 1)
+          in
+          find 0
+        in
+        dots
+      with
+      | None -> fail ()
+      | Some d -> (
+        let lo_s = String.trim (String.sub range 0 d) in
+        let hi_s = String.trim (String.sub range (d + 2) (String.length range - d - 2)) in
+        match
+          ( Q.of_decimal_string lo_s,
+            Q.of_decimal_string hi_s,
+            int_of_string_opt (String.trim steps_s) )
+        with
+        | lo, hi, Some steps when name <> "" && steps >= 1 && Q.compare lo hi <= 0 ->
+          Ok { name; lo; hi; steps }
+        | _ -> fail ()
+        | exception Invalid_argument _ -> fail ())))
+
+let axis_values a =
+  if a.steps <= 1 then [ a.lo ]
+  else
+    let span = Q.sub a.hi a.lo in
+    let denom = Q.of_int (a.steps - 1) in
+    List.init a.steps (fun k -> Q.add a.lo (Q.div (Q.mul span (Q.of_int k)) denom))
+
+let points axes =
+  List.fold_right
+    (fun a acc ->
+      List.concat_map (fun v -> List.map (fun tail -> (a.name, v) :: tail) acc) (axis_values a))
+    axes [ [] ]
+
+type row = {
+  point : (string * Q.t) list;
+  values : (string * Q.t) list;
+  error : Error.t option;
+}
+
+type t = { axes : axis list; columns : string list; rows : row list }
+
+(* Per-point failures become row errors; a genuinely unclassifiable
+   exception is a bug and propagates. *)
+let classify e =
+  match Errors.of_exn e with
+  | Some err -> err
+  | None -> (
+    match e with
+    | Invalid_argument msg | Failure msg -> Error.Invalid_input msg
+    | Not_found -> Error.Invalid_input "unknown variable in sweep point"
+    | Division_by_zero -> Error.Unsolvable "division by zero while evaluating measure"
+    | e -> raise e)
+
+let rows_of_results pts results =
+  List.map2
+    (fun point r ->
+      match r with
+      | Ok values -> { point; values; error = None }
+      | Error (e : Tpan_par.Pool.error) -> { point; values = []; error = Some (classify e.exn) })
+    pts results
+
+let over_tpn ?jobs ?max_states ~make ~throughputs axes =
+  let columns = List.map (fun t -> "thr(" ^ t ^ ")") throughputs @ [ "mean_cycle_time" ] in
+  let pts = points axes in
+  let eval point =
+    let tpn = make point in
+    let g = CG.build ?max_states tpn in
+    let r = Measures.Concrete.analyze g in
+    List.map2
+      (fun col t -> (col, Measures.Concrete.throughput r g t))
+      (List.map (fun t -> "thr(" ^ t ^ ")") throughputs)
+      throughputs
+    @ [ ("mean_cycle_time", Measures.mean_cycle_time r) ]
+  in
+  let results = Tpan_par.Pool.try_map ?jobs eval pts in
+  { axes; columns; rows = rows_of_results pts results }
+
+let over_expr ?jobs ~bindings ~exprs axes =
+  let columns = List.map fst exprs in
+  let pts = points axes in
+  let eval point =
+    (* the point's coordinates shadow any clashing fixed binding *)
+    let env = point @ bindings in
+    List.map (fun (name, rf) -> (name, Measures.Symbolic.eval_at rf env)) exprs
+  in
+  let results = Tpan_par.Pool.try_map ?jobs eval pts in
+  { axes; columns; rows = rows_of_results pts results }
+
+(* ---------------- rendering ---------------- *)
+
+let qf q = Format.asprintf "%a" (Q.pp_decimal ~digits:6) q
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let b = Buffer.create 1024 in
+  let axis_names = List.map (fun a -> a.name) t.axes in
+  Buffer.add_string b (String.concat "," (List.map csv_cell (axis_names @ t.columns @ [ "error" ])));
+  Buffer.add_char b '\n';
+  List.iter
+    (fun r ->
+      let coords = List.map (fun (_, v) -> qf v) r.point in
+      let cells =
+        List.map
+          (fun col -> match List.assoc_opt col r.values with Some v -> qf v | None -> "")
+          t.columns
+      in
+      let err =
+        match r.error with
+        | None -> ""
+        | Some e ->
+          String.concat "; " (String.split_on_char '\n' (Error.to_string e))
+      in
+      Buffer.add_string b (String.concat "," (List.map csv_cell (coords @ cells @ [ err ])));
+      Buffer.add_char b '\n')
+    t.rows;
+  Buffer.contents b
+
+let to_json t =
+  J.Obj
+    [
+      ("schema", J.Int 1);
+      ("kind", J.Str "sweep");
+      ( "axes",
+        J.List
+          (List.map
+             (fun a ->
+               J.Obj
+                 [
+                   ("name", J.Str a.name);
+                   ("lo", J.Raw (qf a.lo));
+                   ("hi", J.Raw (qf a.hi));
+                   ("steps", J.Int a.steps);
+                 ])
+             t.axes) );
+      ("columns", J.List (List.map (fun c -> J.Str c) t.columns));
+      ( "rows",
+        J.List
+          (List.map
+             (fun r ->
+               J.Obj
+                 [
+                   ("point", J.Obj (List.map (fun (k, v) -> (k, J.Raw (qf v))) r.point));
+                   ("values", J.Obj (List.map (fun (k, v) -> (k, J.Raw (qf v))) r.values));
+                   ( "error",
+                     match r.error with
+                     | None -> J.Null
+                     | Some e -> J.Str (Error.to_string e) );
+                 ])
+             t.rows) );
+    ]
+
+let pp fmt t =
+  let axis_names = List.map (fun a -> a.name) t.axes in
+  let headers = axis_names @ t.columns in
+  let width = List.fold_left (fun w h -> max w (String.length h)) 12 headers + 2 in
+  Format.pp_open_vbox fmt 0;
+  List.iter (fun h -> Format.fprintf fmt "%-*s" width h) headers;
+  Format.pp_print_cut fmt ();
+  List.iter
+    (fun r ->
+      List.iter (fun (_, v) -> Format.fprintf fmt "%-*s" width (qf v)) r.point;
+      (match r.error with
+       | None ->
+         List.iter
+           (fun col ->
+             let cell =
+               match List.assoc_opt col r.values with Some v -> qf v | None -> ""
+             in
+             Format.fprintf fmt "%-*s" width cell)
+           t.columns
+       | Some e -> Format.fprintf fmt "error: %s" (Error.to_string e));
+      Format.pp_print_cut fmt ())
+    t.rows;
+  Format.pp_close_box fmt ()

@@ -106,3 +106,8 @@ let path_to g pred =
       match prev.(j) with None -> acc | Some (i, t) -> build (t :: acc) i
     in
     Some (build [] j)
+
+let explore_result ?max_states ?on_progress net =
+  match explore ?max_states ?on_progress net with
+  | g -> Ok g
+  | exception State_limit n -> Error (`State_limit n)

@@ -215,3 +215,35 @@ let replicate ?(seed = 42) ?warmup ~runs ~horizon tpn output =
     ci95 = Stats.Running.ci95 acc;
     runs;
   }
+
+let run_result ?seed ?warmup ~horizon tpn =
+  match run ?seed ?warmup ~horizon tpn with
+  | st -> Ok st
+  | exception e -> (
+    match Tpan_core.Error.of_exn e with
+    | Some err -> Error err
+    | None -> (
+      match e with
+      | Invalid_argument msg -> Error (Tpan_core.Error.Invalid_input msg)
+      | e -> raise e))
+
+let run_many ?(seed = 42) ?warmup ?jobs ~runs ~horizon tpn output =
+  if runs <= 0 then invalid_arg "Simulator.run_many: runs must be positive";
+  (* Seeds are drawn from the master stream sequentially — the same
+     derivation as [replicate] — so replication i sees the same seed no
+     matter how many domains run the batch. *)
+  let master = Rng.create ~seed in
+  let seeds =
+    List.init runs (fun _ -> Int64.to_int (Rng.next_int64 master) land max_int)
+  in
+  let outputs =
+    Tpan_par.Pool.map ?jobs (fun s -> output (run ~seed:s ?warmup ~horizon tpn)) seeds
+  in
+  let acc = Stats.Running.create () in
+  List.iter (Stats.Running.add acc) outputs;
+  {
+    mean = Stats.Running.mean acc;
+    std_error = Stats.Running.std_error acc;
+    ci95 = Stats.Running.ci95 acc;
+    runs;
+  }

@@ -47,3 +47,17 @@ val replicate :
   ?seed:int -> ?warmup:Q.t -> runs:int -> horizon:Q.t -> Tpn.t -> (stats -> float) -> estimate
 (** Independent replications of an output functional (e.g.
     [fun s -> throughput s t]). *)
+
+val run_result :
+  ?seed:int -> ?warmup:Q.t -> horizon:Q.t -> Tpn.t -> (stats, Tpan_core.Error.t) result
+(** {!run} with its failure modes returned as values. *)
+
+val run_many :
+  ?seed:int -> ?warmup:Q.t -> ?jobs:int -> runs:int -> horizon:Q.t ->
+  Tpn.t -> (stats -> float) -> estimate
+(** Parallel {!replicate}: per-replication seeds are split from the master
+    seed exactly as {!replicate} does, the replications run on a
+    [Tpan_par.Pool], and the outputs fold into the running statistics in
+    replication order — so the estimate is bit-identical to {!replicate}
+    for any [jobs] (default {!Tpan_par.Pool.default_jobs}).
+    @raise Invalid_argument if [runs <= 0] *)

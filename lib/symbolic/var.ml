@@ -3,12 +3,16 @@ type kind = Enabling | Firing | Frequency | Param
 type t = { id : int; kind : kind; label : string }
 
 (* Global intern tables. Interning is keyed on (kind, label); ids are dense,
-   which lets downstream structures index by id. *)
+   which lets downstream structures index by id. The tables are shared
+   across domains (pool workers may build symbolic nets), so accesses are
+   mutex-protected. *)
 let by_key : (kind * string, t) Hashtbl.t = Hashtbl.create 64
 let by_id : (int, t) Hashtbl.t = Hashtbl.create 64
 let next_id = ref 0
+let intern_lock = Mutex.create ()
 
 let make kind label =
+  Mutex.protect intern_lock @@ fun () ->
   match Hashtbl.find_opt by_key (kind, label) with
   | Some v -> v
   | None ->
@@ -34,7 +38,7 @@ let name v =
   | Frequency -> "f(" ^ v.label ^ ")"
   | Param -> v.label
 
-let of_id i = Hashtbl.find by_id i
+let of_id i = Mutex.protect intern_lock @@ fun () -> Hashtbl.find by_id i
 
 let is_time v = match v.kind with Enabling | Firing -> true | Frequency | Param -> false
 

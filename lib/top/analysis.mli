@@ -1,0 +1,51 @@
+(** One-call analysis facade.
+
+    [load] turns a net source into a {!Tpan_core.Tpn.t}; [analyze] runs the
+    whole concrete pipeline (timed reachability graph → decision graph →
+    rate solve → measures) and returns a plain record — every failure mode
+    comes back as an {!Error.t} value, never an exception:
+
+    {[
+      let net = Tpan.Analysis.(load (Builtin "stopwait")) |> Result.get_ok in
+      match Tpan.Analysis.analyze ~throughputs:[ "t7" ] net with
+      | Ok r -> …
+      | Error e -> prerr_endline (Tpan.Error.to_string e)
+    ]} *)
+
+module Q = Tpan_mathkit.Q
+module Tpn = Tpan_core.Tpn
+
+type source =
+  | File of string  (** a [.tpn] description *)
+  | Builtin of string  (** a {!Models} registry name *)
+  | Net of Tpn.t  (** an already-built net, passed through *)
+
+val load : ?params:(string * Q.t) list -> source -> (Tpn.t, Error.t) result
+(** [params] are parameter overrides for a [Builtin] source (rejected — as
+    [Invalid_input] — for the other sources, which carry no parameters). *)
+
+type report = {
+  model : string option;  (** builtin name, when known *)
+  states : int;  (** timed reachability graph *)
+  edges : int;
+  decision_nodes : int;
+  mean_cycle_time : Q.t option;
+      (** mean time per visit of the normalization node; [None] when the
+          behaviour is a deterministic cycle or terminates *)
+  deterministic_period : Q.t option;
+      (** period of the deterministic cycle, for nets with no recurring
+          decision; [None] otherwise *)
+  throughputs : (string * Q.t) list;  (** completions per unit time *)
+}
+
+val analyze :
+  ?max_states:int -> ?throughputs:string list -> Tpn.t -> (report, Error.t) result
+(** Concrete nets only ([Unsupported] for symbolic ones — bind their
+    symbols first with {!Tpn.bind_times}). A net that turns out to be
+    deterministic-cyclic is not an error: the report carries
+    [deterministic_period] instead of [mean_cycle_time]. *)
+
+val report_to_json : report -> Tpan_obs.Jsonv.t
+(** Versioned machine rendering ([{"schema": 1, "kind": "analysis", …}]). *)
+
+val pp_report : Format.formatter -> report -> unit

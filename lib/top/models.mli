@@ -1,0 +1,26 @@
+(** Registry of the built-in protocol models.
+
+    Each entry names its adjustable parameters (with default values) and
+    its default delivery transitions — the transitions whose completion
+    rate is "the" protocol throughput. [make] rebuilds the net with a set
+    of parameter overrides, which is what lets the sweep engine vary
+    [timeout] across a grid without the caller knowing the model's
+    parameter record. *)
+
+module Q = Tpan_mathkit.Q
+
+type t = {
+  name : string;
+  summary : string;
+  params : (string * Q.t) list;
+      (** adjustable parameters and their defaults; empty for symbolic
+          models (bind their symbols instead) *)
+  deliveries : string list;  (** default throughput transitions *)
+  make : (string * Q.t) list -> Tpan_core.Tpn.t;
+      (** build with overrides; raises [Invalid_argument] on an unknown
+          parameter name *)
+}
+
+val all : t list
+val names : string list
+val find : string -> t option

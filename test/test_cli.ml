@@ -55,12 +55,28 @@ let test_dot () =
   check_run "dot dg" "dot -m stopwait -g dg" [ "diamond"; "0.05 / 1002" ]
 
 let test_sweep () =
-  check_run "sweep"
-    ("sweep -m stopwait-sym -t t7 --var 'E(t3)' --from 250 --to 1000 --steps 3 "
+  (* symbolic path: closed form derived once, evaluated on the grid *)
+  check_run "sweep symbolic"
+    ("sweep -m stopwait-sym -t t7 --vary 'E(t3)=250..1000:4' "
     ^ "-p 'F(t1)=1' -p 'F(t2)=1' -p 'F(t3)=1' -p 'F(t4)=106.7' -p 'F(t5)=106.7' "
     ^ "-p 'F(t6)=13.5' -p 'F(t7)=13.5' -p 'F(t8)=106.7' -p 'F(t9)=106.7' "
     ^ "-p 'f(t4)=0.05' -p 'f(t5)=0.95' -p 'f(t8)=0.95' -p 'f(t9)=0.05'")
-    [ "E(t3)"; "0.003708"; "0.002851" ]
+    [ "E(t3)"; "0.003708"; "0.002851" ];
+  (* concrete path: per-point rebuild + full analysis on the pool; the
+     symbolic closed form above must agree point for point *)
+  check_run "sweep concrete"
+    "sweep -m stopwait --vary timeout=250..1000:4 -j 2 --json"
+    [ "\"schema\": 1"; "0.003708"; "0.002851" ]
+
+let test_sweep_determinism () =
+  let args j =
+    Printf.sprintf "sweep -m stopwait --vary timeout=80..200:8 -j %d --json" j
+  in
+  let rc1, out1 = run_capture (args 1) in
+  let rc4, out4 = run_capture (args 4) in
+  Alcotest.(check int) "sweep -j1 exits 0" 0 rc1;
+  Alcotest.(check int) "sweep -j4 exits 0" 0 rc4;
+  Alcotest.(check string) "sweep --json is byte-identical for -j1 and -j4" out1 out4
 
 let test_profile () =
   check_run "profile" (Printf.sprintf "profile %s" stopwait_tpn)
@@ -123,6 +139,7 @@ let suite =
       Alcotest.test_case "simulate" `Quick test_simulate;
       Alcotest.test_case "dot outputs" `Quick test_dot;
       Alcotest.test_case "sweep" `Quick test_sweep;
+      Alcotest.test_case "sweep determinism across -j" `Quick test_sweep_determinism;
       Alcotest.test_case "profile" `Quick test_profile;
       Alcotest.test_case "--trace writes NDJSON" `Quick test_trace_flag;
       Alcotest.test_case "--metrics prints table" `Quick test_metrics_flag;
