@@ -30,6 +30,23 @@ module O = Tpan_symbolic.Oracle
 let failures = ref 0
 let passes = ref 0
 
+(* CI sizing: [--quick] (or TPAN_BENCH_SCALE < 1) shrinks the expensive
+   extension experiments — fewer Erlang stages, shorter simulation
+   horizons — without renaming any section or changing the JSON schema,
+   so BENCH_history.ndjson rows stay comparable within a scale. *)
+let quick = Array.exists (( = ) "--quick") Sys.argv
+
+let bench_scale =
+  match Sys.getenv_opt "TPAN_BENCH_SCALE" with
+  | Some s -> (
+    match float_of_string_opt (String.trim s) with
+    | Some f when f > 0. && f <= 1. -> f
+    | _ -> 1.0)
+  | None -> if quick then 0.25 else 1.0
+
+(* scaled simulation horizon (and similar integer budgets) *)
+let scaled n = max 1 (int_of_float ((float_of_int n *. bench_scale) +. 0.5))
+
 let check name cond =
   if cond then begin
     incr passes;
@@ -738,7 +755,9 @@ let ext_exp () =
     let name = PL.t_deliver ^ (if k = 1 then "" else "__" ^ string_of_int (k - 1)) in
     Exp.throughput c ~steady:pi (Net.trans_of_name (Tpn.net tpn) name)
   in
-  let stages = [ 1; 2; 3 ] in
+  (* the Erlang-3 expansion dominates the full harness's wall time; quick
+     mode stops at 2 stages, which still exhibits the convergence *)
+  let stages = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
   let values = Tpan_par.Pool.map thr stages in
   let fractions =
     List.map2
@@ -750,7 +769,10 @@ let ext_exp () =
       stages values
   in
   check "Erlang stages converge monotonically toward the deterministic bound"
-    (match fractions with [ a; b; c ] -> a < b && b < c && c < 1.0 | _ -> false)
+    (match fractions with
+     | [ a; b; c ] -> a < b && b < c && c < 1.0
+     | [ a; b ] -> a < b && b < 1.0
+     | _ -> false)
 
 (* ---------------- EXT-PAR ---------------- *)
 
@@ -796,15 +818,18 @@ let ext_par () =
   check "sweep grid is byte-identical at -j1 and -jN"
     (Tpan_obs.Jsonv.to_string (Sweep.to_json s1)
     = Tpan_obs.Jsonv.to_string (Sweep.to_json sn));
-  (* 2. Markov solve of the Erlang-3 pipeline: the dominant EXT-EXP cost;
-     the parallelism lives inside the exact Gauss-Jordan elimination *)
+  (* 2. Markov solve of the Erlang-k pipeline: the dominant EXT-EXP cost;
+     the parallelism lives inside the exact Gauss-Jordan elimination.
+     Quick mode solves the 2-stage expansion instead of the 3-stage one *)
+  let estages = if quick then 2 else 3 in
+  let ename = Printf.sprintf "erlang-%d-solve" estages in
   let e1, en =
-    record "erlang-3-solve" (fun jobs ->
+    record ename (fun jobs ->
         Pool.set_default_jobs jobs;
-        let tpn = Exp.erlang_expand ~stages:3 (PL.concrete PL.default_params) in
+        let tpn = Exp.erlang_expand ~stages:estages (PL.concrete PL.default_params) in
         let c = Exp.build ~max_states:200_000 tpn in
         let pi = Exp.steady_state c in
-        let name = PL.t_deliver ^ "__2" in
+        let name = PL.t_deliver ^ "__" ^ string_of_int (estages - 1) in
         Exp.throughput c ~steady:pi (Net.trans_of_name (Tpn.net tpn) name))
   in
   Pool.set_default_jobs jn;
@@ -813,23 +838,27 @@ let ext_par () =
   let t7 = Net.trans_of_name (Tpn.net ctpn) "t7" in
   let m1, mn =
     record "monte-carlo-x8" (fun jobs ->
-        Sim.run_many ~seed:11 ~jobs ~runs:8 ~horizon:(Q.of_int 150_000) ctpn
+        Sim.run_many ~seed:11 ~jobs ~runs:8 ~horizon:(Q.of_int (scaled 150_000)) ctpn
           (fun stats -> Sim.throughput stats t7))
   in
   check "Monte-Carlo estimate is bit-identical at -j1 and -jN" (m1 = mn);
-  if jn > 1 then begin
+  (* scaled-down workloads are too small to amortize domain spawning, so
+     the >= 2x assertions only run at full size on multicore hosts *)
+  if jn > 1 && not quick && bench_scale >= 1.0 then begin
     let speedup name =
       match List.find_opt (fun (n, _, _, _) -> n = name) !parallel_records with
       | Some (_, _, t1, tn) -> t1 /. tn
       | None -> 0.
     in
-    check "Markov solve speeds up >= 2x on the pool" (speedup "erlang-3-solve" >= 2.0);
+    check "Markov solve speeds up >= 2x on the pool" (speedup ename >= 2.0);
     check "Monte-Carlo replication speeds up >= 2x on the pool"
       (speedup "monte-carlo-x8" >= 2.0)
   end
-  else
+  else if jn <= 1 then
     Format.printf
       "  single-core host (recommended jobs = 1): speedup checks not applicable@."
+  else
+    Format.printf "  quick/scaled run: speedup checks skipped (workloads too small)@."
 
 (* ---------------- ORACLE ---------------- *)
 
@@ -1012,8 +1041,49 @@ let emit_json ~micro path =
   close_out oc;
   Format.printf "@.wrote %s@." path
 
+(* ---------------- BENCH_history.ndjson ----------------
+
+   One NDJSON line per harness run: the regression time series that
+   [tpan bench-diff] gates. Append-only, so the file accumulates across
+   runs; the [scale] field keeps quick CI rows distinguishable from full
+   local rows. *)
+
+let append_history path =
+  let module J = Tpan_obs.Jsonv in
+  let line =
+    J.Obj
+      [
+        ("schema", J.Int 1);
+        ("timestamp", J.Float (Unix.time ()));
+        ("version", J.Str Tpan.Version.string);
+        ("scale", J.Float bench_scale);
+        ("quick", J.Bool quick);
+        ( "figures",
+          J.List
+            (List.rev_map
+               (fun (name, s, gc) ->
+                 J.Obj
+                   [
+                     ("name", J.Str name);
+                     ("seconds", J.Float s);
+                     ("major_words", J.Float gc.major_words);
+                   ])
+               !figure_times) );
+        ("checks", J.Obj [ ("passed", J.Int !passes); ("failed", J.Int !failures) ]);
+      ]
+  in
+  try
+    let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+    output_string oc (J.to_string line ^ "\n");
+    close_out oc;
+    Format.printf "appended %s@." path
+  with Sys_error msg -> Format.printf "warning: cannot append %s: %s@." path msg
+
 let () =
   Format.printf "tpan reproduction harness — Razouk, Timed Petri Net performance expressions@.";
+  if quick || bench_scale < 1.0 then
+    Format.printf "(scaled run: quick=%b scale=%g — extension experiments shrunk)@." quick
+      bench_scale;
   timed "FIG1" fig1;
   timed "FIG4" fig4;
   timed "FIG5" fig5;
@@ -1039,6 +1109,7 @@ let () =
   let micro = ref [] in
   timed "PERF" (fun () -> micro := perf ());
   emit_json ~micro:!micro "BENCH_tpan.json";
+  append_history "BENCH_history.ndjson";
   Format.printf "@.====================@.";
   if !failures = 0 then Format.printf "ALL CHECKS PASSED@."
   else begin

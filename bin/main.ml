@@ -22,6 +22,18 @@ module Obs = Tpan_obs
 
 open Cmdliner
 
+(* ----- exit bookkeeping -----
+
+   Every process exit goes through [quit] so the run ledger's at_exit
+   writer can record the real exit code. *)
+
+let run_t0 = Unix.gettimeofday ()
+let exit_code = ref 0
+
+let quit code =
+  exit_code := code;
+  Stdlib.exit code
+
 (* ----- error reporting -----
 
    Every analysis failure is a [Tpan.Error.t] value; the CLI's only jobs
@@ -35,7 +47,13 @@ let render_error (e : Tpan.Error.t) =
 
 let fail err =
   Printf.eprintf "%s\n" (render_error err);
-  exit (Tpan.Error.exit_code err)
+  Obs.Log.error "run failed"
+    ~fields:
+      [
+        ("error", Obs.Jsonv.Str (Tpan.Error.to_string err));
+        ("exit_code", Obs.Jsonv.Int (Tpan.Error.exit_code err));
+      ];
+  quit (Tpan.Error.exit_code err)
 
 let fail_input msg = fail (Tpan.Error.Invalid_input msg)
 
@@ -56,13 +74,73 @@ let progress label =
   if !progress_enabled then Obs.Progress.stderr_reporter ~label ()
   else fun (_ : int) -> ()
 
-let obs_setup trace_file metrics progress jobs =
+(* State the flag handlers leave behind for subcommands and the at_exit
+   hooks: chosen metrics rendering, the model in use, the last facade
+   report (captured through the Analysis hook), the ledger directory. *)
+
+type metrics_format = Fmt_table | Fmt_openmetrics | Fmt_json
+
+let metrics_fmt_opt : metrics_format option ref = ref None
+let metrics_all = ref false
+let current_model : string option ref = ref None
+let last_report : Obs.Jsonv.t option ref = ref None
+let ledger_where : string option ref = ref None
+
+let () =
+  Tpan.Analysis.add_report_hook (fun r ->
+      last_report := Some (Tpan.Analysis.report_to_json r))
+
+let metrics_string format ~all =
+  match format with
+  | Fmt_table ->
+    Format.asprintf "@[%a@]@." (fun fmt () -> Obs.Metrics.pp_table ~all fmt ()) ()
+  | Fmt_openmetrics -> Obs.Metrics.to_openmetrics ~all ()
+  | Fmt_json -> Obs.Jsonv.to_string_hum (Obs.Metrics.to_json ~all ()) ^ "\n"
+
+let write_ledger () =
+  match !ledger_where with
+  | None -> ()
+  | Some dir ->
+    let stages =
+      List.map
+        (fun (stage, seconds, count) -> { Obs.Ledger.stage; seconds; count })
+        (Obs.Trace.stage_totals ())
+    in
+    let subcommand =
+      if Array.length Sys.argv > 1 && String.length Sys.argv.(1) > 0 && Sys.argv.(1).[0] <> '-'
+      then Sys.argv.(1)
+      else ""
+    in
+    let record =
+      Obs.Ledger.make ~version:Tpan.Version.string ~timestamp:run_t0 ~subcommand
+        ~argv:(Array.to_list Sys.argv)
+        ?model:!current_model ~stages
+        ~metrics:(Obs.Metrics.to_json ~all:false ())
+        ?report:!last_report ~exit_code:!exit_code
+        ~duration:(Unix.gettimeofday () -. run_t0)
+        ()
+    in
+    (match Obs.Ledger.append ~dir record with
+     | Ok () -> ()
+     | Error msg -> Printf.eprintf "warning: cannot write run ledger: %s\n" msg)
+
+let parse_level s =
+  match Obs.Log.level_of_string s with
+  | Some l -> l
+  | None -> fail_input (Printf.sprintf "unknown log level %S (debug, info, warn, error)" s)
+
+let obs_setup trace_file metrics m_fmt m_all progress jobs log_level log_file ledger
+    ledger_dir =
   (match jobs with
    | None -> ()
    | Some 0 -> Tpan_par.Pool.set_default_jobs (Tpan_par.Pool.recommended_jobs ())
    | Some n when n > 0 -> Tpan_par.Pool.set_default_jobs n
    | Some _ -> fail_input "-j expects a non-negative jobs count (0 = auto)");
   progress_enabled := progress;
+  metrics_fmt_opt := m_fmt;
+  metrics_all := m_all;
+  (* --metrics-format implies --metrics *)
+  let metrics = metrics || m_fmt <> None in
   if metrics then Obs.Metrics.set_timing true;
   if trace_file <> None then Obs.Trace.set_enabled true;
   (match trace_file with
@@ -74,7 +152,40 @@ let obs_setup trace_file metrics progress jobs =
            Obs.Trace.write_ndjson oc;
            close_out oc
          with Sys_error msg -> Printf.eprintf "warning: cannot write trace: %s\n" msg));
-  if metrics then at_exit (fun () -> Format.eprintf "@[%a@]@." Obs.Metrics.pp_table ())
+  (* Log sinks: silent unless asked — existing outputs stay byte-stable. *)
+  let sinks = ref [] in
+  (match log_level with
+   | None -> ()
+   | Some s -> sinks := (parse_level s, Obs.Log.stderr_sink) :: !sinks);
+  (match log_file with
+   | None -> ()
+   | Some path ->
+     (match open_out path with
+      | oc ->
+        at_exit (fun () -> close_out_noerr oc);
+        let lvl = match log_level with Some s -> parse_level s | None -> Obs.Log.Info in
+        sinks := (lvl, Obs.Log.ndjson_sink oc) :: !sinks
+      | exception Sys_error msg -> Printf.eprintf "warning: cannot open log file: %s\n" msg));
+  if !sinks <> [] then Obs.Log.set_sinks !sinks;
+  (* Run ledger: --ledger, or TPAN_LEDGER=1 in the environment. *)
+  let ledger =
+    ledger
+    || (match Sys.getenv_opt "TPAN_LEDGER" with
+        | None | Some "" | Some "0" -> false
+        | Some _ -> true)
+    || ledger_dir <> None
+  in
+  if ledger then begin
+    ledger_where :=
+      Some (match ledger_dir with Some d -> d | None -> Obs.Ledger.default_dir ());
+    Obs.Trace.set_enabled true;
+    (* per-stage timings come from the spans *)
+    at_exit write_ledger
+  end;
+  if metrics then
+    at_exit (fun () ->
+        let fmt = match !metrics_fmt_opt with Some f -> f | None -> Fmt_table in
+        prerr_string (metrics_string fmt ~all:!metrics_all))
 
 let obs_term =
   let trace_arg =
@@ -86,6 +197,29 @@ let obs_term =
   in
   let metrics_arg =
     Arg.(value & flag & info [ "metrics" ] ~doc:"Print the metrics table to stderr on exit.")
+  in
+  let metrics_format_arg =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [
+                  ("table", Fmt_table);
+                  ("openmetrics", Fmt_openmetrics);
+                  ("json", Fmt_json);
+                ]))
+          None
+      & info [ "metrics-format" ] ~docv:"FMT"
+          ~doc:
+            "Metrics rendering: $(b,table), $(b,openmetrics) or $(b,json). Implies \
+             $(b,--metrics).")
+  in
+  let metrics_all_arg =
+    Arg.(
+      value & flag
+      & info [ "metrics-all" ]
+          ~doc:"Include never-observed histograms (count 0) in metrics output.")
   in
   let progress_arg =
     Arg.(value & flag & info [ "progress" ] ~doc:"Report exploration progress to stderr.")
@@ -100,7 +234,43 @@ let obs_term =
              solves). 0 picks the machine's recommended count. Results are identical for \
              any value; default 1.")
   in
-  Term.(const obs_setup $ trace_arg $ metrics_arg $ progress_arg $ jobs_arg)
+  let log_level_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:
+            "Print structured log records at $(docv) (debug, info, warn, error) and above \
+             to stderr. Silent when absent.")
+  in
+  let log_file_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-file" ] ~docv:"FILE"
+          ~doc:
+            "Also write log records as NDJSON to $(docv) (at --log-level, or info when \
+             only this flag is given).")
+  in
+  let ledger_arg =
+    Arg.(
+      value & flag
+      & info [ "ledger" ]
+          ~doc:
+            "Append a run record (subcommand, timings, metrics, exit code) to the run \
+             ledger ($(b,.tpan/runs.ndjson), or \\$TPAN_DIR). Also enabled by \
+             \\$TPAN_LEDGER=1. Query with $(b,tpan runs).")
+  in
+  let ledger_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger-dir" ] ~docv:"DIR"
+          ~doc:"Ledger directory (implies $(b,--ledger)); default $(b,.tpan) or \\$TPAN_DIR.")
+  in
+  Term.(
+    const obs_setup $ trace_arg $ metrics_arg $ metrics_format_arg $ metrics_all_arg
+    $ progress_arg $ jobs_arg $ log_level_arg $ log_file_arg $ ledger_arg $ ledger_dir_arg)
 
 (* ----- common options ----- *)
 
@@ -121,7 +291,9 @@ let max_states_arg =
 let source_of file model =
   match (file, model) with
   | Some f, None -> Tpan.Analysis.File f
-  | None, Some m -> Tpan.Analysis.Builtin m
+  | None, Some m ->
+    current_model := Some m;
+    Tpan.Analysis.Builtin m
   | Some _, Some _ -> fail_input "give either a file or --model, not both"
   | None, None -> fail_input "give a .tpn file or --model NAME"
 
@@ -702,7 +874,7 @@ let dot_cmd =
             (DG.to_dot ~pp_delay:(Q.pp_decimal ~digits:6) ~pp_prob:(Q.pp_decimal ~digits:6) dg)
         | other ->
           Printf.eprintf "unknown graph %S (net, trg, strg, reach, dg)\n" other;
-          exit 2)
+          quit 2)
   in
   let what_arg =
     Arg.(
@@ -713,9 +885,171 @@ let dot_cmd =
     (Cmd.info "dot" ~doc:"Emit Graphviz DOT for the net or its graphs.")
     Term.(const run $ obs_term $ file_arg $ model_arg $ what_arg $ max_states_arg)
 
+(* ----- metrics ----- *)
+
+let metrics_cmd =
+  let run () file model max_states =
+    (* With a net given, run the facade pipeline first so the registry
+       holds that run's numbers; bare [tpan metrics] exposes whatever the
+       registry holds at startup (registered metrics, zero values). *)
+    (match (file, model) with
+     | None, None -> ()
+     | _ ->
+       Obs.Metrics.set_timing true;
+       with_net file model (fun tpn ->
+           match Tpan.Analysis.analyze ~max_states tpn with
+           | Ok _ -> ()
+           | Error e -> fail e));
+    let format = match !metrics_fmt_opt with Some f -> f | None -> Fmt_openmetrics in
+    print_string (metrics_string format ~all:!metrics_all)
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Print the metrics registry to stdout — OpenMetrics text by default \
+          (--metrics-format picks table or json). With a net, analyze it first so the \
+          metrics describe that run.")
+    Term.(const run $ obs_term $ file_arg $ model_arg $ max_states_arg)
+
+(* ----- runs (ledger query) ----- *)
+
+let runs_cmd =
+  let run () last json dir =
+    let dir = match dir with Some d -> d | None -> Obs.Ledger.default_dir () in
+    match Obs.Ledger.load ~dir () with
+    | Error msg -> fail (Tpan.Error.Io_error msg)
+    | Ok records ->
+      let shown =
+        match last with
+        | Some n when n >= 0 ->
+          let total = List.length records in
+          if total <= n then records else List.filteri (fun i _ -> i >= total - n) records
+        | _ -> records
+      in
+      if json then print_json (Obs.Jsonv.List (List.map Obs.Ledger.to_json shown))
+      else begin
+        Printf.printf "%-19s  %-8s  %-10s  %4s  %9s  %s\n" "when" "version" "subcommand"
+          "exit" "time (s)" "model";
+        List.iter
+          (fun (r : Obs.Ledger.record) ->
+            let tm = Unix.localtime r.Obs.Ledger.timestamp in
+            Printf.printf "%04d-%02d-%02d %02d:%02d:%02d  %-8s  %-10s  %4d  %9.3f  %s\n"
+              (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour
+              tm.Unix.tm_min tm.Unix.tm_sec r.Obs.Ledger.version r.Obs.Ledger.subcommand
+              r.Obs.Ledger.exit_code r.Obs.Ledger.duration
+              (match r.Obs.Ledger.model with Some m -> m | None -> "-"))
+          shown;
+        Printf.printf "%d of %d run(s)\n" (List.length shown) (List.length records)
+      end
+  in
+  let last_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "last" ] ~docv:"N" ~doc:"Show only the N most recent runs.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the records as a JSON array.")
+  in
+  let dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dir" ] ~docv:"DIR" ~doc:"Ledger directory; default $(b,.tpan) or \\$TPAN_DIR.")
+  in
+  Cmd.v
+    (Cmd.info "runs" ~doc:"Query the run ledger written by --ledger.")
+    Term.(const run $ obs_term $ last_arg $ json_arg $ dir_arg)
+
+(* ----- bench-diff ----- *)
+
+let bench_diff_cmd =
+  let module BD = Obs.Bench_diff in
+  let run () base cur warn fail_at warn_only json =
+    match (BD.load_file base, BD.load_file cur) with
+    | Error msg, _ -> fail (Tpan.Error.Io_error (base ^ ": " ^ msg))
+    | _, Error msg -> fail (Tpan.Error.Io_error (cur ^ ": " ^ msg))
+    | Ok baseline, Ok current ->
+      let report = BD.compare_figures ~warn ~fail:fail_at ~baseline ~current () in
+      if json then print_json (BD.report_to_json report)
+      else Format.printf "%a@?" BD.pp_report report;
+      (match report.BD.worst with
+       | BD.Fail_v when not warn_only ->
+         Printf.eprintf "bench-diff: regression beyond the %gx fail threshold\n" fail_at;
+         quit 1
+       | _ -> quit 0)
+  in
+  let base_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"BASELINE.json" ~doc:"Stored baseline BENCH_tpan.json.")
+  in
+  let cur_arg =
+    Arg.(
+      required
+      & pos 1 (some file) None
+      & info [] ~docv:"CURRENT.json" ~doc:"Fresh BENCH_tpan.json to compare.")
+  in
+  let warn_arg =
+    Arg.(
+      value
+      & opt float BD.default_warn
+      & info [ "warn" ] ~docv:"RATIO" ~doc:"Warn threshold on current/baseline ratios.")
+  in
+  let fail_arg =
+    Arg.(
+      value
+      & opt float BD.default_fail
+      & info [ "fail" ] ~docv:"RATIO" ~doc:"Fail threshold on current/baseline ratios.")
+  in
+  let warn_only_arg =
+    Arg.(
+      value & flag
+      & info [ "warn-only" ] ~doc:"Report regressions but always exit 0 (CI smoke mode).")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the comparison as JSON.")
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:
+         "Compare two BENCH_tpan.json documents per figure (wall time and GC major \
+          words); exit 1 when any ratio crosses the fail threshold.")
+    Term.(
+      const run $ obs_term $ base_arg $ cur_arg $ warn_arg $ fail_arg $ warn_only_arg
+      $ json_arg)
+
+(* ----- version ----- *)
+
+let version_cmd =
+  let run () = print_endline Tpan.Version.string in
+  Cmd.v
+    (Cmd.info "version" ~doc:"Print the build version (also stamped into ledger records).")
+    Term.(const run $ const ())
+
 let () =
   let info =
-    Cmd.info "tpan" ~version:"1.0.0"
+    Cmd.info "tpan" ~version:Tpan.Version.string
       ~doc:"Performance analysis of communication protocols from Timed Petri Net models"
   in
-  exit (Cmd.eval (Cmd.group info [ show_cmd; reach_cmd; analyze_cmd; symbolic_cmd; simulate_cmd; sweep_cmd; latency_cmd; check_cmd; report_cmd; profile_cmd; dot_cmd ]))
+  quit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            show_cmd;
+            reach_cmd;
+            analyze_cmd;
+            symbolic_cmd;
+            simulate_cmd;
+            sweep_cmd;
+            latency_cmd;
+            check_cmd;
+            report_cmd;
+            profile_cmd;
+            dot_cmd;
+            metrics_cmd;
+            runs_cmd;
+            bench_diff_cmd;
+            version_cmd;
+          ]))

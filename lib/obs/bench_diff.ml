@@ -1,0 +1,166 @@
+type figure = { name : string; seconds : float; major_words : float }
+type verdict = Ok_v | Warn_v | Fail_v
+
+type row = {
+  name : string;
+  base_seconds : float;
+  cur_seconds : float;
+  time_ratio : float;
+  base_major_words : float;
+  cur_major_words : float;
+  major_words_ratio : float;
+  verdict : verdict;
+}
+
+type report = {
+  rows : row list;
+  missing : string list;
+  added : string list;
+  worst : verdict;
+}
+
+let default_warn = 1.25
+let default_fail = 2.0
+
+let verdict_to_string = function Ok_v -> "ok" | Warn_v -> "WARN" | Fail_v -> "FAIL"
+
+let figures_of_json doc =
+  match Option.bind (Jsonv.member "figures" doc) Jsonv.to_list_opt with
+  | None -> Error "no \"figures\" array (is this a BENCH_tpan.json?)"
+  | Some figs ->
+    Ok
+      (List.filter_map
+         (fun f ->
+           match
+             ( Option.bind (Jsonv.member "name" f) Jsonv.to_string_opt,
+               Option.bind (Jsonv.member "seconds" f) Jsonv.to_float_opt )
+           with
+           | Some name, Some seconds ->
+             let major_words =
+               match
+                 Option.bind
+                   (Option.bind (Jsonv.member "gc" f) (Jsonv.member "major_words"))
+                   Jsonv.to_float_opt
+               with
+               | Some w -> w
+               | None -> 0.
+             in
+             Some { name; seconds; major_words }
+           | _ -> None)
+         figs)
+
+(* A section whose baseline cost is below the noise floor cannot
+   meaningfully regress by ratio: clamp the denominator so a 2 ms -> 5 ms
+   jitter on a trivial figure does not read as a 2.5x regression. *)
+let floor_seconds = 0.010
+let floor_words = 1e4
+
+let ratio ~floor base cur =
+  let base = Float.max base floor and cur = Float.max cur floor in
+  cur /. base
+
+let classify ~warn ~fail r =
+  if r >= fail then Fail_v else if r >= warn then Warn_v else Ok_v
+
+let worse a b =
+  match (a, b) with
+  | Fail_v, _ | _, Fail_v -> Fail_v
+  | Warn_v, _ | _, Warn_v -> Warn_v
+  | Ok_v, Ok_v -> Ok_v
+
+let compare_figures ?(warn = default_warn) ?(fail = default_fail) ~baseline ~current () =
+  let rows =
+    List.filter_map
+      (fun (cur : figure) ->
+        match List.find_opt (fun (b : figure) -> b.name = cur.name) baseline with
+        | None -> None
+        | Some base ->
+          let time_ratio = ratio ~floor:floor_seconds base.seconds cur.seconds in
+          let mw_ratio = ratio ~floor:floor_words base.major_words cur.major_words in
+          let verdict =
+            worse (classify ~warn ~fail time_ratio) (classify ~warn ~fail mw_ratio)
+          in
+          Some
+            {
+              name = cur.name;
+              base_seconds = base.seconds;
+              cur_seconds = cur.seconds;
+              time_ratio;
+              base_major_words = base.major_words;
+              cur_major_words = cur.major_words;
+              major_words_ratio = mw_ratio;
+              verdict;
+            })
+      current
+  in
+  let missing =
+    List.filter_map
+      (fun (b : figure) ->
+        if List.exists (fun (c : figure) -> c.name = b.name) current then None
+        else Some b.name)
+      baseline
+  in
+  let added =
+    List.filter_map
+      (fun (c : figure) ->
+        if List.exists (fun (b : figure) -> b.name = c.name) baseline then None
+        else Some c.name)
+      current
+  in
+  let worst = List.fold_left (fun acc r -> worse acc r.verdict) Ok_v rows in
+  (* a vanished section is a regression in coverage, not just noise *)
+  let worst = if missing <> [] then worse worst Warn_v else worst in
+  { rows; missing; added; worst }
+
+let load_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    match Jsonv.of_string s with
+    | Ok doc -> figures_of_json doc
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  with Sys_error msg -> Error msg
+
+let pp_report fmt t =
+  Format.pp_open_vbox fmt 0;
+  Format.fprintf fmt "%-12s %10s %10s %7s %12s %12s %7s  %s@," "figure" "base(s)"
+    "cur(s)" "xtime" "base(Mw)" "cur(Mw)" "xmajw" "verdict";
+  List.iter
+    (fun r ->
+      Format.fprintf fmt "%-12s %10.3f %10.3f %7.2f %12.0f %12.0f %7.2f  %s@," r.name
+        r.base_seconds r.cur_seconds r.time_ratio r.base_major_words r.cur_major_words
+        r.major_words_ratio
+        (verdict_to_string r.verdict))
+    t.rows;
+  List.iter (fun n -> Format.fprintf fmt "missing from current: %s@," n) t.missing;
+  List.iter (fun n -> Format.fprintf fmt "new in current: %s@," n) t.added;
+  Format.fprintf fmt "overall: %s@," (verdict_to_string t.worst);
+  Format.pp_close_box fmt ()
+
+let report_to_json t =
+  Jsonv.Obj
+    [
+      ("schema", Jsonv.Int 1);
+      ("kind", Jsonv.Str "bench-diff");
+      ( "rows",
+        Jsonv.List
+          (List.map
+             (fun r ->
+               Jsonv.Obj
+                 [
+                   ("name", Jsonv.Str r.name);
+                   ("base_seconds", Jsonv.Float r.base_seconds);
+                   ("cur_seconds", Jsonv.Float r.cur_seconds);
+                   ("time_ratio", Jsonv.Float r.time_ratio);
+                   ("base_major_words", Jsonv.Float r.base_major_words);
+                   ("cur_major_words", Jsonv.Float r.cur_major_words);
+                   ("major_words_ratio", Jsonv.Float r.major_words_ratio);
+                   ("verdict", Jsonv.Str (verdict_to_string r.verdict));
+                 ])
+             t.rows) );
+      ("missing", Jsonv.List (List.map (fun n -> Jsonv.Str n) t.missing));
+      ("added", Jsonv.List (List.map (fun n -> Jsonv.Str n) t.added));
+      ("overall", Jsonv.Str (verdict_to_string t.worst));
+    ]

@@ -26,3 +26,29 @@ val to_string : t -> string
 
 val to_string_hum : t -> string
 (** Two-space indented rendering, for human eyes. *)
+
+(** {1 Parsing}
+
+    A complete JSON reader (objects, arrays, strings with escapes,
+    numbers, booleans, null). It exists so the NDJSON artefacts this
+    library writes — Chrome-trace lines, run-ledger records,
+    [BENCH_tpan.json] — can be read back without an external JSON
+    dependency. *)
+
+val of_string : string -> (t, string) result
+(** Parse one complete JSON value (surrounding whitespace allowed;
+    trailing garbage is an error). Numbers parse as {!Int} when written
+    without a fraction or exponent and in native [int] range, {!Float}
+    otherwise. [\u]-escapes decode to UTF-8 (surrogate pairs included). *)
+
+(** {2 Accessors} *)
+
+val member : string -> t -> t option
+(** Field of an object ([None] for other constructors or absent keys). *)
+
+val to_float_opt : t -> float option
+(** {!Int}, {!Float} or a numeric {!Raw}; [None] otherwise. *)
+
+val to_int_opt : t -> int option
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option

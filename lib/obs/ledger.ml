@@ -1,0 +1,163 @@
+(* Run records are append-only NDJSON: one JSON object per line in
+   <dir>/runs.ndjson. Appends use O_APPEND so concurrent invocations
+   interleave at line granularity; a torn or foreign line is skipped on
+   load rather than poisoning the whole history. *)
+
+let schema_version = 1
+
+type stage = { stage : string; seconds : float; count : int }
+
+type record = {
+  schema : int;
+  version : string;
+  timestamp : float;
+  subcommand : string;
+  argv : string list;
+  model : string option;
+  stages : stage list;
+  metrics : Jsonv.t;
+  report : Jsonv.t option;
+  exit_code : int;
+  duration : float;
+}
+
+let make ~version ~timestamp ~subcommand ~argv ?model ?(stages = [])
+    ?(metrics = Jsonv.List []) ?report ~exit_code ~duration () =
+  {
+    schema = schema_version;
+    version;
+    timestamp;
+    subcommand;
+    argv;
+    model;
+    stages;
+    metrics;
+    report;
+    exit_code;
+    duration;
+  }
+
+let to_json r =
+  Jsonv.Obj
+    [
+      ("schema", Jsonv.Int r.schema);
+      ("version", Jsonv.Str r.version);
+      ("timestamp", Jsonv.Float r.timestamp);
+      ("subcommand", Jsonv.Str r.subcommand);
+      ("argv", Jsonv.List (List.map (fun a -> Jsonv.Str a) r.argv));
+      ("model", match r.model with None -> Jsonv.Null | Some m -> Jsonv.Str m);
+      ( "stages",
+        Jsonv.List
+          (List.map
+             (fun s ->
+               Jsonv.Obj
+                 [
+                   ("stage", Jsonv.Str s.stage);
+                   ("seconds", Jsonv.Float s.seconds);
+                   ("count", Jsonv.Int s.count);
+                 ])
+             r.stages) );
+      ("metrics", r.metrics);
+      ("report", match r.report with None -> Jsonv.Null | Some j -> j);
+      ("exit_code", Jsonv.Int r.exit_code);
+      ("duration", Jsonv.Float r.duration);
+    ]
+
+let of_json doc =
+  let open Jsonv in
+  let str k = Option.bind (member k doc) to_string_opt in
+  let num k = Option.bind (member k doc) to_float_opt in
+  let int k = Option.bind (member k doc) to_int_opt in
+  match (int "schema", str "version", num "timestamp", str "subcommand") with
+  | Some schema, Some version, Some timestamp, Some subcommand ->
+    let argv =
+      match Option.bind (member "argv" doc) to_list_opt with
+      | Some xs -> List.filter_map to_string_opt xs
+      | None -> []
+    in
+    let stages =
+      match Option.bind (member "stages" doc) to_list_opt with
+      | Some xs ->
+        List.filter_map
+          (fun s ->
+            match
+              ( Option.bind (member "stage" s) to_string_opt,
+                Option.bind (member "seconds" s) to_float_opt )
+            with
+            | Some stage, Some seconds ->
+              let count =
+                match Option.bind (member "count" s) to_int_opt with
+                | Some c -> c
+                | None -> 0
+              in
+              Some { stage; seconds; count }
+            | _ -> None)
+          xs
+      | None -> []
+    in
+    Some
+      {
+        schema;
+        version;
+        timestamp;
+        subcommand;
+        argv;
+        model = str "model";
+        stages;
+        metrics = (match member "metrics" doc with Some m -> m | None -> List []);
+        report = (match member "report" doc with Some Null | None -> None | Some j -> Some j);
+        exit_code = (match int "exit_code" with Some c -> c | None -> 0);
+        duration = (match num "duration" with Some d -> d | None -> 0.);
+      }
+  | _ -> None
+
+(* ---------------- storage ---------------- *)
+
+let default_dir () =
+  match Sys.getenv_opt "TPAN_DIR" with
+  | Some d when String.trim d <> "" -> d
+  | _ -> ".tpan"
+
+let runs_file dir = Filename.concat dir "runs.ndjson"
+
+let append ?dir record =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  try
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    let fd =
+      Unix.openfile (runs_file dir) [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644
+    in
+    let line = Jsonv.to_string (to_json record) ^ "\n" in
+    let bytes = Bytes.of_string line in
+    let rec write off =
+      if off < Bytes.length bytes then
+        write (off + Unix.write fd bytes off (Bytes.length bytes - off))
+    in
+    Fun.protect ~finally:(fun () -> Unix.close fd) (fun () -> write 0);
+    Ok ()
+  with
+  | Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+  | Sys_error msg -> Error msg
+
+let load ?dir () =
+  let dir = match dir with Some d -> d | None -> default_dir () in
+  let path = runs_file dir in
+  if not (Sys.file_exists path) then Ok []
+  else
+    try
+      let ic = open_in path in
+      let records = ref [] in
+      (try
+         while true do
+           let line = input_line ic in
+           if String.trim line <> "" then
+             match Jsonv.of_string line with
+             | Ok doc -> (
+               match of_json doc with
+               | Some r -> records := r :: !records
+               | None -> ())
+             | Error _ -> ()
+         done
+       with End_of_file -> close_in ic);
+      Ok (List.rev !records)
+    with Sys_error msg -> Error msg

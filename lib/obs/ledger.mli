@@ -1,0 +1,62 @@
+(** The run ledger: an append-only NDJSON history of CLI invocations.
+
+    Every opted-in [tpan] run appends one {!record} — subcommand, argv,
+    model, per-stage timings from the profiler spans, a metrics
+    snapshot, exit code, wall duration, build version — to
+    [<dir>/runs.ndjson] (default directory [.tpan], overridable with the
+    [TPAN_DIR] environment variable). [tpan runs] queries it.
+
+    The file is plain NDJSON: greppable, appendable from concurrent
+    processes (O_APPEND line writes), and forward-compatible — records
+    carry a [schema] number and unparseable lines are skipped on load
+    instead of failing the query. *)
+
+type stage = { stage : string; seconds : float; count : int }
+(** Aggregated span totals, as returned by {!Trace.stage_totals}. *)
+
+type record = {
+  schema : int;  (** record schema version, currently 1 *)
+  version : string;  (** build version of the writing binary *)
+  timestamp : float;  (** start of the run, Unix seconds *)
+  subcommand : string;
+  argv : string list;  (** full command line, program name included *)
+  model : string option;  (** builtin model name, when one was used *)
+  stages : stage list;
+  metrics : Jsonv.t;  (** a {!Metrics.to_json} snapshot *)
+  report : Jsonv.t option;
+      (** last analysis-facade report of the run, when one completed *)
+  exit_code : int;
+  duration : float;  (** wall seconds *)
+}
+
+val schema_version : int
+
+val make :
+  version:string ->
+  timestamp:float ->
+  subcommand:string ->
+  argv:string list ->
+  ?model:string ->
+  ?stages:stage list ->
+  ?metrics:Jsonv.t ->
+  ?report:Jsonv.t ->
+  exit_code:int ->
+  duration:float ->
+  unit ->
+  record
+(** [schema] is filled with {!schema_version}. *)
+
+val to_json : record -> Jsonv.t
+val of_json : Jsonv.t -> record option
+
+val default_dir : unit -> string
+(** [$TPAN_DIR] when set and non-empty, else [".tpan"]. *)
+
+val runs_file : string -> string
+(** [runs_file dir] is the ledger path under [dir]. *)
+
+val append : ?dir:string -> record -> (unit, string) result
+(** Append one record (creating the directory and file as needed). *)
+
+val load : ?dir:string -> unit -> (record list, string) result
+(** All parseable records, oldest first. An absent file is [Ok []]. *)

@@ -218,12 +218,14 @@ let value_of = function
         max = Histogram.max_value h;
       }
 
-let snapshot () =
+let snapshot ?(all = true) () =
   let entries =
     Mutex.protect registry_lock @@ fun () ->
     Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
   in
   List.map (fun (name, m) -> (name, value_of m)) entries
+  |> List.filter (fun (_, v) ->
+         all || match v with Histogram_v { count = 0; _ } -> false | _ -> true)
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let find name =
@@ -242,8 +244,8 @@ let reset_all () =
       | H h -> Histogram.reset h)
     registry
 
-let pp_table fmt () =
-  let entries = snapshot () in
+let pp_table ?(all = false) fmt () =
+  let entries = snapshot ~all () in
   Format.pp_open_vbox fmt 0;
   Format.fprintf fmt "%-48s %s@," "metric" "value";
   List.iter
@@ -258,3 +260,69 @@ let pp_table fmt () =
             name h.count h.sum h.p50 h.p90 h.p99 h.max)
     entries;
   Format.pp_close_box fmt ()
+
+(* ---------------- machine exposition ---------------- *)
+
+let to_json ?(all = false) () =
+  let entry (name, v) =
+    match v with
+    | Counter_v n ->
+      Jsonv.Obj
+        [ ("name", Jsonv.Str name); ("kind", Jsonv.Str "counter"); ("value", Jsonv.Int n) ]
+    | Gauge_v x ->
+      Jsonv.Obj
+        [ ("name", Jsonv.Str name); ("kind", Jsonv.Str "gauge"); ("value", Jsonv.Float x) ]
+    | Histogram_v h ->
+      Jsonv.Obj
+        [
+          ("name", Jsonv.Str name);
+          ("kind", Jsonv.Str "histogram");
+          ("count", Jsonv.Int h.count);
+          ("sum", Jsonv.Float h.sum);
+          ("p50", Jsonv.Float h.p50);
+          ("p90", Jsonv.Float h.p90);
+          ("p99", Jsonv.Float h.p99);
+          ("max", Jsonv.Float h.max);
+        ]
+  in
+  Jsonv.List (List.map entry (snapshot ~all ()))
+
+(* OpenMetrics metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. The [tpan_] prefix
+   guarantees a legal first character whatever the registry name was. *)
+let om_name name =
+  "tpan_"
+  ^ String.map
+      (fun c ->
+        match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+      name
+
+let om_float x =
+  if Float.is_nan x then "NaN"
+  else if x = Float.infinity then "+Inf"
+  else if x = Float.neg_infinity then "-Inf"
+  else Printf.sprintf "%.9g" x
+
+let to_openmetrics ?(all = false) () =
+  let b = Buffer.create 1024 in
+  let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  List.iter
+    (fun (name, v) ->
+      let n = om_name name in
+      match v with
+      | Counter_v c ->
+        pr "# TYPE %s counter\n" n;
+        pr "%s_total %d\n" n c
+      | Gauge_v x ->
+        pr "# TYPE %s gauge\n" n;
+        pr "%s %s\n" n (om_float x)
+      | Histogram_v h ->
+        pr "# TYPE %s summary\n" n;
+        pr "%s_count %d\n" n h.count;
+        pr "%s_sum %s\n" n (om_float h.sum);
+        pr "%s{quantile=\"0.5\"} %s\n" n (om_float h.p50);
+        pr "%s{quantile=\"0.9\"} %s\n" n (om_float h.p90);
+        pr "%s{quantile=\"0.99\"} %s\n" n (om_float h.p99);
+        pr "%s{quantile=\"1\"} %s\n" n (om_float h.max))
+    (snapshot ~all ());
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b

@@ -87,8 +87,11 @@ type value =
   | Gauge_v of float
   | Histogram_v of { count : int; sum : float; p50 : float; p90 : float; p99 : float; max : float }
 
-val snapshot : unit -> (string * value) list
-(** Every registered metric, sorted by name. *)
+val snapshot : ?all:bool -> unit -> (string * value) list
+(** Every registered metric, sorted by name. With [~all:false],
+    histograms that were never observed (count 0 — e.g. latency
+    histograms when timing is off) are omitted; counters and gauges
+    always appear, zero or not. Default [true]. *)
 
 val find : string -> value option
 
@@ -126,5 +129,21 @@ end
 val merge_deltas : Local.deltas -> unit
 (** Fold a collected buffer into the global cells (call after join). *)
 
-val pp_table : Format.formatter -> unit -> unit
-(** Human-readable two-column table of {!snapshot}. *)
+val pp_table : ?all:bool -> Format.formatter -> unit -> unit
+(** Human-readable two-column table of {!snapshot}. [all] as in
+    {!snapshot}; defaults to [false] (untouched histograms omitted). *)
+
+(** {1 Machine exposition} *)
+
+val to_json : ?all:bool -> unit -> Jsonv.t
+(** The snapshot as a JSON array of
+    [{"name", "kind", …value fields…}] objects (the shape
+    [BENCH_tpan.json] uses). [all] defaults to [false]. *)
+
+val to_openmetrics : ?all:bool -> unit -> string
+(** OpenMetrics 1.0 text exposition of the snapshot. Metric names are
+    sanitized ([.] and other non-name characters become [_]) and
+    prefixed with [tpan_]; counters expose a single [_total] sample,
+    gauges a plain sample, histograms an OpenMetrics [summary] family
+    ([_count], [_sum] and [quantile]-labelled samples). Ends with
+    [# EOF]. [all] defaults to [false]. *)

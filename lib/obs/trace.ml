@@ -11,6 +11,7 @@ type event = {
   start : float;
   dur : float;
   depth : int;
+  lane : int;
   attrs : (string * string) list;
 }
 
@@ -26,13 +27,18 @@ let enabled () = !enabled_flag
    exported microsecond timestamps stay small enough for exact float
    representation.
 
-   Nesting depth is tracked per domain (a worker's spans start at depth 0);
-   the completed-event list is shared, so pushes are mutex-protected. *)
+   Nesting depth and the lane id are tracked per domain (a worker's spans
+   start at depth 0 in its own lane); the completed-event list is shared,
+   so pushes are mutex-protected. *)
 let t0 = Mclock.now ()
 let cur_depth : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
+let cur_lane : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 let completed : event list ref = ref []
 let completed_lock = Mutex.create ()
 let dummy = { sp_name = ""; sp_start = 0.; sp_depth = 0; sp_attrs = []; sp_real = false }
+
+let set_lane k = Domain.DLS.get cur_lane := k
+let current_lane () = !(Domain.DLS.get cur_lane)
 
 let with_span name f =
   if not !enabled_flag then f dummy
@@ -49,7 +55,7 @@ let with_span name f =
         let dur = Mclock.now () -. t0 -. sp.sp_start in
         let e =
           { name = sp.sp_name; start = sp.sp_start; dur; depth = sp.sp_depth;
-            attrs = List.rev sp.sp_attrs }
+            lane = current_lane (); attrs = List.rev sp.sp_attrs }
         in
         Mutex.protect completed_lock (fun () -> completed := e :: !completed))
       (fun () -> f sp)
@@ -64,155 +70,56 @@ let clear () = completed := []
 let total_duration name =
   List.fold_left (fun acc e -> if e.name = name then acc +. e.dur else acc) 0. !completed
 
+let stage_totals () =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun e ->
+      let dur, n = match Hashtbl.find_opt tbl e.name with Some x -> x | None -> (0., 0) in
+      Hashtbl.replace tbl e.name (dur +. e.dur, n + 1))
+    !completed;
+  Hashtbl.fold (fun name (dur, n) acc -> (name, dur, n) :: acc) tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+
 (* ---------------- NDJSON export ---------------- *)
 
-let escape s =
-  let b = Buffer.create (String.length s + 2) in
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\t' -> Buffer.add_string b "\\t"
-      | '\r' -> Buffer.add_string b "\\r"
-      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s;
-  Buffer.contents b
+let escape = Jsonv.escape
 
 let write_event out e =
   Printf.fprintf out
-    "{\"name\":\"%s\",\"cat\":\"tpan\",\"ph\":\"X\",\"pid\":1,\"tid\":1,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"depth\":\"%d\""
-    (escape e.name) (e.start *. 1e6) (e.dur *. 1e6) e.depth;
+    "{\"name\":\"%s\",\"cat\":\"tpan\",\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f,\"args\":{\"depth\":\"%d\""
+    (escape e.name) e.lane (e.start *. 1e6) (e.dur *. 1e6) e.depth;
   List.iter (fun (k, v) -> Printf.fprintf out ",\"%s\":\"%s\"" (escape k) (escape v)) e.attrs;
   Printf.fprintf out "}}\n"
 
-let write_ndjson out = List.iter (write_event out) (events ())
-
-(* ---------------- NDJSON parser ----------------
-
-   Minimal recursive-descent parser for the flat objects [write_event]
-   emits (strings, numbers, one level of nested object). No JSON library
-   is available in the toolchain, and this keeps the round-trip testable
-   without one. *)
-
-exception Bad
-
-type json = Str of string | Num of float | Obj of (string * json) list
-
-let parse_json_obj s =
-  let n = String.length s in
-  let pos = ref 0 in
-  let peek () = if !pos >= n then raise Bad else s.[!pos] in
-  let advance () = incr pos in
-  let skip_ws () =
-    while !pos < n && (match s.[!pos] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false) do
-      incr pos
-    done
+(* Completion order depends on domain scheduling; sorting by (lane,
+   start, depth) makes the exported line order a function of what ran
+   where, not of when the mutex was won. *)
+let write_ndjson out =
+  let evs =
+    List.sort
+      (fun a b -> compare (a.lane, a.start, a.depth) (b.lane, b.start, b.depth))
+      (events ())
   in
-  let expect c =
-    skip_ws ();
-    if peek () <> c then raise Bad;
-    advance ()
-  in
-  let parse_string () =
-    expect '"';
-    let b = Buffer.create 16 in
-    let rec loop () =
-      let c = peek () in
-      advance ();
-      match c with
-      | '"' -> Buffer.contents b
-      | '\\' ->
-        let e = peek () in
-        advance ();
-        (match e with
-         | '"' -> Buffer.add_char b '"'
-         | '\\' -> Buffer.add_char b '\\'
-         | '/' -> Buffer.add_char b '/'
-         | 'n' -> Buffer.add_char b '\n'
-         | 't' -> Buffer.add_char b '\t'
-         | 'r' -> Buffer.add_char b '\r'
-         | 'b' -> Buffer.add_char b '\b'
-         | 'f' -> Buffer.add_char b '\012'
-         | 'u' ->
-           if !pos + 4 > n then raise Bad;
-           let hex = String.sub s !pos 4 in
-           pos := !pos + 4;
-           (match int_of_string_opt ("0x" ^ hex) with
-            | Some code when code < 128 -> Buffer.add_char b (Char.chr code)
-            | Some _ -> Buffer.add_char b '?'
-            | None -> raise Bad)
-         | _ -> raise Bad);
-        loop ()
-      | c ->
-        Buffer.add_char b c;
-        loop ()
-    in
-    loop ()
-  in
-  let rec parse_value () =
-    skip_ws ();
-    match peek () with
-    | '"' -> Str (parse_string ())
-    | '{' -> Obj (parse_obj ())
-    | _ ->
-      let start = !pos in
-      while
-        !pos < n
-        && (match s.[!pos] with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false)
-      do
-        incr pos
-      done;
-      if !pos = start then raise Bad;
-      (match float_of_string_opt (String.sub s start (!pos - start)) with
-       | Some f -> Num f
-       | None -> raise Bad)
-  and parse_obj () =
-    expect '{';
-    skip_ws ();
-    if peek () = '}' then begin
-      advance ();
-      []
-    end
-    else begin
-      let rec members acc =
-        skip_ws ();
-        let k = parse_string () in
-        expect ':';
-        let v = parse_value () in
-        skip_ws ();
-        match peek () with
-        | ',' ->
-          advance ();
-          members ((k, v) :: acc)
-        | '}' ->
-          advance ();
-          List.rev ((k, v) :: acc)
-        | _ -> raise Bad
-      in
-      members []
-    end
-  in
-  let o = parse_obj () in
-  skip_ws ();
-  if !pos <> n then raise Bad;
-  o
+  List.iter (write_event out) evs
+
+(* ---------------- NDJSON parser ---------------- *)
 
 let parse_line line =
-  match parse_json_obj (String.trim line) with
-  | exception Bad -> None
-  | exception Invalid_argument _ -> None
-  | fields -> (
-    try
-      let str k = match List.assoc k fields with Str s -> s | _ -> raise Bad in
-      let num k = match List.assoc k fields with Num f -> f | _ -> raise Bad in
-      let name = str "name" in
-      let start = num "ts" /. 1e6 in
-      let dur = num "dur" /. 1e6 in
+  match Jsonv.of_string (String.trim line) with
+  | Error _ -> None
+  | Ok doc -> (
+    let open Jsonv in
+    match
+      ( Option.bind (member "name" doc) to_string_opt,
+        Option.bind (member "ts" doc) to_float_opt,
+        Option.bind (member "dur" doc) to_float_opt )
+    with
+    | Some name, Some ts, Some dur ->
+      let lane =
+        match Option.bind (member "tid" doc) to_int_opt with Some t -> t | None -> 0
+      in
       let args =
-        match List.assoc_opt "args" fields with
+        match member "args" doc with
         | Some (Obj o) ->
           List.filter_map (fun (k, v) -> match v with Str s -> Some (k, s) | _ -> None) o
         | _ -> []
@@ -223,13 +130,13 @@ let parse_line line =
         | None -> 0
       in
       let attrs = List.filter (fun (k, _) -> k <> "depth") args in
-      Some { name; start; dur; depth; attrs }
-    with Bad | Not_found -> None)
+      Some { name; start = ts /. 1e6; dur = dur /. 1e6; depth; lane; attrs }
+    | _ -> None)
 
 (* ---------------- tree renderer ---------------- *)
 
 let pp_tree fmt () =
-  let evs = List.sort (fun a b -> compare a.start b.start) (events ()) in
+  let evs = List.sort (fun a b -> compare (a.lane, a.start) (b.lane, b.start)) (events ()) in
   Format.pp_open_vbox fmt 0;
   List.iter
     (fun e ->
@@ -239,8 +146,9 @@ let pp_tree fmt () =
         | [] -> ""
         | l -> "  " ^ String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) l)
       in
-      Format.fprintf fmt "%s%-*s %9.3f ms%s@," indent
+      let lane = if e.lane = 0 then "" else Printf.sprintf " [lane %d]" e.lane in
+      Format.fprintf fmt "%s%-*s %9.3f ms%s%s@," indent
         (max 1 (34 - 2 * e.depth))
-        e.name (e.dur *. 1000.) attrs)
+        e.name (e.dur *. 1000.) attrs lane)
     evs;
   Format.pp_close_box fmt ()

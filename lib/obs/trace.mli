@@ -8,7 +8,14 @@
 
     Completed root spans accumulate in an in-process buffer; export them
     with {!write_ndjson} (one Chrome-trace-compatible ["X"] event per
-    line) or render them with {!pp_tree}. *)
+    line) or render them with {!pp_tree}.
+
+    {b Domains.} The completed-event buffer is shared and
+    mutex-protected, so spans closed on a worker domain land in the same
+    merged trace as the caller's. Each event carries a {e lane} — 0 for
+    the main domain, a small stable index for pool workers (set by
+    [Tpan_par.Pool] via {!set_lane}) — exported as the Chrome [tid] so a
+    parallel region renders as parallel tracks in the viewer. *)
 
 type span
 
@@ -30,6 +37,16 @@ val add_attr : span -> string -> string -> unit
 
 val add_attr_int : span -> string -> int -> unit
 
+(** {1 Lanes} *)
+
+val set_lane : int -> unit
+(** Set the current domain's lane id (domain-local; defaults to 0).
+    [Tpan_par.Pool] gives worker [k] lane [k + 1], so lane assignment is
+    deterministic per parallel region regardless of how many domains the
+    process has ever spawned. *)
+
+val current_lane : unit -> int
+
 (** {1 Completed events} *)
 
 type event = {
@@ -37,6 +54,7 @@ type event = {
   start : float;  (** seconds since the trace epoch (module load) *)
   dur : float;  (** seconds *)
   depth : int;  (** 0 = root *)
+  lane : int;  (** 0 = main domain; workers get small positive ids *)
   attrs : (string * string) list;
 }
 
@@ -50,18 +68,25 @@ val clear : unit -> unit
 val total_duration : string -> float
 (** Sum of [dur] over completed events with that name; [0.] if none. *)
 
+val stage_totals : unit -> (string * float * int) list
+(** Aggregate the buffered events by name: [(name, total seconds,
+    count)], sorted by name. The per-stage breakdown the run ledger
+    records. *)
+
 (** {1 Export} *)
 
 val write_ndjson : out_channel -> unit
 (** One JSON object per line, Chrome trace event format: [ph:"X"],
-    [ts]/[dur] in microseconds, attributes under [args]. A Chrome trace
-    viewer loads the file as a JSON array after wrapping, and line-based
-    tools can stream it. *)
+    [ts]/[dur] in microseconds, [tid] = lane, attributes under [args].
+    Events are sorted by (lane, start, depth) so the line order is
+    reproducible. A Chrome trace viewer loads the file as a JSON array
+    after wrapping, and line-based tools can stream it. *)
 
 val parse_line : string -> event option
 (** Parse one NDJSON line written by {!write_ndjson} back into an
     {!event} ([ts]/[dur] converted back to seconds; [depth] read from
-    the exported [args]). [None] on malformed input. *)
+    the exported [args], [lane] from [tid]). [None] on malformed
+    input. *)
 
 val pp_tree : Format.formatter -> unit -> unit
 (** Human-readable indented tree of the buffered events with durations

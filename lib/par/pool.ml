@@ -35,6 +35,33 @@ let effective_jobs jobs n =
   let j = match jobs with Some j -> max 1 j | None -> default_jobs () in
   min j (max 1 n)
 
+(* ---------------- worker observability harness ----------------
+
+   Every worker domain gets: a deterministic trace lane (worker [k] is
+   lane [k + 1]; the calling domain keeps lane 0), a metrics delta
+   buffer, and a log record buffer. The joining domain folds the deltas
+   into the global registry and replays the buffered log records through
+   the sinks, so neither metric updates nor log lines ever race across
+   domains. A [pool.worker] span marks each worker's busy region in the
+   merged Chrome trace. *)
+
+type obs_deltas = Tpan_obs.Metrics.Local.deltas * Tpan_obs.Log.record list
+
+let run_worker lane task : obs_deltas =
+  Tpan_obs.Trace.set_lane lane;
+  Tpan_obs.Metrics.Local.install ();
+  Tpan_obs.Log.Local.install ();
+  (* tasks never raise out of [task]: both map and parallel_for capture
+     per-task exceptions, so the collects below always run *)
+  Tpan_obs.Trace.with_span "pool.worker" (fun sp ->
+      Tpan_obs.Trace.add_attr_int sp "lane" lane;
+      with_worker_flag task);
+  (Tpan_obs.Metrics.Local.collect (), Tpan_obs.Log.Local.collect ())
+
+let merge_obs ((deltas, records) : obs_deltas) =
+  Tpan_obs.Metrics.merge_deltas deltas;
+  Tpan_obs.Log.flush_records records
+
 (* ---------------- ordered map ---------------- *)
 
 let try_map_seq f xs =
@@ -62,15 +89,12 @@ let try_map ?jobs f xs =
         work ()
       end
     in
-    let worker () =
-      Tpan_obs.Metrics.Local.install ();
-      with_worker_flag work;
-      Tpan_obs.Metrics.Local.collect ()
+    let domains =
+      Array.init (j - 1) (fun k -> Domain.spawn (fun () -> run_worker (k + 1) work))
     in
-    let domains = Array.init (j - 1) (fun _ -> Domain.spawn worker) in
     with_worker_flag work;
     let deltas = Array.map Domain.join domains in
-    Array.iter Tpan_obs.Metrics.merge_deltas deltas;
+    Array.iter merge_obs deltas;
     Array.to_list (Array.map Option.get results)
   end
 
@@ -104,15 +128,13 @@ let parallel_for ?jobs ?(min_chunk = 1) n body =
         let lo, hi = bounds.(k) in
         try body lo hi with e -> failures.(k) <- Some e
       in
-      let worker k () =
-        Tpan_obs.Metrics.Local.install ();
-        with_worker_flag (fun () -> run k);
-        Tpan_obs.Metrics.Local.collect ()
+      let domains =
+        Array.init (nb - 1) (fun i ->
+            Domain.spawn (fun () -> run_worker (i + 1) (fun () -> run (i + 1))))
       in
-      let domains = Array.init (nb - 1) (fun i -> Domain.spawn (worker (i + 1))) in
       with_worker_flag (fun () -> run 0);
       let deltas = Array.map Domain.join domains in
-      Array.iter Tpan_obs.Metrics.merge_deltas deltas;
+      Array.iter merge_obs deltas;
       Array.iter (function Some e -> raise e | None -> ()) failures
     end
   end

@@ -18,9 +18,14 @@
     - Work stealing via a single [Atomic] index over the input array;
       the calling domain participates, so [jobs = 1] equals plain
       [List.map] even in cost.
-    - Worker domains install a {!Tpan_obs.Metrics.Local} delta buffer;
-      the buffers are folded into the global registry at join time, so
-      metric totals are scheduling-independent too.
+    - Worker domains install a {!Tpan_obs.Metrics.Local} delta buffer
+      and a {!Tpan_obs.Log.Local} record buffer; both are folded into
+      the global registry / replayed through the log sinks at join time,
+      so metric totals are scheduling-independent and log lines never
+      interleave mid-line. Worker [k] traces in lane [k + 1]
+      ({!Tpan_obs.Trace.set_lane}), so spans closed inside workers land
+      in the merged Chrome trace as parallel tracks, wrapped in a
+      per-worker [pool.worker] span.
     - Nested calls run sequentially: a task that itself calls [map]
       (e.g. a parallel linear solve inside a parallel sweep point) gets
       the sequential fast path instead of a domain explosion. *)

@@ -77,13 +77,35 @@ let classify e =
     | Division_by_zero -> Error.Unsolvable "division by zero while evaluating measure"
     | e -> raise e)
 
+let qs q = Format.asprintf "%a" (Q.pp_decimal ~digits:6) q
+
 let rows_of_results pts results =
   List.map2
     (fun point r ->
       match r with
       | Ok values -> { point; values; error = None }
-      | Error (e : Tpan_par.Pool.error) -> { point; values = []; error = Some (classify e.exn) })
+      | Error (e : Tpan_par.Pool.error) ->
+        let err = classify e.exn in
+        Tpan_obs.Log.warn "sweep point failed"
+          ~fields:
+            [
+              ("index", Tpan_obs.Jsonv.Int e.index);
+              ( "point",
+                Tpan_obs.Jsonv.Obj
+                  (List.map (fun (k, v) -> (k, Tpan_obs.Jsonv.Raw (qs v))) point) );
+              ("error", Tpan_obs.Jsonv.Str (Error.to_string err));
+            ];
+        { point; values = []; error = Some err })
     pts results
+
+(* every grid point traces as its own span (in its worker's lane when the
+   pool fans out), labelled with its row-major index *)
+let spanned name eval (i, point) =
+  Tpan_obs.Trace.with_span name (fun sp ->
+      Tpan_obs.Trace.add_attr_int sp "index" i;
+      eval point)
+
+let indexed pts = List.mapi (fun i p -> (i, p)) pts
 
 let over_tpn ?jobs ?max_states ~make ~throughputs axes =
   let columns = List.map (fun t -> "thr(" ^ t ^ ")") throughputs @ [ "mean_cycle_time" ] in
@@ -98,7 +120,7 @@ let over_tpn ?jobs ?max_states ~make ~throughputs axes =
       throughputs
     @ [ ("mean_cycle_time", Measures.mean_cycle_time r) ]
   in
-  let results = Tpan_par.Pool.try_map ?jobs eval pts in
+  let results = Tpan_par.Pool.try_map ?jobs (spanned "sweep.point" eval) (indexed pts) in
   { axes; columns; rows = rows_of_results pts results }
 
 let over_expr ?jobs ~bindings ~exprs axes =
@@ -109,7 +131,7 @@ let over_expr ?jobs ~bindings ~exprs axes =
     let env = point @ bindings in
     List.map (fun (name, rf) -> (name, Measures.Symbolic.eval_at rf env)) exprs
   in
-  let results = Tpan_par.Pool.try_map ?jobs eval pts in
+  let results = Tpan_par.Pool.try_map ?jobs (spanned "sweep.point" eval) (indexed pts) in
   { axes; columns; rows = rows_of_results pts results }
 
 (* ---------------- rendering ---------------- *)

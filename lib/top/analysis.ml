@@ -36,8 +36,29 @@ type report = {
   throughputs : (string * Q.t) list;
 }
 
+(* Observers of completed analyses: the CLI's run ledger registers one so
+   every facade report lands in the run record; tooling can add more.
+   Hooks run on the calling domain, after the report is built; a hook
+   that raises does not fail the analysis. *)
+let report_hooks : (report -> unit) list ref = ref []
+let add_report_hook h = report_hooks := h :: !report_hooks
+
+let notify report =
+  Tpan_obs.Log.info "analysis complete"
+    ~fields:
+      [
+        ("states", Tpan_obs.Jsonv.Int report.states);
+        ("edges", Tpan_obs.Jsonv.Int report.edges);
+        ("decision_nodes", Tpan_obs.Jsonv.Int report.decision_nodes);
+        ("throughputs", Tpan_obs.Jsonv.Int (List.length report.throughputs));
+      ];
+  List.iter (fun h -> try h report with _ -> ()) !report_hooks;
+  report
+
 let analyze ?max_states ?(throughputs = []) tpn =
-  Error.guard @@ fun () ->
+  Result.map notify
+  @@ Error.guard
+  @@ fun () ->
   let g = CG.build ?max_states tpn in
   let states = CG.Graph.num_states g and edges = CG.Graph.num_edges g in
   match M.Concrete.analyze g with

@@ -43,7 +43,15 @@ val analyze :
 (** Concrete nets only ([Unsupported] for symbolic ones — bind their
     symbols first with {!Tpn.bind_times}). A net that turns out to be
     deterministic-cyclic is not an error: the report carries
-    [deterministic_period] instead of [mean_cycle_time]. *)
+    [deterministic_period] instead of [mean_cycle_time].
+
+    Every successful analysis emits a {!Tpan_obs.Log} info record and
+    runs the registered report hooks. *)
+
+val add_report_hook : (report -> unit) -> unit
+(** Observe every successful {!analyze} report — the CLI's run ledger
+    uses this to attach analysis summaries to run records. Hooks run on
+    the calling domain; a raising hook is ignored. *)
 
 val report_to_json : report -> Tpan_obs.Jsonv.t
 (** Versioned machine rendering ([{"schema": 1, "kind": "analysis", …}]). *)

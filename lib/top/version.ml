@@ -1,0 +1,4 @@
+(* Bumped whenever the CLI surface or an output schema changes; the run
+   ledger stamps every record with it so histories stay attributable
+   across builds. *)
+let string = "1.1.0"

@@ -1,0 +1,4 @@
+(** The build version string, shown by [tpan version] and embedded in
+    every run-ledger record. *)
+
+val string : string

@@ -122,6 +122,126 @@ let test_metrics_flag () =
   check_run "metrics" (Printf.sprintf "analyze %s -t t7 --metrics" stopwait_tpn)
     [ "metric"; "core.semantics.states_interned"; "perf.rates.solves" ]
 
+let test_version_cmd () =
+  let rc, out = run_capture "version" in
+  Alcotest.(check int) "version exits 0" 0 rc;
+  Alcotest.(check string) "prints the facade version" Tpan.Version.string (String.trim out)
+
+let test_metrics_cmd () =
+  let rc, out = run_capture "metrics -m stopwait --metrics-format=openmetrics" in
+  Alcotest.(check int) "metrics exits 0" 0 rc;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "openmetrics mentions %S" needle) true
+        (contains out needle))
+    [
+      "# TYPE tpan_core_semantics_states_interned counter";
+      "tpan_core_semantics_states_interned_total 18";
+      "# EOF";
+    ];
+  (* counters must carry the _total suffix; the raw dotted names must not
+     leak into the exposition *)
+  Alcotest.(check bool) "names are sanitized" false (contains out "core.semantics");
+  let rc_j, out_j = run_capture "metrics -m stopwait --metrics-format=json" in
+  Alcotest.(check int) "metrics --metrics-format=json exits 0" 0 rc_j;
+  Alcotest.(check bool) "json format has kind fields" true
+    (contains out_j "\"kind\": \"counter\"")
+
+let test_ledger_and_runs () =
+  let dir = Filename.temp_file "tpan_cli_ledger" "" in
+  Sys.remove dir;
+  let rc, _ =
+    run_capture (Printf.sprintf "analyze -m stopwait -t t7 --ledger-dir %s" dir)
+  in
+  Alcotest.(check int) "analyze --ledger-dir exits 0" 0 rc;
+  let rc2, _ = run_capture (Printf.sprintf "sweep -m stopwait --vary timeout=250..500:2 --ledger-dir %s" dir) in
+  Alcotest.(check int) "sweep --ledger-dir exits 0" 0 rc2;
+  let rc3, out = run_capture (Printf.sprintf "runs --dir %s" dir) in
+  Alcotest.(check int) "runs exits 0" 0 rc3;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "runs table mentions %S" needle) true
+        (contains out needle))
+    [ "subcommand"; "analyze"; "sweep"; "stopwait"; "2 of 2 run(s)" ];
+  let rc4, out4 = run_capture (Printf.sprintf "runs --dir %s --last 1 --json" dir) in
+  Alcotest.(check int) "runs --json exits 0" 0 rc4;
+  Alcotest.(check bool) "--last 1 keeps the newest record" true
+    (contains out4 "\"subcommand\": \"sweep\"" && not (contains out4 "\"analyze\""));
+  Alcotest.(check bool) "records carry stage timings" true
+    (contains out4 "\"stage\": \"concrete.build\"");
+  Alcotest.(check bool) "records carry the build version" true
+    (contains out4 (Printf.sprintf "\"version\": \"%s\"" Tpan.Version.string))
+
+let write_bench_json path figures =
+  let oc = open_out path in
+  output_string oc "{\"figures\": [";
+  List.iteri
+    (fun i (name, seconds, words) ->
+      if i > 0 then output_string oc ", ";
+      Printf.fprintf oc
+        "{\"name\": \"%s\", \"seconds\": %f, \"gc\": {\"major_words\": %f}}" name seconds
+        words)
+    figures;
+  output_string oc "]}";
+  close_out oc
+
+let test_bench_diff_cmd () =
+  let base = Filename.temp_file "tpan_bench_base" ".json" in
+  let cur = Filename.temp_file "tpan_bench_cur" ".json" in
+  write_bench_json base [ ("FIG4", 1.0, 1e6); ("THRPT", 0.5, 5e5) ];
+  (* identical numbers: clean exit *)
+  write_bench_json cur [ ("FIG4", 1.0, 1e6); ("THRPT", 0.5, 5e5) ];
+  let rc, out = run_capture (Printf.sprintf "bench-diff %s %s" base cur) in
+  Alcotest.(check int) "no regression exits 0" 0 rc;
+  Alcotest.(check bool) "reports ok" true (contains out "ok");
+  (* synthetic 2x slowdown: non-zero exit, FAIL in the report *)
+  write_bench_json cur [ ("FIG4", 2.2, 1e6); ("THRPT", 0.5, 5e5) ];
+  let rc2, out2 = run_capture (Printf.sprintf "bench-diff %s %s" base cur) in
+  Alcotest.(check bool) "2x slowdown exits non-zero" true (rc2 <> 0);
+  Alcotest.(check bool) "report says FAIL" true (contains out2 "FAIL");
+  (* --warn-only reports but never gates *)
+  let rc3, _ = run_capture (Printf.sprintf "bench-diff --warn-only %s %s" base cur) in
+  Alcotest.(check int) "--warn-only exits 0 despite the failure" 0 rc3;
+  let rc4, out4 = run_capture (Printf.sprintf "bench-diff --json %s %s" base cur) in
+  Alcotest.(check bool) "--json also gates" true (rc4 <> 0);
+  Alcotest.(check bool) "--json carries verdicts" true (contains out4 "\"verdict\"");
+  Sys.remove base;
+  Sys.remove cur
+
+let test_multilane_trace () =
+  (* the acceptance scenario: a parallel sweep's merged trace must carry
+     spans from more than one domain lane *)
+  let trace = Filename.temp_file "tpan_cli" ".ndjson" in
+  let rc, _ =
+    run_capture
+      (Printf.sprintf "sweep -m stopwait --vary timeout=80..200:8 -j 4 --trace %s" trace)
+  in
+  Alcotest.(check int) "sweep -j4 --trace exits 0" 0 rc;
+  let ic = open_in trace in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove trace;
+  let events = List.filter_map Tpan_obs.Trace.parse_line !lines in
+  Alcotest.(check bool) "every line parses" true
+    (List.length events = List.length !lines);
+  let lanes =
+    List.sort_uniq compare (List.map (fun (e : Tpan_obs.Trace.event) -> e.lane) events)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "spans from more than one lane (got %d)" (List.length lanes))
+    true
+    (List.length lanes > 1);
+  Alcotest.(check bool) "worker spans mark the lanes" true
+    (List.exists
+       (fun (e : Tpan_obs.Trace.event) -> e.name = "pool.worker" && e.lane > 0)
+       events);
+  Alcotest.(check bool) "sweep points are traced" true
+    (List.exists (fun (e : Tpan_obs.Trace.event) -> e.name = "sweep.point") events)
+
 let test_error_paths () =
   let rc, out = run_capture "analyze -m nonsense" in
   Alcotest.(check bool) "unknown model fails" true (rc <> 0);
@@ -144,4 +264,9 @@ let suite =
       Alcotest.test_case "--trace writes NDJSON" `Quick test_trace_flag;
       Alcotest.test_case "--metrics prints table" `Quick test_metrics_flag;
       Alcotest.test_case "error paths" `Quick test_error_paths;
+      Alcotest.test_case "version subcommand" `Quick test_version_cmd;
+      Alcotest.test_case "metrics subcommand" `Quick test_metrics_cmd;
+      Alcotest.test_case "run ledger & runs query" `Quick test_ledger_and_runs;
+      Alcotest.test_case "bench-diff gating" `Quick test_bench_diff_cmd;
+      Alcotest.test_case "multi-lane trace at -j4" `Quick test_multilane_trace;
     ] )

@@ -1,0 +1,159 @@
+(* Unit tests for the run ledger (append/load NDJSON round-trip, torn-line
+   tolerance) and the bench-diff regression comparator (thresholds, noise
+   floors, missing figures). *)
+
+module Ledger = Tpan_obs.Ledger
+module BD = Tpan_obs.Bench_diff
+module J = Tpan_obs.Jsonv
+
+let fresh_dir () =
+  let d = Filename.temp_file "tpan_ledger" "" in
+  Sys.remove d;
+  (* Ledger.append creates it *)
+  d
+
+let mk ?(subcommand = "analyze") ?(exit_code = 0) () =
+  Ledger.make ~version:"1.1.0-test" ~timestamp:1754000000.25 ~subcommand
+    ~argv:[ "tpan"; subcommand; "-m"; "stopwait" ]
+    ~model:"stopwait"
+    ~stages:[ { Ledger.stage = "concrete.build"; seconds = 0.125; count = 2 } ]
+    ~metrics:(J.List [ J.Obj [ ("name", J.Str "x"); ("kind", J.Str "counter"); ("value", J.Int 7) ] ])
+    ~report:(J.Obj [ ("states", J.Int 18) ])
+    ~exit_code ~duration:0.5 ()
+
+let test_roundtrip () =
+  let dir = fresh_dir () in
+  (match Ledger.append ~dir (mk ()) with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail ("append: " ^ m));
+  (match Ledger.append ~dir (mk ~subcommand:"sweep" ~exit_code:3 ()) with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail ("second append: " ^ m));
+  match Ledger.load ~dir () with
+  | Error m -> Alcotest.fail ("load: " ^ m)
+  | Ok [ a; b ] ->
+    Alcotest.(check int) "schema stamped" Ledger.schema_version a.Ledger.schema;
+    Alcotest.(check string) "version survives" "1.1.0-test" a.Ledger.version;
+    Alcotest.(check string) "subcommand order preserved" "analyze" a.Ledger.subcommand;
+    Alcotest.(check string) "second record" "sweep" b.Ledger.subcommand;
+    Alcotest.(check int) "exit code survives" 3 b.Ledger.exit_code;
+    Alcotest.(check (list string)) "argv survives"
+      [ "tpan"; "analyze"; "-m"; "stopwait" ]
+      a.Ledger.argv;
+    Alcotest.(check (option string)) "model survives" (Some "stopwait") a.Ledger.model;
+    (match a.Ledger.stages with
+     | [ s ] ->
+       Alcotest.(check string) "stage name" "concrete.build" s.Ledger.stage;
+       Alcotest.(check int) "stage count" 2 s.Ledger.count;
+       Alcotest.(check (float 1e-9)) "stage seconds" 0.125 s.Ledger.seconds
+     | _ -> Alcotest.fail "expected one stage");
+    Alcotest.(check (option int)) "report survives" (Some 18)
+      (Option.bind
+         (Option.bind a.Ledger.report (J.member "states"))
+         J.to_int_opt)
+  | Ok l -> Alcotest.fail (Printf.sprintf "expected 2 records, got %d" (List.length l))
+
+let test_bad_lines_skipped () =
+  let dir = fresh_dir () in
+  (match Ledger.append ~dir (mk ()) with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  let oc = open_out_gen [ Open_append ] 0o644 (Ledger.runs_file dir) in
+  output_string oc "this is not json\n{\"schema\": \"wrong types\"}\n";
+  close_out oc;
+  (match Ledger.append ~dir (mk ~subcommand:"check" ()) with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  (* a torn final line (no newline, interrupted write) must not poison the
+     earlier history *)
+  let oc = open_out_gen [ Open_append ] 0o644 (Ledger.runs_file dir) in
+  output_string oc "{\"truncat";
+  close_out oc;
+  match Ledger.load ~dir () with
+  | Ok records ->
+    Alcotest.(check int) "torn and foreign lines are skipped" 2 (List.length records);
+    Alcotest.(check (list string)) "good records in order" [ "analyze"; "check" ]
+      (List.map (fun (r : Ledger.record) -> r.Ledger.subcommand) records)
+  | Error m -> Alcotest.fail m
+
+let test_load_absent () =
+  match Ledger.load ~dir:"/nonexistent/tpan-ledger-dir" () with
+  | Ok [] -> ()
+  | Ok _ -> Alcotest.fail "absent dir should load zero records"
+  | Error m -> Alcotest.fail ("absent dir should be Ok []: " ^ m)
+
+(* ---------------- bench-diff ---------------- *)
+
+let fig name seconds major_words = { BD.name; seconds; major_words }
+
+let test_diff_detects_regression () =
+  (* the acceptance scenario: a synthetic 2x slowdown must FAIL *)
+  let baseline = [ fig "FIG4" 1.0 1e6; fig "THRPT" 0.5 5e5 ] in
+  let current = [ fig "FIG4" 2.1 1.05e6; fig "THRPT" 0.51 5.1e5 ] in
+  let r = BD.compare_figures ~baseline ~current () in
+  Alcotest.(check bool) "worst is Fail" true (r.BD.worst = BD.Fail_v);
+  let row = List.find (fun (x : BD.row) -> x.BD.name = "FIG4") r.BD.rows in
+  Alcotest.(check bool) "slow figure flagged" true (row.BD.verdict = BD.Fail_v);
+  Alcotest.(check (float 0.01)) "ratio computed" 2.1 row.BD.time_ratio;
+  let ok = List.find (fun (x : BD.row) -> x.BD.name = "THRPT") r.BD.rows in
+  Alcotest.(check bool) "steady figure passes" true (ok.BD.verdict = BD.Ok_v)
+
+let test_diff_warn_band () =
+  let baseline = [ fig "A" 1.0 1e6 ] in
+  let current = [ fig "A" 1.5 1e6 ] in
+  let r = BD.compare_figures ~baseline ~current () in
+  Alcotest.(check bool) "1.5x lands in the warn band" true (r.BD.worst = BD.Warn_v);
+  let r' = BD.compare_figures ~warn:1.6 ~baseline ~current () in
+  Alcotest.(check bool) "custom warn threshold respected" true (r'.BD.worst = BD.Ok_v)
+
+let test_diff_noise_floor () =
+  (* microsecond figures can jitter 10x without meaning anything *)
+  let baseline = [ fig "TINY" 0.0002 100.0 ] in
+  let current = [ fig "TINY" 0.002 900.0 ] in
+  let r = BD.compare_figures ~baseline ~current () in
+  Alcotest.(check bool) "sub-floor figures never flag" true (r.BD.worst = BD.Ok_v)
+
+let test_diff_gc_regression () =
+  (* wall time steady but the major heap doubled: still a failure *)
+  let baseline = [ fig "A" 1.0 1e6 ] in
+  let current = [ fig "A" 1.0 2.5e6 ] in
+  let r = BD.compare_figures ~baseline ~current () in
+  Alcotest.(check bool) "major-words regression fails" true (r.BD.worst = BD.Fail_v)
+
+let test_diff_missing_and_added () =
+  let baseline = [ fig "A" 1.0 1e6; fig "GONE" 1.0 1e6 ] in
+  let current = [ fig "A" 1.0 1e6; fig "NEW" 1.0 1e6 ] in
+  let r = BD.compare_figures ~baseline ~current () in
+  Alcotest.(check (list string)) "missing figure reported" [ "GONE" ] r.BD.missing;
+  Alcotest.(check (list string)) "added figure reported" [ "NEW" ] r.BD.added;
+  Alcotest.(check bool) "missing promotes to at least Warn" true (r.BD.worst <> BD.Ok_v)
+
+let test_figures_of_json () =
+  let doc =
+    "{\"figures\": [{\"name\": \"FIG1\", \"seconds\": 0.25, \"gc\": {\"major_words\": \
+     12345.0, \"minor_words\": 1.0}}], \"checks\": {\"passed\": 1, \"failed\": 0}}"
+  in
+  match J.of_string doc with
+  | Error e -> Alcotest.fail e
+  | Ok j -> (
+    match BD.figures_of_json j with
+    | Error e -> Alcotest.fail e
+    | Ok [ f ] ->
+      Alcotest.(check string) "name" "FIG1" f.BD.name;
+      Alcotest.(check (float 1e-9)) "seconds" 0.25 f.BD.seconds;
+      Alcotest.(check (float 1e-9)) "major words from gc object" 12345.0 f.BD.major_words
+    | Ok l -> Alcotest.fail (Printf.sprintf "expected 1 figure, got %d" (List.length l)))
+
+let suite =
+  ( "ledger",
+    [
+      Alcotest.test_case "append/load round-trip" `Quick test_roundtrip;
+      Alcotest.test_case "bad lines skipped" `Quick test_bad_lines_skipped;
+      Alcotest.test_case "absent ledger loads empty" `Quick test_load_absent;
+      Alcotest.test_case "bench-diff flags 2x slowdown" `Quick test_diff_detects_regression;
+      Alcotest.test_case "bench-diff warn band" `Quick test_diff_warn_band;
+      Alcotest.test_case "bench-diff noise floor" `Quick test_diff_noise_floor;
+      Alcotest.test_case "bench-diff GC regression" `Quick test_diff_gc_regression;
+      Alcotest.test_case "bench-diff missing/added figures" `Quick test_diff_missing_and_added;
+      Alcotest.test_case "figures_of_json" `Quick test_figures_of_json;
+    ] )

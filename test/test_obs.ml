@@ -5,6 +5,8 @@
 module Metrics = Tpan_obs.Metrics
 module Trace = Tpan_obs.Trace
 module Progress = Tpan_obs.Progress
+module Log = Tpan_obs.Log
+module J = Tpan_obs.Jsonv
 
 let feq ?(eps = 1e-9) a b = Float.abs (a -. b) <= eps
 
@@ -162,6 +164,219 @@ let test_ndjson_roundtrip () =
     (Option.map ignore (Trace.parse_line "not json at all"));
   Trace.clear ()
 
+let test_jsonv_escape () =
+  (* every control character, the JSON specials and 8-bit bytes must
+     escape into valid JSON and parse back to the original string *)
+  let nasty = "a\"b\\c\nd\te\rf\x01g\x1fh\x7fi" in
+  (match J.of_string (J.to_string (J.Str nasty)) with
+   | Ok (J.Str s) -> Alcotest.(check string) "control chars round-trip" nasty s
+   | _ -> Alcotest.fail "escaped string did not parse back");
+  (* UTF-8 passes through untouched *)
+  let utf8 = "caf\xc3\xa9 \xe2\x86\x92 ok" in
+  (match J.of_string (J.to_string (J.Str utf8)) with
+   | Ok (J.Str s) -> Alcotest.(check string) "utf-8 round-trips" utf8 s
+   | _ -> Alcotest.fail "utf-8 string did not parse back");
+  (* \u escapes decode to UTF-8, surrogate pairs included *)
+  (match J.of_string "\"\\u00e9 \\u2192 \\ud83d\\ude00\"" with
+   | Ok (J.Str s) ->
+     Alcotest.(check string) "\\u and surrogate pair decode"
+       "\xc3\xa9 \xe2\x86\x92 \xf0\x9f\x98\x80" s
+   | _ -> Alcotest.fail "\\u escapes did not parse")
+
+let test_jsonv_parser () =
+  (match J.of_string "{\"a\": [1, 2.5, true, null], \"b\": {\"c\": \"d\"}}" with
+   | Ok doc ->
+     (match Option.bind (J.member "a" doc) J.to_list_opt with
+      | Some [ x; y; J.Bool true; J.Null ] ->
+        Alcotest.(check (option int)) "int element" (Some 1) (J.to_int_opt x);
+        Alcotest.(check (option (float 1e-9))) "float element" (Some 2.5) (J.to_float_opt y)
+      | _ -> Alcotest.fail "array shape wrong");
+     Alcotest.(check (option string)) "nested member" (Some "d")
+       (Option.bind (Option.bind (J.member "b" doc) (J.member "c")) J.to_string_opt)
+   | Error e -> Alcotest.fail e);
+  (* numbers: integer syntax yields Int, fraction/exponent yield Float *)
+  (match J.of_string "-42" with
+   | Ok (J.Int (-42)) -> ()
+   | _ -> Alcotest.fail "integer literal should parse as Int");
+  (match J.of_string "1e3" with
+   | Ok (J.Float f) -> Alcotest.(check (float 1e-9)) "exponent" 1000.0 f
+   | _ -> Alcotest.fail "exponent literal should parse as Float");
+  (* malformed inputs are errors, not crashes *)
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | Ok _ -> Alcotest.fail (Printf.sprintf "%S should not parse" s)
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "\"unterminated"; "1 2"; "nul"; "{\"a\" 1}" ]
+
+let om_name_ok s =
+  s <> ""
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '_' || c = ':')
+       s
+
+(* one line of OpenMetrics text exposition: a comment directive, a
+   sample (optionally labelled), or the terminator *)
+let om_line_ok line =
+  line = "# EOF"
+  || (match String.split_on_char ' ' line with
+     | [ "#"; "TYPE"; name; kind ] ->
+       om_name_ok name && List.mem kind [ "counter"; "gauge"; "summary" ]
+     | _ -> (
+       match String.index_opt line ' ' with
+       | None -> false
+       | Some i ->
+         let series = String.sub line 0 i in
+         let value = String.sub line (i + 1) (String.length line - i - 1) in
+         let name =
+           match String.index_opt series '{' with
+           | Some j -> if series.[String.length series - 1] = '}' then String.sub series 0 j else ""
+           | None -> series
+         in
+         om_name_ok name && Option.is_some (float_of_string_opt value)))
+
+let test_openmetrics () =
+  let c = Metrics.counter "test_obs.om.requests" in
+  Metrics.Counter.add c 7;
+  let g = Metrics.gauge "test_obs.om.depth" in
+  Metrics.Gauge.set g 3.5;
+  let h = Metrics.histogram "test_obs.om.latency" in
+  Metrics.Histogram.observe h 0.25;
+  Metrics.Histogram.observe h 0.75;
+  let text = Metrics.to_openmetrics () in
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (Printf.sprintf "grammar: %S" l) true (om_line_ok l))
+    lines;
+  Alcotest.(check bool) "ends with # EOF" true (List.nth lines (List.length lines - 1) = "# EOF");
+  (* every counter family exposes exactly a _total sample *)
+  List.iter
+    (fun l ->
+      match String.split_on_char ' ' l with
+      | [ "#"; "TYPE"; name; "counter" ] ->
+        Alcotest.(check bool)
+          (name ^ " has a _total sample")
+          true
+          (List.exists
+             (fun l' ->
+               String.length l' > String.length name + 7
+               && String.sub l' 0 (String.length name + 7) = name ^ "_total ")
+             lines)
+      | _ -> ())
+    lines;
+  Alcotest.(check bool) "counter series present" true
+    (List.exists (fun l -> l = "tpan_test_obs_om_requests_total 7") lines);
+  Alcotest.(check bool) "summary quantile present" true
+    (List.exists
+       (fun l ->
+         String.length l > 26 && String.sub l 0 26 = "tpan_test_obs_om_latency{q")
+       lines)
+
+let test_snapshot_filtering () =
+  let _untouched = Metrics.histogram "test_obs.filter.h" in
+  let c = Metrics.counter "test_obs.filter.c" in
+  Metrics.Counter.incr c;
+  let names ~all = List.map fst (Metrics.snapshot ~all ()) in
+  Alcotest.(check bool) "untouched histogram omitted by default" false
+    (List.mem "test_obs.filter.h" (names ~all:false));
+  Alcotest.(check bool) "zero counter kept" true
+    (List.mem "test_obs.filter.c" (names ~all:false));
+  Alcotest.(check bool) "--all keeps untouched histograms" true
+    (List.mem "test_obs.filter.h" (names ~all:true));
+  Metrics.Histogram.observe (Metrics.histogram "test_obs.filter.h") 1.0;
+  Alcotest.(check bool) "observed histogram appears" true
+    (List.mem "test_obs.filter.h" (names ~all:false))
+
+let test_log_sinks () =
+  let seen = ref [] in
+  Log.set_sinks [ (Log.Info, fun r -> seen := r :: !seen) ];
+  Alcotest.(check bool) "debug disabled" false (Log.enabled Log.Debug);
+  Alcotest.(check bool) "info enabled" true (Log.enabled Log.Info);
+  Log.debug "dropped";
+  Log.info "kept" ~fields:[ ("n", J.Int 3) ];
+  Log.warn "also kept";
+  Log.set_sinks [];
+  Alcotest.(check bool) "nothing enabled once silenced" false (Log.enabled Log.Error);
+  Log.error "after teardown: dropped";
+  let records = List.rev !seen in
+  Alcotest.(check int) "two records passed the level filter" 2 (List.length records);
+  let r = List.hd records in
+  Alcotest.(check string) "message kept" "kept" r.Log.msg;
+  Alcotest.(check bool) "level kept" true (r.Log.level = Log.Info);
+  Alcotest.(check bool) "field kept" true (r.Log.fields = [ ("n", J.Int 3) ]);
+  Alcotest.(check bool) "timestamp is sane" true (r.Log.ts > 1e9)
+
+let test_log_ndjson_sink () =
+  let path = Filename.temp_file "tpan_log" ".ndjson" in
+  let oc = open_out path in
+  Log.set_sinks [ (Log.Debug, Log.ndjson_sink oc) ];
+  Log.warn "ctrl \x01 and \"quotes\"" ~fields:[ ("file", J.Str "a\\b\nc") ];
+  Log.set_sinks [];
+  close_out oc;
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  match J.of_string line with
+  | Ok doc ->
+    Alcotest.(check (option string)) "level round-trips" (Some "warn")
+      (Option.bind (J.member "level" doc) J.to_string_opt);
+    Alcotest.(check (option string)) "control chars in msg round-trip"
+      (Some "ctrl \x01 and \"quotes\"")
+      (Option.bind (J.member "msg" doc) J.to_string_opt);
+    Alcotest.(check (option string)) "field round-trips" (Some "a\\b\nc")
+      (Option.bind (Option.bind (J.member "fields" doc) (J.member "file")) J.to_string_opt)
+  | Error e -> Alcotest.fail ("ndjson line does not parse: " ^ e)
+
+let test_log_local_buffer () =
+  let seen = ref [] in
+  Log.set_sinks [ (Log.Debug, fun r -> seen := r :: !seen) ];
+  Log.Local.install ();
+  Log.info "buffered";
+  Alcotest.(check int) "buffered records bypass the sinks" 0 (List.length !seen);
+  let records = Log.Local.collect () in
+  Alcotest.(check int) "collect returns the buffer" 1 (List.length records);
+  Log.flush_records records;
+  Log.set_sinks [];
+  Alcotest.(check int) "flush replays through the sinks" 1 (List.length !seen);
+  Alcotest.(check string) "record intact" "buffered" (List.hd !seen).Log.msg
+
+let test_trace_lanes () =
+  Trace.set_enabled true;
+  Trace.clear ();
+  Trace.set_lane 3;
+  ignore (Trace.with_span "laned" (fun sp -> Trace.add_attr sp "k" "v"));
+  Trace.set_lane 0;
+  ignore (Trace.with_span "mainline" (fun _ -> ()));
+  Trace.set_enabled false;
+  let evs = Trace.events () in
+  let lane name = (List.find (fun (e : Trace.event) -> e.name = name) evs).lane in
+  Alcotest.(check int) "set_lane stamps events" 3 (lane "laned");
+  Alcotest.(check int) "lane 0 by default" 0 (lane "mainline");
+  (* lanes survive the NDJSON round-trip as Chrome-trace tids *)
+  let path = Filename.temp_file "tpan_obs" ".ndjson" in
+  let oc = open_out path in
+  Trace.write_ndjson oc;
+  close_out oc;
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Sys.remove path;
+  let parsed = List.filter_map Trace.parse_line !lines in
+  let plane name = (List.find (fun (e : Trace.event) -> e.name = name) parsed).Trace.lane in
+  Alcotest.(check int) "lane survives parse_line" 3 (plane "laned");
+  Alcotest.(check int) "lane 0 survives parse_line" 0 (plane "mainline");
+  Trace.clear ()
+
 let test_progress () =
   let hits = ref [] in
   let hook = Progress.every 10 (fun n -> hits := n :: !hits) in
@@ -183,4 +398,12 @@ let suite =
       Alcotest.test_case "span nesting" `Quick test_span_nesting;
       Alcotest.test_case "ndjson round-trip" `Quick test_ndjson_roundtrip;
       Alcotest.test_case "progress hooks" `Quick test_progress;
+      Alcotest.test_case "jsonv escaping" `Quick test_jsonv_escape;
+      Alcotest.test_case "jsonv parser" `Quick test_jsonv_parser;
+      Alcotest.test_case "openmetrics exposition" `Quick test_openmetrics;
+      Alcotest.test_case "snapshot filtering" `Quick test_snapshot_filtering;
+      Alcotest.test_case "log sinks & levels" `Quick test_log_sinks;
+      Alcotest.test_case "log ndjson sink" `Quick test_log_ndjson_sink;
+      Alcotest.test_case "log local buffers" `Quick test_log_local_buffer;
+      Alcotest.test_case "trace lanes" `Quick test_trace_lanes;
     ] )
