@@ -860,6 +860,57 @@ let ext_par () =
   else
     Format.printf "  quick/scaled run: speedup checks skipped (workloads too small)@."
 
+(* ---------------- CHECK ---------------- *)
+
+module CK = Tpan_check.Check
+
+let check_diff () =
+  section "CHECK" "three-way differential checker (exact = numeric = simulated)";
+  let cfg = { CK.default with CK.samples = scaled 5; runs = max 4 (scaled 6); seed = 7 } in
+  let run_one name delivery tpn =
+    match CK.check_tpn ~config:cfg ~name ~delivery tpn with
+    | Ok o ->
+      Format.printf "  %a@." CK.pp_outcome o;
+      check (name ^ ": all points three-way agree") (CK.ok o && o.CK.agreed = o.CK.points)
+    | Error e ->
+      Format.printf "  %s: ERROR %s@." name (Tpan_core.Error.to_string e);
+      check (name ^ ": all points three-way agree") false
+  in
+  run_one "stopwait-sym" "t7" stpn;
+  run_one "abp" (List.hd Abp.deliveries) (Abp.concrete Abp.default_params);
+  let cases = scaled 12 in
+  let fuzz_cfg = { cfg with CK.samples = 2; seed = 70 } in
+  let results = CK.fuzz ~config:fuzz_cfg ~cases () in
+  let bad =
+    List.filter
+      (fun (_, r) -> match r with Ok o -> not (CK.ok o) | Error _ -> true)
+      results
+  in
+  Format.printf "  fuzz: %d generated nets, %d disagreeing or errored@." cases
+    (List.length bad);
+  check "fuzz: every generated stop-and-wait-family net three-way agrees" (bad = []);
+  (* Sensitivity: an off-by-one injected into the closed form must be
+     flagged — otherwise the agreement checks above prove nothing. *)
+  let thr = M.Symbolic.throughput sres sgraph "t7" in
+  let buggy =
+    Rf.subst
+      (fun v ->
+        if Var.equal v (Var.enabling "t3") then
+          Some (Poly.add (Poly.var v) (Poly.const Q.one))
+        else None)
+      thr
+  in
+  match
+    CK.check_tpn ~config:cfg ~expr:buggy ~name:"stopwait-sym(buggy)" ~delivery:"t7" stpn
+  with
+  | Ok o ->
+    Format.printf "  injected bug: %d/%d points disagree@."
+      (List.length o.CK.failures) o.CK.points;
+    check "an injected off-by-one in E(t3) is caught" (not (CK.ok o))
+  | Error e ->
+    Format.printf "  injected bug: ERROR %s@." (Tpan_core.Error.to_string e);
+    check "an injected off-by-one in E(t3) is caught" false
+
 (* ---------------- ORACLE ---------------- *)
 
 let oracle_model name make_tpn =
@@ -1105,6 +1156,7 @@ let () =
   timed "EXT-RANGE" ext_range;
   timed "EXT-EXP" ext_exp;
   timed "EXT-PAR" ext_par;
+  timed "CHECK" check_diff;
   timed "ORACLE" oracle;
   let micro = ref [] in
   timed "PERF" (fun () -> micro := perf ());

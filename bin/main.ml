@@ -710,9 +710,7 @@ let sweep_cmd =
 
 (* ----- check ----- *)
 
-let check_cmd =
-  let run () file model max_states =
-    with_net file model (fun tpn ->
+let check_static max_states tpn =
         let net = Tpn.net tpn in
         Format.printf "net class: %a@." Tpan_petri.Classify.pp (Tpan_petri.Classify.classify net);
         let consistent = Tpan_symbolic.Constraints.is_consistent (Tpn.constraints tpn) in
@@ -752,11 +750,163 @@ let check_cmd =
           | exception SG.Insufficient { hint; _ } ->
             Format.printf "symbolic behaviour: INSUFFICIENT CONSTRAINTS — %s@." hint
         end;
-        Format.print_flush ())
+        Format.print_flush ()
+
+let check_cmd =
+  let module CK = Tpan.Checker.Check in
+  let module GN = Tpan.Checker.Gen in
+  let diff_arg =
+    Arg.(
+      value & flag
+      & info [ "diff" ]
+          ~doc:
+            "Three-way differential check: the closed-form throughput, the floating-point \
+             Markov solution and Monte-Carlo simulation must agree at sampled points of \
+             the constraint region.")
+  in
+  let random_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "random" ] ~docv:"N"
+          ~doc:
+            "Fuzz the pipeline: generate $(docv) random stop-and-wait-family nets and \
+             differentially check each (no file/--model).")
+  in
+  let samples_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "samples" ] ~docv:"N" ~doc:"Constraint-region points per symbolic net.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Master seed for net generation, point sampling and simulation.")
+  in
+  let runs_arg =
+    Arg.(
+      value & opt (some int) None
+      & info [ "runs" ] ~docv:"N" ~doc:"Simulation replications per point.")
+  in
+  let delivery_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "delivery" ] ~docv:"TRANS"
+          ~doc:
+            "Transition whose completion rate is compared (default: the model registry's \
+             delivery, or the zero-frequency-conflict heuristic).")
+  in
+  let quick_arg =
+    Arg.(
+      value & flag
+      & info [ "quick" ] ~doc:"Reduced sample/replication counts (the CI tier-2 gate).")
+  in
+  let repro_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "reproducer" ] ~docv:"FILE"
+          ~doc:"On disagreement, write the minimized reproducer snippet(s) to $(docv).")
+  in
+  let write_reproducers repro outcomes =
+    match repro with
+    | None -> ()
+    | Some path ->
+      let snippets =
+        List.concat_map
+          (fun (o : CK.outcome) -> List.map (fun f -> f.CK.reproducer) o.CK.failures)
+          outcomes
+      in
+      if snippets <> [] then begin
+        let oc = open_out path in
+        output_string oc (String.concat "\n" snippets);
+        close_out oc
+      end
+  in
+  let config_of max_states samples seed runs quick =
+    let c = { CK.default with CK.seed; max_states = Some max_states } in
+    let c = match samples with Some s -> { c with CK.samples = s } | None -> c in
+    let c = match runs with Some r -> { c with CK.runs = r } | None -> c in
+    if quick then CK.quick c else c
+  in
+  let run () file model max_states diff random samples seed runs delivery quick json repro
+      =
+    let config = config_of max_states samples seed runs quick in
+    if random > 0 then begin
+      if file <> None || model <> None then
+        fail_input "--random generates its own nets; drop the file/--model";
+      handle_errors (fun () ->
+          let results = CK.fuzz ~config ~cases:random () in
+          let outcomes = List.filter_map (fun (_, r) -> Result.to_option r) results in
+          let errors =
+            List.filter_map
+              (fun (c, r) -> match r with Error e -> Some (c, e) | Ok _ -> None)
+              results
+          in
+          let failed = List.filter (fun o -> not (CK.ok o)) outcomes in
+          let summary =
+            Obs.Jsonv.Obj
+              [
+                ("schema", Obs.Jsonv.Int 1);
+                ("kind", Obs.Jsonv.Str "check-fuzz");
+                ("cases", Obs.Jsonv.Int random);
+                ("seed", Obs.Jsonv.Int seed);
+                ("disagreeing", Obs.Jsonv.Int (List.length failed));
+                ("errored", Obs.Jsonv.Int (List.length errors));
+                ( "outcomes",
+                  Obs.Jsonv.List (List.map CK.outcome_to_json outcomes) );
+                ( "errors",
+                  Obs.Jsonv.List
+                    (List.map
+                       (fun ((c : GN.case), e) ->
+                         Obs.Jsonv.Obj
+                           [
+                             ("case", Obs.Jsonv.Str (Printf.sprintf "gen%d" c.GN.seed));
+                             ("error", Obs.Jsonv.Str (Tpan.Error.to_string e));
+                           ])
+                       errors) );
+              ]
+          in
+          last_report := Some summary;
+          write_reproducers repro outcomes;
+          if json then print_json summary
+          else begin
+            List.iter
+              (fun ((c : GN.case), r) ->
+                match r with
+                | Ok o -> Format.printf "%a  [%s]@." CK.pp_outcome o c.GN.description
+                | Error e ->
+                  Format.printf "gen%d: ERROR %s  [%s]@." c.GN.seed
+                    (Tpan.Error.to_string e) c.GN.description)
+              results;
+            Format.printf "fuzz: %d cases, %d disagreeing, %d errored@."
+              random (List.length failed) (List.length errors)
+          end;
+          if failed <> [] || errors <> [] then quit 1)
+    end
+    else if diff then
+      handle_errors (fun () ->
+          match Tpan.Checker.check_source ~config ?delivery (source_of file model) with
+          | Error e -> fail e
+          | Ok o ->
+            last_report := Some (CK.outcome_to_json o);
+            write_reproducers repro [ o ];
+            if json then print_json (CK.outcome_to_json o)
+            else Format.printf "%a@." CK.pp_outcome o;
+            if not (CK.ok o) then quit 1)
+    else with_net file model (check_static max_states)
   in
   Cmd.v
-    (Cmd.info "check" ~doc:"Validate a model: net class, constraints, siphons, timed safety.")
-    Term.(const run $ obs_term $ file_arg $ model_arg $ max_states_arg)
+    (Cmd.info "check"
+       ~doc:
+         "Validate a model: net class, constraints, siphons, timed safety. With \
+          $(b,--diff) or $(b,--random), run the three-way differential checker \
+          (exact = numeric = simulated throughput).")
+    Term.(
+      const run $ obs_term $ file_arg $ model_arg $ max_states_arg $ diff_arg $ random_arg
+      $ samples_arg $ seed_arg $ runs_arg $ delivery_arg $ quick_arg $ json_arg $ repro_arg)
 
 (* ----- report ----- *)
 

@@ -1,0 +1,135 @@
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Var = Tpan_symbolic.Var
+module Lin = Tpan_symbolic.Linexpr
+module C = Tpan_symbolic.Constraints
+module Tpn = Tpan_core.Tpn
+module Rng = Tpan_sim.Rng
+
+type case = { seed : int; tpn : Tpn.t; delivery : string; description : string }
+
+let case ~seed =
+  let rng = Rng.create ~seed in
+  (* Structural knobs. Hop 1 is always lossy so every net exercises a
+     probabilistic decision and the timeout recovery path. *)
+  let fwd_hops = 1 + Rng.int rng 2 in
+  let hop2_lossy = fwd_hops = 2 && Rng.int rng 2 = 0 in
+  let recv_variants = 1 + Rng.int rng 2 in
+  let ack_lossy = Rng.int rng 2 = 0 in
+  let direct_restart = Rng.int rng 2 = 0 in
+  let b = Net.builder (Printf.sprintf "gen%d" seed) in
+  let ready = Net.add_place b ~init:1 "ready" in
+  let wait = Net.add_place b "wait" in
+  let medium =
+    Array.init fwd_hops (fun i -> Net.add_place b (Printf.sprintf "m%d" (i + 1)))
+  in
+  let rx = Net.add_place b "rx" in
+  let rdy = Net.add_place b ~init:1 "rdy" in
+  let am = Net.add_place b "am" in
+  let acked = Net.add_place b "acked" in
+  let prep = if direct_restart then None else Some (Net.add_place b "prep") in
+  let specs = ref [] in
+  let constraints = ref [] in
+  (* Success-path firing delays, timer-armed to completion-firable: the
+     timeout's enabling time must strictly dominate their sum (the
+     generated analogue of the paper's stop-and-wait constraint (1)). *)
+  let path_delays = ref [] in
+  let t name inputs outputs spec_ =
+    ignore (Net.add_transition b ~name ~inputs ~outputs);
+    specs := (name, spec_) :: !specs
+  in
+  let s = Tpn.spec in
+  let fs name = Tpn.Sym (Var.firing name) in
+  (* A probabilistic conflict pair. Symbolic analyzability requires the
+     alternatives to share their firing delay (the analogue of stop-and-
+     wait constraints (3)/(4)); encode that either as a literally shared
+     symbol or as two symbols tied by an explicit equality — both forms
+     must round-trip through the whole pipeline. *)
+  let npairs = ref 0 in
+  let pair ~inputs ~win_name ~win_out ~lose_name ~lose_out =
+    incr npairs;
+    let shared = Rng.int rng 2 = 0 in
+    let win_sym = Var.firing win_name in
+    let lose_sym = if shared then win_sym else Var.firing lose_name in
+    if not shared then
+      constraints :=
+        (Printf.sprintf "eq%d" !npairs, `Eq, Lin.var lose_sym, Lin.var win_sym)
+        :: !constraints;
+    let win_freq, lose_freq =
+      if Rng.int rng 2 = 0 then (
+        let k = 3 + Rng.int rng 8 in
+        let loss = Q.of_ints 1 k in
+        (Tpn.Freq (Q.sub Q.one loss), Tpn.Freq loss))
+      else (Tpn.Freq_sym (Var.frequency win_name), Tpn.Freq_sym (Var.frequency lose_name))
+    in
+    t win_name inputs win_out (s ~firing:(Tpn.Sym win_sym) ~frequency:win_freq ());
+    t lose_name inputs lose_out (s ~firing:(Tpn.Sym lose_sym) ~frequency:lose_freq ());
+    path_delays := Lin.var win_sym :: !path_delays
+  in
+  (* Sender: send arms the timer; the timeout has priority 0 so a firable
+     completion always wins (mirrors t3/t7 of the paper's model). *)
+  t "send" [ (ready, 1) ] [ (medium.(0), 1); (wait, 1) ] (s ~firing:(fs "send") ());
+  t "to" [ (wait, 1) ] [ (ready, 1) ]
+    (s ~enabling:(Tpn.Sym (Var.enabling "to")) ~firing:(fs "to")
+       ~frequency:(Tpn.Freq Q.zero) ());
+  let hop_target i = if i + 1 < fwd_hops then medium.(i + 1) else rx in
+  pair
+    ~inputs:[ (medium.(0), 1) ]
+    ~win_name:"fwd1"
+    ~win_out:[ (hop_target 0, 1) ]
+    ~lose_name:"lose1" ~lose_out:[];
+  if fwd_hops = 2 then
+    if hop2_lossy then
+      pair
+        ~inputs:[ (medium.(1), 1) ]
+        ~win_name:"fwd2"
+        ~win_out:[ (rx, 1) ]
+        ~lose_name:"lose2" ~lose_out:[]
+    else (
+      t "fwd2" [ (medium.(1), 1) ] [ (rx, 1) ] (s ~firing:(fs "fwd2") ());
+      path_delays := Lin.var (Var.firing "fwd2") :: !path_delays);
+  (* Receiver, optionally with two competing (conflicting) variants that
+     both acknowledge — a pure decision node in the reachability graph. *)
+  if recv_variants = 2 then
+    pair
+      ~inputs:[ (rx, 1); (rdy, 1) ]
+      ~win_name:"recv"
+      ~win_out:[ (am, 1); (rdy, 1) ]
+      ~lose_name:"recv_b"
+      ~lose_out:[ (am, 1); (rdy, 1) ]
+  else (
+    t "recv" [ (rx, 1); (rdy, 1) ] [ (am, 1); (rdy, 1) ] (s ~firing:(fs "recv") ());
+    path_delays := Lin.var (Var.firing "recv") :: !path_delays);
+  if ack_lossy then
+    pair
+      ~inputs:[ (am, 1) ]
+      ~win_name:"adel"
+      ~win_out:[ (acked, 1) ]
+      ~lose_name:"alose" ~lose_out:[]
+  else (
+    t "adel" [ (am, 1) ] [ (acked, 1) ] (s ~firing:(fs "adel") ());
+    path_delays := Lin.var (Var.firing "adel") :: !path_delays);
+  let done_out = match prep with None -> [ (ready, 1) ] | Some p -> [ (p, 1) ] in
+  t "done" [ (acked, 1); (wait, 1) ] done_out (s ~firing:(fs "done") ());
+  (match prep with
+  | None -> ()
+  | Some p -> t "prep" [ (p, 1) ] [ (ready, 1) ] (s ~firing:(fs "prep") ()));
+  let sum = List.fold_left Lin.add Lin.zero !path_delays in
+  constraints := ("timeout", `Gt, Lin.var (Var.enabling "to"), sum) :: !constraints;
+  let tpn =
+    Tpn.make
+      ~constraints:(C.of_list (List.rev !constraints))
+      (Net.build b) (List.rev !specs)
+  in
+  let description =
+    Printf.sprintf "stopwait family: %d fwd hop%s%s, %d recv variant%s, %s ack, %s restart"
+      fwd_hops
+      (if fwd_hops > 1 then "s" else "")
+      (if fwd_hops = 2 then if hop2_lossy then " (hop2 lossy)" else " (hop2 reliable)"
+       else "")
+      recv_variants
+      (if recv_variants > 1 then "s" else "")
+      (if ack_lossy then "lossy" else "reliable")
+      (if direct_restart then "direct" else "staged")
+  in
+  { seed; tpn; delivery = "done"; description }

@@ -1,0 +1,24 @@
+(** Seeded random generator of analyzable Timed Petri Nets.
+
+    Draws from the stop-and-wait family the paper studies — a send/ack
+    loop with lossy medium hops (structural conflict sets), a timeout
+    recovery transition (enabling time + zero frequency), and optional
+    competing receiver variants — because that family exercises every
+    mechanism of the pipeline (conflict resolution, enabling-time
+    residues, symbolic minima) while staying live and bounded by
+    construction. Each net ships with a constraint set sufficient for
+    symbolic TRG construction: the timeout strictly exceeds the sum of
+    every other delay, and conflicting alternatives share their firing
+    delay (either literally, via a shared symbol, or through an equality
+    constraint — both forms are generated).
+
+    Same seed, same net: the generator is a pure function of [seed]. *)
+
+type case = {
+  seed : int;
+  tpn : Tpan_core.Tpn.t;  (** symbolic net with its constraint set *)
+  delivery : string;  (** the completion transition whose throughput to check *)
+  description : string;  (** one-line shape summary, for reports *)
+}
+
+val case : seed:int -> case

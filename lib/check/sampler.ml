@@ -1,0 +1,161 @@
+module Q = Tpan_mathkit.Q
+module FM = Tpan_mathkit.Fourier_motzkin
+module Var = Tpan_symbolic.Var
+module Lin = Tpan_symbolic.Linexpr
+module C = Tpan_symbolic.Constraints
+module Tpn = Tpan_core.Tpn
+module Rng = Tpan_sim.Rng
+
+type point = (string * Q.t) list
+
+let vars tpn =
+  let net = Tpn.net tpn in
+  let acc = ref [] in
+  let push v = if not (List.exists (Var.equal v) !acc) then acc := v :: !acc in
+  List.iter
+    (fun t ->
+      (match Tpn.enabling tpn t with Tpn.Sym v -> push v | Tpn.Fixed _ -> ());
+      (match Tpn.firing tpn t with Tpn.Sym v -> push v | Tpn.Fixed _ -> ());
+      match Tpn.frequency tpn t with Tpn.Freq_sym v -> push v | Tpn.Freq _ -> ())
+    (Tpan_petri.Net.transitions net);
+  List.rev !acc
+
+(* The constraint system as FM constraints, with the non-negativity of
+   every time symbol baked in (mirrors Oracle's preprocessing). *)
+let fm_system tpn =
+  let entries = C.constraints (Tpn.constraints tpn) in
+  let of_rel rel lhs rhs =
+    let a = Lin.to_form lhs and b = Lin.to_form rhs in
+    match rel with
+    | `Ge -> FM.ge a b
+    | `Gt -> FM.gt a b
+    | `Le -> FM.ge b a
+    | `Lt -> FM.gt b a
+    | `Eq -> FM.eq a b
+  in
+  let base = List.map (fun (_, rel, lhs, rhs) -> of_rel rel lhs rhs) entries in
+  let nonneg =
+    List.filter_map
+      (fun v ->
+        if Var.is_time v then Some (FM.ge (FM.Linform.var (Var.id v)) FM.Linform.zero)
+        else None)
+      (vars tpn)
+  in
+  nonneg @ base
+
+let base_point tpn =
+  let system = fm_system tpn in
+  (* Prefer a strict-interior model: strictly positive delays keep the
+     simulation free of zero-delay (Zeno) cycles and maximize the room
+     for perturbation. Equalities must stay equalities. *)
+  let strict =
+    List.map
+      (fun (c : FM.constr) ->
+        match c.FM.rel with FM.Ge -> { c with FM.rel = FM.Gt } | FM.Gt | FM.Eq -> c)
+      system
+  in
+  let model =
+    match FM.find_model strict with Some m -> Some m | None -> FM.find_model system
+  in
+  match model with
+  | None -> None
+  | Some bindings ->
+    let value v =
+      match List.assoc_opt (Var.id v) bindings with
+      | Some q -> q
+      | None -> Q.one (* unconstrained symbol: any positive value is a model *)
+    in
+    Some (List.map (fun v -> (Var.name v, value v)) (vars tpn))
+
+(* Random positive rational with small numerator/denominator: keeps the
+   exact arithmetic of the downstream TRG build cheap. *)
+let small_q rng ~lo ~hi =
+  let den = 1 + Rng.int rng 4 in
+  let lo_n = lo * den and hi_n = hi * den in
+  Q.of_ints (lo_n + Rng.int rng (max 1 (hi_n - lo_n))) den
+
+(* Variables tied by a pure [x = y] constraint must move together:
+   perturbing them independently would reject every proposal. Union-find
+   over display names, seeded from the [`Eq] entries whose two sides are
+   single unit-coefficient variables. *)
+let eq_repr tpn =
+  let parent = Hashtbl.create 16 in
+  let rec find x =
+    match Hashtbl.find_opt parent x with
+    | Some p when p <> x ->
+      let r = find p in
+      Hashtbl.replace parent x r;
+      r
+    | _ -> x
+  in
+  List.iter
+    (fun (_, rel, lhs, rhs) ->
+      match rel with
+      | `Eq -> (
+        match (Lin.terms lhs, Lin.terms rhs) with
+        | [ (a, ca) ], [ (b, cb) ]
+          when Q.equal ca Q.one && Q.equal cb Q.one
+               && Q.is_zero (Lin.constant lhs)
+               && Q.is_zero (Lin.constant rhs) ->
+          let ra = find (Var.name a) and rb = find (Var.name b) in
+          if ra <> rb then Hashtbl.replace parent ra rb
+        | _ -> ())
+      | _ -> ())
+    (C.constraints (Tpn.constraints tpn));
+  find
+
+let satisfies tpn pt =
+  let env v = match List.assoc_opt (Var.name v) pt with Some q -> q | None -> Q.one in
+  C.satisfies env (Tpn.constraints tpn)
+  && List.for_all (fun (_, q) -> Q.sign q > 0 || Q.is_zero q) pt
+
+let sample ~rng tpn =
+  match base_point tpn with
+  | None -> None
+  | Some base ->
+    let syms = vars tpn in
+    let repr = eq_repr tpn in
+    let satisfies pt = satisfies tpn pt in
+    (* Multiplicative perturbation, shrinking toward the base point on
+       rejection: factor_k = 1 + (factor - 1)/2^k. Frequencies are
+       resampled outright — they are almost never range-constrained, and
+       wide spreads exercise the branching probabilities. Eq-tied
+       variables draw from a shared per-class cache (their base values
+       already agree, so a shared factor preserves the equality). *)
+    let propose shrink =
+      let cache = Hashtbl.create 8 in
+      let per_class name gen =
+        let key = repr name in
+        match Hashtbl.find_opt cache key with
+        | Some q -> q
+        | None ->
+          let q = gen () in
+          Hashtbl.add cache key q;
+          q
+      in
+      List.map2
+        (fun v (name, q) ->
+          match Var.kind v with
+          | Var.Frequency -> (name, per_class name (fun () -> small_q rng ~lo:1 ~hi:12))
+          | Var.Enabling | Var.Firing | Var.Param ->
+            let factor =
+              per_class name (fun () ->
+                  let f = small_q rng ~lo:1 ~hi:6 in
+                  (* spread factors below 1 too: half the draws divide *)
+                  let f = if Rng.int rng 2 = 0 then Q.inv f else f in
+                  (* shrink the log-scale distance to 1 by halving [shrink] times *)
+                  let rec damp k f =
+                    if k = 0 then f else damp (k - 1) (Q.div (Q.add f Q.one) (Q.of_int 2))
+                  in
+                  damp shrink f)
+            in
+            (name, Q.mul q factor))
+        syms base
+    in
+    let rec attempt k =
+      if k > 6 then base
+      else
+        let pt = propose k in
+        if satisfies pt then pt else attempt (k + 1)
+    in
+    Some (attempt 0)

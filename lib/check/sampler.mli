@@ -1,0 +1,38 @@
+(** Sampling rational models of a net's timing-constraint system.
+
+    The differential checker needs concrete delay/frequency assignments
+    that satisfy the net's declared constraints — the region over which
+    the paper claims its symbolic throughput expression is valid. One
+    interior point comes from Fourier–Motzkin ({!Fourier_motzkin.find_model},
+    the same machinery behind the oracle's witness); {!sample} then
+    perturbs that point multiplicatively with rejection against
+    {!Tpan_symbolic.Constraints.satisfies}, so repeated draws spread over
+    the feasible region instead of re-testing one corner. *)
+
+module Q = Tpan_mathkit.Q
+
+type point = (string * Q.t) list
+(** Bindings keyed by variable display name (["E(t3)"], ["f(t4)"], …) —
+    the key format of {!Tpan_core.Tpn.bind_times} and
+    {!Tpan_perf.Measures.Symbolic.eval_at}. *)
+
+val vars : Tpan_core.Tpn.t -> Tpan_symbolic.Var.t list
+(** Every symbolic time {e and} frequency symbol of the net, in
+    transition order, deduplicated. *)
+
+val base_point : Tpan_core.Tpn.t -> point option
+(** An interior rational model of the constraint system covering every
+    symbol of {!vars} (frequency symbols default to 1, time symbols
+    absent from the constraints to 1). [None] when the constraints are
+    inconsistent. *)
+
+val satisfies : Tpan_core.Tpn.t -> point -> bool
+(** Does the point (variables missing from it default to 1) satisfy the
+    net's constraint system, with every value non-negative? *)
+
+val sample : rng:Tpan_sim.Rng.t -> Tpan_core.Tpn.t -> point option
+(** A randomized feasible point: each coordinate of {!base_point} is
+    scaled by a random rational factor, retrying with shrinking
+    perturbation until {!Tpan_symbolic.Constraints.satisfies} accepts
+    (the base point itself is the last resort, so [Some] draws are
+    always models). [None] iff {!base_point} is [None]. *)

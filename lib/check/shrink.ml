@@ -1,0 +1,142 @@
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Var = Tpan_symbolic.Var
+module Lin = Tpan_symbolic.Linexpr
+module C = Tpan_symbolic.Constraints
+module Tpn = Tpan_core.Tpn
+module Printer = Tpan_dsl.Printer
+
+(* Rebuild the net keeping only the selected transitions/places. Specs are
+   copied through the accessors; constraints survive iff every symbol they
+   mention still occurs in a kept spec (a dangling symbol would make the
+   reduced system claim things about nothing). *)
+let rebuild tpn ~keep_trans ~keep_place =
+  let net = Tpn.net tpn in
+  let b = Net.builder (Net.name net) in
+  let init = Net.initial_marking net in
+  let newp = Array.make (Net.num_places net) (-1) in
+  List.iter
+    (fun p ->
+      if keep_place p then newp.(p) <- Net.add_place b ~init:init.(p) (Net.place_name net p))
+    (Net.places net);
+  let specs = ref [] in
+  let kept_syms = ref [] in
+  List.iter
+    (fun t ->
+      if keep_trans t then (
+        let name = Net.trans_name net t in
+        let map = List.map (fun (p, w) -> (newp.(p), w)) in
+        ignore
+          (Net.add_transition b ~name
+             ~inputs:(map (Net.inputs net t))
+             ~outputs:(map (Net.outputs net t)));
+        let spec =
+          {
+            Tpn.enabling = Tpn.enabling tpn t;
+            firing = Tpn.firing tpn t;
+            frequency = Tpn.frequency tpn t;
+          }
+        in
+        let note = function
+          | Tpn.Sym v -> kept_syms := v :: !kept_syms
+          | Tpn.Fixed _ -> ()
+        in
+        note spec.Tpn.enabling;
+        note spec.Tpn.firing;
+        (match spec.Tpn.frequency with
+        | Tpn.Freq_sym v -> kept_syms := v :: !kept_syms
+        | Tpn.Freq _ -> ());
+        specs := (name, spec) :: !specs))
+    (Net.transitions net);
+  let keep_var v = List.exists (Var.equal v) !kept_syms in
+  let cs =
+    C.constraints (Tpn.constraints tpn)
+    |> List.filter (fun (_, _, lhs, rhs) ->
+           List.for_all keep_var (Lin.vars lhs) && List.for_all keep_var (Lin.vars rhs))
+    |> C.of_list
+  in
+  Tpn.make ~constraints:cs (Net.build b) (List.rev !specs)
+
+let drop_transition tpn name =
+  let net = Tpn.net tpn in
+  match Net.trans_of_name net name with
+  | exception Not_found -> None
+  | dropped -> (
+    try Some (rebuild tpn ~keep_trans:(fun t -> t <> dropped) ~keep_place:(fun _ -> true))
+    with _ -> None)
+
+let prune_places tpn =
+  let net = Tpn.net tpn in
+  let used = Array.make (Net.num_places net) false in
+  List.iter
+    (fun t ->
+      List.iter (fun (p, _) -> used.(p) <- true) (Net.inputs net t);
+      List.iter (fun (p, _) -> used.(p) <- true) (Net.outputs net t))
+    (Net.transitions net);
+  if Array.for_all Fun.id used then None
+  else
+    try Some (rebuild tpn ~keep_trans:(fun _ -> true) ~keep_place:(fun p -> used.(p)))
+    with _ -> None
+
+let restrict tpn point =
+  let names = List.map Var.name (Sampler.vars tpn) in
+  List.filter (fun (n, _) -> List.mem n names) point
+
+let minimize ?(structure = true) ~still_fails tpn point =
+  let accepts tpn' pt' = Sampler.satisfies tpn' pt' && still_fails tpn' pt' in
+  let rec struct_pass (tpn, pt) =
+    let net = Tpn.net tpn in
+    let rec try_drop = function
+      | [] -> None
+      | name :: rest -> (
+        match drop_transition tpn name with
+        | Some tpn' ->
+          let pt' = restrict tpn' pt in
+          if accepts tpn' pt' then Some (tpn', pt') else try_drop rest
+        | None -> try_drop rest)
+    in
+    match try_drop (List.map (Net.trans_name net) (Net.transitions net)) with
+    | Some smaller -> struct_pass smaller
+    | None -> (tpn, pt)
+  in
+  let tpn, point = if structure then struct_pass (tpn, point) else (tpn, point) in
+  let tpn =
+    if not structure then tpn
+    else
+      (* places never carry symbols, so the point is unaffected *)
+      match prune_places tpn with
+      | Some tpn' when accepts tpn' point -> tpn'
+      | _ -> tpn
+  in
+  let point =
+    List.fold_left
+      (fun pt (name, q) ->
+        let attempt v =
+          if Q.equal v q then None
+          else
+            let pt' = List.map (fun (n, x) -> if n = name then (n, v) else (n, x)) pt in
+            if accepts tpn pt' then Some pt' else None
+        in
+        match attempt Q.one with
+        | Some pt' -> pt'
+        | None -> (
+          let rounded = Q.of_int (int_of_float (Float.round (Q.to_float q))) in
+          let rounded = if Q.sign rounded <= 0 then Q.one else rounded in
+          match attempt rounded with Some pt' -> pt' | None -> pt))
+      point point
+  in
+  (tpn, point)
+
+let reproducer tpn point =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf "# tpan check reproducer: minimized failing net and point\n";
+  List.iter
+    (fun (n, q) -> Buffer.add_string buf (Printf.sprintf "# %s = %s\n" n (Q.to_string q)))
+    point;
+  (* Bind the point so the snippet is fully concrete and runnable on its
+     own; if binding is rejected (partial point), ship the symbolic net —
+     the comment header still pins the values. *)
+  (match try Some (Tpn.bind_times tpn point) with _ -> None with
+  | Some concrete -> Buffer.add_string buf (Printer.to_string concrete)
+  | None -> Buffer.add_string buf (Printer.to_string tpn));
+  Buffer.contents buf

@@ -108,8 +108,12 @@ let compare_figures ?(warn = default_warn) ?(fail = default_fail) ~baseline ~cur
       current
   in
   let worst = List.fold_left (fun acc r -> worse acc r.verdict) Ok_v rows in
-  (* a vanished section is a regression in coverage, not just noise *)
-  let worst = if missing <> [] then worse worst Warn_v else worst in
+  (* A vanished section is a regression in coverage, not just noise — but
+     only when the two documents are comparable at all. If they share no
+     figure names (different bench suites, renamed harness) there is no
+     ratio to judge: report the disjointness through [missing]/[added]
+     and keep the verdict [Ok_v]. *)
+  let worst = if missing <> [] && rows <> [] then worse worst Warn_v else worst in
   { rows; missing; added; worst }
 
 let load_file path =

@@ -276,9 +276,17 @@ let to_float_opt = function
   | Raw r -> float_of_string_opt r
   | _ -> None
 
+(* [int_of_float] on a value outside [min_int, max_int] is undefined
+   behaviour, so integral floats must be range-checked first. [min_int]
+   (-2^62) is exactly representable; [max_int] (2^62 - 1) is not, and the
+   nearest float at that magnitude is 2^62 = -.(float min_int), which
+   already overflows — hence the asymmetric bound. *)
+let min_int_f = float_of_int min_int
+
 let to_int_opt = function
   | Int i -> Some i
-  | Float f when Float.is_integer f -> Some (int_of_float f)
+  | Float f when Float.is_integer f && f >= min_int_f && f < -.min_int_f ->
+    Some (int_of_float f)
   | _ -> None
 
 let to_string_opt = function Str s -> Some s | _ -> None

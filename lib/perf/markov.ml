@@ -14,10 +14,17 @@ let stationary ~probs ?(iterations = 100_000) ?(tolerance = 1e-14) (dg : _ Decis
   in
   let pi = Array.make k (1. /. float_of_int k) in
   let next = Array.make k 0. in
+  (* Damped iteration [pi' = a·P·pi + (1-a)·pi]: the fixed points are
+     exactly those of plain power iteration (pi = P·pi), but the damping
+     makes the effective chain aperiodic, so periodic graphs (e.g. a
+     2-cycle decision graph, where plain iteration oscillates between two
+     distributions forever) still converge to the stationary vector. *)
+  let damping = 0.9 in
   let rec iterate n =
     if n = 0 then failwith "Markov.stationary: did not converge";
     Array.fill next 0 k 0.;
     List.iter (fun (i, j, p) -> next.(j) <- next.(j) +. (pi.(i) *. p)) step;
+    Array.iteri (fun i x -> next.(i) <- (damping *. x) +. ((1. -. damping) *. pi.(i))) next;
     (* renormalize to damp float drift *)
     let s = Array.fold_left ( +. ) 0. next in
     Array.iteri (fun i x -> next.(i) <- x /. s) next;

@@ -1,15 +1,23 @@
-type 'a t = { mutable data : 'a array; mutable size : int; cmp : 'a -> 'a -> int }
+(* Backing store is an ['a option array] so vacated slots can be cleared:
+   with a bare ['a array], [pop] would leave the popped element reachable
+   at [data.(size)] and [grow] would fill the fresh capacity with copies
+   of a live element, pinning dead simulation events against the GC for
+   the lifetime of the heap. [None] is the explicit dummy. *)
+
+type 'a t = { mutable data : 'a option array; mutable size : int; cmp : 'a -> 'a -> int }
 
 let create ~cmp () = { data = [||]; size = 0; cmp }
 
 let length h = h.size
 let is_empty h = h.size = 0
 
-let grow h x =
+let get h i = match h.data.(i) with Some x -> x | None -> assert false
+
+let grow h =
   let cap = Array.length h.data in
   if h.size >= cap then begin
     let ncap = if cap = 0 then 16 else cap * 2 in
-    let nd = Array.make ncap x in
+    let nd = Array.make ncap None in
     Array.blit h.data 0 nd 0 h.size;
     h.data <- nd
   end
@@ -22,7 +30,7 @@ let swap h i j =
 let rec sift_up h i =
   if i > 0 then begin
     let parent = (i - 1) / 2 in
-    if h.cmp h.data.(i) h.data.(parent) < 0 then begin
+    if h.cmp (get h i) (get h parent) < 0 then begin
       swap h i parent;
       sift_up h parent
     end
@@ -31,20 +39,20 @@ let rec sift_up h i =
 let rec sift_down h i =
   let l = (2 * i) + 1 and r = (2 * i) + 2 in
   let smallest = ref i in
-  if l < h.size && h.cmp h.data.(l) h.data.(!smallest) < 0 then smallest := l;
-  if r < h.size && h.cmp h.data.(r) h.data.(!smallest) < 0 then smallest := r;
+  if l < h.size && h.cmp (get h l) (get h !smallest) < 0 then smallest := l;
+  if r < h.size && h.cmp (get h r) (get h !smallest) < 0 then smallest := r;
   if !smallest <> i then begin
     swap h i !smallest;
     sift_down h !smallest
   end
 
 let push h x =
-  grow h x;
-  h.data.(h.size) <- x;
+  grow h;
+  h.data.(h.size) <- Some x;
   h.size <- h.size + 1;
   sift_up h (h.size - 1)
 
-let peek h = if h.size = 0 then None else Some h.data.(0)
+let peek h = if h.size = 0 then None else h.data.(0)
 
 let pop h =
   if h.size = 0 then None
@@ -53,13 +61,17 @@ let pop h =
     h.size <- h.size - 1;
     if h.size > 0 then begin
       h.data.(0) <- h.data.(h.size);
+      h.data.(h.size) <- None;
       sift_down h 0
-    end;
-    Some top
+    end
+    else h.data.(0) <- None;
+    top
   end
 
 let pop_exn h = match pop h with Some x -> x | None -> raise Not_found
 
-let clear h = h.size <- 0
+let clear h =
+  Array.fill h.data 0 h.size None;
+  h.size <- 0
 
-let to_list h = Array.to_list (Array.sub h.data 0 h.size)
+let to_list h = List.init h.size (fun i -> get h i)

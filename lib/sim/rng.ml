@@ -30,8 +30,15 @@ let choose_weighted t weighted =
   let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weighted in
   if total <= 0. then invalid_arg "Rng.choose_weighted: all-zero weights";
   let x = float t *. total in
+  (* Float round-off can push the cumulative sum past [x] without any
+     alternative matching; the fallback must then be the last entry that
+     could legitimately fire, not whatever happens to sit last in the
+     list — a trailing zero-weight alternative must never be chosen. *)
+  let last_positive =
+    List.fold_left (fun acc (v, w) -> if w > 0. then Some v else acc) None weighted
+  in
   let rec pick acc = function
-    | [] -> fst (List.hd (List.rev weighted)) (* float round-off: last item *)
-    | (v, w) :: rest -> if x < acc +. w then v else pick (acc +. w) rest
+    | [] -> Option.get last_positive
+    | (v, w) :: rest -> if w > 0. && x < acc +. w then v else pick (acc +. w) rest
   in
   pick 0. weighted

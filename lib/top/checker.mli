@@ -1,0 +1,18 @@
+(** Facade entry point for the three-way differential checker.
+
+    Re-exports {!Tpan_check} under the [Tpan] namespace and adds the
+    source-level plumbing the CLI needs: load a {!Analysis.source},
+    resolve the delivery transition (explicitly, from the model registry,
+    or by the zero-frequency-conflict heuristic), and run
+    {!Tpan_check.Check.check_tpn}. *)
+
+module Check = Tpan_check.Check
+module Gen = Tpan_check.Gen
+module Sampler = Tpan_check.Sampler
+module Shrink = Tpan_check.Shrink
+
+val check_source :
+  ?config:Check.config ->
+  ?delivery:string ->
+  Analysis.source ->
+  (Check.outcome, Error.t) result

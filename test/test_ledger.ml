@@ -128,6 +128,20 @@ let test_diff_missing_and_added () =
   Alcotest.(check (list string)) "added figure reported" [ "NEW" ] r.BD.added;
   Alcotest.(check bool) "missing promotes to at least Warn" true (r.BD.worst <> BD.Ok_v)
 
+let test_diff_disjoint_documents () =
+  (* A baseline from a different figure set entirely (e.g. a renamed bench
+     section) shares no rows; with nothing comparable there is no
+     regression evidence, so the verdict must be Ok, with the divergence
+     still fully reported via [missing]/[added]. *)
+  let baseline = [ fig "OLD1" 1.0 1e6; fig "OLD2" 0.5 5e5 ] in
+  let current = [ fig "NEW1" 9.0 9e6 ] in
+  let r = BD.compare_figures ~baseline ~current () in
+  Alcotest.(check (list string)) "rows empty" []
+    (List.map (fun (x : BD.row) -> x.BD.name) r.BD.rows);
+  Alcotest.(check (list string)) "missing lists baseline" [ "OLD1"; "OLD2" ] r.BD.missing;
+  Alcotest.(check (list string)) "added lists current" [ "NEW1" ] r.BD.added;
+  Alcotest.(check bool) "disjoint documents are Ok, not Warn" true (r.BD.worst = BD.Ok_v)
+
 let test_figures_of_json () =
   let doc =
     "{\"figures\": [{\"name\": \"FIG1\", \"seconds\": 0.25, \"gc\": {\"major_words\": \
@@ -155,5 +169,6 @@ let suite =
       Alcotest.test_case "bench-diff noise floor" `Quick test_diff_noise_floor;
       Alcotest.test_case "bench-diff GC regression" `Quick test_diff_gc_regression;
       Alcotest.test_case "bench-diff missing/added figures" `Quick test_diff_missing_and_added;
+      Alcotest.test_case "bench-diff disjoint documents" `Quick test_diff_disjoint_documents;
       Alcotest.test_case "figures_of_json" `Quick test_figures_of_json;
     ] )

@@ -209,6 +209,32 @@ let test_jsonv_parser () =
       | Error _ -> ())
     [ ""; "{"; "[1,]"; "\"unterminated"; "1 2"; "nul"; "{\"a\" 1}" ]
 
+let test_jsonv_huge_floats () =
+  (* Floats beyond the int range must stay floats: converting them with
+     [int_of_float] is undefined behaviour, so [to_int_opt] must refuse. *)
+  List.iter
+    (fun s ->
+      match J.of_string s with
+      | Ok (J.Float f as v) ->
+        Alcotest.(check bool) (s ^ " finite") true (Float.is_finite f);
+        Alcotest.(check (option int)) (s ^ " not an int") None (J.to_int_opt v);
+        (* serialization round-trips through the parser *)
+        (match J.of_string (J.to_string v) with
+         | Ok (J.Float f') -> Alcotest.(check (float 0.)) (s ^ " round-trip") f f'
+         | Ok _ | Error _ -> Alcotest.fail (s ^ " should round-trip as Float"))
+      | Ok _ -> Alcotest.fail (s ^ " should parse as Float")
+      | Error e -> Alcotest.fail e)
+    [ "1e308"; "-1e308"; "9.3e18"; "-9.3e18" ];
+  (* boundary behaviour: min_int is exactly representable and convertible,
+     the first power of two past max_int is not *)
+  Alcotest.(check (option int))
+    "min_int representable" (Some min_int)
+    (J.to_int_opt (J.Float (float_of_int min_int)));
+  Alcotest.(check (option int))
+    "2^62 rejected" None
+    (J.to_int_opt (J.Float (-.float_of_int min_int)));
+  Alcotest.(check (option int)) "2.5 rejected" None (J.to_int_opt (J.Float 2.5))
+
 let om_name_ok s =
   s <> ""
   && String.for_all
@@ -400,6 +426,7 @@ let suite =
       Alcotest.test_case "progress hooks" `Quick test_progress;
       Alcotest.test_case "jsonv escaping" `Quick test_jsonv_escape;
       Alcotest.test_case "jsonv parser" `Quick test_jsonv_parser;
+      Alcotest.test_case "jsonv huge floats stay floats" `Quick test_jsonv_huge_floats;
       Alcotest.test_case "openmetrics exposition" `Quick test_openmetrics;
       Alcotest.test_case "snapshot filtering" `Quick test_snapshot_filtering;
       Alcotest.test_case "log sinks & levels" `Quick test_log_sinks;

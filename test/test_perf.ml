@@ -279,6 +279,34 @@ let test_disconnected_rejected () =
         let rec go i = i + m <= n && (String.sub msg i m = sub || go (i + 1)) in
         go 0))
 
+let test_markov_periodic_chain () =
+  (* A bipartite (period-2) decision graph: plain power iteration oscillates
+     between two distributions forever; the damped iteration must converge
+     to the true stationary vector pi = (1/2, 1/4, 1/4). *)
+  let edge src dst prob delay =
+    { DG.src; dst = DG.To dst; delay; prob; path = []; fired = []; completed = [] }
+  in
+  let dg =
+    {
+      DG.nodes = [ 0; 1; 2 ];
+      edges = [ edge 0 1 0.5 1.0; edge 0 2 0.5 2.0; edge 1 0 1.0 1.0; edge 2 0 1.0 1.0 ];
+    }
+  in
+  let pi = Markov.stationary ~probs:(fun e -> e.DG.prob) dg in
+  Alcotest.(check (float 1e-9)) "pi(0)" 0.5 (List.assoc 0 pi);
+  Alcotest.(check (float 1e-9)) "pi(1)" 0.25 (List.assoc 1 pi);
+  Alcotest.(check (float 1e-9)) "pi(2)" 0.25 (List.assoc 2 pi);
+  let thr =
+    Markov.throughput
+      ~probs:(fun e -> e.DG.prob)
+      ~delays:(fun e -> e.DG.delay)
+      dg
+      ~count:(fun e -> match e.DG.dst with DG.To 0 -> 1 | _ -> 0)
+  in
+  (* rate of return to node 0: pi(1)+pi(2) arrivals per mean edge delay
+     sum(pi.p.d) = .5*.5*1 + .5*.5*2 + .25*1 + .25*1 = 1.25 *)
+  Alcotest.(check (float 1e-9)) "throughput" (0.5 /. 1.25) thr
+
 let test_absorbing_rejected () =
   (* a net that can halt: one-shot choice between finishing and retrying
      once, with the terminal branch reachable *)
@@ -313,6 +341,7 @@ let suite =
       Alcotest.test_case "paper's closed-form throughput" `Quick test_symbolic_throughput_specializes_to_paper;
       Alcotest.test_case "symbolic evaluates to concrete" `Quick test_symbolic_throughput_evaluates;
       Alcotest.test_case "markov cross-check" `Quick test_markov_cross_check;
+      Alcotest.test_case "markov periodic chain converges" `Quick test_markov_periodic_chain;
       Alcotest.test_case "deterministic cycle analysis" `Quick test_deterministic_cycle;
       Alcotest.test_case "absorbing graphs rejected" `Quick test_absorbing_rejected;
       Alcotest.test_case "disconnected graphs diagnosed" `Quick test_disconnected_rejected;

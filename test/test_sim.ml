@@ -23,6 +23,31 @@ let test_heap_ordering () =
   Alcotest.(check bool) "empty" true (Heap.is_empty h);
   Alcotest.(check (option int)) "pop empty" None (Heap.pop h)
 
+let test_heap_releases_popped () =
+  (* Popped elements must become garbage: the backing store may not keep
+     them reachable in its spare capacity. *)
+  let h = Heap.create ~cmp:(fun (a, _) (b, _) -> compare a b) () in
+  let n = 8 in
+  let weak = Weak.create n in
+  for i = 0 to n - 1 do
+    let boxed = (i, ref i) in
+    Weak.set weak i (Some boxed);
+    Heap.push h boxed
+  done;
+  for _ = 1 to n do
+    ignore (Heap.pop_exn h)
+  done;
+  Gc.full_major ();
+  Gc.full_major ();
+  let live = ref 0 in
+  for i = 0 to n - 1 do
+    if Weak.check weak i then incr live
+  done;
+  Alcotest.(check int) "no popped element retained" 0 !live;
+  (* the heap itself must stay usable afterwards *)
+  Heap.push h (42, ref 42);
+  Alcotest.(check int) "reusable" 42 (fst (Heap.pop_exn h))
+
 let prop_heap_sorts =
   QCheck2.Test.make ~name:"heap drains sorted" ~count:200
     QCheck2.Gen.(list_size (int_range 0 50) (int_range (-1000) 1000))
@@ -68,6 +93,27 @@ let test_rng_weighted () =
     (Invalid_argument "Rng.choose_weighted: all-zero weights") (fun () ->
       ignore (Rng.choose_weighted r [ ("a", 0.) ]))
 
+let test_rng_weighted_zero_entries () =
+  (* Zero-weight alternatives must never be chosen — in particular a
+     trailing zero entry must not be reachable through the round-off
+     fallback. *)
+  let weights = [ ("z0", 0.); ("a", 1e-12); ("b", 0.7); ("z1", 0.); ("c", 0.3); ("z2", 0.) ] in
+  List.iter
+    (fun seed ->
+      let r = Rng.create ~seed in
+      for _ = 1 to 5_000 do
+        let v = Rng.choose_weighted r weights in
+        if v.[0] = 'z' then Alcotest.failf "zero-weight entry %s chosen" v
+      done)
+    [ 0; 1; 2; 3; 17; 123456 ];
+  (* all-zero tail after the only positive entry *)
+  let r = Rng.create ~seed:9 in
+  for _ = 1 to 1_000 do
+    Alcotest.(check string)
+      "only positive entry wins" "a"
+      (Rng.choose_weighted r [ ("a", 0.25); ("z0", 0.); ("z1", 0.) ])
+  done
+
 (* --- Stats --- *)
 
 let test_running_stats () =
@@ -85,6 +131,18 @@ let test_time_weighted () =
   Stats.Time_weighted.close tw ~at:20.;
   (* 1 for 10 time units, 3 for 10: average 2 *)
   Alcotest.(check (float 1e-9)) "average" 2.0 (Stats.Time_weighted.average tw)
+
+let test_time_weighted_close_first () =
+  (* Closing an accumulator that never observed anything (a simulation that
+     ends before its first sample) must be well defined: zero span, zero
+     average, no exception. *)
+  let tw = Stats.Time_weighted.create () in
+  Stats.Time_weighted.close tw ~at:7.;
+  Alcotest.(check (float 1e-9)) "empty average" 0. (Stats.Time_weighted.average tw);
+  (* and the accumulator stays usable *)
+  Stats.Time_weighted.observe tw ~at:10. 4.;
+  Stats.Time_weighted.close tw ~at:20.;
+  Alcotest.(check (float 1e-9)) "later average" 4. (Stats.Time_weighted.average tw)
 
 (* --- Simulator vs analysis --- *)
 
@@ -204,11 +262,16 @@ let suite =
   ( "sim",
     [
       Alcotest.test_case "heap ordering" `Quick test_heap_ordering;
+      Alcotest.test_case "heap releases popped elements" `Quick test_heap_releases_popped;
       Alcotest.test_case "rng determinism" `Quick test_rng_determinism;
       Alcotest.test_case "rng uniformity" `Quick test_rng_uniform;
       Alcotest.test_case "rng weighted choice" `Quick test_rng_weighted;
+      Alcotest.test_case "rng weighted: zero entries unreachable" `Quick
+        test_rng_weighted_zero_entries;
       Alcotest.test_case "running stats" `Quick test_running_stats;
       Alcotest.test_case "time-weighted average" `Quick test_time_weighted;
+      Alcotest.test_case "time-weighted close before observe" `Quick
+        test_time_weighted_close_first;
       Alcotest.test_case "simulation matches analysis" `Slow test_sim_matches_analysis;
       Alcotest.test_case "utilization matches" `Slow test_sim_utilization_matches;
       Alcotest.test_case "deadlock handling" `Quick test_sim_deadlock;
