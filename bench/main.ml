@@ -93,9 +93,21 @@ let timed name f =
 
 let oracle_records : (string * O.stats) list ref = ref []
 
-(* (workload, jobs, wall seconds at -j1, wall seconds at -jN); dumped as
-   the "parallel" array of BENCH_tpan.json *)
-let parallel_records : (string * int * float * float) list ref = ref []
+(* (workload, jobs, wall seconds at -j1/-jN, minor words at -j1/-jN);
+   dumped as the "parallel" array of BENCH_tpan.json. Minor words per run
+   are the calling domain's allocation delta plus whatever the pool's
+   worker domains reported through the par.pool.worker_minor_words
+   histogram during the run, so the figure covers all domains. *)
+let parallel_records : (string * int * float * float * float * float) list ref = ref []
+
+(* running total of worker-domain minor words, from the pool's histogram *)
+let pool_minor_sum () =
+  match Tpan_obs.Metrics.find "par.pool.worker_minor_words" with
+  | Some (Tpan_obs.Metrics.Histogram_v h) -> h.sum
+  | _ -> 0.
+
+(* (stages, minor words) for each Erlang-stage Markov solve of EXT-EXP *)
+let exp_records : (int * float) list ref = ref []
 
 let section id title = Format.printf "@.==================== %s: %s ====================@." id title
 
@@ -749,16 +761,26 @@ let ext_exp () =
      (inside a worker the rate solver's own row-parallelism steps aside
      via the nested guard); printing happens after the join, in order *)
   let thr k =
+    (* per-run allocation: deltas stay per-domain correct even when the
+       stages fan out on the pool, because each task runs start-to-finish
+       on one domain *)
+    let mw0 = Gc.minor_words () in
     let tpn = Exp.erlang_expand ~stages:k (PL.concrete p) in
     let c = Exp.build ~max_states:200_000 tpn in
     let pi = Exp.steady_state c in
     let name = PL.t_deliver ^ (if k = 1 then "" else "__" ^ string_of_int (k - 1)) in
-    Exp.throughput c ~steady:pi (Net.trans_of_name (Tpn.net tpn) name)
+    let v = Exp.throughput c ~steady:pi (Net.trans_of_name (Tpn.net tpn) name) in
+    exp_records := (k, Gc.minor_words () -. mw0) :: !exp_records;
+    v
   in
   (* the Erlang-3 expansion dominates the full harness's wall time; quick
      mode stops at 2 stages, which still exhibits the convergence *)
   let stages = if quick then [ 1; 2 ] else [ 1; 2; 3 ] in
   let values = Tpan_par.Pool.map thr stages in
+  List.iter
+    (fun (k, mw) ->
+      Format.printf "  Erlang-%d solve allocated %.3e minor words@." k mw)
+    (List.sort compare !exp_records);
   let fractions =
     List.map2
       (fun k v ->
@@ -793,15 +815,18 @@ let ext_par () =
   let jn = Pool.recommended_jobs () in
   let wall f =
     let t0 = Unix.gettimeofday () in
+    let mw0 = Gc.minor_words () +. pool_minor_sum () in
     let r = f () in
-    (r, Unix.gettimeofday () -. t0)
+    let mw = Gc.minor_words () +. pool_minor_sum () -. mw0 in
+    (r, Unix.gettimeofday () -. t0, mw)
   in
   let record name run_at =
-    let r1, t1 = wall (fun () -> run_at 1) in
-    let rn, tn = wall (fun () -> run_at jn) in
-    parallel_records := (name, jn, t1, tn) :: !parallel_records;
-    Format.printf "  %-18s  j1 %8.3f s   j%d %8.3f s   speedup %.2fx@." name t1 jn tn
-      (t1 /. tn);
+    let r1, t1, mw1 = wall (fun () -> run_at 1) in
+    let rn, tn, mwn = wall (fun () -> run_at jn) in
+    parallel_records := (name, jn, t1, tn, mw1, mwn) :: !parallel_records;
+    Format.printf
+      "  %-18s  j1 %8.3f s (%.2e mw)   j%d %8.3f s (%.2e mw)   speedup %.2fx@." name t1
+      mw1 jn tn mwn (t1 /. tn);
     (r1, rn)
   in
   (* 1. concrete parameter-grid sweep: per-point rebuild + full analysis *)
@@ -846,8 +871,8 @@ let ext_par () =
      the >= 2x assertions only run at full size on multicore hosts *)
   if jn > 1 && not quick && bench_scale >= 1.0 then begin
     let speedup name =
-      match List.find_opt (fun (n, _, _, _) -> n = name) !parallel_records with
-      | Some (_, _, t1, tn) -> t1 /. tn
+      match List.find_opt (fun (n, _, _, _, _, _) -> n = name) !parallel_records with
+      | Some (_, _, t1, tn, _, _) -> t1 /. tn
       | None -> 0.
     in
     check "Markov solve speeds up >= 2x on the pool" (speedup ename >= 2.0);
@@ -1076,12 +1101,17 @@ let emit_json ~micro path =
         (escape model) st.O.queries st.O.trivial st.O.hits st.O.misses
         st.O.witness_refutations st.O.fm_runs st.O.baseline_fm_runs (num reduction));
   pr "\n  ],\n  \"parallel\": [\n";
-  sep (List.rev !parallel_records) (fun (name, jobs, t1, tn) ->
+  sep (List.rev !parallel_records) (fun (name, jobs, t1, tn, mw1, mwn) ->
       pr
         "    {\"workload\": \"%s\", \"jobs\": %d, \"seconds_j1\": %s, \"seconds_jn\": %s, \
-         \"speedup\": %s}"
+         \"speedup\": %s, \"minor_words_j1\": %s, \"minor_words_jn\": %s}"
         (escape name) jobs (num t1) (num tn)
-        (num (if tn > 0. then t1 /. tn else Float.nan)));
+        (num (if tn > 0. then t1 /. tn else Float.nan))
+        (num mw1) (num mwn));
+  pr "\n  ],\n  \"ext_exp\": [\n";
+  sep
+    (List.sort compare !exp_records)
+    (fun (k, mw) -> pr "    {\"stages\": %d, \"minor_words\": %s}" k (num mw));
   pr "\n  ],\n  \"microbench\": [\n";
   sep micro (fun (name, ns, r2) ->
       pr "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}" (escape name)
@@ -1118,6 +1148,7 @@ let append_history path =
                      ("name", J.Str name);
                      ("seconds", J.Float s);
                      ("major_words", J.Float gc.major_words);
+                     ("minor_words", J.Float gc.minor_words);
                    ])
                !figure_times) );
         ("checks", J.Obj [ ("passed", J.Int !passes); ("failed", J.Int !failures) ]);

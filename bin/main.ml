@@ -994,6 +994,19 @@ let profile_cmd =
           (cnt "perf.decision_graph.states_collapsed");
         Printf.printf "%-26s %12.3f  solves=%d\n" "rate solve" (ms "rates.solve")
           (cnt "perf.rates.solves");
+        Printf.printf "%-26s %12s  poly=%d ratfun=%d\n" "hash-consing (this domain)" "-"
+          (Tpan_symbolic.Poly.interned ())
+          (Tpan_symbolic.Ratfun.interned ());
+        (match Obs.Metrics.find "par.pool.worker_minor_words" with
+        | Some (Obs.Metrics.Histogram_v { count; sum; max; _ }) when count > 0 ->
+          let major =
+            match Obs.Metrics.find "par.pool.worker_major_words" with
+            | Some (Obs.Metrics.Histogram_v h) -> h.sum
+            | _ -> 0.
+          in
+          Printf.printf "%-26s %12s  workers=%d minor_words=%.3e (max %.3e) major_words=%.3e\n"
+            "worker allocation" "-" count sum max major
+        | _ -> ());
         (match note with
          | Some msg -> Printf.printf "\nnote: steady-state analysis stopped early: %s\n" msg
          | None -> ());

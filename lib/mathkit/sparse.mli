@@ -1,0 +1,47 @@
+(** Exact sparse linear-system solving over an arbitrary field.
+
+    Rate-balance and Markov steady-state systems are sparse: a reachability
+    state has a handful of successors, so each balance equation touches a
+    handful of unknowns out of thousands. The dense Gauss–Jordan in
+    {!Linsolve} allocates and scans the full n×n matrix regardless; this
+    module keeps rows as sorted (column, coefficient) lists and picks pivots
+    Markowitz-style (sparsest column, then shortest row) to limit fill-in.
+
+    Over an exact field a unique solution is unique — the sparse and dense
+    paths produce bit-identical [Unique] vectors, and they classify
+    [Underdetermined]/[Inconsistent] identically (both are rank facts of the
+    system, not of the elimination order). *)
+
+module Make (F : Linsolve.FIELD) : sig
+  module Dense : module type of Linsolve.Make (F)
+
+  type outcome = Dense.outcome =
+    | Unique of F.t array
+    | Underdetermined
+    | Inconsistent
+
+  val solve_rows : ncols:int -> (int * F.t) list array -> F.t array -> outcome
+  (** [solve_rows ~ncols rows b] solves the system whose [i]-th equation is
+      [Σ coeff·x(col) = b.(i)] for the [(col, coeff)] pairs in [rows.(i)].
+      Rows need not be sorted; duplicate columns are summed and zero
+      coefficients dropped. Inputs are not mutated.
+      @raise Invalid_argument on a column index outside [0, ncols) or a
+      length mismatch between [rows] and [b]. *)
+
+  val solve : F.t array array -> F.t array -> outcome
+  (** [solve a b] solves [a · x = b], choosing the representation by shape:
+      systems below {!sparse_min_rows} rows or above {!max_fill} fill ratio
+      go to the dense {!Linsolve} elimination (small systems don't repay the
+      index bookkeeping; full matrices defeat sparsity), everything else is
+      converted and handed to {!solve_rows}.
+      @raise Invalid_argument on ragged or mismatched dimensions. *)
+
+  val solve_unique : F.t array array -> F.t array -> F.t array
+  (** Like {!solve} but @raise Failure unless the solution is unique. *)
+end
+
+val sparse_min_rows : int
+(** Systems with fewer rows than this always use the dense path. *)
+
+val max_fill : float
+(** Densest fill ratio (nnz / rows·cols) still routed to the sparse path. *)

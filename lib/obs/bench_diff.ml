@@ -1,4 +1,4 @@
-type figure = { name : string; seconds : float; major_words : float }
+type figure = { name : string; seconds : float; major_words : float; minor_words : float }
 type verdict = Ok_v | Warn_v | Fail_v
 
 type row = {
@@ -9,6 +9,9 @@ type row = {
   base_major_words : float;
   cur_major_words : float;
   major_words_ratio : float;
+  base_minor_words : float;
+  cur_minor_words : float;
+  minor_words_ratio : float;
   verdict : verdict;
 }
 
@@ -36,16 +39,22 @@ let figures_of_json doc =
                Option.bind (Jsonv.member "seconds" f) Jsonv.to_float_opt )
            with
            | Some name, Some seconds ->
-             let major_words =
+             let gc_field key =
                match
                  Option.bind
-                   (Option.bind (Jsonv.member "gc" f) (Jsonv.member "major_words"))
+                   (Option.bind (Jsonv.member "gc" f) (Jsonv.member key))
                    Jsonv.to_float_opt
                with
                | Some w -> w
                | None -> 0.
              in
-             Some { name; seconds; major_words }
+             Some
+               {
+                 name;
+                 seconds;
+                 major_words = gc_field "major_words";
+                 minor_words = gc_field "minor_words";
+               }
            | _ -> None)
          figs)
 
@@ -54,6 +63,11 @@ let figures_of_json doc =
    jitter on a trivial figure does not read as a 2.5x regression. *)
 let floor_seconds = 0.010
 let floor_words = 1e4
+
+(* The minor heap churns orders of magnitude more words than the major
+   heap, so its noise floor sits higher: a figure has to allocate at
+   least a few megabytes before a ratio means anything. *)
+let floor_minor_words = 1e6
 
 let ratio ~floor base cur =
   let base = Float.max base floor and cur = Float.max cur floor in
@@ -77,8 +91,13 @@ let compare_figures ?(warn = default_warn) ?(fail = default_fail) ~baseline ~cur
         | Some base ->
           let time_ratio = ratio ~floor:floor_seconds base.seconds cur.seconds in
           let mw_ratio = ratio ~floor:floor_words base.major_words cur.major_words in
+          let minw_ratio =
+            ratio ~floor:floor_minor_words base.minor_words cur.minor_words
+          in
           let verdict =
-            worse (classify ~warn ~fail time_ratio) (classify ~warn ~fail mw_ratio)
+            worse
+              (worse (classify ~warn ~fail time_ratio) (classify ~warn ~fail mw_ratio))
+              (classify ~warn ~fail minw_ratio)
           in
           Some
             {
@@ -89,6 +108,9 @@ let compare_figures ?(warn = default_warn) ?(fail = default_fail) ~baseline ~cur
               base_major_words = base.major_words;
               cur_major_words = cur.major_words;
               major_words_ratio = mw_ratio;
+              base_minor_words = base.minor_words;
+              cur_minor_words = cur.minor_words;
+              minor_words_ratio = minw_ratio;
               verdict;
             })
       current
@@ -129,13 +151,13 @@ let load_file path =
 
 let pp_report fmt t =
   Format.pp_open_vbox fmt 0;
-  Format.fprintf fmt "%-12s %10s %10s %7s %12s %12s %7s  %s@," "figure" "base(s)"
-    "cur(s)" "xtime" "base(Mw)" "cur(Mw)" "xmajw" "verdict";
+  Format.fprintf fmt "%-12s %10s %10s %7s %12s %12s %7s %7s  %s@," "figure" "base(s)"
+    "cur(s)" "xtime" "base(Mw)" "cur(Mw)" "xmajw" "xminw" "verdict";
   List.iter
     (fun r ->
-      Format.fprintf fmt "%-12s %10.3f %10.3f %7.2f %12.0f %12.0f %7.2f  %s@," r.name
+      Format.fprintf fmt "%-12s %10.3f %10.3f %7.2f %12.0f %12.0f %7.2f %7.2f  %s@," r.name
         r.base_seconds r.cur_seconds r.time_ratio r.base_major_words r.cur_major_words
-        r.major_words_ratio
+        r.major_words_ratio r.minor_words_ratio
         (verdict_to_string r.verdict))
     t.rows;
   List.iter (fun n -> Format.fprintf fmt "missing from current: %s@," n) t.missing;
@@ -161,6 +183,9 @@ let report_to_json t =
                    ("base_major_words", Jsonv.Float r.base_major_words);
                    ("cur_major_words", Jsonv.Float r.cur_major_words);
                    ("major_words_ratio", Jsonv.Float r.major_words_ratio);
+                   ("base_minor_words", Jsonv.Float r.base_minor_words);
+                   ("cur_minor_words", Jsonv.Float r.cur_minor_words);
+                   ("minor_words_ratio", Jsonv.Float r.minor_words_ratio);
                    ("verdict", Jsonv.Str (verdict_to_string r.verdict));
                  ])
              t.rows) );

@@ -1,8 +1,10 @@
 (** Benchmark regression comparison.
 
     Reads two [BENCH_tpan.json] documents (a stored baseline and a fresh
-    run), matches their per-figure wall times and GC major-heap words,
-    and classifies every figure by ratio against two thresholds: warn at
+    run), matches their per-figure wall times and GC words (major and
+    minor heap — the latter gates allocation-heavy regressions in hot
+    paths that never promote), and classifies every figure by ratio
+    against two thresholds: warn at
     {!default_warn} (1.25x) and fail at {!default_fail} (2x). Baselines
     whose cost sits below a small noise floor are clamped before the
     ratio so trivial figures cannot flag on scheduler jitter.
@@ -11,7 +13,7 @@
     {!compare_figures} and the renderers; the bench harness writes the
     time series this gates ([BENCH_history.ndjson]). *)
 
-type figure = { name : string; seconds : float; major_words : float }
+type figure = { name : string; seconds : float; major_words : float; minor_words : float }
 type verdict = Ok_v | Warn_v | Fail_v
 
 type row = {
@@ -22,7 +24,10 @@ type row = {
   base_major_words : float;
   cur_major_words : float;
   major_words_ratio : float;
-  verdict : verdict;  (** the worse of the two ratios' classes *)
+  base_minor_words : float;
+  cur_minor_words : float;
+  minor_words_ratio : float;
+  verdict : verdict;  (** the worst of the three ratios' classes *)
 }
 
 type report = {

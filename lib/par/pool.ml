@@ -47,20 +47,45 @@ let effective_jobs jobs n =
 
 type obs_deltas = Tpan_obs.Metrics.Local.deltas * Tpan_obs.Log.record list
 
+(* GC words allocated inside each worker domain's busy region. OCaml 5
+   keeps allocation counters per domain, so the quick_stat delta around
+   the task is exactly this worker's churn: the histogram sum is the
+   total allocated across workers, and the per-observation spread shows
+   which domains starve the others into collections. *)
+let h_minor = Tpan_obs.Metrics.histogram "par.pool.worker_minor_words"
+let h_major = Tpan_obs.Metrics.histogram "par.pool.worker_major_words"
+
 let run_worker lane task : obs_deltas =
   Tpan_obs.Trace.set_lane lane;
   Tpan_obs.Metrics.Local.install ();
   Tpan_obs.Log.Local.install ();
+  (* [Gc.counters], not [quick_stat]: in OCaml 5 the stat record's
+     allocation totals advance only at collection boundaries, so a
+     worker that never fills its minor heap would report zero words.
+     [counters] folds in the live minor-heap fill. *)
+  let minor0, _, major0 = Gc.counters () in
   (* tasks never raise out of [task]: both map and parallel_for capture
      per-task exceptions, so the collects below always run *)
   Tpan_obs.Trace.with_span "pool.worker" (fun sp ->
       Tpan_obs.Trace.add_attr_int sp "lane" lane;
       with_worker_flag task);
+  let minor1, _, major1 = Gc.counters () in
+  Tpan_obs.Metrics.Histogram.observe h_minor (minor1 -. minor0);
+  Tpan_obs.Metrics.Histogram.observe h_major (major1 -. major0);
   (Tpan_obs.Metrics.Local.collect (), Tpan_obs.Log.Local.collect ())
 
 let merge_obs ((deltas, records) : obs_deltas) =
   Tpan_obs.Metrics.merge_deltas deltas;
   Tpan_obs.Log.flush_records records
+
+(* ---------------- per-domain scratch arenas ---------------- *)
+
+module Scratch = struct
+  type 'a t = 'a Domain.DLS.key
+
+  let create init = Domain.DLS.new_key init
+  let get k = Domain.DLS.get k
+end
 
 (* ---------------- ordered map ---------------- *)
 

@@ -25,7 +25,11 @@
       interleave mid-line. Worker [k] traces in lane [k + 1]
       ({!Tpan_obs.Trace.set_lane}), so spans closed inside workers land
       in the merged Chrome trace as parallel tracks, wrapped in a
-      per-worker [pool.worker] span.
+      per-worker [pool.worker] span. Each worker also records the GC
+      words it allocated (OCaml 5 keeps allocation counters per domain)
+      into the [par.pool.worker_minor_words] /
+      [par.pool.worker_major_words] histograms, so GC pressure inside
+      the pool is visible in [tpan profile] and the OpenMetrics export.
     - Nested calls run sequentially: a task that itself calls [map]
       (e.g. a parallel linear solve inside a parallel sweep point) gets
       the sequential fast path instead of a domain explosion. *)
@@ -45,6 +49,26 @@ val in_worker : unit -> bool
 (** True while executing inside a pool worker (or inside a task run on
     the calling domain during a parallel region). Used by library code
     to pick a sequential algorithm rather than nesting pools. *)
+
+module Scratch : sig
+  (** Per-domain reusable scratch state.
+
+      A hot task (e.g. one simulation replication) needs working arrays
+      it would otherwise reallocate on every call. A [Scratch.t] hands
+      each domain its own lazily-created instance via [Domain.DLS]:
+      workers never share or lock it, and repeated calls on one domain
+      reuse the same buffers. Only sound for state that is dead again
+      when the using function returns (no reentrancy across [get]). *)
+
+  type 'a t
+
+  val create : (unit -> 'a) -> 'a t
+  (** Register a scratch slot; [init] runs once per domain, on first
+      {!get}. Call at module initialization, not per use. *)
+
+  val get : 'a t -> 'a
+  (** This domain's instance. *)
+end
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** [map ~jobs f xs] is [List.map f xs], computed by up to [jobs]

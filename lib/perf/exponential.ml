@@ -35,7 +35,7 @@ let build ?max_states tpn =
   let graph = Reach.explore ?max_states net in
   { graph; rates }
 
-module QS = Tpan_mathkit.Linsolve.Make (struct
+module QS = Tpan_mathkit.Sparse.Make (struct
   type t = Q.t
 
   let zero = Q.zero
@@ -52,35 +52,29 @@ let steady_state c =
   let n = Reach.num_states c.graph in
   (* Generator: Q[i][j] = Σ rates of transitions i -> j; Q[i][i] = -Σ out.
      Balance: π·Q = 0 with Σ π = 1; we replace the first balance column by
-     the normalization row. *)
-  let gen = Array.init n (fun _ -> Array.make n Q.zero) in
+     the normalization row. The balance system is as sparse as the
+     reachability graph (a state has a handful of successors), so it is
+     assembled directly in sparse row form — equation [j] holds column [j]
+     of the generator — and never materialized densely. Duplicate (row,
+     col) contributions are summed by the solver; ℚ addition is exact and
+     commutative, so the entries (and hence the solution) are bit-identical
+     to the old dense assembly. *)
+  let rows = Array.make n [] in
   Array.iteri
     (fun i succs ->
       List.iter
         (fun (t, j) ->
           let r = c.rates.(t) in
           if not (Q.is_zero r) then begin
-            gen.(i).(j) <- Q.add gen.(i).(j) r;
-            gen.(i).(i) <- Q.sub gen.(i).(i) r
+            rows.(j) <- (i, r) :: rows.(j);
+            rows.(i) <- (i, Q.neg r) :: rows.(i)
           end)
         succs)
     c.graph.Reach.edges;
-  let a = Array.init n (fun _ -> Array.make n Q.zero) in
+  rows.(0) <- List.init n (fun j -> (j, Q.one));
   let b = Array.make n Q.zero in
-  for row = 0 to n - 1 do
-    if row = 0 then begin
-      for j = 0 to n - 1 do
-        a.(0).(j) <- Q.one
-      done;
-      b.(0) <- Q.one
-    end
-    else
-      for i = 0 to n - 1 do
-        (* column [row] of the balance equations: Σ_i π_i gen[i][row] = 0 *)
-        a.(row).(i) <- gen.(i).(row)
-      done
-  done;
-  match QS.solve a b with
+  b.(0) <- Q.one;
+  match QS.solve_rows ~ncols:n rows b with
   | QS.Unique pi -> pi
   | QS.Underdetermined -> raise (Rates.Unsolvable "exponential chain is reducible")
   | QS.Inconsistent -> raise (Rates.Unsolvable "exponential chain has no stationary distribution")

@@ -94,7 +94,7 @@ let mean_time_to_event (type f) ~(field : f Rates.field) ~embed_prob ~embed_dela
       let div = field.Rates.div
       let pp = field.Rates.pp
     end in
-    let module LS = Tpan_mathkit.Linsolve.Make (F) in
+    let module LS = Tpan_mathkit.Sparse.Make (F) in
     match LS.solve a b with
     | LS.Unique h -> Some h.(idx.(start))
     | LS.Underdetermined | LS.Inconsistent -> None

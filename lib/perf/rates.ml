@@ -119,7 +119,7 @@ let solve (type f) ~(field : f field) ~embed_prob ~embed_delay ?normalize_at
     let div = field.div
     let pp = field.pp
   end in
-  let module LS = Tpan_mathkit.Linsolve.Make (F) in
+  let module LS = Tpan_mathkit.Sparse.Make (F) in
   (* Balance equations v(n) = Σ_{e: dst = n} p_e · v(src e); the row for the
      normalization node is replaced by v(n0) = 1. *)
   let a = Array.init k (fun _ -> Array.make k field.zero) in

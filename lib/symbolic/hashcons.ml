@@ -1,0 +1,37 @@
+(* Generic hash-consing on top of Weak.Make: interning a value returns
+   the table's existing physically-unique representative when a
+   structurally equal one is already live, so equality on interned values
+   can be pointer-first and shared subexpressions occupy one node.
+
+   The tables are weak — interning never keeps a value alive, so a
+   polynomial dropped by the analysis is collected like any other value
+   and its slot is reused.
+
+   Weak sets are not thread-safe, and guarding every intern with a mutex
+   would put a lock on the hottest symbolic path. Instead [domain_table]
+   hands each domain its own table through Domain.DLS: interning is
+   lock-free, and physical sharing holds within a domain (which is where
+   all the repeated-subterm traffic happens — pool workers build their
+   expressions locally and only ship final results). Structural equality
+   across domains still holds; only pointer identity is per-domain. *)
+
+module type HashedType = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Make (H : HashedType) = struct
+  module W = Weak.Make (H)
+
+  type table = W.t
+
+  let create n = W.create n
+  let intern t x = W.merge t x
+  let count t = W.count t
+
+  let domain_table ?(size = 256) () =
+    let key = Domain.DLS.new_key (fun () -> W.create size) in
+    fun () -> Domain.DLS.get key
+end

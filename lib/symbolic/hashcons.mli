@@ -1,0 +1,37 @@
+(** Weak-table hash-consing (value interning).
+
+    [intern] maps structurally equal values to one physically shared
+    node, making pointer comparison a sound fast path for equality. The
+    table holds its entries weakly: interned values are collectable as
+    soon as the rest of the program drops them.
+
+    Weak tables are not thread-safe; {!Make.domain_table} provides a
+    per-domain table via [Domain.DLS] so interning needs no lock.
+    Physical uniqueness is then a per-domain guarantee — values built on
+    different pool workers compare equal structurally but not
+    necessarily physically, which is why client [equal] functions keep a
+    structural fallback after the pointer test. *)
+
+module type HashedType = sig
+  type t
+
+  val equal : t -> t -> bool
+  val hash : t -> int
+end
+
+module Make (H : HashedType) : sig
+  type table
+
+  val create : int -> table
+
+  val intern : table -> H.t -> H.t
+  (** Return the table's representative for the value, adding it first
+      if no structurally equal entry is live. *)
+
+  val count : table -> int
+  (** Number of live entries (shrinks as interned values are GC'd). *)
+
+  val domain_table : ?size:int -> unit -> unit -> table
+  (** [domain_table () ()] is the calling domain's private table,
+      created on first use. *)
+end

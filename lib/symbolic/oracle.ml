@@ -60,6 +60,18 @@ module FormTbl = Hashtbl.Make (struct
   let hash = L.hash
 end)
 
+(* Canonical memo keys are interned before they touch the memo table, so
+   the repeated queries an analysis makes for one difference form share a
+   single key node instead of re-allocating the scaled form each time.
+   The table is per-instance (oracles are single-domain), weak (dead keys
+   are collectable), and shared between lookup and insert. *)
+module KeyTbl = Hashcons.Make (struct
+  type t = L.t
+
+  let equal = L.equal
+  let hash = L.hash
+end)
+
 type t = {
   store : FM.constr list;  (* preprocessed inequalities, nonneg closure included *)
   subst : L.t IntMap.t;  (* equality-eliminated variable -> definition *)
@@ -68,6 +80,7 @@ type t = {
   witness_env : (int -> Q.t) option;
   consistent : bool;
   memo : verdict FormTbl.t;
+  keys : KeyTbl.table;
   memo_on : bool;
   witness_on : bool;
   s : mutable_stats;
@@ -205,6 +218,7 @@ let make ?(memo = true) ?(witness = true) cs =
     witness_env;
     consistent;
     memo = FormTbl.create 64;
+    keys = KeyTbl.create 64;
     memo_on = memo;
     witness_on = witness;
     s = fresh_stats ();
@@ -281,7 +295,7 @@ let decide o field d =
     let k =
       match L.coeffs d with (_, k) :: _ -> k | [] -> assert false
     in
-    let key = L.scale (Q.inv (Q.abs k)) d in
+    let key = KeyTbl.intern o.keys (L.scale (Q.inv (Q.abs k)) d) in
     let flipped = Q.sign k < 0 in
     let cached = if o.memo_on then lookup o key flipped field else None in
     match cached with

@@ -50,29 +50,80 @@ end
 
 module MMap = Map.Make (Monomial)
 
-type t = Q.t MMap.t
-(* Invariant: no zero coefficients stored. *)
+type t = { terms : Q.t MMap.t; hkey : int }
+(* Hash-consed: every value is built by [intern], so within a domain
+   structurally equal polynomials are one shared node, equality is
+   pointer-first, and [hash] is a field read. Invariant on [terms]: no
+   zero coefficients stored. *)
 
-let zero : t = MMap.empty
-let const q : t = if Q.is_zero q then zero else MMap.singleton Monomial.one q
+let raw_hash terms =
+  MMap.fold
+    (fun m c acc ->
+      let mh = List.fold_left (fun h (v, e) -> (h * 31) + (v * 17) + e) 7 m in
+      acc + (mh * 131) + Q.hash c)
+    terms 0
+
+module Node = struct
+  type nonrec t = t
+
+  let equal a b = a == b || (a.hkey = b.hkey && MMap.equal Q.equal a.terms b.terms)
+  let hash p = p.hkey
+end
+
+module Tbl = Hashcons.Make (Node)
+
+let table = Tbl.domain_table ~size:1024 ()
+let intern terms = Tbl.intern (table ()) { terms; hkey = raw_hash terms }
+let interned () = Tbl.count (table ())
+
+let zero : t = intern MMap.empty
+let const q : t = if Q.is_zero q then zero else intern (MMap.singleton Monomial.one q)
 let one = const Q.one
 let of_int i = const (Q.of_int i)
-let var v : t = MMap.singleton [ (Var.id v, 1) ] Q.one
+let var v : t = intern (MMap.singleton [ (Var.id v, 1) ] Q.one)
 
-let is_zero p = MMap.is_empty p
+let is_zero p = MMap.is_empty p.terms
+
+(* Hot operations work on raw maps and intern exactly once per public
+   result: interning an intermediate (as a naive add-chain would) pays a
+   structural hash and a weak-table probe per step for values that are
+   dead an instant later. *)
 
 let add (a : t) (b : t) : t =
-  MMap.union (fun _ x y -> let s = Q.add x y in if Q.is_zero s then None else Some s) a b
+  intern
+    (MMap.union
+       (fun _ x y -> let s = Q.add x y in if Q.is_zero s then None else Some s)
+       a.terms b.terms)
 
-let scale k (p : t) : t = if Q.is_zero k then zero else MMap.map (Q.mul k) p
+let scale k (p : t) : t = if Q.is_zero k then zero else intern (MMap.map (Q.mul k) p.terms)
 let neg p = scale Q.minus_one p
-let sub a b = add a (neg b)
 
-let mul_term m c (p : t) : t =
-  MMap.fold (fun m' c' acc -> MMap.add (Monomial.mul m m') (Q.mul c c') acc) p MMap.empty
+let sub (a : t) (b : t) : t =
+  intern
+    (MMap.merge
+       (fun _ x y ->
+         match (x, y) with
+         | Some x, None -> Some x
+         | None, Some y -> Some (Q.neg y)
+         | Some x, Some y -> let d = Q.sub x y in if Q.is_zero d then None else Some d
+         | None, None -> None)
+       a.terms b.terms)
+
+(* accumulate [acc + c·m·p] as a raw map *)
+let raw_add_scaled acc m c (p : Q.t MMap.t) =
+  MMap.fold
+    (fun m' c' acc ->
+      MMap.update (Monomial.mul m m')
+        (function
+          | None -> Some (Q.mul c c')
+          | Some x ->
+            let s = Q.add x (Q.mul c c') in
+            if Q.is_zero s then None else Some s)
+        acc)
+    p acc
 
 let mul (a : t) (b : t) : t =
-  MMap.fold (fun m c acc -> add acc (mul_term m c b)) a zero
+  intern (MMap.fold (fun m c acc -> raw_add_scaled acc m c b.terms) a.terms MMap.empty)
 
 let rec pow p n =
   if n < 0 then invalid_arg "Poly.pow: negative exponent"
@@ -89,20 +140,24 @@ let of_linexpr e =
     (const (Linexpr.constant e))
     (Linexpr.terms e)
 
-let is_const p = MMap.for_all (fun m _ -> m = Monomial.one) p
+let is_const p = MMap.for_all (fun m _ -> m = Monomial.one) p.terms
 
 let to_q_opt p =
   if is_zero p then Some Q.zero
-  else if is_const p then MMap.find_opt Monomial.one p
+  else if is_const p then MMap.find_opt Monomial.one p.terms
   else None
 
-let degree p = MMap.fold (fun m _ acc -> Stdlib.max acc (Monomial.degree m)) p (-1)
+let degree p = MMap.fold (fun m _ acc -> Stdlib.max acc (Monomial.degree m)) p.terms (-1)
 
-let size p = MMap.cardinal p
+let size p = MMap.cardinal p.terms
 
 let vars p =
   let module IS = Set.Make (Int) in
-  let ids = MMap.fold (fun m _ acc -> List.fold_left (fun s v -> IS.add v s) acc (Monomial.vars m)) p IS.empty in
+  let ids =
+    MMap.fold
+      (fun m _ acc -> List.fold_left (fun s v -> IS.add v s) acc (Monomial.vars m))
+      p.terms IS.empty
+  in
   List.map Var.of_id (IS.elements ids)
 
 let eval env (p : t) =
@@ -117,7 +172,7 @@ let eval env (p : t) =
           c m
       in
       Q.add acc v)
-    p Q.zero
+    p.terms Q.zero
 
 let subst f (p : t) =
   MMap.fold
@@ -131,27 +186,35 @@ let subst f (p : t) =
           (const c) m
       in
       add acc term)
-    p zero
+    p.terms zero
 
 let fold f (p : t) init =
-  MMap.fold (fun m c acc -> f (List.map (fun (vid, e) -> (Var.of_id vid, e)) m) c acc) p init
+  MMap.fold (fun m c acc -> f (List.map (fun (vid, e) -> (Var.of_id vid, e)) m) c acc) p.terms init
 
 let derivative v (p : t) =
   let vid = Var.id v in
-  MMap.fold
-    (fun m c acc ->
-      match List.assoc_opt vid m with
-      | None -> acc
-      | Some e ->
-        let m' =
-          List.filter_map
-            (fun (u, k) -> if u = vid then (if k = 1 then None else Some (u, k - 1)) else Some (u, k))
-            m
-        in
-        add acc (MMap.singleton m' (Q.mul c (Q.of_int e))))
-    p zero
+  intern
+    (MMap.fold
+       (fun m c acc ->
+         match List.assoc_opt vid m with
+         | None -> acc
+         | Some e ->
+           let m' =
+             List.filter_map
+               (fun (u, k) ->
+                 if u = vid then (if k = 1 then None else Some (u, k - 1)) else Some (u, k))
+               m
+           in
+           MMap.update m'
+             (function
+               | None -> Some (Q.mul c (Q.of_int e))
+               | Some x ->
+                 let s = Q.add x (Q.mul c (Q.of_int e)) in
+                 if Q.is_zero s then None else Some s)
+             acc)
+       p.terms MMap.empty)
 
-let leading p = MMap.max_binding_opt p
+let leading p = MMap.max_binding_opt p.terms
 
 let leading_coeff p = match leading p with None -> Q.zero | Some (_, c) -> c
 
@@ -163,21 +226,24 @@ let monic_factor p =
 let divide_exact p d =
   if is_zero d then raise Division_by_zero;
   let dm, dc = match leading d with Some (m, c) -> (m, c) | None -> assert false in
+  (* long division on raw maps; the leading term of [r] strictly decreases,
+     so each quotient monomial is fresh and one intern at the end suffices *)
   let rec go q r =
-    match leading r with
-    | None -> Some q
+    match MMap.max_binding_opt r with
+    | None -> Some (intern q)
     | Some (rm, rc) ->
       (match Monomial.div rm dm with
        | None -> None
        | Some m ->
          let c = Q.div rc dc in
-         let t : t = MMap.singleton m c in
-         go (add q t) (sub r (mul t d)))
+         go (MMap.add m c q) (raw_add_scaled r m (Q.neg c) d.terms))
   in
-  go zero p
+  go MMap.empty p.terms
 
-let equal (a : t) (b : t) = MMap.equal Q.equal a b
-let compare (a : t) (b : t) = MMap.compare Q.compare a b
+(* Pointer-first: same-domain interning makes [a == b] the common case;
+   the structural fallback covers values interned on different domains. *)
+let equal (a : t) (b : t) = a == b || (a.hkey = b.hkey && MMap.equal Q.equal a.terms b.terms)
+let compare (a : t) (b : t) = if a == b then 0 else MMap.compare Q.compare a.terms b.terms
 
 (* ----- multivariate GCD (primitive Euclidean algorithm) -----
 
@@ -194,19 +260,19 @@ let to_univar vid (p : t) : t array =
   let deg =
     MMap.fold
       (fun m _ acc -> Stdlib.max acc (Option.value ~default:0 (List.assoc_opt vid m)))
-      p 0
+      p.terms 0
   in
-  let out = Array.make (deg + 1) zero in
+  let out = Array.make (deg + 1) MMap.empty in
   MMap.iter
     (fun m c ->
       let e = Option.value ~default:0 (List.assoc_opt vid m) in
       let m' = List.filter (fun (u, _) -> u <> vid) m in
-      out.(e) <- add out.(e) (MMap.singleton m' c))
-    p;
-  out
+      out.(e) <- MMap.add m' c out.(e))
+    p.terms;
+  Array.map intern out
 
 let from_univar vid (coeffs : t array) : t =
-  let v_pow e : t = if e = 0 then one else MMap.singleton [ (vid, e) ] Q.one in
+  let v_pow e : t = if e = 0 then one else intern (MMap.singleton [ (vid, e) ] Q.one) in
   Array.to_seq coeffs
   |> Seq.fold_lefti (fun acc e c -> add acc (mul c (v_pow e))) zero
 
@@ -227,7 +293,7 @@ let rec gcd (a : t) (b : t) : t =
           MMap.fold
             (fun m _ acc ->
               List.fold_left (fun acc (u, _) -> Stdlib.min acc u) acc m)
-            p max_int
+            p.terms max_int
         in
         Stdlib.min (min_var a) (min_var b)
       in
@@ -288,18 +354,13 @@ and pseudo_rem vid pc qc : t =
   done;
   from_univar vid !p
 
-let hash p =
-  MMap.fold
-    (fun m c acc ->
-      let mh = List.fold_left (fun h (v, e) -> (h * 31) + (v * 17) + e) 7 m in
-      acc + (mh * 131) + Q.hash c)
-    p 0
+let hash p = p.hkey
 
 let pp fmt p =
   if is_zero p then Format.pp_print_string fmt "0"
   else begin
     (* print in decreasing monomial order *)
-    let terms = List.rev (MMap.bindings p) in
+    let terms = List.rev (MMap.bindings p.terms) in
     let first = ref true in
     List.iter
       (fun (m, c) ->

@@ -64,7 +64,17 @@ val monic_factor : t -> Tpan_mathkit.Q.t * t
     (for non-zero [p]). *)
 
 val equal : t -> t -> bool
+(** Pointer-first: values are hash-consed per domain, so the common case
+    is one physical comparison; a structural check covers values interned
+    on different domains. *)
+
 val compare : t -> t -> int
+
 val hash : t -> int
+(** O(1): the structural hash is computed once at interning time. *)
+
+val interned : unit -> int
+(** Live entries in the calling domain's intern table. The table is weak:
+    the count shrinks as unreferenced polynomials are collected. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,8 +1,27 @@
 module Q = Tpan_mathkit.Q
 
-type t = { n : Poly.t; d : Poly.t }
+type t = { n : Poly.t; d : Poly.t; hkey : int }
 (* Invariants: [d] is non-zero with leading coefficient 1; zero is [0/1];
-   when the quotient is a polynomial it is stored with [d = 1]. *)
+   when the quotient is a polynomial it is stored with [d = 1].
+
+   Nodes are hash-consed per domain (like Poly): [node] is the only
+   constructor, so representation-equal quotients built on one domain are
+   physically shared and the pointer test in {!equal} is the common case.
+   Poly values are themselves interned, so the node hash is two O(1)
+   field reads. *)
+
+module Node = struct
+  type nonrec t = t
+
+  let equal a b = a == b || (a.hkey = b.hkey && Poly.equal a.n b.n && Poly.equal a.d b.d)
+  let hash r = r.hkey
+end
+
+module Tbl = Hashcons.Make (Node)
+
+let table = Tbl.domain_table ~size:512 ()
+let node n d = Tbl.intern (table ()) { n; d; hkey = (Poly.hash n * 65599) + Poly.hash d }
+let interned () = Tbl.count (table ())
 
 (* Light normalization, used by every arithmetic operation: exact-division
    fast path + monic denominator. Full GCD cancellation lives in {!reduce}
@@ -11,13 +30,13 @@ type t = { n : Poly.t; d : Poly.t }
    slow. *)
 let normalize n d =
   if Poly.is_zero d then raise Division_by_zero;
-  if Poly.is_zero n then { n = Poly.zero; d = Poly.one }
+  if Poly.is_zero n then node Poly.zero Poly.one
   else
     match Poly.divide_exact n d with
-    | Some q -> { n = q; d = Poly.one }
+    | Some q -> node q Poly.one
     | None ->
       let c, dm = Poly.monic_factor d in
-      { n = Poly.scale (Q.inv c) n; d = dm }
+      node (Poly.scale (Q.inv c) n) dm
 
 (* Full cancellation by polynomial GCD. The primitive Euclidean algorithm
    degrades on dense high-variable-count operands, so very large inputs are
@@ -37,14 +56,14 @@ let reduce r =
       match (Poly.divide_exact r.n g, Poly.divide_exact r.d g) with
       | Some n', Some d' ->
         let c, dm = Poly.monic_factor d' in
-        { n = Poly.scale (Q.inv c) n'; d = dm }
+        node (Poly.scale (Q.inv c) n') dm
       | _ -> r (* unreachable: the gcd divides both *)
   end
 
 let make n d = normalize n d
 
-let zero = { n = Poly.zero; d = Poly.one }
-let of_poly p = { n = p; d = Poly.one }
+let zero = node Poly.zero Poly.one
+let of_poly p = node p Poly.one
 let of_q q = of_poly (Poly.const q)
 let of_int i = of_q (Q.of_int i)
 let one = of_int 1
@@ -65,7 +84,7 @@ let add a b =
   if Poly.equal a.d b.d then normalize (Poly.add a.n b.n) a.d
   else normalize (Poly.add (Poly.mul a.n b.d) (Poly.mul b.n a.d)) (Poly.mul a.d b.d)
 
-let neg a = { a with n = Poly.neg a.n }
+let neg a = node (Poly.neg a.n) a.d
 let sub a b = add a (neg b)
 
 let mul a b =
@@ -101,7 +120,10 @@ let derivative v r =
     (Poly.sub (Poly.mul n' r.d) (Poly.mul r.n d'))
     (Poly.mul r.d r.d)
 
-let equal a b = Poly.equal (Poly.mul a.n b.d) (Poly.mul b.n a.d)
+let equal a b =
+  a == b
+  || (Poly.equal a.n b.n && Poly.equal a.d b.d)
+  || Poly.equal (Poly.mul a.n b.d) (Poly.mul b.n a.d)
 
 let pp fmt r =
   if Poly.equal r.d Poly.one then Poly.pp fmt r.n

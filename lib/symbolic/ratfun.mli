@@ -51,5 +51,12 @@ val reduce : t -> t
     large operands are returned unreduced. *)
 
 val equal : t -> t -> bool
+(** Exact value equality (cross-multiplies), with pointer and
+    representation fast paths first — hash-consing makes those the common
+    case for values built on one domain. *)
+
+val interned : unit -> int
+(** Live entries in the calling domain's intern table (weak: shrinks as
+    values are collected). *)
 
 val pp : Format.formatter -> t -> unit

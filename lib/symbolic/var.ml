@@ -2,25 +2,50 @@ type kind = Enabling | Firing | Frequency | Param
 
 type t = { id : int; kind : kind; label : string }
 
+module KeyMap = Map.Make (struct
+  type t = kind * string
+
+  let compare = Stdlib.compare
+end)
+
+module IdMap = Map.Make (Int)
+
 (* Global intern tables. Interning is keyed on (kind, label); ids are dense,
    which lets downstream structures index by id. The tables are shared
-   across domains (pool workers may build symbolic nets), so accesses are
-   mutex-protected. *)
-let by_key : (kind * string, t) Hashtbl.t = Hashtbl.create 64
-let by_id : (int, t) Hashtbl.t = Hashtbl.create 64
-let next_id = ref 0
+   across domains (pool workers may build symbolic nets) and are
+   read-mostly: every [Poly.var] / parser lookup hits them, while new
+   symbols appear only while a net is being built. So lookups go through
+   an immutable snapshot published in an [Atomic] — no lock, no
+   contention — and only a miss takes the mutex, re-checks (another
+   domain may have won the race), and publishes a new snapshot. The
+   mutex serialises writers, so plain [Atomic.set] inside it is enough;
+   readers either see the old snapshot (and fall into the locked path,
+   where the re-check finds the symbol) or the new one. *)
+type tables = { by_key : t KeyMap.t; by_id : t IdMap.t; next_id : int }
+
+let snapshot : tables Atomic.t =
+  Atomic.make { by_key = KeyMap.empty; by_id = IdMap.empty; next_id = 0 }
+
 let intern_lock = Mutex.create ()
 
 let make kind label =
-  Mutex.protect intern_lock @@ fun () ->
-  match Hashtbl.find_opt by_key (kind, label) with
+  let key = (kind, label) in
+  match KeyMap.find_opt key (Atomic.get snapshot).by_key with
   | Some v -> v
   | None ->
-    let v = { id = !next_id; kind; label } in
-    incr next_id;
-    Hashtbl.add by_key (kind, label) v;
-    Hashtbl.add by_id v.id v;
-    v
+    Mutex.protect intern_lock @@ fun () ->
+    let tabs = Atomic.get snapshot in
+    (match KeyMap.find_opt key tabs.by_key with
+    | Some v -> v
+    | None ->
+      let v = { id = tabs.next_id; kind; label } in
+      Atomic.set snapshot
+        {
+          by_key = KeyMap.add key v tabs.by_key;
+          by_id = IdMap.add v.id v tabs.by_id;
+          next_id = tabs.next_id + 1;
+        };
+      v)
 
 let enabling l = make Enabling l
 let firing l = make Firing l
@@ -38,7 +63,7 @@ let name v =
   | Frequency -> "f(" ^ v.label ^ ")"
   | Param -> v.label
 
-let of_id i = Mutex.protect intern_lock @@ fun () -> Hashtbl.find by_id i
+let of_id i = IdMap.find i (Atomic.get snapshot).by_id
 
 let is_time v = match v.kind with Enabling | Firing -> true | Frequency | Param -> false
 

@@ -4,7 +4,12 @@
     notation: enabling times [E(t)], firing times [F(t)] and relative firing
     frequencies [f(t)]; [Param] covers ad-hoc symbols. Variables are interned
     globally, so the same [(kind, label)] pair always yields the same id —
-    this is what lets linear forms and polynomials key on integer ids. *)
+    this is what lets linear forms and polynomials key on integer ids.
+
+    The intern table is read-mostly and shared across domains: lookups of
+    already-interned symbols are lock-free (they read an immutable
+    snapshot published through an [Atomic]); only the first interning of
+    a new [(kind, label)] pair takes a mutex. *)
 
 type kind =
   | Enabling

@@ -1,0 +1,112 @@
+(* Hash-consing invariants for Poly and Ratfun, and the lock-free Var
+   intern table.
+
+   Two properties carry the whole design: structurally equal values built
+   through any constructor sequence are physically equal (so equality is
+   a pointer comparison on the hot path), and the weak intern tables do
+   not leak — dropping every reference to an interned value lets the GC
+   collect it, mirroring the heap's released-element test in
+   [Test_sim]. *)
+
+module Q = Tpan_mathkit.Q
+module Var = Tpan_symbolic.Var
+module Poly = Tpan_symbolic.Poly
+module Rf = Tpan_symbolic.Ratfun
+
+let x () = Poly.var (Var.param "hc_x")
+let y () = Poly.var (Var.param "hc_y")
+
+let test_poly_physical_equality () =
+  (* same polynomial, three different construction orders *)
+  let a = Poly.add (x ()) (y ()) in
+  let b = Poly.add (y ()) (x ()) in
+  let c = Poly.sub (Poly.add (x ()) (Poly.add (y ()) (y ()))) (y ()) in
+  Alcotest.(check bool) "x+y == y+x physically" true (a == b);
+  Alcotest.(check bool) "x+2y-y == x+y physically" true (a == c);
+  let p = Poly.mul (Poly.add (x ()) (y ())) (Poly.add (x ()) (y ())) in
+  let q = Poly.pow (Poly.add (x ()) (y ())) 2 in
+  Alcotest.(check bool) "(x+y)(x+y) == (x+y)^2 physically" true (p == q);
+  (* constants and scaling *)
+  Alcotest.(check bool) "0 interned" true (Poly.add a (Poly.neg a) == Poly.zero);
+  Alcotest.(check bool) "scale 1 is identity node" true (Poly.scale Q.one a == a)
+
+let test_ratfun_physical_equality () =
+  let a = Rf.div (Rf.of_poly (x ())) (Rf.of_poly (Poly.add (x ()) (y ()))) in
+  let b = Rf.div (Rf.of_poly (x ())) (Rf.of_poly (Poly.add (y ()) (x ()))) in
+  Alcotest.(check bool) "same quotient physically equal" true (a == b);
+  Alcotest.(check bool) "equal is true on the pointer path" true (Rf.equal a b)
+
+let test_poly_hash_is_structural () =
+  (* the cached hash must match across independently built equal values,
+     and [hash] must be usable as a Hashtbl key function *)
+  let a = Poly.mul (Poly.add (x ()) (y ())) (x ()) in
+  let b = Poly.add (Poly.mul (x ()) (x ())) (Poly.mul (x ()) (y ())) in
+  Alcotest.(check bool) "expanded products equal" true (Poly.equal a b);
+  Alcotest.(check int) "equal values, equal hashes" (Poly.hash a) (Poly.hash b)
+
+let test_weak_tables_collect () =
+  (* transient values must be collectable: build a pile of polynomials
+     reachable from nowhere, then force a full major — the intern count
+     has to fall back toward where it started *)
+  let before = Poly.interned () in
+  let build () =
+    for i = 0 to 999 do
+      ignore (Sys.opaque_identity (Poly.scale (Q.of_int (i + 2)) (Poly.add (x ()) (y ()))))
+    done
+  in
+  build ();
+  let peak = Poly.interned () in
+  Alcotest.(check bool)
+    (Printf.sprintf "interning grew (before %d, peak %d)" before peak)
+    true (peak >= before + 900);
+  Gc.full_major ();
+  Gc.full_major ();
+  let after = Poly.interned () in
+  Alcotest.(check bool)
+    (Printf.sprintf "weak entries collected (peak %d, after %d)" peak after)
+    true
+    (after < before + 100)
+
+let test_ratfun_weak_collect () =
+  let before = Rf.interned () in
+  for i = 0 to 499 do
+    ignore
+      (Sys.opaque_identity
+         (Rf.div (Rf.of_int (i + 2)) (Rf.of_poly (Poly.add (x ()) (y ())))))
+  done;
+  let peak = Rf.interned () in
+  Gc.full_major ();
+  Gc.full_major ();
+  let after = Rf.interned () in
+  Alcotest.(check bool)
+    (Printf.sprintf "ratfun weak entries collected (before %d, peak %d, after %d)" before
+       peak after)
+    true
+    (peak >= before + 400 && after < before + 100)
+
+let test_var_parallel_interning () =
+  (* the lock-free read path: many domains hammering the same labels must
+     agree on the ids, and of_id must invert them all *)
+  let labels = List.init 32 (fun i -> Printf.sprintf "par_var_%d" i) in
+  let ids () = List.map (fun l -> Var.id (Var.param l)) labels in
+  let domains = Array.init 4 (fun _ -> Domain.spawn ids) in
+  let mine = ids () in
+  let theirs = Array.to_list (Array.map Domain.join domains) in
+  List.iter
+    (fun other -> Alcotest.(check (list int)) "all domains agree on ids" mine other)
+    theirs;
+  List.iter2
+    (fun l id ->
+      Alcotest.(check string) "of_id inverts" l (Var.label (Var.of_id id)))
+    labels mine
+
+let suite =
+  ( "hashcons",
+    [
+      Alcotest.test_case "poly: structural => physical" `Quick test_poly_physical_equality;
+      Alcotest.test_case "ratfun: structural => physical" `Quick test_ratfun_physical_equality;
+      Alcotest.test_case "poly: hash is structural" `Quick test_poly_hash_is_structural;
+      Alcotest.test_case "poly: weak table collects" `Quick test_weak_tables_collect;
+      Alcotest.test_case "ratfun: weak table collects" `Quick test_ratfun_weak_collect;
+      Alcotest.test_case "var: parallel interning" `Quick test_var_parallel_interning;
+    ] )

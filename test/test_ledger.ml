@@ -84,7 +84,8 @@ let test_load_absent () =
 
 (* ---------------- bench-diff ---------------- *)
 
-let fig name seconds major_words = { BD.name; seconds; major_words }
+let fig ?(minor_words = 0.) name seconds major_words =
+  { BD.name; seconds; major_words; minor_words }
 
 let test_diff_detects_regression () =
   (* the acceptance scenario: a synthetic 2x slowdown must FAIL *)
@@ -119,6 +120,23 @@ let test_diff_gc_regression () =
   let current = [ fig "A" 1.0 2.5e6 ] in
   let r = BD.compare_figures ~baseline ~current () in
   Alcotest.(check bool) "major-words regression fails" true (r.BD.worst = BD.Fail_v)
+
+let test_diff_minor_words_regression () =
+  (* wall time and major heap steady but minor-heap churn tripled: the
+     allocation gate must catch it (a hot path that lost its
+     allocation-lean rewrite never promotes, so major words stay flat) *)
+  let baseline = [ fig ~minor_words:1e8 "A" 1.0 1e6 ] in
+  let current = [ fig ~minor_words:3e8 "A" 1.0 1e6 ] in
+  let r = BD.compare_figures ~baseline ~current () in
+  Alcotest.(check bool) "minor-words regression fails" true (r.BD.worst = BD.Fail_v);
+  (* both below the minor noise floor: never flags *)
+  let r' =
+    BD.compare_figures
+      ~baseline:[ fig ~minor_words:1e4 "A" 1.0 1e6 ]
+      ~current:[ fig ~minor_words:9e5 "A" 1.0 1e6 ]
+      ()
+  in
+  Alcotest.(check bool) "sub-floor minor words never flag" true (r'.BD.worst = BD.Ok_v)
 
 let test_diff_missing_and_added () =
   let baseline = [ fig "A" 1.0 1e6; fig "GONE" 1.0 1e6 ] in
@@ -155,7 +173,8 @@ let test_figures_of_json () =
     | Ok [ f ] ->
       Alcotest.(check string) "name" "FIG1" f.BD.name;
       Alcotest.(check (float 1e-9)) "seconds" 0.25 f.BD.seconds;
-      Alcotest.(check (float 1e-9)) "major words from gc object" 12345.0 f.BD.major_words
+      Alcotest.(check (float 1e-9)) "major words from gc object" 12345.0 f.BD.major_words;
+      Alcotest.(check (float 1e-9)) "minor words from gc object" 1.0 f.BD.minor_words
     | Ok l -> Alcotest.fail (Printf.sprintf "expected 1 figure, got %d" (List.length l)))
 
 let suite =
@@ -168,6 +187,8 @@ let suite =
       Alcotest.test_case "bench-diff warn band" `Quick test_diff_warn_band;
       Alcotest.test_case "bench-diff noise floor" `Quick test_diff_noise_floor;
       Alcotest.test_case "bench-diff GC regression" `Quick test_diff_gc_regression;
+      Alcotest.test_case "bench-diff minor-words regression" `Quick
+        test_diff_minor_words_regression;
       Alcotest.test_case "bench-diff missing/added figures" `Quick test_diff_missing_and_added;
       Alcotest.test_case "bench-diff disjoint documents" `Quick test_diff_disjoint_documents;
       Alcotest.test_case "figures_of_json" `Quick test_figures_of_json;
