@@ -962,6 +962,39 @@ let oracle () =
   check "witness filter fires (refutations without elimination)"
     (sw.O.witness_refutations > 0)
 
+(* ---------------- CHECKPOINT ---------------- *)
+
+(* What arming the flight recorder costs: the ABP TRG build (the
+   checkpoint sits in the per-interned-state loop) repeated under an
+   ambient deadline token that never fires — every checkpoint then pays
+   the full poll (DLS load, heartbeat bump, deadline compare) — vs the
+   bare run, where it short-circuits on the [None] match. The armed
+   wall time is recorded as the CHECKPOINT figure so bench-diff gates
+   it like any other; the ratio is asserted here, so a checkpoint that
+   grows a syscall or an allocation fails the harness outright. *)
+let checkpoint_overhead () =
+  section "CHECKPOINT" "cancellation-checkpoint overhead on the TRG build";
+  let reps = scaled 2000 in
+  let tpn = Abp.concrete Abp.default_params in
+  let build () = ignore (CG.build tpn) in
+  let time f =
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    Sys.time () -. t0
+  in
+  build ();
+  (* warm *)
+  let bare = time build in
+  let ctx = Tpan_obs.Context.make ~deadline:3600. () in
+  let armed = Tpan_obs.Context.with_ctx ctx (fun () -> time build) in
+  let ratio = armed /. bare in
+  Format.printf "ABP TRG build x%d: bare %.4fs, armed %.4fs (ratio %.3f)@." reps bare
+    armed ratio;
+  check "armed checkpoints cost <= 1.25x bare (plus 10ms timer slack)"
+    (armed <= (bare *. 1.25) +. 0.01)
+
 (* ---------------- PERF (bechamel) ---------------- *)
 
 let perf () =
@@ -1189,6 +1222,7 @@ let () =
   timed "EXT-PAR" ext_par;
   timed "CHECK" check_diff;
   timed "ORACLE" oracle;
+  timed "CHECKPOINT" checkpoint_overhead;
   let micro = ref [] in
   timed "PERF" (fun () -> micro := perf ());
   emit_json ~micro:!micro "BENCH_tpan.json";

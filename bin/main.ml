@@ -47,6 +47,19 @@ let render_error (e : Tpan.Error.t) =
 
 let fail err =
   Printf.eprintf "%s\n" (render_error err);
+  (* A deadline abort reports how far the pipeline got before unwinding:
+     by now the hot loops' Fun.protect finalizers have flushed their
+     metric deltas, so the counters are the true partial totals. *)
+  (match err with
+   | Tpan.Error.Deadline_exceeded _ ->
+     let f = Obs.Dump.snapshot () in
+     (match Obs.Dump.progress_summary f with
+      | [] -> ()
+      | ps ->
+        Printf.eprintf "partial progress: %s\n"
+          (String.concat ", "
+             (List.map (fun (label, v) -> Printf.sprintf "%d %s" v label) ps)))
+   | _ -> ());
   Obs.Log.error "run failed"
     ~fields:
       [
@@ -69,9 +82,11 @@ let qf q = Format.asprintf "%a" (Q.pp_decimal ~digits:6) q
 (* ----- observability options (shared by every subcommand) ----- *)
 
 let progress_enabled = ref false
+let progress_interval_ms = ref 50.
 
 let progress label =
-  if !progress_enabled then Obs.Progress.stderr_reporter ~label ()
+  if !progress_enabled then
+    Obs.Progress.stderr_reporter ~interval:(!progress_interval_ms /. 1000.) ~label ()
   else fun (_ : int) -> ()
 
 (* State the flag handlers leave behind for subcommands and the at_exit
@@ -114,7 +129,9 @@ let write_ledger () =
     let record =
       Obs.Ledger.make ~version:Tpan.Version.string ~timestamp:run_t0 ~subcommand
         ~argv:(Array.to_list Sys.argv)
-        ?model:!current_model ~stages
+        ?model:!current_model
+        ?trace_id:(Obs.Context.trace_id ())
+        ~stages
         ~metrics:(Obs.Metrics.to_json ~all:false ())
         ?report:!last_report ~exit_code:!exit_code
         ~duration:(Unix.gettimeofday () -. run_t0)
@@ -129,16 +146,66 @@ let parse_level s =
   | Some l -> l
   | None -> fail_input (Printf.sprintf "unknown log level %S (debug, info, warn, error)" s)
 
+(* Durations: "5s", "250ms", "2m", or a bare float (seconds). *)
+let parse_duration s =
+  let s = String.trim s in
+  let fail_dur () =
+    fail_input (Printf.sprintf "bad duration %S (use e.g. 5s, 250ms, 2m, or seconds)" s)
+  in
+  let num str scale =
+    match float_of_string_opt str with
+    | Some f when f > 0. -> f *. scale
+    | _ -> fail_dur ()
+  in
+  let n = String.length s in
+  if n >= 3 && String.sub s (n - 2) 2 = "ms" then num (String.sub s 0 (n - 2)) 0.001
+  else if n >= 2 && s.[n - 1] = 's' then num (String.sub s 0 (n - 1)) 1.
+  else if n >= 2 && s.[n - 1] = 'm' then num (String.sub s 0 (n - 1)) 60.
+  else num s 1.
+
+let default_flight_file () = Filename.concat (Obs.Ledger.default_dir ()) "flight.ndjson"
+
 let obs_setup trace_file metrics m_fmt m_all progress jobs log_level log_file ledger
-    ledger_dir =
+    ledger_dir deadline watchdog dump progress_interval =
   (match jobs with
    | None -> ()
    | Some 0 -> Tpan_par.Pool.set_default_jobs (Tpan_par.Pool.recommended_jobs ())
    | Some n when n > 0 -> Tpan_par.Pool.set_default_jobs n
    | Some _ -> fail_input "-j expects a non-negative jobs count (0 = auto)");
   progress_enabled := progress;
+  progress_interval_ms := (if progress_interval > 0. then progress_interval else 50.);
   metrics_fmt_opt := m_fmt;
   metrics_all := m_all;
+  (* Request context: every run gets one, so spans, log records and the
+     ledger row share a trace id; --deadline puts a budget on its
+     cancellation token, which the Pool re-installs in worker domains. *)
+  let deadline_s = Option.map parse_duration deadline in
+  let ctx = Obs.Context.make ?deadline:deadline_s () in
+  Obs.Context.set (Some ctx);
+  (* Flight recorder: with a deadline or watchdog in play, cancellation
+     writes a diagnostic dump at the instant of the abort — while every
+     domain's span stack is still standing — and SIGUSR1 asks the
+     watchdog for a dump of a live run. *)
+  let flight_path =
+    match dump with
+    | Some p -> Some p
+    | None ->
+      if deadline_s <> None || watchdog <> None then Some (default_flight_file ())
+      else None
+  in
+  (match flight_path with
+   | None -> ()
+   | Some path ->
+     Obs.Cancel.set_on_cancel
+       (Some (fun reason -> Obs.Dump.write_dump path (Obs.Cancel.reason_to_string reason))));
+  if deadline_s <> None || watchdog <> None then begin
+    Obs.Dump.install_sigusr1 ();
+    let wd =
+      Obs.Dump.start_watchdog ?stall:watchdog ?path:flight_path
+        ~token:ctx.Obs.Context.token ()
+    in
+    at_exit (fun () -> Obs.Dump.stop_watchdog wd)
+  end;
   (* --metrics-format implies --metrics *)
   let metrics = metrics || m_fmt <> None in
   if metrics then Obs.Metrics.set_timing true;
@@ -268,9 +335,49 @@ let obs_term =
       & info [ "ledger-dir" ] ~docv:"DIR"
           ~doc:"Ledger directory (implies $(b,--ledger)); default $(b,.tpan) or \\$TPAN_DIR.")
   in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "deadline" ] ~docv:"DUR"
+          ~doc:
+            "Abort the analysis after $(docv) (e.g. $(b,5s), $(b,250ms), $(b,2m)) with \
+             exit code 6, a partial-progress report and a diagnostic dump. Checked \
+             cooperatively at cheap checkpoints in every hot loop, across all -j worker \
+             domains.")
+  in
+  let watchdog_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some 30.) (some float) None
+      & info [ "watchdog" ] ~docv:"SECS"
+          ~doc:
+            "Run a watchdog domain: dump diagnostics when no checkpoint progress happens \
+             for $(docv) seconds (default 30 when the flag is given bare, as \
+             $(b,--watchdog) or $(b,--watchdog=SECS)), on SIGUSR1, and when a --deadline \
+             passes while a loop is wedged between checkpoints.")
+  in
+  let dump_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "dump" ] ~docv:"FILE"
+          ~doc:
+            "Flight-recorder file for diagnostic dumps and the watchdog's periodic \
+             frames (NDJSON; view with $(b,tpan top)). Default \
+             $(b,.tpan/flight.ndjson) when --deadline or --watchdog is active.")
+  in
+  let progress_interval_arg =
+    Arg.(
+      value
+      & opt float 50.
+      & info [ "progress-interval" ] ~docv:"MS"
+          ~doc:"Minimum milliseconds between --progress reports (default 50).")
+  in
   Term.(
     const obs_setup $ trace_arg $ metrics_arg $ metrics_format_arg $ metrics_all_arg
-    $ progress_arg $ jobs_arg $ log_level_arg $ log_file_arg $ ledger_arg $ ledger_dir_arg)
+    $ progress_arg $ jobs_arg $ log_level_arg $ log_file_arg $ ledger_arg $ ledger_dir_arg
+    $ deadline_arg $ watchdog_arg $ dump_arg $ progress_interval_arg)
 
 (* ----- common options ----- *)
 
@@ -838,12 +945,28 @@ let check_cmd =
       if file <> None || model <> None then
         fail_input "--random generates its own nets; drop the file/--model";
       handle_errors (fun () ->
-          let results = CK.fuzz ~config ~cases:random () in
+          (* Under --deadline, the budget applies per generated case, not to
+             the whole fuzz run: a pathological net aborts at its next
+             checkpoint and is recorded, and the remaining cases proceed.
+             Re-scope the ambient context to one without a deadline (same
+             trace id) so the global token can't kill the driver loop. *)
+          let case_budget = Option.bind (Obs.Context.token ()) Obs.Cancel.budget in
+          let config = { config with CK.deadline = case_budget } in
+          let fuzz_ctx = Obs.Context.make ?trace_id:(Obs.Context.trace_id ()) () in
+          let results =
+            Obs.Context.with_ctx fuzz_ctx (fun () -> CK.fuzz ~config ~cases:random ())
+          in
           let outcomes = List.filter_map (fun (_, r) -> Result.to_option r) results in
-          let errors =
+          let errored =
             List.filter_map
               (fun (c, r) -> match r with Error e -> Some (c, e) | Ok _ -> None)
               results
+          in
+          let timeouts, errors =
+            List.partition
+              (fun (_, e) ->
+                match e with Tpan.Error.Deadline_exceeded _ -> true | _ -> false)
+              errored
           in
           let failed = List.filter (fun o -> not (CK.ok o)) outcomes in
           let summary =
@@ -855,6 +978,7 @@ let check_cmd =
                 ("seed", Obs.Jsonv.Int seed);
                 ("disagreeing", Obs.Jsonv.Int (List.length failed));
                 ("errored", Obs.Jsonv.Int (List.length errors));
+                ("timed_out", Obs.Jsonv.Int (List.length timeouts));
                 ( "outcomes",
                   Obs.Jsonv.List (List.map CK.outcome_to_json outcomes) );
                 ( "errors",
@@ -866,7 +990,7 @@ let check_cmd =
                              ("case", Obs.Jsonv.Str (Printf.sprintf "gen%d" c.GN.seed));
                              ("error", Obs.Jsonv.Str (Tpan.Error.to_string e));
                            ])
-                       errors) );
+                       errored) );
               ]
           in
           last_report := Some summary;
@@ -881,9 +1005,11 @@ let check_cmd =
                   Format.printf "gen%d: ERROR %s  [%s]@." c.GN.seed
                     (Tpan.Error.to_string e) c.GN.description)
               results;
-            Format.printf "fuzz: %d cases, %d disagreeing, %d errored@."
-              random (List.length failed) (List.length errors)
+            Format.printf "fuzz: %d cases, %d disagreeing, %d errored, %d timed out@."
+              random (List.length failed) (List.length errors) (List.length timeouts)
           end;
+          (* Timed-out cases are skipped, not failures: fuzzing over random
+             nets must survive the occasional pathological case. *)
           if failed <> [] || errors <> [] then quit 1)
     end
     else if diff then
@@ -1077,10 +1203,14 @@ let metrics_cmd =
 (* ----- runs (ledger query) ----- *)
 
 let runs_cmd =
-  let run () last json dir =
+  let run () last json stats dir =
     let dir = match dir with Some d -> d | None -> Obs.Ledger.default_dir () in
     match Obs.Ledger.load ~dir () with
     | Error msg -> fail (Tpan.Error.Io_error msg)
+    | Ok records when stats ->
+      let s = Obs.Ledger.stats records in
+      if json then print_json (Obs.Ledger.stats_to_json s)
+      else Format.printf "%a@?" Obs.Ledger.pp_stats s
     | Ok records ->
       let shown =
         match last with
@@ -1114,6 +1244,15 @@ let runs_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the records as a JSON array.")
   in
+  let stats_arg =
+    Arg.(
+      value & flag
+      & info [ "stats" ]
+          ~doc:
+            "Aggregate instead of listing: run counts and p50/p95 wall time per \
+             subcommand and per pipeline stage, plus the exit-code breakdown \
+             (combines with $(b,--json)).")
+  in
   let dir_arg =
     Arg.(
       value
@@ -1122,7 +1261,7 @@ let runs_cmd =
   in
   Cmd.v
     (Cmd.info "runs" ~doc:"Query the run ledger written by --ledger.")
-    Term.(const run $ obs_term $ last_arg $ json_arg $ dir_arg)
+    Term.(const run $ obs_term $ last_arg $ json_arg $ stats_arg $ dir_arg)
 
 (* ----- bench-diff ----- *)
 
@@ -1183,6 +1322,80 @@ let bench_diff_cmd =
       const run $ obs_term $ base_arg $ cur_arg $ warn_arg $ fail_arg $ warn_only_arg
       $ json_arg)
 
+(* ----- top (flight-recorder viewer) ----- *)
+
+let top_cmd =
+  let render f = Format.printf "%a@?" Obs.Dump.pp_frame f in
+  let latest frames = List.nth frames (List.length frames - 1) in
+  let run () file follow replay interval =
+    let path = match file with Some p -> p | None -> default_flight_file () in
+    if follow then begin
+      (* Live view: tail the flight file, re-rendering whenever a frame
+         lands. Runs until interrupted. *)
+      let tty = Unix.isatty Unix.stdout in
+      let rec loop seen =
+        let n =
+          match Obs.Dump.load path with
+          | Error _ | Ok [] ->
+            if seen < 0 then Printf.printf "tpan top: waiting for frames in %s\n%!" path;
+            0
+          | Ok frames ->
+            let n = List.length frames in
+            if n <> max seen 0 then begin
+              if tty then print_string "\027[2J\027[H";
+              render (latest frames)
+            end;
+            n
+        in
+        Unix.sleepf interval;
+        loop n
+      in
+      loop (-1)
+    end
+    else
+      match Obs.Dump.load path with
+      | Error msg -> fail (Tpan.Error.Io_error (path ^ ": " ^ msg))
+      | Ok [] -> Printf.printf "tpan top: no frames in %s\n" path
+      | Ok frames ->
+        if replay then
+          List.iteri
+            (fun i f ->
+              if i > 0 then print_newline ();
+              render f)
+            frames
+        else render (latest frames)
+  in
+  let file_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"FLIGHT.ndjson"
+          ~doc:"Flight file to view; default $(b,.tpan/flight.ndjson).")
+  in
+  let follow_arg =
+    Arg.(
+      value & flag
+      & info [ "follow"; "f" ] ~doc:"Keep watching the file and re-render new frames.")
+  in
+  let replay_arg =
+    Arg.(
+      value & flag
+      & info [ "replay" ] ~doc:"Render every recorded frame in order, not just the last.")
+  in
+  let interval_arg =
+    Arg.(
+      value
+      & opt float 0.5
+      & info [ "interval" ] ~docv:"SECS" ~doc:"Polling interval for --follow.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Inspect a running (or finished) analysis from its flight-recorder file: active \
+          span stacks per domain, progress counters, heartbeats, GC. Pair with --watchdog \
+          on the analysis side; --follow tails live.")
+    Term.(const run $ obs_term $ file_arg $ follow_arg $ replay_arg $ interval_arg)
+
 (* ----- version ----- *)
 
 let version_cmd =
@@ -1213,6 +1426,7 @@ let () =
             dot_cmd;
             metrics_cmd;
             runs_cmd;
+            top_cmd;
             bench_diff_cmd;
             version_cmd;
           ]))

@@ -24,6 +24,7 @@ type config = {
   ci_sigma : float;
   sim_slack : float;
   shrink : bool;
+  deadline : float option;
 }
 
 let default =
@@ -37,6 +38,7 @@ let default =
     ci_sigma = 4.5;
     sim_slack = 0.04;
     shrink = true;
+    deadline = None;
   }
 
 let quick cfg =
@@ -121,7 +123,12 @@ let eval_triple cfg ~expr ~delivery ~sim_seed tpn point =
           Sim.throughput s t)
     in
     Ok { point; exact; numeric; sim }
-  with e -> Result.error (describe_exn e)
+  with
+  | Tpan_obs.Cancel.Cancelled _ as e ->
+    (* a cancelled case is not a skipped point: let the fuzz wrapper
+       (or the CLI) turn it into Deadline_exceeded *)
+    raise e
+  | e -> Result.error (describe_exn e)
 
 let disagreement cfg t =
   let exact = Q.to_float t.exact in
@@ -160,7 +167,9 @@ let still_fails cfg ?expr ~delivery () tpn point =
           let sg = SG.build ?max_states:cfg.max_states tpn in
           let sres = M.Symbolic.analyze sg in
           Some (M.Symbolic.throughput sres sg delivery)
-        with _ -> raise Exit)
+        with
+        | Tpan_obs.Cancel.Cancelled _ as e -> raise e
+        | _ -> raise Exit)
   in
   match eval_triple cfg ~expr ~delivery ~sim_seed:cfg.seed tpn point with
   | Ok t -> disagreement cfg t <> None
@@ -240,7 +249,27 @@ let fuzz ?(config = default) ?jobs ~cases () =
   List.init cases (fun i -> config.seed + i)
   |> Tpan_par.Pool.map ?jobs (fun seed ->
          let c = Gen.case ~seed in
-         (c, check_case ~config:{ config with seed } c))
+         let run () = check_case ~config:{ config with seed } c in
+         let result =
+           match config.deadline with
+           | None -> run ()
+           | Some budget -> (
+             (* per-case budget: a pathological generated net aborts and
+                is recorded, instead of hanging the whole fuzz run. The
+                case context keeps the surrounding trace id so its dump
+                and ledger rows stay correlated with the run. *)
+             let ctx =
+               Tpan_obs.Context.make
+                 ?trace_id:(Tpan_obs.Context.trace_id ())
+                 ~deadline:budget ()
+             in
+             try Tpan_obs.Context.with_ctx ctx run
+             with Tpan_obs.Cancel.Cancelled reason ->
+               Result.error
+                 (Error.Deadline_exceeded
+                    (Tpan_obs.Cancel.reason_to_string reason)))
+         in
+         (c, result))
 
 (* renderers *)
 

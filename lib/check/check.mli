@@ -39,6 +39,12 @@ type config = {
           floor, the genuine Monte-Carlo noise scale even when few
           replications make the estimated standard error unreliable *)
   shrink : bool;  (** minimize failures and render reproducers *)
+  deadline : float option;
+      (** per-case wall budget, seconds. In {!fuzz}, a case that
+          exceeds it aborts at its next cancellation checkpoint and is
+          recorded as [Error (Deadline_exceeded _)] instead of hanging
+          the run; other cases proceed. [None] (the default) = no
+          budget. *)
 }
 
 val default : config

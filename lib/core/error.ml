@@ -9,6 +9,7 @@ type t =
   | Parse_error of { line : int; col : int; msg : string }
   | Io_error of string
   | Invalid_input of string
+  | Deadline_exceeded of string
 
 let to_string = function
   | Unsupported msg -> msg
@@ -24,12 +25,14 @@ let to_string = function
     Printf.sprintf "parse error at line %d, column %d: %s" line col msg
   | Io_error msg -> msg
   | Invalid_input msg -> msg
+  | Deadline_exceeded why -> Printf.sprintf "analysis aborted: %s" why
 
 let exit_code = function
   | Unsupported _ | Parse_error _ | Io_error _ | Invalid_input _ -> 2
   | Insufficient _ -> 3
   | Unsolvable _ | Deterministic_cycle _ -> 4
   | State_limit _ -> 5
+  | Deadline_exceeded _ -> 6
 
 let of_exn = function
   | Tpn.Unsupported msg -> Some (Unsupported msg)
@@ -42,6 +45,8 @@ let of_exn = function
            hint;
          })
   | Tpan_petri.Reachability.State_limit n -> Some (State_limit n)
+  | Tpan_obs.Cancel.Cancelled reason ->
+    Some (Deadline_exceeded (Tpan_obs.Cancel.reason_to_string reason))
   | Sys_error msg -> Some (Io_error msg)
   | _ -> None
 

@@ -30,6 +30,10 @@ type t =
   | Io_error of string
   | Invalid_input of string
       (** A malformed request (bad parameter name, bad grid spec, …). *)
+  | Deadline_exceeded of string
+      (** The analysis was cancelled mid-flight — deadline crossed,
+          stall, or signal; the payload is the rendered
+          {!Tpan_obs.Cancel.reason}. *)
 
 val to_string : t -> string
 (** One-line human rendering, matching the CLI's historical wording. *)
@@ -37,7 +41,8 @@ val to_string : t -> string
 val exit_code : t -> int
 (** Stable process exit code: 2 for input-side errors ([Unsupported],
     [Parse_error], [Io_error], [Invalid_input]), 3 for [Insufficient],
-    4 for [Unsolvable] and [Deterministic_cycle], 5 for [State_limit]. *)
+    4 for [Unsolvable] and [Deterministic_cycle], 5 for [State_limit],
+    6 for [Deadline_exceeded]. *)
 
 val of_exn : exn -> t option
 (** Classify the core-visible analysis exceptions; [None] for anything

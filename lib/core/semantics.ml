@@ -323,6 +323,7 @@ module Make (D : DOMAIN) = struct
     Queue.add (i0, s0) queue;
     let out = Hashtbl.create 256 in
     while not (Queue.is_empty queue) do
+      Tpan_obs.Cancel.checkpoint ();
       Metrics.Gauge.set_max m_frontier_peak (float_of_int (Queue.length queue));
       let i, st = Queue.take queue in
       let succs =

@@ -216,6 +216,10 @@ let partition v cs =
 (* A pair (l: a·v + L' ≥/> 0 with a>0) and (u: b·v + U' ≥/> 0 with b<0)
    combines into (-b)·(l.form) + a·(u.form) ≥/> 0, which cancels v. *)
 let eliminate v cs =
+  (* one checkpoint per elimination round: rounds are where FM blows up
+     (the constraint set can square each time), so this bounds the
+     reaction time to a deadline without touching the inner products *)
+  Tpan_obs.Cancel.checkpoint ();
   Metrics.Counter.incr m_eliminations;
   let lower, upper, rest = partition v cs in
   let combine l u =

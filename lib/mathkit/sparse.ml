@@ -70,6 +70,7 @@ module Make (F : Linsolve.FIELD) = struct
     let add_to_index i r = List.iter (fun (c, _) -> Hashtbl.replace col_rows.(c) i ()) r in
     let continue_ = ref true in
     while !continue_ do
+      Tpan_obs.Cancel.checkpoint ();
       (* Pivot column: fewest active rows among columns still in play. *)
       let best_c = ref (-1) and best_n = ref max_int in
       for c = 0 to ncols - 1 do

@@ -1,0 +1,112 @@
+(* Cooperative cancellation tokens.
+
+   A token is a single cross-domain cell: [None] while the request is
+   live, [Some reason] once somebody cancelled it. Hot loops poll the
+   ambient token with {!checkpoint}; the poll costs one [Domain.DLS]
+   lookup and an [Atomic.get] (plus a clock read when the token carries
+   a deadline), so it is cheap enough to leave permanently in the
+   per-state / per-elimination loops. With no token installed — every
+   run not under [--deadline] — the checkpoint is a DLS load and a
+   [None] match.
+
+   Checkpoints also bump a per-domain heartbeat counter. The watchdog
+   reads the heartbeat sum to detect a stalled analysis (a loop that
+   stopped reaching its checkpoints), and the diagnostic dump reports
+   the per-domain counts as progress evidence. *)
+
+type reason =
+  | Deadline of float (* the configured budget, seconds *)
+  | Stalled of float (* seconds without checkpoint progress *)
+  | Interrupted of string (* signal name or explicit cancel *)
+
+exception Cancelled of reason
+
+let reason_to_string = function
+  | Deadline s -> Printf.sprintf "deadline of %gs exceeded" s
+  | Stalled s -> Printf.sprintf "no checkpoint progress for %gs" s
+  | Interrupted what -> "interrupted by " ^ what
+
+type token = {
+  state : reason option Atomic.t;
+  deadline : float option; (* absolute Mclock instant *)
+  budget : float option; (* the relative budget, for messages *)
+}
+
+let create ?deadline_in () =
+  {
+    state = Atomic.make None;
+    deadline = Option.map (fun d -> Mclock.now () +. d) deadline_in;
+    budget = deadline_in;
+  }
+
+let cancelled t = Atomic.get t.state
+let deadline t = t.deadline
+let budget t = t.budget
+
+(* First-cancellation hook: fired exactly once per token, by whichever
+   domain wins the CAS. The CLI registers a diagnostic-dump writer here
+   so the dump is taken while every domain's span stack is still live —
+   by the time the [Cancelled] exception reaches a handler the stacks
+   have unwound. Hook exceptions are swallowed: cancellation must not
+   fail because diagnostics did. *)
+let on_cancel : (reason -> unit) option ref = ref None
+let set_on_cancel f = on_cancel := f
+
+let fire_hook r =
+  match !on_cancel with
+  | Some f -> ( try f r with _ -> ())
+  | None -> ()
+
+let cancel t r =
+  if Atomic.compare_and_set t.state None (Some r) then fire_hook r
+
+(* ---------------- ambient token + heartbeats ---------------- *)
+
+(* Per-domain heartbeat counters, registered on first use. Entries of
+   dead worker domains stay in the list but stop advancing, so the
+   watchdog's "did the sum move" test still answers the right question
+   and the dump can show where each domain got to. *)
+type beat = { dom : int; count : int ref }
+
+let beats : beat list ref = ref []
+let beats_lock = Mutex.create ()
+
+let beat_key : int ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let count = ref 0 in
+      let b = { dom = (Domain.self () :> int); count } in
+      Mutex.protect beats_lock (fun () -> beats := b :: !beats);
+      count)
+
+let heartbeats () =
+  List.rev_map (fun b -> (b.dom, !(b.count))) !beats |> List.sort compare
+
+let heartbeat_total () = List.fold_left (fun acc b -> acc + !(b.count)) 0 !beats
+
+let active_key : token option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let set t = Domain.DLS.get active_key := t
+let current () = !(Domain.DLS.get active_key)
+
+let with_token t f =
+  let cell = Domain.DLS.get active_key in
+  let saved = !cell in
+  cell := Some t;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+let checkpoint () =
+  incr (Domain.DLS.get beat_key);
+  match !(Domain.DLS.get active_key) with
+  | None -> ()
+  | Some t -> (
+    match Atomic.get t.state with
+    | Some r -> raise (Cancelled r)
+    | None -> (
+      match t.deadline with
+      | Some dl when Mclock.now () >= dl ->
+        let r = Deadline (Option.value ~default:0. t.budget) in
+        cancel t r;
+        (* another domain may have won the race with a different reason *)
+        raise (Cancelled (Option.value ~default:r (Atomic.get t.state)))
+      | _ -> ()))

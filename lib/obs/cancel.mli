@@ -1,0 +1,81 @@
+(** Cooperative deadline/cancellation tokens for long-running analyses.
+
+    A {!token} is a cross-domain cancellation cell, optionally carrying
+    an absolute deadline. Hot loops call {!checkpoint} at cheap,
+    regular points (per interned state, per elimination round, every
+    few thousand simulator steps); when the ambient token has been
+    cancelled — or its deadline has passed — the checkpoint raises
+    {!Cancelled} and the loop unwinds cleanly through its [Fun.protect]
+    finalizers. With no ambient token (any run not under [--deadline])
+    a checkpoint is one domain-local load and a [None] match.
+
+    Tokens usually arrive through {!Context}, which installs the
+    request context's token as the ambient one; [Tpan_par.Pool]
+    propagates the context (and therefore the token) into worker
+    domains, so a deadline crossing aborts every lane of a parallel
+    stage. *)
+
+type reason =
+  | Deadline of float  (** the configured budget, in seconds *)
+  | Stalled of float  (** seconds without checkpoint progress *)
+  | Interrupted of string  (** signal name or explicit cancel *)
+
+exception Cancelled of reason
+(** Raised by {!checkpoint} once the ambient token is cancelled. Mapped
+    to [Tpan_core.Error.Deadline_exceeded] (exit code 6) by the error
+    classifiers. *)
+
+val reason_to_string : reason -> string
+
+type token
+
+val create : ?deadline_in:float -> unit -> token
+(** A live token. [deadline_in] is a relative budget in seconds,
+    resolved against {!Mclock.now} at creation. *)
+
+val cancel : token -> reason -> unit
+(** Cancel the token (idempotent — the first reason wins). The winning
+    call fires the {!set_on_cancel} hook before returning. *)
+
+val cancelled : token -> reason option
+val deadline : token -> float option
+(** The absolute {!Mclock} instant of the deadline, when one was set. *)
+
+val budget : token -> float option
+(** The relative budget [deadline_in] was created with. *)
+
+val set_on_cancel : (reason -> unit) option -> unit
+(** Register a process-wide first-cancellation hook. It runs exactly
+    once per token, on the domain that wins the cancellation race,
+    {e before} [Cancelled] starts unwinding — so a diagnostic-dump
+    writer registered here still sees every domain's live span stack.
+    Hook exceptions are swallowed. *)
+
+(** {1 Ambient token} *)
+
+val set : token option -> unit
+(** Install the calling domain's ambient token (domain-local). Usually
+    called via [Context.set]; [Tpan_par.Pool] calls it in workers. *)
+
+val current : unit -> token option
+
+val with_token : token -> (unit -> 'a) -> 'a
+(** Run the thunk with the token installed, restoring the previous
+    ambient token afterwards (also on exceptions). *)
+
+val checkpoint : unit -> unit
+(** The cancellation poll. Bumps this domain's heartbeat counter, then:
+    no ambient token — return; token cancelled — raise {!Cancelled};
+    token deadline passed — cancel it (firing the hook) and raise. *)
+
+(** {1 Heartbeats}
+
+    Every checkpoint bumps a per-domain counter, registered on the
+    domain's first checkpoint. The stall watchdog watches the sum; the
+    diagnostic dump reports the per-domain values. *)
+
+val heartbeats : unit -> (int * int) list
+(** [(domain id, checkpoint count)] per domain that ever checkpointed,
+    sorted by domain id. Racy reads — values may lag by a few counts. *)
+
+val heartbeat_total : unit -> int

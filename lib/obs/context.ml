@@ -1,0 +1,57 @@
+(* Request-scoped context: the identity every observability record of a
+   run hangs off. One context per CLI invocation (or, later, per served
+   request); [Tpan_par.Pool] re-installs the calling domain's context in
+   every worker it spawns, so spans, log records, and ledger rows from
+   all lanes of a parallel stage carry the same trace id. *)
+
+type t = {
+  trace_id : string;
+  span_id : string;
+  labels : (string * string) list;
+  token : Cancel.token;
+}
+
+(* Ids: wall-clock microseconds + pid + a process-local counter, hex.
+   Unique enough to correlate records across processes on one host
+   without dragging in a randomness dependency. *)
+let id_counter = Atomic.make 0
+
+let gen_id () =
+  let us = Int64.of_float (Mclock.now () *. 1e6) in
+  Printf.sprintf "%Lx%04x%x"
+    (Int64.logand us 0xFFFFFFFFFFFFL)
+    (Unix.getpid () land 0xFFFF)
+    (Atomic.fetch_and_add id_counter 1)
+
+let make ?trace_id ?deadline ?(labels = []) () =
+  let trace_id = match trace_id with Some id -> id | None -> gen_id () in
+  {
+    trace_id;
+    span_id = gen_id ();
+    labels;
+    token = Cancel.create ?deadline_in:deadline ();
+  }
+
+let child ctx = { ctx with span_id = gen_id () }
+
+let cell : t option ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref None)
+
+let set c =
+  Domain.DLS.get cell := c;
+  Cancel.set (Option.map (fun ctx -> ctx.token) c)
+
+let current () = !(Domain.DLS.get cell)
+
+let with_ctx c f =
+  let r = Domain.DLS.get cell in
+  let saved_ctx = !r in
+  let saved_tok = Cancel.current () in
+  set (Some c);
+  Fun.protect
+    ~finally:(fun () ->
+      Domain.DLS.get cell := saved_ctx;
+      Cancel.set saved_tok)
+    f
+
+let trace_id () = Option.map (fun c -> c.trace_id) (current ())
+let token () = Option.map (fun c -> c.token) (current ())

@@ -1,0 +1,44 @@
+(** Request-scoped context: trace/span ids, labels, and the
+    cancellation token of the owning request.
+
+    The CLI creates one context per invocation ([--deadline] puts a
+    budget on its token); a future [tpan serve] creates one per request.
+    Installing a context ({!set} / {!with_ctx}) also installs its token
+    as the ambient {!Cancel} token, and [Tpan_par.Pool] re-installs the
+    spawning domain's context inside every worker, so ids and deadlines
+    follow the work across domains. *)
+
+type t = {
+  trace_id : string;  (** stable for the whole request *)
+  span_id : string;  (** this hop; {!child} derives a fresh one *)
+  labels : (string * string) list;
+  token : Cancel.token;
+}
+
+val make :
+  ?trace_id:string ->
+  ?deadline:float ->
+  ?labels:(string * string) list ->
+  unit ->
+  t
+(** Fresh context. [deadline] is a relative budget in seconds for the
+    embedded token. Ids are generated from time, pid, and a counter —
+    unique per host, no randomness dependency. *)
+
+val child : t -> t
+(** Same trace id and token, fresh span id. *)
+
+val set : t option -> unit
+(** Install as this domain's current context (and its token as the
+    ambient {!Cancel} token). *)
+
+val current : unit -> t option
+
+val with_ctx : t -> (unit -> 'a) -> 'a
+(** Run the thunk under the context, restoring the previous context and
+    ambient token afterwards (also on exceptions). *)
+
+val trace_id : unit -> string option
+(** The current context's trace id, if one is installed. *)
+
+val token : unit -> Cancel.token option

@@ -14,6 +14,7 @@ type record = {
   subcommand : string;
   argv : string list;
   model : string option;
+  trace_id : string option;
   stages : stage list;
   metrics : Jsonv.t;
   report : Jsonv.t option;
@@ -21,7 +22,7 @@ type record = {
   duration : float;
 }
 
-let make ~version ~timestamp ~subcommand ~argv ?model ?(stages = [])
+let make ~version ~timestamp ~subcommand ~argv ?model ?trace_id ?(stages = [])
     ?(metrics = Jsonv.List []) ?report ~exit_code ~duration () =
   {
     schema = schema_version;
@@ -30,6 +31,7 @@ let make ~version ~timestamp ~subcommand ~argv ?model ?(stages = [])
     subcommand;
     argv;
     model;
+    trace_id;
     stages;
     metrics;
     report;
@@ -46,6 +48,8 @@ let to_json r =
       ("subcommand", Jsonv.Str r.subcommand);
       ("argv", Jsonv.List (List.map (fun a -> Jsonv.Str a) r.argv));
       ("model", match r.model with None -> Jsonv.Null | Some m -> Jsonv.Str m);
+      ( "trace_id",
+        match r.trace_id with None -> Jsonv.Null | Some t -> Jsonv.Str t );
       ( "stages",
         Jsonv.List
           (List.map
@@ -103,6 +107,7 @@ let of_json doc =
         subcommand;
         argv;
         model = str "model";
+        trace_id = str "trace_id";
         stages;
         metrics = (match member "metrics" doc with Some m -> m | None -> List []);
         report = (match member "report" doc with Some Null | None -> None | Some j -> Some j);
@@ -110,6 +115,116 @@ let of_json doc =
         duration = (match num "duration" with Some d -> d | None -> 0.);
       }
   | _ -> None
+
+(* ---------------- aggregate statistics ---------------- *)
+
+type stats_row = { key : string; runs : int; p50 : float; p95 : float; total : float }
+
+type stats = {
+  commands : stats_row list;
+  stage_stats : stats_row list;
+  exit_codes : (int * int) list;
+}
+
+(* nearest-rank percentile over a sorted array *)
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.
+  else
+    let rank = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    sorted.(max 0 (min (n - 1) rank))
+
+let row_of key samples =
+  let arr = Array.of_list samples in
+  Array.sort compare arr;
+  {
+    key;
+    runs = Array.length arr;
+    p50 = percentile arr 0.50;
+    p95 = percentile arr 0.95;
+    total = Array.fold_left ( +. ) 0. arr;
+  }
+
+let group_rows pairs =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (key, v) ->
+      let prev = match Hashtbl.find_opt tbl key with Some l -> l | None -> [] in
+      Hashtbl.replace tbl key (v :: prev))
+    pairs;
+  Hashtbl.fold (fun key vs acc -> row_of key vs :: acc) tbl []
+  |> List.sort (fun a b -> compare a.key b.key)
+
+let stats records =
+  let commands =
+    group_rows (List.map (fun r -> (r.subcommand, r.duration)) records)
+  in
+  let stage_stats =
+    group_rows
+      (List.concat_map
+         (fun r -> List.map (fun s -> (s.stage, s.seconds)) r.stages)
+         records)
+  in
+  let codes = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      let prev =
+        match Hashtbl.find_opt codes r.exit_code with Some n -> n | None -> 0
+      in
+      Hashtbl.replace codes r.exit_code (prev + 1))
+    records;
+  let exit_codes =
+    Hashtbl.fold (fun c n acc -> (c, n) :: acc) codes [] |> List.sort compare
+  in
+  { commands; stage_stats; exit_codes }
+
+let stats_to_json s =
+  let rows l =
+    Jsonv.List
+      (List.map
+         (fun r ->
+           Jsonv.Obj
+             [
+               ("name", Jsonv.Str r.key);
+               ("runs", Jsonv.Int r.runs);
+               ("p50_seconds", Jsonv.Float r.p50);
+               ("p95_seconds", Jsonv.Float r.p95);
+               ("total_seconds", Jsonv.Float r.total);
+             ])
+         l)
+  in
+  Jsonv.Obj
+    [
+      ("commands", rows s.commands);
+      ("stages", rows s.stage_stats);
+      ( "exit_codes",
+        Jsonv.Obj
+          (List.map
+             (fun (c, n) -> (string_of_int c, Jsonv.Int n))
+             s.exit_codes) );
+    ]
+
+let pp_stats fmt s =
+  let open Format in
+  pp_open_vbox fmt 0;
+  let section title rows unit_label =
+    if rows <> [] then begin
+      fprintf fmt "%s@," title;
+      fprintf fmt "  %-28s %6s %10s %10s %10s@," "name" "runs" "p50" "p95" "total";
+      List.iter
+        (fun r ->
+          fprintf fmt "  %-28s %6d %9.3f%s %9.3f%s %9.3f%s@," r.key r.runs r.p50
+            unit_label r.p95 unit_label r.total unit_label)
+        rows
+    end
+  in
+  section "per-subcommand wall time" s.commands "s";
+  section "per-stage wall time" s.stage_stats "s";
+  if s.exit_codes <> [] then begin
+    fprintf fmt "exit codes@,";
+    List.iter (fun (c, n) -> fprintf fmt "  %3d: %d run(s)@," c n) s.exit_codes
+  end;
+  pp_close_box fmt ()
 
 (* ---------------- storage ---------------- *)
 

@@ -21,6 +21,9 @@ type record = {
   subcommand : string;
   argv : string list;  (** full command line, program name included *)
   model : string option;  (** builtin model name, when one was used *)
+  trace_id : string option;
+      (** the run's {!Context.trace_id}, correlating the ledger row with
+          spans, log records and flight-recorder dumps *)
   stages : stage list;
   metrics : Jsonv.t;  (** a {!Metrics.to_json} snapshot *)
   report : Jsonv.t option;
@@ -37,6 +40,7 @@ val make :
   subcommand:string ->
   argv:string list ->
   ?model:string ->
+  ?trace_id:string ->
   ?stages:stage list ->
   ?metrics:Jsonv.t ->
   ?report:Jsonv.t ->
@@ -60,3 +64,26 @@ val append : ?dir:string -> record -> (unit, string) result
 
 val load : ?dir:string -> unit -> (record list, string) result
 (** All parseable records, oldest first. An absent file is [Ok []]. *)
+
+(** {1 Aggregate statistics}
+
+    The analytics behind [tpan runs --stats]: wall-time percentiles per
+    subcommand and per pipeline stage, plus the exit-code breakdown. *)
+
+type stats_row = {
+  key : string;  (** subcommand or stage name *)
+  runs : int;
+  p50 : float;  (** nearest-rank median, seconds *)
+  p95 : float;
+  total : float;
+}
+
+type stats = {
+  commands : stats_row list;  (** per-subcommand run durations *)
+  stage_stats : stats_row list;  (** per-stage span totals *)
+  exit_codes : (int * int) list;  (** exit code → run count *)
+}
+
+val stats : record list -> stats
+val stats_to_json : stats -> Jsonv.t
+val pp_stats : Format.formatter -> stats -> unit

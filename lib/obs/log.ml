@@ -22,6 +22,7 @@ type record = {
   level : level;
   msg : string;
   lane : int;
+  trace_id : string option;
   fields : field list;
 }
 
@@ -70,7 +71,8 @@ let enabled level = severity level >= !min_severity
 let emit level msg fields =
   if enabled level then begin
     let r =
-      { ts = Unix.gettimeofday (); level; msg; lane = Trace.current_lane (); fields }
+      { ts = Unix.gettimeofday (); level; msg; lane = Trace.current_lane ();
+        trace_id = Context.trace_id (); fields }
     in
     match Local.current () with
     | Some b -> b := r :: !b
@@ -112,14 +114,20 @@ let stderr_sink r =
     r.msg fields lane
 
 let record_to_json r =
+  let trace =
+    match r.trace_id with
+    | Some id -> [ ("trace_id", Jsonv.Str id) ]
+    | None -> []
+  in
   Jsonv.Obj
-    [
-      ("ts", Jsonv.Float r.ts);
-      ("level", Jsonv.Str (level_to_string r.level));
-      ("msg", Jsonv.Str r.msg);
-      ("lane", Jsonv.Int r.lane);
-      ("fields", Jsonv.Obj r.fields);
-    ]
+    ([
+       ("ts", Jsonv.Float r.ts);
+       ("level", Jsonv.Str (level_to_string r.level));
+       ("msg", Jsonv.Str r.msg);
+       ("lane", Jsonv.Int r.lane);
+     ]
+    @ trace
+    @ [ ("fields", Jsonv.Obj r.fields) ])
 
 let ndjson_sink oc r =
   output_string oc (Jsonv.to_string (record_to_json r));

@@ -34,6 +34,8 @@ type record = {
   level : level;
   msg : string;
   lane : int;  (** {!Trace.current_lane} of the emitting domain *)
+  trace_id : string option;
+      (** owning request's {!Context.trace_id}, when one is installed *)
   fields : field list;
 }
 

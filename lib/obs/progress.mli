@@ -7,6 +7,13 @@ val every : int -> (int -> unit) -> int -> unit
     is a positive multiple of [n] — throttles per-state callbacks down
     to periodic reports. *)
 
-val stderr_reporter : ?interval:int -> label:string -> unit -> int -> unit
-(** A throttled callback printing ["<label>: <n> states"] to stderr
-    every [interval] (default 10_000) counts. *)
+val throttle : ?interval:float -> ?mask:int -> (int -> unit) -> int -> unit
+(** [throttle ~interval f] is a callback that forwards to [f] at most
+    once per [interval] seconds (default 0.05 = 50ms) of monotonic-ish
+    time. The clock is read only one call in [mask + 1] ([mask] must be
+    [2^k - 1], default 15), so the per-call cost in a hot loop is an
+    increment and a branch. Throttle state is per returned closure. *)
+
+val stderr_reporter : ?interval:float -> label:string -> unit -> int -> unit
+(** A time-throttled callback printing ["<label>: <n> states"] to
+    stderr at most every [interval] seconds (default 0.05). *)

@@ -40,8 +40,35 @@ let dummy = { sp_name = ""; sp_start = 0.; sp_depth = 0; sp_attrs = []; sp_real 
 let set_lane k = Domain.DLS.get cur_lane := k
 let current_lane () = !(Domain.DLS.get cur_lane)
 
+(* Active span stacks are maintained even with tracing disabled: the
+   diagnostic dump must be able to say where each domain is at the
+   moment of a deadline/stall, and those are exactly the runs that
+   rarely enable full tracing. The always-on cost is a DLS load plus a
+   list cons per span — spans mark stages, not inner-loop iterations,
+   so this is noise. The registry holds each domain's (lane, stack)
+   refs; reads from other domains are racy but single-word, good
+   enough for diagnostics. *)
+type dstack = { ds_lane : int ref; ds_stack : string list ref }
+
+let stacks : dstack list ref = ref []
+let stacks_lock = Mutex.create ()
+
+let stack_key : string list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let st = ref [] in
+      let ds = { ds_lane = Domain.DLS.get cur_lane; ds_stack = st } in
+      Mutex.protect stacks_lock (fun () -> stacks := ds :: !stacks);
+      st)
+
+let span_stacks () =
+  List.rev_map (fun ds -> (!(ds.ds_lane), !(ds.ds_stack))) !stacks
+  |> List.sort compare
+
 let with_span name f =
-  if not !enabled_flag then f dummy
+  let stack = Domain.DLS.get stack_key in
+  stack := name :: !stack;
+  let pop () = match !stack with _ :: tl -> stack := tl | [] -> () in
+  if not !enabled_flag then Fun.protect ~finally:pop (fun () -> f dummy)
   else begin
     let depth = Domain.DLS.get cur_depth in
     let sp =
@@ -51,11 +78,17 @@ let with_span name f =
     incr depth;
     Fun.protect
       ~finally:(fun () ->
+        pop ();
         decr depth;
         let dur = Mclock.now () -. t0 -. sp.sp_start in
+        let attrs =
+          match Context.trace_id () with
+          | Some id -> ("trace_id", id) :: List.rev sp.sp_attrs
+          | None -> List.rev sp.sp_attrs
+        in
         let e =
           { name = sp.sp_name; start = sp.sp_start; dur; depth = sp.sp_depth;
-            lane = current_lane (); attrs = List.rev sp.sp_attrs }
+            lane = current_lane (); attrs }
         in
         Mutex.protect completed_lock (fun () -> completed := e :: !completed))
       (fun () -> f sp)

@@ -3,8 +3,9 @@
     A span records a named region of execution: wall-clock start and
     duration, string key/value attributes, and child spans. Tracing is
     off by default; when disabled, {!with_span} runs the thunk against a
-    shared dummy span and records nothing — no clock read, no
-    allocation beyond the closure the caller already built.
+    shared dummy span and records no event — no clock read; it still
+    maintains the domain's active span stack (one list cons) so
+    diagnostic dumps work on untraced runs.
 
     Completed root spans accumulate in an in-process buffer; export them
     with {!write_ndjson} (one Chrome-trace-compatible ["X"] event per
@@ -46,6 +47,18 @@ val set_lane : int -> unit
     process has ever spawned. *)
 
 val current_lane : unit -> int
+
+(** {1 Active span stacks}
+
+    Maintained even with tracing disabled, so a diagnostic dump can
+    report where every domain is at the instant of a deadline, stall,
+    or [SIGUSR1] — those are exactly the runs that rarely enable full
+    tracing. *)
+
+val span_stacks : unit -> (int * string list) list
+(** [(lane, open spans, innermost first)] for every domain that ever
+    opened a span, sorted by lane. Reads of other domains' stacks are
+    racy but safe — diagnostics-grade accuracy. *)
 
 (** {1 Completed events} *)
 

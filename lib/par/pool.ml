@@ -55,8 +55,12 @@ type obs_deltas = Tpan_obs.Metrics.Local.deltas * Tpan_obs.Log.record list
 let h_minor = Tpan_obs.Metrics.histogram "par.pool.worker_minor_words"
 let h_major = Tpan_obs.Metrics.histogram "par.pool.worker_major_words"
 
-let run_worker lane task : obs_deltas =
+let run_worker ?ctx lane task : obs_deltas =
   Tpan_obs.Trace.set_lane lane;
+  (* the spawning domain's request context rides into the worker, so
+     spans/logs carry the same trace id and a [--deadline] token aborts
+     every lane — worker domains are fresh, their DLS starts empty *)
+  Tpan_obs.Context.set ctx;
   Tpan_obs.Metrics.Local.install ();
   Tpan_obs.Log.Local.install ();
   (* [Gc.counters], not [quick_stat]: in OCaml 5 the stat record's
@@ -114,8 +118,10 @@ let try_map ?jobs f xs =
         work ()
       end
     in
+    let ctx = Tpan_obs.Context.current () in
     let domains =
-      Array.init (j - 1) (fun k -> Domain.spawn (fun () -> run_worker (k + 1) work))
+      Array.init (j - 1) (fun k ->
+          Domain.spawn (fun () -> run_worker ?ctx (k + 1) work))
     in
     with_worker_flag work;
     let deltas = Array.map Domain.join domains in
@@ -153,9 +159,10 @@ let parallel_for ?jobs ?(min_chunk = 1) n body =
         let lo, hi = bounds.(k) in
         try body lo hi with e -> failures.(k) <- Some e
       in
+      let ctx = Tpan_obs.Context.current () in
       let domains =
         Array.init (nb - 1) (fun i ->
-            Domain.spawn (fun () -> run_worker (i + 1) (fun () -> run (i + 1))))
+            Domain.spawn (fun () -> run_worker ?ctx (i + 1) (fun () -> run (i + 1))))
       in
       with_worker_flag (fun () -> run 0);
       let deltas = Array.map Domain.join domains in

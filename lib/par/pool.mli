@@ -32,7 +32,12 @@
       the pool is visible in [tpan profile] and the OpenMetrics export.
     - Nested calls run sequentially: a task that itself calls [map]
       (e.g. a parallel linear solve inside a parallel sweep point) gets
-      the sequential fast path instead of a domain explosion. *)
+      the sequential fast path instead of a domain explosion.
+    - The spawning domain's {!Tpan_obs.Context} (trace id, deadline
+      token) is re-installed inside every worker, so spans and log
+      records from all lanes carry the owning request's ids and a
+      [--deadline] crossing aborts every lane at its next
+      {!Tpan_obs.Cancel.checkpoint}. *)
 
 val recommended_jobs : unit -> int
 (** Domains worth using on this machine: [TPAN_JOBS] when set to a

@@ -30,6 +30,7 @@ let of_graph ~add ~mul (g : ('t, 'p) Semantics.graph) =
      the next decision node or a terminal state. *)
   let collapse src (first : ('t, 'p) Semantics.edge) =
     let rec go delay prob fired completed rev_path cur seen =
+      Tpan_obs.Cancel.checkpoint ();
       if is_decision.(cur) then
         { src; dst = To cur; delay; prob; path = List.rev (cur :: rev_path);
           fired = List.rev fired; completed = List.rev completed }

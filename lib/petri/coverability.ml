@@ -41,6 +41,7 @@ let build ?(max_nodes = 100_000) ?(on_progress = fun _ -> ()) net =
   let nodes = ref [] and count = ref 0 in
   let children = Hashtbl.create 256 in
   let add m =
+    Tpan_obs.Cancel.checkpoint ();
     if !count >= max_nodes then raise (Reachability.State_limit max_nodes);
     let i = !count in
     incr count;

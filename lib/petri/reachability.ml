@@ -38,6 +38,7 @@ let explore ?(max_states = 100_000) ?(on_progress = fun _ -> ()) net =
   Queue.add (i0, m0) queue;
   let out = Hashtbl.create 1024 in
   while not (Queue.is_empty queue) do
+    Tpan_obs.Cancel.checkpoint ();
     let i, m = Queue.take queue in
     let succs =
       List.map

@@ -292,6 +292,9 @@ let run ?(seed = 42) ?(warmup = Q.zero) ~horizon tpn =
   let running = ref true in
   while !running do
     incr n_steps;
+    (* gated to every 1024 steps: the checkpoint never touches the RNG
+       or the trace output, so simulation streams stay bit-identical *)
+    if !n_steps land 1023 = 0 then Tpan_obs.Cancel.checkpoint ();
     (* next moment anything must happen *)
     let next_firable = ref None in
     for t = 0 to nt - 1 do

@@ -10,6 +10,7 @@ type t = Tpan_core.Error.t =
   | Parse_error of { line : int; col : int; msg : string }
   | Io_error of string
   | Invalid_input of string
+  | Deadline_exceeded of string
 
 val to_string : t -> string
 

@@ -242,6 +242,101 @@ let test_multilane_trace () =
   Alcotest.(check bool) "sweep points are traced" true
     (List.exists (fun (e : Tpan_obs.Trace.event) -> e.name = "sweep.point") events)
 
+let test_deadline_flag () =
+  let dir = Filename.temp_file "tpan_cli_flight" "" in
+  Sys.remove dir;
+  let dump = Filename.temp_file "tpan_cli_flight" ".ndjson" in
+  Sys.remove dump;
+  (* an analysis that would run for minutes: 1e8 time units of simulated
+     protocol, replicated — the 200ms deadline must abort it with the
+     dedicated exit code, a partial-progress report, and a dump *)
+  let rc, out =
+    run_capture
+      (Printf.sprintf
+         "simulate -m stopwait -t t7 --horizon 100000000 --runs 8 --deadline 200ms \
+          --dump %s --ledger-dir %s"
+         dump dir)
+  in
+  Alcotest.(check int) "deadline abort exits 6" 6 rc;
+  Alcotest.(check bool) "reports the abort" true (contains out "analysis aborted");
+  Alcotest.(check bool) "reports partial progress" true (contains out "partial progress");
+  Alcotest.(check bool) "counts simulator steps" true (contains out "sim steps");
+  (* the dump written at cancellation time must parse and carry the
+     cancelling domain's live span stack *)
+  (match Tpan_obs.Dump.load dump with
+  | Ok frames ->
+    let dumps = List.filter (fun f -> f.Tpan_obs.Dump.kind = "dump") frames in
+    Alcotest.(check bool) "dump frame recorded" true (dumps <> []);
+    List.iter
+      (fun f ->
+        Alcotest.(check bool) "dump names the deadline" true
+          (match f.Tpan_obs.Dump.reason with
+          | Some r -> r = "deadline of 0.2s exceeded"
+          | None -> false);
+        Alcotest.(check bool) "dump has a span stack" true
+          (List.exists (fun (_, stack) -> List.mem "sim.run" stack) f.Tpan_obs.Dump.spans);
+        Alcotest.(check bool) "dump has a trace id" true (f.Tpan_obs.Dump.trace_id <> None))
+      dumps
+  | Error msg -> Alcotest.fail msg);
+  (* the ledger row for the aborted run records exit code 6 and the
+     request's trace id *)
+  let rc2, out2 = run_capture (Printf.sprintf "runs --dir %s --json" dir) in
+  Alcotest.(check int) "runs --json exits 0" 0 rc2;
+  Alcotest.(check bool) "ledger records exit code 6" true
+    (contains out2 "\"exit_code\": 6");
+  Alcotest.(check bool) "ledger records the trace id" true
+    (contains out2 "\"trace_id\"");
+  (* [tpan top] renders the dump *)
+  let rc3, out3 = run_capture (Printf.sprintf "top %s" dump) in
+  Alcotest.(check int) "top exits 0" 0 rc3;
+  Alcotest.(check bool) "top shows the trigger" true (contains out3 "deadline");
+  Alcotest.(check bool) "top shows the lane" true (contains out3 "lane 0");
+  Sys.remove dump
+
+let test_runs_stats () =
+  let dir = Filename.temp_file "tpan_cli_stats" "" in
+  Sys.remove dir;
+  let rc, _ =
+    run_capture (Printf.sprintf "analyze -m stopwait -t t7 --ledger-dir %s" dir)
+  in
+  Alcotest.(check int) "analyze exits 0" 0 rc;
+  let rc2, _ =
+    run_capture (Printf.sprintf "analyze -m stopwait -t t7 --ledger-dir %s" dir)
+  in
+  Alcotest.(check int) "second analyze exits 0" 0 rc2;
+  let rc3, out = run_capture (Printf.sprintf "runs --stats --dir %s" dir) in
+  Alcotest.(check int) "runs --stats exits 0" 0 rc3;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "stats mention %S" needle) true
+        (contains out needle))
+    [
+      "per-subcommand wall time";
+      "per-stage wall time";
+      "analyze";
+      "concrete.build";
+      "exit codes";
+      "0: 2 run(s)";
+    ];
+  let rc4, out4 = run_capture (Printf.sprintf "runs --stats --json --dir %s" dir) in
+  Alcotest.(check int) "runs --stats --json exits 0" 0 rc4;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "stats json mentions %S" needle) true
+        (contains out4 needle))
+    [ "\"commands\""; "\"stages\""; "\"exit_codes\""; "\"p95_seconds\"" ]
+
+let test_fuzz_deadline () =
+  (* a per-case budget far below what any case needs: every case must be
+     recorded as timed out and skipped, and the fuzz loop itself must
+     survive to report them (exit 0 — timeouts are not disagreements) *)
+  let rc, out = run_capture "check --random 2 --quick --deadline 1ms" in
+  Alcotest.(check int) "fuzz with timeouts exits 0" 0 rc;
+  Alcotest.(check bool) "cases recorded as timed out" true (contains out "2 timed out");
+  let rc2, out2 = run_capture "check --random 2 --quick --deadline 1ms --json" in
+  Alcotest.(check int) "json fuzz exits 0" 0 rc2;
+  Alcotest.(check bool) "json counts timeouts" true (contains out2 "\"timed_out\": 2")
+
 let test_error_paths () =
   let rc, out = run_capture "analyze -m nonsense" in
   Alcotest.(check bool) "unknown model fails" true (rc <> 0);
@@ -267,6 +362,10 @@ let suite =
       Alcotest.test_case "version subcommand" `Quick test_version_cmd;
       Alcotest.test_case "metrics subcommand" `Quick test_metrics_cmd;
       Alcotest.test_case "run ledger & runs query" `Quick test_ledger_and_runs;
+      Alcotest.test_case "--deadline aborts with dump & ledger row" `Quick
+        test_deadline_flag;
+      Alcotest.test_case "runs --stats" `Quick test_runs_stats;
+      Alcotest.test_case "fuzz per-case deadline" `Quick test_fuzz_deadline;
       Alcotest.test_case "bench-diff gating" `Quick test_bench_diff_cmd;
       Alcotest.test_case "multi-lane trace at -j4" `Quick test_multilane_trace;
     ] )
