@@ -995,6 +995,56 @@ let checkpoint_overhead () =
   check "armed checkpoints cost <= 1.25x bare (plus 10ms timer slack)"
     (armed <= (bare *. 1.25) +. 0.01)
 
+(* ---------------- SERVE ---------------- *)
+
+(* What the artifact cache buys a served deployment: the same POST /eval
+   request on the symbolic ABP net, answered through [Serve.handle] (the
+   exact code path behind the socket listener), first with the caches
+   wiped before every request — each one pays the symbolic TRG build,
+   the rate solve and the closed-form derivation — then against the warm
+   cache, where only canonicalization, key lookup and ℚ evaluation
+   remain. The wall time recorded as the SERVE figure is the cached
+   batch, so bench-diff gates the hot serving path. *)
+let serve_cache () =
+  section "SERVE" "artifact cache on the /eval serving path (symbolic ABP)";
+  let body =
+    {|{"model":"abp-sym","transition":"recv_new0","point":{
+        "E(to)":"1000","F(send)":"1","F(pkt)":"106.7","F(proc)":"13.5",
+        "F(ack)":"106.7","f(lp)":"0.05","f(dp)":"0.95","f(la)":"0.05",
+        "f(da)":"0.95"}}|}
+  in
+  let eval () =
+    let r =
+      Tpan_serve.Serve.handle Tpan_serve.Serve.default_config ~meth:"POST"
+        ~target:"/eval" ~body
+    in
+    if r.Tpan_serve.Serve.status <> 200 then
+      failwith (Printf.sprintf "SERVE: /eval answered %d: %s" r.Tpan_serve.Serve.status
+           r.Tpan_serve.Serve.body)
+  in
+  let time reps f =
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Sys.time () -. t0) /. float_of_int reps
+  in
+  let cold_reps = 5 and warm_reps = scaled 2000 in
+  let cold =
+    time cold_reps (fun () ->
+        Tpan.Artifact.reset_caches ();
+        eval ())
+  in
+  Tpan.Artifact.reset_caches ();
+  eval ();
+  (* warm the cache *)
+  let warm = time warm_reps eval in
+  let ratio = cold /. warm in
+  Format.printf
+    "  uncached /eval (full symbolic build) %.1fms/req, cached %.4fms/req — %.0fx@."
+    (cold *. 1e3) (warm *. 1e3) ratio;
+  check "cached /eval is >= 50x faster than the uncached analysis" (ratio >= 50.)
+
 (* ---------------- PERF (bechamel) ---------------- *)
 
 let perf () =
@@ -1223,6 +1273,7 @@ let () =
   timed "CHECK" check_diff;
   timed "ORACLE" oracle;
   timed "CHECKPOINT" checkpoint_overhead;
+  timed "SERVE" serve_cache;
   let micro = ref [] in
   timed "PERF" (fun () -> micro := perf ());
   emit_json ~micro:!micro "BENCH_tpan.json";

@@ -98,6 +98,8 @@ type metrics_format = Fmt_table | Fmt_openmetrics | Fmt_json
 let metrics_fmt_opt : metrics_format option ref = ref None
 let metrics_all = ref false
 let current_model : string option ref = ref None
+let current_net_hash : string option ref = ref None
+let json_schema = ref 2
 let last_report : Obs.Jsonv.t option ref = ref None
 let ledger_where : string option ref = ref None
 
@@ -166,7 +168,10 @@ let parse_duration s =
 let default_flight_file () = Filename.concat (Obs.Ledger.default_dir ()) "flight.ndjson"
 
 let obs_setup trace_file metrics m_fmt m_all progress jobs log_level log_file ledger
-    ledger_dir deadline watchdog dump progress_interval =
+    ledger_dir deadline watchdog dump progress_interval schema =
+  (match schema with
+   | 1 | 2 -> json_schema := schema
+   | n -> fail_input (Printf.sprintf "--json-schema %d: only 1 (legacy) and 2 exist" n));
   (match jobs with
    | None -> ()
    | Some 0 -> Tpan_par.Pool.set_default_jobs (Tpan_par.Pool.recommended_jobs ())
@@ -196,8 +201,13 @@ let obs_setup trace_file metrics m_fmt m_all progress jobs log_level log_file le
   (match flight_path with
    | None -> ()
    | Some path ->
+     (* Pin the trace id: the hook may fire on the watchdog domain,
+        which never had this request's context installed. *)
+     let trace_id = ctx.Obs.Context.trace_id in
      Obs.Cancel.set_on_cancel
-       (Some (fun reason -> Obs.Dump.write_dump path (Obs.Cancel.reason_to_string reason))));
+       (Some
+          (fun reason ->
+            Obs.Dump.write_dump ~trace_id path (Obs.Cancel.reason_to_string reason))));
   if deadline_s <> None || watchdog <> None then begin
     Obs.Dump.install_sigusr1 ();
     let wd =
@@ -374,10 +384,20 @@ let obs_term =
       & info [ "progress-interval" ] ~docv:"MS"
           ~doc:"Minimum milliseconds between --progress reports (default 50).")
   in
+  let json_schema_arg =
+    Arg.(
+      value
+      & opt int 2
+      & info [ "json-schema" ] ~docv:"N"
+          ~doc:
+            "Version of the --json document shape: $(b,2) (default; envelope with \
+             $(b,schema), $(b,trace_id), $(b,net_hash), $(b,exit_code)) or $(b,1) (the \
+             pre-serve documents, byte for byte).")
+  in
   Term.(
     const obs_setup $ trace_arg $ metrics_arg $ metrics_format_arg $ metrics_all_arg
     $ progress_arg $ jobs_arg $ log_level_arg $ log_file_arg $ ledger_arg $ ledger_dir_arg
-    $ deadline_arg $ watchdog_arg $ dump_arg $ progress_interval_arg)
+    $ deadline_arg $ watchdog_arg $ dump_arg $ progress_interval_arg $ json_schema_arg)
 
 (* ----- common options ----- *)
 
@@ -409,6 +429,47 @@ let with_net file model k =
       match Tpan.Analysis.load (source_of file model) with
       | Ok tpn -> k tpn
       | Error e -> fail e)
+
+(* The artifact-backed subcommands canonicalize first: the content hash
+   keys the artifact cache and lands in every schema-2 envelope. *)
+let canonicalize tpn =
+  let c = Tpan.Canonical.of_tpn tpn in
+  current_net_hash := Some (Tpan.Canonical.hash c);
+  c
+
+let with_canonical file model k = with_net file model (fun tpn -> k (canonicalize tpn))
+
+(* ----- machine output -----
+
+   Schema 2 wraps every document in one envelope; --json-schema 1
+   reproduces the historical per-command shapes byte for byte. *)
+
+let print_json doc = print_endline (Obs.Jsonv.to_string_hum doc)
+
+let envelope ~kind ?(exit_code = 0) fields =
+  Obs.Jsonv.Obj
+    (("schema", Obs.Jsonv.Int 2)
+    :: ("kind", Obs.Jsonv.Str kind)
+    :: ( "trace_id",
+         match Obs.Context.trace_id () with
+         | Some t -> Obs.Jsonv.Str t
+         | None -> Obs.Jsonv.Null )
+    :: ( "net_hash",
+         match !current_net_hash with
+         | Some h -> Obs.Jsonv.Str h
+         | None -> Obs.Jsonv.Null )
+    :: ("exit_code", Obs.Jsonv.Int exit_code)
+    :: fields)
+
+let print_doc ~kind ~legacy fields =
+  if !json_schema = 1 then print_json (Lazy.force legacy)
+  else print_json (envelope ~kind (Lazy.force fields))
+
+(* Payload fields of a legacy document: everything but the old header. *)
+let fields_of_legacy doc =
+  match doc with
+  | Obs.Jsonv.Obj kvs -> List.filter (fun (k, _) -> k <> "schema" && k <> "kind") kvs
+  | other -> [ ("value", other) ]
 
 (* ----- show ----- *)
 
@@ -480,16 +541,16 @@ let json_arg =
     & info [ "json" ]
         ~doc:"Emit a versioned JSON document (\"schema\": 1) instead of the human report.")
 
-let print_json doc = print_endline (Obs.Jsonv.to_string_hum doc)
-
 let analyze_cmd =
   let run () file model max_states throughputs json =
     if json then
-      with_net file model (fun tpn ->
-          match Tpan.Analysis.analyze ~max_states ~throughputs tpn with
+      with_canonical file model (fun c ->
+          match Tpan.Artifact.analysis ~max_states ~throughputs c with
           | Ok report ->
             let report = { report with Tpan.Analysis.model } in
-            print_json (Tpan.Analysis.report_to_json report)
+            print_doc ~kind:"analysis"
+              ~legacy:(lazy (Tpan.Analysis.report_to_json report))
+              (lazy (Tpan.Analysis.report_fields report))
           | Error e -> fail e)
     else
     with_net file model (fun tpn ->
@@ -583,69 +644,34 @@ let simulate_cmd =
           if point = [] then tpn
           else Tpn.bind_times tpn (List.map (fun (k, v) -> (k, Q.of_decimal_string v)) point)
         in
-        let net = Tpn.net tpn in
-        (* Single run: one trajectory. Replications: [run_many] splits the
-           seeds and fans the runs out over the worker pool ([-j]); the
-           estimate is bit-identical at any jobs count. *)
-        let results =
-          List.map
-            (fun name ->
-              let t = Net.trans_of_name net name in
-              if runs <= 1 then begin
-                let stats = Sim.run ~seed ~horizon tpn in
-                (name, `Single (Sim.throughput stats t, stats.Sim.deadlocked))
-              end
-              else
-                let est = Sim.run_many ~seed ~runs ~horizon tpn (fun s -> Sim.throughput s t) in
-                (name, `Estimate est))
-            throughputs
-        in
-        if json then
-          print_json
-            (Obs.Jsonv.Obj
-               [
-                 ("schema", Obs.Jsonv.Int 1);
-                 ("kind", Obs.Jsonv.Str "simulation");
-                 ("horizon", Obs.Jsonv.Raw (qf horizon));
-                 ("seed", Obs.Jsonv.Int seed);
-                 ("runs", Obs.Jsonv.Int (max 1 runs));
-                 ( "throughputs",
-                   Obs.Jsonv.Obj
-                     (List.map
-                        (fun (name, r) ->
-                          match r with
-                          | `Single (v, deadlocked) ->
-                            ( name,
-                              Obs.Jsonv.Obj
-                                [
-                                  ("mean", Obs.Jsonv.Float v);
-                                  ("deadlocked", Obs.Jsonv.Bool deadlocked);
-                                ] )
-                          | `Estimate est ->
-                            let lo, hi = est.Sim.ci95 in
-                            ( name,
-                              Obs.Jsonv.Obj
-                                [
-                                  ("mean", Obs.Jsonv.Float est.Sim.mean);
-                                  ("std_error", Obs.Jsonv.Float est.Sim.std_error);
-                                  ( "ci95",
-                                    Obs.Jsonv.List [ Obs.Jsonv.Float lo; Obs.Jsonv.Float hi ]
-                                  );
-                                ] ))
-                        results) );
-               ])
-        else
-          List.iter
-            (fun (name, r) ->
-              match r with
-              | `Single (v, deadlocked) ->
-                Printf.printf "throughput(%s): %.6g per time unit%s\n" name v
-                  (if deadlocked then " (deadlocked)" else "")
-              | `Estimate est ->
-                let lo, hi = est.Sim.ci95 in
-                Printf.printf "throughput(%s): %.6g +/- %.2g (95%%: [%.6g, %.6g], %d runs)\n"
-                  name est.Sim.mean (1.96 *. est.Sim.std_error) lo hi est.Sim.runs)
-            results)
+        let c = canonicalize tpn in
+        (* Single run: one trajectory. Replications fan the runs out over
+           the worker pool ([-j]); the estimate is bit-identical at any
+           jobs count — which is what makes the summary cacheable. *)
+        match Tpan.Artifact.simulate ~seed ~runs ~horizon ~transitions:throughputs c with
+        | Error e -> fail e
+        | Ok summary ->
+          if json then
+            print_doc ~kind:"simulation"
+              ~legacy:
+                (lazy
+                  (Obs.Jsonv.Obj
+                     (("schema", Obs.Jsonv.Int 1)
+                     :: ("kind", Obs.Jsonv.Str "simulation")
+                     :: Tpan.Artifact.sim_summary_fields summary)))
+              (lazy (Tpan.Artifact.sim_summary_fields summary))
+          else
+            List.iter
+              (fun (name, stat) ->
+                match stat with
+                | Tpan.Artifact.Single { mean; deadlocked } ->
+                  Printf.printf "throughput(%s): %.6g per time unit%s\n" name mean
+                    (if deadlocked then " (deadlocked)" else "")
+                | Tpan.Artifact.Estimate { mean; std_error; ci95 = lo, hi; runs } ->
+                  Printf.printf
+                    "throughput(%s): %.6g +/- %.2g (95%%: [%.6g, %.6g], %d runs)\n" name
+                    mean (1.96 *. std_error) lo hi runs)
+              summary.Tpan.Artifact.throughputs)
   in
   let horizon_arg =
     Arg.(value & opt string "1000000" & info [ "horizon" ] ~docv:"T" ~doc:"Simulated time span.")
@@ -758,24 +784,28 @@ let sweep_cmd =
           ~make:(fun pt -> m.Tpan.Models.make pt)
           ~throughputs axes
       | _ ->
-        (* symbolic path: derive the closed form once, evaluate per point *)
+        (* symbolic path: the closed forms come from the artifact cache
+           (derived once per net hash), then evaluate per point *)
         with_net file model @@ fun tpn ->
         if Tpn.is_concrete tpn then
           fail_input
             "sweeping a concrete net needs a built-in model (--model NAME) so axes can \
              name its parameters; for a .tpn file use its symbolic variant"
         else begin
-          let g = SG.build ~max_states tpn in
-          let res = M.Symbolic.analyze g in
           if trans = [] then
             fail_input "give at least one -t TRANS to sweep a symbolic throughput";
-          let exprs =
-            List.map (fun t -> ("thr(" ^ t ^ ")", M.Symbolic.throughput res g t)) trans
-          in
-          Sweep.over_expr ~bindings ~exprs axes
+          let c = canonicalize tpn in
+          match
+            Tpan.Artifact.sweep_exprs ~max_states c ~transitions:trans ~bindings ~axes
+          with
+          | Ok table -> table
+          | Error e -> fail e
         end
     in
-    if json then print_json (Sweep.to_json table)
+    if json then
+      print_doc ~kind:"sweep"
+        ~legacy:(lazy (Sweep.to_json table))
+        (lazy (fields_of_legacy (Sweep.to_json table)))
     else if csv then print_string (Sweep.to_csv table)
     else Format.printf "%a@?" Sweep.pp table
   in
@@ -969,11 +999,8 @@ let check_cmd =
               errored
           in
           let failed = List.filter (fun o -> not (CK.ok o)) outcomes in
-          let summary =
-            Obs.Jsonv.Obj
+          let summary_fields =
               [
-                ("schema", Obs.Jsonv.Int 1);
-                ("kind", Obs.Jsonv.Str "check-fuzz");
                 ("cases", Obs.Jsonv.Int random);
                 ("seed", Obs.Jsonv.Int seed);
                 ("disagreeing", Obs.Jsonv.Int (List.length failed));
@@ -993,9 +1020,16 @@ let check_cmd =
                        errored) );
               ]
           in
+          let summary =
+            Obs.Jsonv.Obj
+              (("schema", Obs.Jsonv.Int 1)
+              :: ("kind", Obs.Jsonv.Str "check-fuzz")
+              :: summary_fields)
+          in
           last_report := Some summary;
           write_reproducers repro outcomes;
-          if json then print_json summary
+          if json then
+            print_doc ~kind:"check-fuzz" ~legacy:(lazy summary) (lazy summary_fields)
           else begin
             List.iter
               (fun ((c : GN.case), r) ->
@@ -1014,12 +1048,19 @@ let check_cmd =
     end
     else if diff then
       handle_errors (fun () ->
+          (* canonicalize up front so the schema-2 envelope names the net *)
+          (match Tpan.Analysis.load (source_of file model) with
+           | Ok tpn -> ignore (canonicalize tpn)
+           | Error _ -> ());
           match Tpan.Checker.check_source ~config ?delivery (source_of file model) with
           | Error e -> fail e
           | Ok o ->
             last_report := Some (CK.outcome_to_json o);
             write_reproducers repro [ o ];
-            if json then print_json (CK.outcome_to_json o)
+            if json then
+              print_doc ~kind:"check"
+                ~legacy:(lazy (CK.outcome_to_json o))
+                (lazy (fields_of_legacy (CK.outcome_to_json o)))
             else Format.printf "%a@." CK.pp_outcome o;
             if not (CK.ok o) then quit 1)
     else with_net file model (check_static max_states)
@@ -1185,8 +1226,8 @@ let metrics_cmd =
      | None, None -> ()
      | _ ->
        Obs.Metrics.set_timing true;
-       with_net file model (fun tpn ->
-           match Tpan.Analysis.analyze ~max_states tpn with
+       with_canonical file model (fun c ->
+           match Tpan.Artifact.analysis ~max_states c with
            | Ok _ -> ()
            | Error e -> fail e));
     let format = match !metrics_fmt_opt with Some f -> f | None -> Fmt_openmetrics in
@@ -1396,6 +1437,110 @@ let top_cmd =
           on the analysis side; --follow tails live.")
     Term.(const run $ obs_term $ file_arg $ follow_arg $ replay_arg $ interval_arg)
 
+(* ----- serve ----- *)
+
+(* The server owns its flag set instead of [obs_term]: the per-process
+   --deadline/--watchdog machinery is wrong for a long-running process —
+   here --deadline is a per-request budget, minted into each request's
+   context by the handler. *)
+let serve_cmd =
+  let run host port socket deadline jobs log_level cache_mb cache_dir max_states =
+    handle_errors (fun () ->
+        (match jobs with
+         | None -> ()
+         | Some 0 -> Tpan_par.Pool.set_default_jobs (Tpan_par.Pool.recommended_jobs ())
+         | Some n when n > 0 -> Tpan_par.Pool.set_default_jobs n
+         | Some _ -> fail_input "-j expects a non-negative jobs count (0 = auto)");
+        (match log_level with
+         | None -> ()
+         | Some s -> Obs.Log.set_sinks [ (parse_level s, Obs.Log.stderr_sink) ]);
+        Obs.Metrics.set_timing true;
+        Tpan.Artifact.configure
+          ?budget_bytes:(Option.map (fun mb -> mb * 1024 * 1024) cache_mb)
+          ?persist_dir:cache_dir ();
+        let config =
+          {
+            Tpan_serve.Serve.default_config with
+            Tpan_serve.Serve.host;
+            port = (if port < 0 then None else Some port);
+            socket_path = socket;
+            deadline = Option.map parse_duration deadline;
+            max_states = Some max_states;
+          }
+        in
+        Tpan_serve.Serve.run
+          ~ready:(fun bound ->
+            match bound with
+            | Some p -> Printf.printf "tpan serve: listening on http://%s:%d\n%!" host p
+            | None -> Printf.printf "tpan serve: listening\n%!")
+          config)
+  in
+  let host_arg =
+    Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"IP" ~doc:"Address to bind.")
+  in
+  let port_arg =
+    Arg.(
+      value & opt int 8080
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port ($(b,0) picks an ephemeral one, announced on stdout; $(b,-1) \
+                disables TCP, e.g. with --socket).")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Also listen on a Unix-domain socket.")
+  in
+  let deadline_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "deadline" ] ~docv:"DUR"
+          ~doc:
+            "Per-request budget (e.g. $(b,500ms), $(b,5s)): a request that exceeds it is \
+             aborted cooperatively and answered with HTTP 504 (exit-code 6 semantics in \
+             the envelope).")
+  in
+  let jobs_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "j"; "jobs" ] ~docv:"N" ~doc:"Worker domains for sweeps (0 = auto).")
+  in
+  let log_level_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log-level" ] ~docv:"LEVEL"
+          ~doc:"Print structured log records at $(docv) and above to stderr.")
+  in
+  let cache_budget_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "cache-budget" ] ~docv:"MIB"
+          ~doc:"Artifact-cache byte budget per artifact kind (default 128 MiB).")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Persist closed-form artifacts as NDJSON under $(docv) (e.g. \
+             $(b,.tpan/cache)); a restarted server reloads them and skips the symbolic \
+             build.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the analysis service: POST /analyze, /eval, /sweep; GET /metrics, \
+          /healthz. Artifacts are content-addressed and cached, so repeated requests \
+          for the same net never rebuild the symbolic reachability graph.")
+    Term.(
+      const run $ host_arg $ port_arg $ socket_arg $ deadline_arg $ jobs_arg
+      $ log_level_arg $ cache_budget_arg $ cache_dir_arg $ max_states_arg)
+
 (* ----- version ----- *)
 
 let version_cmd =
@@ -1428,5 +1573,6 @@ let () =
             runs_cmd;
             top_cmd;
             bench_diff_cmd;
+            serve_cmd;
             version_cmd;
           ]))

@@ -1,0 +1,216 @@
+module J = Tpan_obs.Jsonv
+module Metrics = Tpan_obs.Metrics
+module Log = Tpan_obs.Log
+
+type 'a entry = { value : 'a; weight : int; mutable tick : int }
+
+type 'a t = {
+  name : string;
+  budget : int;
+  table : (string, 'a entry) Hashtbl.t;
+  mutex : Mutex.t;
+  mutable clock : int;
+  mutable bytes : int;
+  hits : Metrics.Counter.t;
+  misses : Metrics.Counter.t;
+  evictions : Metrics.Counter.t;
+  bytes_g : Metrics.Gauge.t;
+  entries_g : Metrics.Gauge.t;
+  persist : (string * ('a -> J.t)) option;  (* file path, encoder *)
+}
+
+type stats = { hits : int; misses : int; evictions : int; entries : int; bytes : int }
+
+let locked (c : _ t) f =
+  Mutex.lock c.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) f
+
+(* Charge the key and a few words of table/entry overhead alongside the
+   value itself, so even immediate values carry a non-zero weight. *)
+let weigh key v =
+  (Obj.reachable_words (Obj.repr v) + Obj.reachable_words (Obj.repr key) + 8)
+  * (Sys.word_size / 8)
+
+let publish_gauges (c : _ t) =
+  Metrics.Gauge.set c.bytes_g (float_of_int c.bytes);
+  Metrics.Gauge.set c.entries_g (float_of_int (Hashtbl.length c.table))
+
+let touch (c : _ t) e =
+  c.clock <- c.clock + 1;
+  e.tick <- c.clock
+
+(* Evict least-recently-used entries until the total fits the budget,
+   never evicting [keep] (the entry whose insertion triggered this). *)
+let enforce_budget (c : _ t) ~keep =
+  while
+    c.bytes > c.budget
+    &&
+    let victim = ref None in
+    Hashtbl.iter
+      (fun k (e : _ entry) ->
+        if k <> keep then
+          match !victim with
+          | Some (_, t) when t <= e.tick -> ()
+          | _ -> victim := Some (k, e.tick))
+      c.table;
+    match !victim with
+    | None -> false
+    | Some (k, _) ->
+      let e = Hashtbl.find c.table k in
+      Hashtbl.remove c.table k;
+      c.bytes <- c.bytes - e.weight;
+      Metrics.Counter.incr c.evictions;
+      true
+  do
+    ()
+  done;
+  publish_gauges c
+
+let unlocked_put ?(persist = true) (c : _ t) key value =
+  (match Hashtbl.find_opt c.table key with
+   | Some old ->
+     Hashtbl.remove c.table key;
+     c.bytes <- c.bytes - old.weight
+   | None -> ());
+  let e = { value; weight = weigh key value; tick = 0 } in
+  touch c e;
+  Hashtbl.replace c.table key e;
+  c.bytes <- c.bytes + e.weight;
+  enforce_budget c ~keep:key;
+  match if persist then c.persist else None with
+  | None -> ()
+  | Some (path, encode) -> (
+    let line =
+      J.to_string
+        (J.Obj
+           [
+             ("schema", J.Int 1);
+             ("kind", J.Str c.name);
+             ("key", J.Str key);
+             ("value", encode value);
+           ])
+    in
+    try
+      let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+      Fun.protect
+        ~finally:(fun () -> Unix.close fd)
+        (fun () ->
+          let b = Bytes.of_string (line ^ "\n") in
+          ignore (Unix.write fd b 0 (Bytes.length b)))
+    with Unix.Unix_error (err, _, _) ->
+      Log.warn "cache: cannot persist entry"
+        ~fields:
+          [ ("cache", J.Str c.name); ("error", J.Str (Unix.error_message err)) ])
+
+let load_persisted (c : _ t) decode path =
+  match open_in path with
+  | exception Sys_error _ -> ()
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let skipped = ref 0 in
+        (try
+           while true do
+             let line = input_line ic in
+             if String.trim line <> "" then
+               match J.of_string line with
+               | Ok doc -> (
+                 match (J.member "key" doc, J.member "value" doc) with
+                 | Some (J.Str key), Some v -> (
+                   match decode v with
+                   | Some value -> unlocked_put ~persist:false c key value
+                   | None -> incr skipped)
+                 | _ -> incr skipped)
+               | Error _ -> incr skipped
+           done
+         with End_of_file -> ());
+        if !skipped > 0 then
+          Log.warn "cache: skipped undecodable persisted entries"
+            ~fields:[ ("cache", J.Str c.name); ("skipped", J.Int !skipped) ])
+
+let create ~name ?(budget_bytes = 64 * 1024 * 1024) ?persist ?encode ?decode () =
+  let persist_cfg =
+    match (persist, encode, decode) with
+    | None, _, _ -> None
+    | Some dir, Some enc, Some _ ->
+      (try
+         if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+       with Unix.Unix_error _ -> ());
+      Some (Filename.concat dir (name ^ ".ndjson"), enc)
+    | Some _, _, _ ->
+      invalid_arg "Cache.create: persist requires both encode and decode"
+  in
+  let metric m = "cache." ^ name ^ "." ^ m in
+  let c =
+    {
+      name;
+      budget = budget_bytes;
+      table = Hashtbl.create 64;
+      mutex = Mutex.create ();
+      clock = 0;
+      bytes = 0;
+      hits = Metrics.counter (metric "hits");
+      misses = Metrics.counter (metric "misses");
+      evictions = Metrics.counter (metric "evictions");
+      bytes_g = Metrics.gauge (metric "bytes");
+      entries_g = Metrics.gauge (metric "entries");
+      persist = persist_cfg;
+    }
+  in
+  (match (persist_cfg, decode) with
+   | Some (path, _), Some dec -> locked c (fun () -> load_persisted c dec path)
+   | _ -> ());
+  c
+
+let unlocked_find (c : _ t) key =
+  match Hashtbl.find_opt c.table key with
+  | Some e ->
+    Metrics.Counter.incr c.hits;
+    touch c e;
+    Some e.value
+  | None ->
+    Metrics.Counter.incr c.misses;
+    None
+
+let find c key = locked c (fun () -> unlocked_find c key)
+let put c key value = locked c (fun () -> unlocked_put c key value)
+
+let find_or_build c key build =
+  locked c (fun () ->
+      match unlocked_find c key with
+      | Some v -> v
+      | None ->
+        let v = build () in
+        unlocked_put c key v;
+        v)
+
+let mem c key = locked c (fun () -> Hashtbl.mem c.table key)
+
+let remove c key =
+  locked c (fun () ->
+      match Hashtbl.find_opt c.table key with
+      | None -> ()
+      | Some e ->
+        Hashtbl.remove c.table key;
+        c.bytes <- c.bytes - e.weight;
+        publish_gauges c)
+
+let clear c =
+  locked c (fun () ->
+      Hashtbl.reset c.table;
+      c.bytes <- 0;
+      publish_gauges c)
+
+let stats c =
+  locked c (fun () ->
+      {
+        hits = Metrics.Counter.value c.hits;
+        misses = Metrics.Counter.value c.misses;
+        evictions = Metrics.Counter.value c.evictions;
+        entries = Hashtbl.length c.table;
+        bytes = c.bytes;
+      })
+
+let name c = c.name
+let budget_bytes c = c.budget

@@ -1,0 +1,80 @@
+(** Keyed artifact cache: in-memory LRU under a byte budget, with
+    optional NDJSON persistence.
+
+    One ['a t] instance holds one {e kind} of artifact (closed-form
+    throughput expressions, analysis reports, simulation summaries, …),
+    keyed by strings — in practice a {!Tpan.Canonical} content hash plus
+    the artifact's own parameters. The cache is the reason identical
+    nets hit the symbolic build exactly once: {!find_or_build} computes
+    under the instance mutex, so concurrent requests for the same key
+    from several domains observe exactly one build and share the result
+    {e physically} (OCaml 5 domains share the major heap).
+
+    Sizing is by estimated bytes ({!Obj.reachable_words}); when an
+    insertion pushes the total over the budget, least-recently-used
+    entries are evicted until it fits (the entry just inserted is never
+    evicted by its own insertion).
+
+    Every instance registers three counters and two gauges in
+    {!Tpan_obs.Metrics}: [cache.<name>.hits], [cache.<name>.misses],
+    [cache.<name>.evictions], [cache.<name>.bytes],
+    [cache.<name>.entries] — the serve smoke test asserts "exactly one
+    symbolic build" on the miss counter.
+
+    Persistence is opt-in and codec-based: pass [persist] (a directory)
+    together with [encode]/[decode] and every store appends one NDJSON
+    line [{"schema": 1, "kind": <name>, "key": …, "value": …}] to
+    [<dir>/<name>.ndjson]; a fresh instance replays the file at
+    creation (last write wins, byte budget enforced). Artifacts are
+    re-{e decoded} — never unmarshaled — so values built by an earlier
+    process re-intern their symbols in this one. *)
+
+type 'a t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  entries : int;
+  bytes : int;  (** estimated resident size of all values *)
+}
+
+val create :
+  name:string ->
+  ?budget_bytes:int ->
+  ?persist:string ->
+  ?encode:('a -> Tpan_obs.Jsonv.t) ->
+  ?decode:(Tpan_obs.Jsonv.t -> 'a option) ->
+  unit ->
+  'a t
+(** [budget_bytes] defaults to 64 MiB. [persist] without both codecs is
+    rejected ([Invalid_argument]); an unreadable or torn persistence
+    file degrades to an empty cache (a warning is logged, lines that do
+    not decode are skipped). *)
+
+val find : 'a t -> string -> 'a option
+(** Bumps the hit/miss counters and the entry's recency. *)
+
+val put : 'a t -> string -> 'a -> unit
+(** Insert or replace, then evict LRU entries beyond the byte budget
+    (and append to the persistence file, when configured). *)
+
+val find_or_build : 'a t -> string -> (unit -> 'a) -> 'a
+(** [find_or_build c key build] returns the cached value or runs
+    [build] and stores its result — atomically: two domains racing on
+    the same key observe one [build] call and the same physical value.
+    A raising [build] caches nothing (the exception passes through and
+    the miss is still counted). *)
+
+val mem : 'a t -> string -> bool
+(** No counter or recency effect. *)
+
+val remove : 'a t -> string -> unit
+
+val clear : 'a t -> unit
+(** Drop every entry (counters keep their totals; the persistence file
+    is left untouched — it is an append-only journal, not the truth). *)
+
+val stats : 'a t -> stats
+val name : 'a t -> string
+val budget_bytes : 'a t -> int

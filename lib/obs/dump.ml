@@ -35,13 +35,13 @@ let gc_stats () =
     ("major_collections", float_of_int s.Gc.major_collections);
   ]
 
-let snapshot ?(kind = "frame") ?reason () =
+let snapshot ?(kind = "frame") ?reason ?trace_id () =
   {
     ts = Unix.gettimeofday ();
     uptime = Mclock.now () -. epoch;
     kind;
     reason;
-    trace_id = Context.trace_id ();
+    trace_id = (match trace_id with Some _ -> trace_id | None -> Context.trace_id ());
     spans = Trace.span_stacks ();
     progress = Cancel.heartbeats ();
     gc = gc_stats ();
@@ -269,8 +269,8 @@ let install_sigusr1 () =
 
 type watchdog = { stop_flag : bool Atomic.t; dom : unit Domain.t }
 
-let write_dump path reason =
-  let f = snapshot ~kind:"dump" ~reason () in
+let write_dump ?trace_id path reason =
+  let f = snapshot ~kind:"dump" ~reason ?trace_id () in
   ignore (append path f : (unit, string) result);
   Log.warn ~fields:[ ("reason", Jsonv.Str reason); ("path", Jsonv.Str path) ]
     "flight recorder dump written"

@@ -23,8 +23,11 @@ type frame = {
   metrics : Jsonv.t;  (** {!Metrics.to_json} array *)
 }
 
-val snapshot : ?kind:string -> ?reason:string -> unit -> frame
-(** Capture the current process state. [kind] defaults to ["frame"]. *)
+val snapshot : ?kind:string -> ?reason:string -> ?trace_id:string -> unit -> frame
+(** Capture the current process state. [kind] defaults to ["frame"].
+    [trace_id] overrides the ambient {!Context.trace_id} — needed when
+    the snapshot is taken on a domain (e.g. the watchdog) that never had
+    the request's context installed. *)
 
 val to_json : frame -> Jsonv.t
 val of_json : Jsonv.t -> frame option
@@ -79,6 +82,8 @@ val install_sigusr1 : unit -> unit
     (the handler only sets an atomic; the watchdog does the IO). No-op
     on platforms without the signal. *)
 
-val write_dump : string -> string -> unit
+val write_dump : ?trace_id:string -> string -> string -> unit
 (** [write_dump path reason] appends a ["dump"] frame now (used by the
-    cancellation hook and the CLI; failures are logged, not raised). *)
+    cancellation hook and the CLI; failures are logged, not raised).
+    [trace_id] pins the owning request's id when the caller may run on a
+    context-less domain. *)

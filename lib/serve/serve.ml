@@ -1,0 +1,515 @@
+module Obs = Tpan_obs
+module J = Obs.Jsonv
+module Q = Tpan_mathkit.Q
+
+type config = {
+  host : string;
+  port : int option;
+  socket_path : string option;
+  deadline : float option;
+  max_states : int option;
+  max_body : int;
+}
+
+let default_config =
+  {
+    host = "127.0.0.1";
+    port = Some 8080;
+    socket_path = None;
+    deadline = None;
+    max_states = None;
+    max_body = 8 * 1024 * 1024;
+  }
+
+type response = { status : int; content_type : string; body : string }
+
+let m_requests = lazy (Obs.Metrics.counter "serve.requests")
+let m_errors = lazy (Obs.Metrics.counter "serve.errors")
+let m_timeouts = lazy (Obs.Metrics.counter "serve.timeouts")
+let m_latency = lazy (Obs.Metrics.histogram "serve.latency_s")
+
+(* [Http_error] is a protocol-level rejection (bad route, bad JSON);
+   application failures travel as [Tpan.Error.t] and keep their exit
+   codes in the envelope. *)
+exception Http_error of int * string
+exception App_error of Tpan.Error.t
+
+let bad msg = raise (Http_error (400, msg))
+
+(* ----- request JSON helpers ----- *)
+
+let pow2 k =
+  let rec go acc k = if k = 0 then acc else go (Q.mul acc (Q.of_int 2)) (k - 1) in
+  go Q.one k
+
+(* Floats decode to their exact binary rational, so a client sending
+   [0.25] and one sending ["1/4"] hit the same cache key downstream. *)
+let q_of_float f =
+  if Float.is_integer f then Q.of_int (int_of_float f)
+  else begin
+    let m = ref f and k = ref 0 in
+    while not (Float.is_integer !m) && !k < 1100 do
+      m := !m *. 2.;
+      incr k
+    done;
+    if not (Float.is_integer !m) then bad "non-finite number";
+    Q.div (Q.of_int (int_of_float !m)) (pow2 !k)
+  end
+
+let q_of_json field = function
+  | J.Int n -> Q.of_int n
+  | J.Float f -> q_of_float f
+  | J.Str s -> (
+    try Q.of_decimal_string s
+    with _ -> bad (Printf.sprintf "%s: %S is not a rational (use \"a/b\" or decimal)" field s))
+  | _ -> bad (Printf.sprintf "%s: expected a number or rational string" field)
+
+let obj_of_body body =
+  if String.trim body = "" then bad "empty body (expected a JSON object)"
+  else
+    match J.of_string body with
+    | Ok (J.Obj _ as o) -> o
+    | Ok _ -> bad "request body must be a JSON object"
+    | Error e -> bad ("malformed JSON body: " ^ e)
+
+let str_field field obj =
+  match J.member field obj with
+  | Some (J.Str s) -> Some s
+  | Some _ -> bad (Printf.sprintf "%s: expected a string" field)
+  | None -> None
+
+let int_field field obj =
+  match J.member field obj with
+  | None -> None
+  | Some v -> (
+    match J.to_int_opt v with
+    | Some n -> Some n
+    | None -> bad (Printf.sprintf "%s: expected an integer" field))
+
+let str_list_field field obj =
+  match J.member field obj with
+  | None -> []
+  | Some (J.List vs) ->
+    List.map
+      (function
+        | J.Str s -> s | _ -> bad (Printf.sprintf "%s: expected strings" field))
+      vs
+  | Some _ -> bad (Printf.sprintf "%s: expected a list of strings" field)
+
+let bindings_field field obj =
+  match J.member field obj with
+  | None -> []
+  | Some (J.Obj kvs) ->
+    List.map (fun (k, v) -> (k, q_of_json (field ^ "." ^ k) v)) kvs
+  | Some _ -> bad (Printf.sprintf "%s: expected an object of variable bindings" field)
+
+(* ----- net resolution -----
+
+   A request names its net with exactly one of ["model"] (builtin, with
+   optional ["params"]) or ["net"] (inline .tpn source). Both land on
+   the same canonicalized artifact keys, so a model requested by name
+   and the same net posted as source share cache entries. *)
+
+let canonical_of_body obj =
+  let model = str_field "model" obj in
+  let net = str_field "net" obj in
+  let load source params =
+    match Tpan.Analysis.load ~params source with
+    | Ok tpn -> Tpan.Canonical.of_tpn tpn
+    | Error e -> raise (App_error e)
+  in
+  match (model, net) with
+  | Some name, None -> load (Tpan.Analysis.Builtin name) (bindings_field "params" obj)
+  | None, Some src -> (
+    if J.member "params" obj <> None then
+      bad "params: only builtin models take parameters (edit the net source)";
+    match Tpan.Error.guard (fun () -> Tpan_dsl.Parser.parse_string src) with
+    | Ok tpn -> Tpan.Canonical.of_tpn tpn
+    | Error e -> raise (App_error e))
+  | _ -> bad "body must carry exactly one of \"model\" or \"net\""
+
+(* ----- response envelopes ----- *)
+
+let envelope ~kind ~net_hash ~exit_code fields =
+  J.Obj
+    (("schema", J.Int 2)
+    :: ("kind", J.Str kind)
+    :: ( "trace_id",
+         match Obs.Context.trace_id () with Some t -> J.Str t | None -> J.Null )
+    :: ("net_hash", (match net_hash with Some h -> J.Str h | None -> J.Null))
+    :: ("exit_code", J.Int exit_code)
+    :: fields)
+
+let json status doc =
+  { status; content_type = "application/json"; body = J.to_string_hum doc ^ "\n" }
+
+let status_of_error e =
+  match Tpan.Error.exit_code e with 6 -> 504 | 2 -> 400 | _ -> 422
+
+let error_response ?net_hash status ~exit_code msg =
+  json status
+    (envelope ~kind:"error" ~net_hash ~exit_code [ ("error", J.Str msg) ])
+
+let qf q = Format.asprintf "%a" (Q.pp_decimal ~digits:6) q
+
+(* ----- endpoint handlers ----- *)
+
+let h_analyze config obj =
+  let canonical = canonical_of_body obj in
+  let max_states =
+    match int_field "max_states" obj with Some _ as s -> s | None -> config.max_states
+  in
+  let throughputs = str_list_field "throughputs" obj in
+  match Tpan.Artifact.analysis ?max_states ~throughputs canonical with
+  | Ok report ->
+    json 200
+      (envelope ~kind:"analysis"
+         ~net_hash:(Some (Tpan.Canonical.hash canonical))
+         ~exit_code:0
+         (Tpan.Analysis.report_fields report))
+  | Error e ->
+    error_response
+      ~net_hash:(Tpan.Canonical.hash canonical)
+      (status_of_error e) ~exit_code:(Tpan.Error.exit_code e) (Tpan.Error.to_string e)
+
+let h_eval config obj =
+  let canonical = canonical_of_body obj in
+  let max_states =
+    match int_field "max_states" obj with Some _ as s -> s | None -> config.max_states
+  in
+  let transition =
+    match str_field "transition" obj with
+    | Some t -> t
+    | None -> bad "transition: required"
+  in
+  let point = bindings_field "point" obj in
+  match Tpan.Artifact.eval ?max_states canonical ~transition ~point with
+  | Ok v ->
+    json 200
+      (envelope ~kind:"eval"
+         ~net_hash:(Some (Tpan.Canonical.hash canonical))
+         ~exit_code:0
+         [
+           ("transition", J.Str transition);
+           ("throughput", J.Str (Q.to_string v));
+           ("decimal", J.Raw (qf v));
+           ("period", J.Str (if Q.is_zero v then "inf" else Q.to_string (Q.inv v)));
+         ])
+  | Error e ->
+    error_response
+      ~net_hash:(Tpan.Canonical.hash canonical)
+      (status_of_error e) ~exit_code:(Tpan.Error.exit_code e) (Tpan.Error.to_string e)
+
+let axes_field obj =
+  match J.member "axes" obj with
+  | None | Some (J.List []) -> bad "axes: at least one axis required"
+  | Some (J.List vs) ->
+    List.map
+      (function
+        | J.Str spec -> (
+          match Tpan_perf.Sweep.parse_axis spec with
+          | Ok a -> a
+          | Error e -> bad ("axes: " ^ e))
+        | J.Obj _ as a ->
+          let name =
+            match str_field "name" a with Some n -> n | None -> bad "axes[].name: required"
+          in
+          let get f =
+            match J.member f a with
+            | Some v -> q_of_json ("axes[]." ^ f) v
+            | None -> bad (Printf.sprintf "axes[].%s: required" f)
+          in
+          let steps =
+            match int_field "steps" a with Some s when s >= 1 -> s | _ -> bad "axes[].steps: positive integer required"
+          in
+          { Tpan_perf.Sweep.name; lo = get "lo"; hi = get "hi"; steps }
+        | _ -> bad "axes: expected axis objects or \"NAME=LO..HI:STEPS\" strings")
+      vs
+  | Some _ -> bad "axes: expected a list"
+
+let sweep_fields (sw : Tpan_perf.Sweep.t) =
+  let row (r : Tpan_perf.Sweep.row) =
+    J.Obj
+      [
+        ("point", J.Obj (List.map (fun (n, q) -> (n, J.Str (Q.to_string q))) r.point));
+        ("values", J.Obj (List.map (fun (n, q) -> (n, J.Str (Q.to_string q))) r.values));
+        ( "error",
+          match r.error with None -> J.Null | Some e -> J.Str (Tpan.Error.to_string e) );
+      ]
+  in
+  [
+    ( "axes",
+      J.List
+        (List.map
+           (fun (a : Tpan_perf.Sweep.axis) ->
+             J.Obj
+               [
+                 ("name", J.Str a.name);
+                 ("lo", J.Str (Q.to_string a.lo));
+                 ("hi", J.Str (Q.to_string a.hi));
+                 ("steps", J.Int a.steps);
+               ])
+           sw.axes) );
+    ("columns", J.List (List.map (fun c -> J.Str c) sw.columns));
+    ("rows", J.List (List.map row sw.rows));
+  ]
+
+let h_sweep config obj =
+  let canonical = canonical_of_body obj in
+  let max_states =
+    match int_field "max_states" obj with Some _ as s -> s | None -> config.max_states
+  in
+  let transitions =
+    match str_list_field "transitions" obj with
+    | [] -> bad "transitions: at least one transition required"
+    | ts -> ts
+  in
+  let bindings = bindings_field "bindings" obj in
+  let axes = axes_field obj in
+  let jobs = int_field "jobs" obj in
+  match Tpan.Artifact.sweep_exprs ?max_states ?jobs canonical ~transitions ~bindings ~axes with
+  | Ok sw ->
+    json 200
+      (envelope ~kind:"sweep"
+         ~net_hash:(Some (Tpan.Canonical.hash canonical))
+         ~exit_code:0 (sweep_fields sw))
+  | Error e ->
+    error_response
+      ~net_hash:(Tpan.Canonical.hash canonical)
+      (status_of_error e) ~exit_code:(Tpan.Error.exit_code e) (Tpan.Error.to_string e)
+
+(* ----- dispatch ----- *)
+
+let dispatch config ~meth ~path ~body =
+  match (meth, path) with
+  | "GET", "/healthz" ->
+    json 200 (J.Obj [ ("schema", J.Int 2); ("status", J.Str "ok") ])
+  | "GET", "/metrics" ->
+    {
+      status = 200;
+      content_type = "application/openmetrics-text; version=1.0.0; charset=utf-8";
+      body = Obs.Metrics.to_openmetrics ();
+    }
+  | "POST", "/analyze" -> h_analyze config (obj_of_body body)
+  | "POST", "/eval" -> h_eval config (obj_of_body body)
+  | "POST", "/sweep" -> h_sweep config (obj_of_body body)
+  | _, ("/healthz" | "/metrics" | "/analyze" | "/eval" | "/sweep") ->
+    raise (Http_error (405, Printf.sprintf "%s not allowed here" meth))
+  | _ -> raise (Http_error (404, "no such endpoint"))
+
+let handle config ~meth ~target ~body =
+  Obs.Metrics.Counter.incr (Lazy.force m_requests);
+  let t0 = Unix.gettimeofday () in
+  let path =
+    match String.index_opt target '?' with
+    | Some i -> String.sub target 0 i
+    | None -> target
+  in
+  let ctx = Obs.Context.make ?deadline:config.deadline () in
+  let resp =
+    Obs.Context.with_ctx ctx (fun () ->
+        try dispatch config ~meth ~path ~body with
+        | Http_error (status, msg) -> error_response status ~exit_code:2 msg
+        | App_error e ->
+          error_response (status_of_error e) ~exit_code:(Tpan.Error.exit_code e)
+            (Tpan.Error.to_string e)
+        | Obs.Cancel.Cancelled reason ->
+          error_response 504 ~exit_code:6 (Obs.Cancel.reason_to_string reason)
+        | exn -> error_response 500 ~exit_code:1 (Printexc.to_string exn))
+  in
+  if resp.status = 504 then Obs.Metrics.Counter.incr (Lazy.force m_timeouts);
+  if resp.status >= 400 then Obs.Metrics.Counter.incr (Lazy.force m_errors);
+  Obs.Metrics.Histogram.observe (Lazy.force m_latency) (Unix.gettimeofday () -. t0);
+  resp
+
+(* ----- the HTTP/1.1 listener -----
+
+   One connection at a time, one request per connection
+   ([Connection: close]): the artifacts are cached and the analyses
+   parallelize internally, so the accept loop stays trivially correct
+   under SIGTERM. *)
+
+let status_text = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 413 -> "Content Too Large"
+  | 422 -> "Unprocessable Content"
+  | 500 -> "Internal Server Error"
+  | 504 -> "Gateway Timeout"
+  | _ -> "Unknown"
+
+let max_header_bytes = 64 * 1024
+
+(* Read until the header terminator, returning (header, leftover-body
+   bytes already read). *)
+let read_head fd =
+  let buf = Buffer.create 1024 in
+  let chunk = Bytes.create 4096 in
+  let rec split_at i =
+    if i + 3 < Buffer.length buf then
+      if
+        Buffer.nth buf i = '\r'
+        && Buffer.nth buf (i + 1) = '\n'
+        && Buffer.nth buf (i + 2) = '\r'
+        && Buffer.nth buf (i + 3) = '\n'
+      then Some i
+      else split_at (i + 1)
+    else None
+  in
+  let rec go scanned =
+    match split_at scanned with
+    | Some i ->
+      let all = Buffer.contents buf in
+      Some (String.sub all 0 i, String.sub all (i + 4) (String.length all - i - 4))
+    | None ->
+      if Buffer.length buf > max_header_bytes then
+        raise (Http_error (400, "request head too large"))
+      else
+        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
+        if n = 0 then None
+        else begin
+          Buffer.add_subbytes buf chunk 0 n;
+          go (max 0 (Buffer.length buf - n - 3))
+        end
+  in
+  go 0
+
+let read_body fd ~already ~length =
+  let buf = Buffer.create length in
+  Buffer.add_string buf already;
+  let chunk = Bytes.create 8192 in
+  while Buffer.length buf < length do
+    let n = Unix.read fd chunk 0 (min (Bytes.length chunk) (length - Buffer.length buf)) in
+    if n = 0 then raise (Http_error (400, "request body truncated"));
+    Buffer.add_subbytes buf chunk 0 n
+  done;
+  Buffer.contents buf
+
+let parse_request_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ meth; target; _version ] -> (meth, target)
+  | _ -> raise (Http_error (400, "malformed request line"))
+
+let content_length headers =
+  let lower = String.lowercase_ascii in
+  List.fold_left
+    (fun acc line ->
+      match String.index_opt line ':' with
+      | Some i when lower (String.trim (String.sub line 0 i)) = "content-length" -> (
+        let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+        match int_of_string_opt v with
+        | Some n when n >= 0 -> Some n
+        | _ -> raise (Http_error (400, "bad Content-Length")))
+      | _ -> acc)
+    None headers
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let rec go off =
+    if off < Bytes.length b then
+      let n = Unix.write fd b off (Bytes.length b - off) in
+      go (off + n)
+  in
+  go 0
+
+let write_response fd resp =
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+        close\r\n\r\n%s"
+       resp.status (status_text resp.status) resp.content_type
+       (String.length resp.body) resp.body)
+
+let serve_connection config fd =
+  match read_head fd with
+  | None -> () (* peer connected and went away *)
+  | Some (head, leftover) ->
+    let resp =
+      try
+        let lines = String.split_on_char '\n' head in
+        let lines = List.map (fun l -> String.trim l) lines in
+        let request_line, headers =
+          match lines with [] -> raise (Http_error (400, "empty request")) | l :: hs -> (l, hs)
+        in
+        let meth, target = parse_request_line request_line in
+        let length = Option.value (content_length headers) ~default:0 in
+        if length > config.max_body then raise (Http_error (413, "request body too large"));
+        let body = read_body fd ~already:leftover ~length in
+        handle config ~meth ~target ~body
+      with Http_error (status, msg) ->
+        Obs.Metrics.Counter.incr (Lazy.force m_errors);
+        error_response status ~exit_code:2 msg
+    in
+    write_response fd resp
+
+let stop_requested = ref false
+
+let install_signals () =
+  let h = Sys.Signal_handle (fun _ -> stop_requested := true) in
+  Sys.set_signal Sys.sigterm h;
+  Sys.set_signal Sys.sigint h;
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
+
+let run ?(ready = fun _ -> ()) config =
+  stop_requested := false;
+  install_signals ();
+  let listeners = ref [] in
+  let tcp_port = ref None in
+  (match config.port with
+  | None -> ()
+  | Some p ->
+    let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt s Unix.SO_REUSEADDR true;
+    Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, p));
+    Unix.listen s 64;
+    (match Unix.getsockname s with
+    | Unix.ADDR_INET (_, bound) -> tcp_port := Some bound
+    | _ -> ());
+    listeners := s :: !listeners);
+  (match config.socket_path with
+  | None -> ()
+  | Some path ->
+    (try Unix.unlink path with Unix.Unix_error _ -> ());
+    let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Unix.bind s (Unix.ADDR_UNIX path);
+    Unix.listen s 64;
+    listeners := s :: !listeners);
+  if !listeners = [] then invalid_arg "serve: no listen address (need a port or a socket path)";
+  ready !tcp_port;
+  Obs.Log.info "serve: listening"
+    ~fields:
+      [
+        ("port", (match !tcp_port with Some p -> J.Int p | None -> J.Null));
+        ( "socket",
+          match config.socket_path with Some p -> J.Str p | None -> J.Null );
+      ];
+  let rec loop () =
+    if not !stop_requested then begin
+      (match Unix.select !listeners [] [] 0.25 with
+      | [], _, _ -> ()
+      | ready_socks, _, _ ->
+        List.iter
+          (fun sock ->
+            match Unix.accept sock with
+            | fd, _ ->
+              Fun.protect
+                ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+                (fun () ->
+                  try serve_connection config fd
+                  with exn ->
+                    Obs.Log.warn "serve: connection failed"
+                      ~fields:[ ("error", J.Str (Printexc.to_string exn)) ])
+            | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
+          ready_socks
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      loop ()
+    end
+  in
+  loop ();
+  List.iter (fun s -> try Unix.close s with Unix.Unix_error _ -> ()) !listeners;
+  (match config.socket_path with
+  | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | None -> ());
+  Obs.Log.info "serve: shutdown complete"

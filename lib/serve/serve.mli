@@ -1,0 +1,50 @@
+(** [tpan serve] — a long-running analysis service over {!Tpan.Artifact}.
+
+    A deliberately minimal HTTP/1.1 front end (raw [Unix] sockets, no
+    web framework in the toolchain) exposing the artifact functions:
+
+    - [POST /analyze] — full concrete analysis report
+    - [POST /eval] — evaluate the cached closed-form throughput at a
+      rational point (the million-user fast path: after the first
+      request for a net, no symbolic build happens again)
+    - [POST /sweep] — closed-form parameter sweep, batched onto the
+      worker pool
+    - [GET /metrics] — the {!Tpan_obs.Metrics} registry as OpenMetrics
+      (includes [cache.*] hit/miss/eviction counters and [serve.*])
+    - [GET /healthz] — liveness
+
+    Every request runs under a fresh {!Tpan_obs.Context} (trace id in
+    every response envelope; the configured deadline as the request's
+    cancellation budget — a deadline crossing aborts the pipeline
+    cooperatively and answers [504] with exit-code 6 semantics).
+    Responses are schema-2 envelopes: [schema], [kind], [trace_id],
+    [net_hash], [exit_code], then the payload.
+
+    Requests are handled sequentially on the accepting thread —
+    analysis itself parallelizes inside via [Tpan_par.Pool], and the
+    cache makes repeated requests cheap; a connection-per-domain
+    front end can be grafted on without touching the handlers. *)
+
+type config = {
+  host : string;  (** IP to bind, e.g. ["127.0.0.1"] *)
+  port : int option;  (** TCP port ([Some 0] picks an ephemeral one) *)
+  socket_path : string option;  (** optional Unix-domain socket *)
+  deadline : float option;  (** per-request budget, seconds *)
+  max_states : int option;  (** default state budget for analyses *)
+  max_body : int;  (** request-body cap, bytes *)
+}
+
+val default_config : config
+(** [127.0.0.1:8080], no Unix socket, no deadline, 8 MiB body cap. *)
+
+type response = { status : int; content_type : string; body : string }
+
+val handle : config -> meth:string -> target:string -> body:string -> response
+(** The pure request handler the listener dispatches to, exposed so
+    tests can drive the full request path (context minting, artifact
+    cache, envelopes, status mapping) without sockets. *)
+
+val run : ?ready:(int option -> unit) -> config -> unit
+(** Bind, announce via [ready] (the actually-bound TCP port — useful
+    with [port = Some 0]), then serve until SIGTERM/SIGINT, finishing
+    the in-flight request before closing the sockets. *)

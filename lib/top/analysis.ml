@@ -55,9 +55,8 @@ let notify report =
   List.iter (fun h -> try h report with _ -> ()) !report_hooks;
   report
 
-let analyze ?max_states ?(throughputs = []) tpn =
-  Result.map notify
-  @@ Error.guard
+let compute ?max_states ?(throughputs = []) tpn =
+  Error.guard
   @@ fun () ->
   let g = CG.build ?max_states tpn in
   let states = CG.Graph.num_states g and edges = CG.Graph.num_edges g in
@@ -95,23 +94,37 @@ let analyze ?max_states ?(throughputs = []) tpn =
         throughputs = [];
       })
 
+(* The deprecated pre-artifact entry point: same pipeline, no
+   canonicalization or caching. One warning per process, through the
+   structured log (stderr only when a sink is configured). *)
+let analyze_warned = ref false
+
+let analyze ?max_states ?throughputs tpn =
+  if not !analyze_warned then begin
+    analyze_warned := true;
+    Tpan_obs.Log.warn
+      "Tpan.Analysis.analyze is deprecated; use Tpan.Artifact.analysis (canonicalized, \
+       cached)"
+  end;
+  Result.map notify (compute ?max_states ?throughputs tpn)
+
 let qf q = Format.asprintf "%a" (Q.pp_decimal ~digits:6) q
 
+let report_fields r =
+  [
+    ("model", (match r.model with None -> J.Null | Some m -> J.Str m));
+    ("states", J.Int r.states);
+    ("edges", J.Int r.edges);
+    ("decision_nodes", J.Int r.decision_nodes);
+    ( "mean_cycle_time",
+      match r.mean_cycle_time with None -> J.Null | Some q -> J.Raw (qf q) );
+    ( "deterministic_period",
+      match r.deterministic_period with None -> J.Null | Some q -> J.Raw (qf q) );
+    ("throughputs", J.Obj (List.map (fun (t, v) -> (t, J.Raw (qf v))) r.throughputs));
+  ]
+
 let report_to_json r =
-  J.Obj
-    [
-      ("schema", J.Int 1);
-      ("kind", J.Str "analysis");
-      ("model", match r.model with None -> J.Null | Some m -> J.Str m);
-      ("states", J.Int r.states);
-      ("edges", J.Int r.edges);
-      ("decision_nodes", J.Int r.decision_nodes);
-      ( "mean_cycle_time",
-        match r.mean_cycle_time with None -> J.Null | Some q -> J.Raw (qf q) );
-      ( "deterministic_period",
-        match r.deterministic_period with None -> J.Null | Some q -> J.Raw (qf q) );
-      ("throughputs", J.Obj (List.map (fun (t, v) -> (t, J.Raw (qf v))) r.throughputs));
-    ]
+  J.Obj (("schema", J.Int 1) :: ("kind", J.Str "analysis") :: report_fields r)
 
 let pp_report fmt r =
   Format.fprintf fmt "@[<v>";

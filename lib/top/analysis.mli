@@ -38,22 +38,44 @@ type report = {
   throughputs : (string * Q.t) list;  (** completions per unit time *)
 }
 
-val analyze :
+val compute :
   ?max_states:int -> ?throughputs:string list -> Tpn.t -> (report, Error.t) result
-(** Concrete nets only ([Unsupported] for symbolic ones — bind their
-    symbols first with {!Tpn.bind_times}). A net that turns out to be
+(** The raw concrete pipeline, uncached and silent: TRG → decision
+    graph → rate solve → measures. Concrete nets only ([Unsupported]
+    for symbolic ones — bind their symbols first with
+    {!Tpn.bind_times}). A net that turns out to be
     deterministic-cyclic is not an error: the report carries
     [deterministic_period] instead of [mean_cycle_time].
 
-    Every successful analysis emits a {!Tpan_obs.Log} info record and
-    runs the registered report hooks. *)
+    Callers normally want {!Artifact.analysis} (content-addressed,
+    cached, notified) instead; [compute] is the function the artifact
+    layer caches. *)
+
+val analyze :
+  ?max_states:int -> ?throughputs:string list -> Tpn.t -> (report, Error.t) result
+(** @deprecated Use {!Artifact.analysis}, which canonicalizes the net
+    and serves repeated requests from the artifact cache. This alias
+    runs {!compute} + {!notify} exactly as before the redesign, and
+    logs a one-time deprecation warning through {!Tpan_obs.Log}. *)
+
+val notify : report -> report
+(** Emit the analysis-complete log record and run the registered
+    report hooks (returns its argument). The artifact layer calls this
+    on every served report — cache hits included — so ledger rows
+    always carry the report they served. *)
 
 val add_report_hook : (report -> unit) -> unit
 (** Observe every successful {!analyze} report — the CLI's run ledger
     uses this to attach analysis summaries to run records. Hooks run on
     the calling domain; a raising hook is ignored. *)
 
+val report_fields : report -> (string * Tpan_obs.Jsonv.t) list
+(** The report's payload fields, envelope-free — the CLI wraps them in
+    its versioned JSON envelope (schema 2: [schema], [trace_id],
+    [net_hash], [exit_code] + payload). *)
+
 val report_to_json : report -> Tpan_obs.Jsonv.t
-(** Versioned machine rendering ([{"schema": 1, "kind": "analysis", …}]). *)
+(** Versioned machine rendering ([{"schema": 1, "kind": "analysis", …}]
+    — the schema-1 shape, kept for compatibility). *)
 
 val pp_report : Format.formatter -> report -> unit

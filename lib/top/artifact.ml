@@ -1,0 +1,285 @@
+module Q = Tpan_mathkit.Q
+module Tpn = Tpan_core.Tpn
+module Net = Tpan_petri.Net
+module CG = Tpan_core.Concrete
+module SG = Tpan_core.Symbolic
+module M = Tpan_perf.Measures
+module Sweep = Tpan_perf.Sweep
+module Sim = Tpan_sim.Simulator
+module Rf = Tpan_symbolic.Ratfun
+module Cache = Tpan_cache.Cache
+module Codec = Tpan_cache.Codec
+module J = Tpan_obs.Jsonv
+
+let artifact_schema = 2
+
+(* ----- cache instances -----
+
+   One cache per artifact kind, created lazily under the configuration
+   in force at first use. [configure] resets them (intended for process
+   startup, before the first request). *)
+
+type config = { budget_bytes : int; persist_dir : string option }
+
+let config = ref { budget_bytes = 128 * 1024 * 1024; persist_dir = None }
+
+type sim_stat =
+  | Single of { mean : float; deadlocked : bool }
+  | Estimate of { mean : float; std_error : float; ci95 : float * float; runs : int }
+
+type sim_summary = {
+  net_hash : string;
+  seed : int;
+  runs : int;
+  horizon : Q.t;
+  throughputs : (string * sim_stat) list;
+}
+
+type caches = {
+  trg : CG.Graph.graph Cache.t;
+  symbolic : (SG.Graph.graph * M.Symbolic.result) Cache.t;
+  closed : Rf.t Cache.t;
+  eval_q : Q.t Cache.t;
+  report : Analysis.report Cache.t;
+  sim : sim_summary Cache.t;
+}
+
+let caches_cell : caches option ref = ref None
+let caches_mutex = Mutex.create ()
+
+let make_caches () =
+  let { budget_bytes; persist_dir } = !config in
+  let mem name = Cache.create ~name ~budget_bytes () in
+  {
+    trg = mem "trg";
+    symbolic = mem "symbolic";
+    closed =
+      Cache.create ~name:"closed_form" ~budget_bytes ?persist:persist_dir
+        ~encode:Codec.ratfun_to_json ~decode:Codec.ratfun_of_json ();
+    eval_q = mem "eval";
+    report = mem "report";
+    sim = mem "sim";
+  }
+
+let caches () =
+  Mutex.lock caches_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock caches_mutex)
+    (fun () ->
+      match !caches_cell with
+      | Some c -> c
+      | None ->
+        let c = make_caches () in
+        caches_cell := Some c;
+        c)
+
+let configure ?budget_bytes ?persist_dir () =
+  Mutex.lock caches_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock caches_mutex)
+    (fun () ->
+      let c = !config in
+      config :=
+        {
+          budget_bytes =
+            (match budget_bytes with Some b -> b | None -> c.budget_bytes);
+          persist_dir =
+            (match persist_dir with Some d -> Some d | None -> c.persist_dir);
+        };
+      caches_cell := None)
+
+let reset_caches () =
+  Mutex.lock caches_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock caches_mutex)
+    (fun () ->
+      match !caches_cell with
+      | None -> ()
+      | Some c ->
+        Cache.clear c.trg;
+        Cache.clear c.symbolic;
+        Cache.clear c.closed;
+        Cache.clear c.eval_q;
+        Cache.clear c.report;
+        Cache.clear c.sim)
+
+(* ----- cached pure functions -----
+
+   [find_or_build] computes under the cache mutex, so identical keys
+   build exactly once even under concurrent requests; a failing build
+   caches nothing — errors must not outlive the request that hit them
+   (a deadline abort, say). [Build_error] carries the typed error
+   through the cache layer. *)
+
+exception Build_error of Error.t
+
+let cached cache key build =
+  match
+    Cache.find_or_build cache key (fun () ->
+        match build () with Ok v -> v | Error e -> raise (Build_error e))
+  with
+  | v -> Ok v
+  | exception Build_error e -> Error e
+
+let ms_key = function None -> "-" | Some n -> string_of_int n
+
+let concrete_trg ?max_states canonical =
+  let key = Printf.sprintf "%s|ms=%s" (Canonical.hash canonical) (ms_key max_states) in
+  cached (caches ()).trg key (fun () ->
+      Error.guard (fun () -> CG.build ?max_states (Canonical.tpn canonical)))
+
+let symbolic ?max_states canonical =
+  let key = Printf.sprintf "%s|ms=%s" (Canonical.hash canonical) (ms_key max_states) in
+  cached (caches ()).symbolic key (fun () ->
+      Error.guard (fun () ->
+          let g = SG.build ?max_states (Canonical.tpn canonical) in
+          (g, M.Symbolic.analyze g)))
+
+let closed_form ?max_states canonical ~transition =
+  let key =
+    Printf.sprintf "%s|ms=%s|thr=%s" (Canonical.hash canonical) (ms_key max_states)
+      transition
+  in
+  cached (caches ()).closed key (fun () ->
+      match symbolic ?max_states canonical with
+      | Error e -> Error e
+      | Ok (g, res) ->
+        Error.guard (fun () ->
+            match M.Symbolic.throughput res g transition with
+            | thr -> thr
+            | exception Not_found ->
+              invalid_arg (Printf.sprintf "unknown transition %S" transition)))
+
+(* Point evaluations are memoized too: on large nets the exact rational
+   evaluation of the closed form dominates a served request, and the
+   result is a pure function of (net, transition, point). *)
+let eval_uncached ?max_states canonical ~transition ~point =
+  match closed_form ?max_states canonical ~transition with
+  | Error e -> Error e
+  | Ok expr -> (
+    match M.Symbolic.eval_at expr point with
+    | v -> Ok v
+    | exception Not_found ->
+      let bound = List.map fst point in
+      let missing =
+        List.sort_uniq String.compare
+          (List.filter_map
+             (fun v ->
+               let n = Tpan_symbolic.Var.name v in
+               if List.mem n bound then None else Some n)
+             (Tpan_symbolic.Poly.vars (Rf.num expr)
+             @ Tpan_symbolic.Poly.vars (Rf.den expr)))
+      in
+      Error
+        (Error.Invalid_input
+           (Printf.sprintf "point misses variable bindings: %s"
+              (String.concat ", " missing)))
+    | exception Division_by_zero ->
+      Error (Error.Unsupported "the throughput denominator vanishes at this point"))
+
+let eval ?max_states canonical ~transition ~point =
+  let pt =
+    List.sort String.compare
+      (List.map (fun (n, q) -> n ^ "=" ^ Q.to_string q) point)
+  in
+  let key =
+    Printf.sprintf "%s|ms=%s|thr=%s|pt=%s" (Canonical.hash canonical)
+      (ms_key max_states) transition (String.concat "," pt)
+  in
+  cached (caches ()).eval_q key (fun () ->
+      eval_uncached ?max_states canonical ~transition ~point)
+
+let sweep_exprs ?max_states ?jobs canonical ~transitions ~bindings ~axes =
+  let rec forms acc = function
+    | [] -> Ok (List.rev acc)
+    | t :: rest -> (
+      match closed_form ?max_states canonical ~transition:t with
+      | Error e -> Error e
+      | Ok expr -> forms (("thr(" ^ t ^ ")", expr) :: acc) rest)
+  in
+  match forms [] transitions with
+  | Error e -> Error e
+  | Ok exprs -> Error.guard (fun () -> Sweep.over_expr ?jobs ~bindings ~exprs axes)
+
+let analysis ?max_states ?(throughputs = []) canonical =
+  let key =
+    Printf.sprintf "%s|ms=%s|thr=%s" (Canonical.hash canonical) (ms_key max_states)
+      (String.concat "," throughputs)
+  in
+  Result.map Analysis.notify
+  @@ cached (caches ()).report key (fun () ->
+         Analysis.compute ?max_states ~throughputs (Canonical.tpn canonical))
+
+let simulate ?(seed = 42) ?(runs = 1) ~horizon ~transitions canonical =
+  let key =
+    Printf.sprintf "%s|seed=%d|runs=%d|h=%s|thr=%s" (Canonical.hash canonical) seed runs
+      (Q.to_string horizon)
+      (String.concat "," transitions)
+  in
+  cached (caches ()).sim key (fun () ->
+      Error.guard (fun () ->
+          let tpn = Canonical.tpn canonical in
+          let net = Tpn.net tpn in
+          let throughputs =
+            List.map
+              (fun name ->
+                let t =
+                  try Net.trans_of_name net name
+                  with Not_found ->
+                    invalid_arg (Printf.sprintf "unknown transition %S" name)
+                in
+                if runs <= 1 then begin
+                  let stats = Sim.run ~seed ~horizon tpn in
+                  ( name,
+                    Single
+                      {
+                        mean = Sim.throughput stats t;
+                        deadlocked = stats.Sim.deadlocked;
+                      } )
+                end
+                else
+                  let est =
+                    Sim.run_many ~seed ~runs ~horizon tpn (fun s -> Sim.throughput s t)
+                  in
+                  ( name,
+                    Estimate
+                      {
+                        mean = est.Sim.mean;
+                        std_error = est.Sim.std_error;
+                        ci95 = est.Sim.ci95;
+                        runs = est.Sim.runs;
+                      } ))
+              transitions
+          in
+          {
+            net_hash = Canonical.hash canonical;
+            seed;
+            runs = max 1 runs;
+            horizon;
+            throughputs;
+          }))
+
+let qf q = Format.asprintf "%a" (Q.pp_decimal ~digits:6) q
+
+let sim_summary_fields s =
+  [
+    ("horizon", J.Raw (qf s.horizon));
+    ("seed", J.Int s.seed);
+    ("runs", J.Int s.runs);
+    ( "throughputs",
+      J.Obj
+        (List.map
+           (fun (name, stat) ->
+             match stat with
+             | Single { mean; deadlocked } ->
+               (name, J.Obj [ ("mean", J.Float mean); ("deadlocked", J.Bool deadlocked) ])
+             | Estimate { mean; std_error; ci95 = lo, hi; runs = _ } ->
+               ( name,
+                 J.Obj
+                   [
+                     ("mean", J.Float mean);
+                     ("std_error", J.Float std_error);
+                     ("ci95", J.List [ J.Float lo; J.Float hi ]);
+                   ] ))
+           s.throughputs) );
+  ]

@@ -1,0 +1,138 @@
+(** Analysis artifacts as pure cached functions of canonical nets.
+
+    This is the redesigned facade the ROADMAP's [tpan serve] item asks
+    for: every analysis product — the concrete timed reachability
+    graph, the symbolic graph with its solved rates, closed-form
+    throughput expressions, full analysis reports, simulation
+    summaries — is an {e artifact}: a schema-versioned value computed
+    by a pure function of a {!Canonical} net (plus the artifact's own
+    parameters), memoized in a keyed {!Tpan_cache.Cache}.
+
+    Identical nets therefore hit the symbolic build {e exactly once}
+    per process (and, with persistence configured, once per cache
+    directory): a million "what's my throughput at loss=p?" requests
+    cost one TRG construction plus a million cheap expression
+    evaluations — the paper's whole argument, turned into an API.
+
+    Artifact kinds are open-ended by design: a future LP bound engine
+    adds a cache and a function here without touching the server or
+    the CLI. Errors are never cached (a deadline abort must not poison
+    the cache for later, better-funded requests).
+
+    The CLI subcommands and [tpan serve] share these functions, so
+    both front ends serve byte-identical results from one code path.
+
+    Cache metrics land in the {!Tpan_obs.Metrics} registry under
+    [cache.trg.*], [cache.symbolic.*], [cache.closed_form.*],
+    [cache.report.*], [cache.sim.*]. *)
+
+module Q = Tpan_mathkit.Q
+
+val artifact_schema : int
+(** Version stamp carried by every artifact's JSON rendering. *)
+
+val configure : ?budget_bytes:int -> ?persist_dir:string -> unit -> unit
+(** Set the per-cache byte budget (default 128 MiB) and an optional
+    persistence directory (e.g. [".tpan/cache"]) for the artifact kinds
+    with a codec (closed forms). Resets existing caches — call once at
+    startup, before the first artifact request. *)
+
+val reset_caches : unit -> unit
+(** Drop every cached artifact (counters keep their totals). The bench
+    harness uses this to measure genuinely-uncached builds. *)
+
+(** {1 Graph artifacts} *)
+
+val concrete_trg :
+  ?max_states:int ->
+  Canonical.t ->
+  (Tpan_core.Concrete.Graph.graph, Error.t) result
+(** The concrete timed reachability graph, cached per
+    [(hash, max_states)]. *)
+
+val symbolic :
+  ?max_states:int ->
+  Canonical.t ->
+  (Tpan_core.Symbolic.Graph.graph * Tpan_perf.Measures.Symbolic.result, Error.t) result
+(** The symbolic TRG together with its collapsed decision graph and
+    solved traversal rates — the expensive artifact everything
+    closed-form hangs off. Cached per [(hash, max_states)]; the
+    [cache.symbolic.misses] counter counts actual symbolic builds. *)
+
+(** {1 Closed forms — the million-user fast path} *)
+
+val closed_form :
+  ?max_states:int ->
+  Canonical.t ->
+  transition:string ->
+  (Tpan_symbolic.Ratfun.t, Error.t) result
+(** The net's closed-form throughput (completions of [transition] per
+    time unit) as a rational function of its symbols. Persistable:
+    with a cache directory configured, a restarted server serves this
+    without rebuilding the symbolic TRG. *)
+
+val eval :
+  ?max_states:int ->
+  Canonical.t ->
+  transition:string ->
+  point:(string * Q.t) list ->
+  (Q.t, Error.t) result
+(** Evaluate the cached closed form at a rational point (keys are
+    variable display names: ["E(t3)"], ["f(t4)"], …). [Invalid_input]
+    on a missing binding, [Unsupported] on a vanishing denominator.
+    The value itself is memoized (cache ["eval"]): on large nets the
+    exact rational evaluation dominates a served request, and the
+    result is a pure function of the net, transition and point. *)
+
+val sweep_exprs :
+  ?max_states:int ->
+  ?jobs:int ->
+  Canonical.t ->
+  transitions:string list ->
+  bindings:(string * Q.t) list ->
+  axes:Tpan_perf.Sweep.axis list ->
+  (Tpan_perf.Sweep.t, Error.t) result
+(** Closed-form sweep: derive (or hit) the cached throughput
+    expressions, then evaluate the grid on the worker pool. *)
+
+(** {1 Reports} *)
+
+val analysis :
+  ?max_states:int ->
+  ?throughputs:string list ->
+  Canonical.t ->
+  (Analysis.report, Error.t) result
+(** The full concrete analysis report, cached per
+    [(hash, max_states, throughputs)]. Every call — hit or miss —
+    runs {!Analysis.notify}, so report hooks (the run ledger) fire per
+    request, not per build. *)
+
+(** {1 Simulation summaries} *)
+
+type sim_stat =
+  | Single of { mean : float; deadlocked : bool }
+  | Estimate of { mean : float; std_error : float; ci95 : float * float; runs : int }
+
+type sim_summary = {
+  net_hash : string;
+  seed : int;
+  runs : int;
+  horizon : Q.t;
+  throughputs : (string * sim_stat) list;
+}
+
+val simulate :
+  ?seed:int ->
+  ?runs:int ->
+  horizon:Q.t ->
+  transitions:string list ->
+  Canonical.t ->
+  (sim_summary, Error.t) result
+(** Monte-Carlo summary, cached per
+    [(hash, seed, runs, horizon, transitions)] — simulation is
+    deterministic in the seed, so the summary is a pure function of
+    its key. Replications fan out over the worker pool exactly as
+    before. *)
+
+val sim_summary_fields : sim_summary -> (string * Tpan_obs.Jsonv.t) list
+(** Envelope-free payload fields (the CLI and server wrap them). *)

@@ -1,0 +1,83 @@
+module Q = Tpan_mathkit.Q
+module Net = Tpan_petri.Net
+module Tpn = Tpan_core.Tpn
+module Var = Tpan_symbolic.Var
+module Lin = Tpan_symbolic.Linexpr
+module C = Tpan_symbolic.Constraints
+
+type t = { tpn : Tpn.t; hash : string; serialization : string }
+
+let time_str = function
+  | Tpn.Fixed q -> Q.to_string q
+  | Tpn.Sym v -> Var.name v
+
+let freq_str = function
+  | Tpn.Freq q -> Q.to_string q
+  | Tpn.Freq_sym v -> Var.name v
+
+(* Deterministic affine-expression rendering: the constant first, then
+   terms sorted by variable display name. *)
+let lin_str e =
+  let terms =
+    Lin.terms e
+    |> List.map (fun (v, c) -> (Var.name v, c))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  String.concat "+"
+    (Q.to_string (Lin.constant e)
+    :: List.map (fun (n, c) -> Q.to_string c ^ "*" ^ n) terms)
+
+let rel_str = function
+  | `Ge -> ">="
+  | `Gt -> ">"
+  | `Eq -> "="
+  | `Le -> "<="
+  | `Lt -> "<"
+
+let serialize tpn =
+  let net = Tpn.net tpn in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "tpan-canonical 1\n";
+  let by_name name xs = List.sort (fun a b -> String.compare (name a) (name b)) xs in
+  let init = Net.initial_marking net in
+  List.iter
+    (fun p ->
+      Buffer.add_string buf
+        (Printf.sprintf "place %s %d\n" (Net.place_name net p) init.(p)))
+    (by_name (Net.place_name net) (Net.places net));
+  let bag_str bag =
+    bag
+    |> List.map (fun (p, w) -> (Net.place_name net p, w))
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (n, w) -> Printf.sprintf "%d*%s" w n)
+    |> String.concat ","
+  in
+  List.iter
+    (fun t ->
+      Buffer.add_string buf
+        (Printf.sprintf "trans %s in=[%s] out=[%s] E=%s F=%s f=%s\n"
+           (Net.trans_name net t)
+           (bag_str (Net.inputs net t))
+           (bag_str (Net.outputs net t))
+           (time_str (Tpn.enabling tpn t))
+           (time_str (Tpn.firing tpn t))
+           (freq_str (Tpn.frequency tpn t))))
+    (by_name (Net.trans_name net) (Net.transitions net));
+  (* Constraint rows sorted (and deduplicated) as rendered strings, so
+     neither declaration order nor labels reach the hash. *)
+  C.constraints (Tpn.constraints tpn)
+  |> List.map (fun (_label, rel, lhs, rhs) ->
+         Printf.sprintf "constraint %s %s %s\n" (lin_str lhs) (rel_str rel)
+           (lin_str rhs))
+  |> List.sort_uniq String.compare
+  |> List.iter (Buffer.add_string buf);
+  Buffer.contents buf
+
+let of_tpn tpn =
+  let serialization = serialize tpn in
+  { tpn; hash = Digest.to_hex (Digest.string serialization); serialization }
+
+let tpn c = c.tpn
+let hash c = c.hash
+let serialization c = c.serialization
+let equal a b = String.equal a.hash b.hash

@@ -1,0 +1,39 @@
+(** Canonicalized timed Petri nets with a stable content hash.
+
+    Content addressing is what makes analysis artifacts cacheable:
+    two requests carrying the same net — regardless of where its
+    [.tpn] file lives, what the net is called, or in what order its
+    places and transitions were declared — must map to the same cache
+    key. [of_tpn] derives a canonical serialization (places and
+    transitions sorted by name, bags sorted by place name, timing
+    specs rendered exactly, the constraint system rendered with
+    deterministically-ordered terms and sorted constraint rows) and
+    hashes it.
+
+    The hash covers everything analysis semantics depend on: marking,
+    arc weights, enabling/firing/frequency specs (symbolic or exact
+    rational) and timing constraints. It deliberately excludes the net
+    name and constraint labels, which are presentation. The
+    serialization format itself is versioned (a [tpan-canonical N]
+    header line), so a format change changes every hash rather than
+    silently colliding with old persisted artifacts. *)
+
+type t
+
+val of_tpn : Tpan_core.Tpn.t -> t
+(** Canonicalization is cheap (sorting a few dozen names) — the net
+    itself is not rebuilt, only serialized in canonical order. *)
+
+val tpn : t -> Tpan_core.Tpn.t
+(** The underlying net, unchanged. *)
+
+val hash : t -> string
+(** Hex content hash (stable across processes and declaration
+    orders). *)
+
+val serialization : t -> string
+(** The canonical text the hash is computed over — for tests and
+    debugging. *)
+
+val equal : t -> t -> bool
+(** Hash equality. *)

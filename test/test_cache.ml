@@ -1,0 +1,220 @@
+(* The artifact cache: hit/miss accounting, LRU eviction under a byte
+   budget, exactly-once builds, persistence round-trips through the
+   expression codec, and physical sharing across worker domains. *)
+
+module Cache = Tpan_cache.Cache
+module Codec = Tpan_cache.Codec
+module Q = Tpan_mathkit.Q
+module Rf = Tpan_symbolic.Ratfun
+module SG = Tpan_core.Symbolic
+module M = Tpan_perf.Measures
+
+(* Metrics counters are find-or-create by name and process-global, so
+   every test uses a cache name of its own for clean counts. *)
+
+let test_hit_miss () =
+  let c = Cache.create ~name:"test.hitmiss" () in
+  Alcotest.(check bool) "empty miss" true (Cache.find c "k" = None);
+  Cache.put c "k" 42;
+  Alcotest.(check bool) "present hit" true (Cache.find c "k" = Some 42);
+  let s = Cache.stats c in
+  Alcotest.(check int) "one miss" 1 s.Cache.misses;
+  Alcotest.(check int) "one hit" 1 s.Cache.hits;
+  Alcotest.(check int) "one entry" 1 s.Cache.entries;
+  Alcotest.(check bool) "bytes accounted" true (s.Cache.bytes > 0);
+  Cache.remove c "k";
+  Alcotest.(check int) "removed" 0 (Cache.stats c).Cache.entries
+
+let test_eviction_under_budget () =
+  (* each value weighs ~8KiB; a budget of ~1.5 values keeps exactly one *)
+  let value tag = (tag, String.make 8192 'x') in
+  let budget = 12 * 1024 in
+  let c = Cache.create ~name:"test.evict" ~budget_bytes:budget () in
+  Cache.put c "one" (value 1);
+  Cache.put c "two" (value 2);
+  let s = Cache.stats c in
+  Alcotest.(check int) "evicted down to one entry" 1 s.Cache.entries;
+  Alcotest.(check int) "one eviction" 1 s.Cache.evictions;
+  Alcotest.(check bool) "within budget" true (s.Cache.bytes <= budget);
+  Alcotest.(check bool) "LRU victim was the older key" true (Cache.mem c "two");
+  Alcotest.(check bool) "older key gone" false (Cache.mem c "one");
+  (* a find refreshes recency: after touching "two", inserting "three"
+     still evicts the stalest entry *)
+  ignore (Cache.find c "two");
+  Cache.put c "three" (value 3);
+  Alcotest.(check bool) "newest present" true (Cache.mem c "three")
+
+let test_find_or_build_exactly_once () =
+  let c = Cache.create ~name:"test.once" () in
+  let builds = ref 0 in
+  let build () =
+    incr builds;
+    ref 7
+  in
+  let a = Cache.find_or_build c "k" build in
+  let b = Cache.find_or_build c "k" build in
+  Alcotest.(check int) "built once" 1 !builds;
+  Alcotest.(check bool) "second call returns the same physical value" true (a == b)
+
+let test_errors_not_cached () =
+  let c = Cache.create ~name:"test.raise" () in
+  let attempts = ref 0 in
+  let failing () =
+    incr attempts;
+    if !attempts = 1 then failwith "transient" else 99
+  in
+  (match Cache.find_or_build c "k" failing with
+   | (_ : int) -> Alcotest.fail "first build should raise"
+   | exception Failure _ -> ());
+  Alcotest.(check int) "nothing cached after a raise" 0 (Cache.stats c).Cache.entries;
+  Alcotest.(check int) "retry rebuilds and caches" 99 (Cache.find_or_build c "k" failing);
+  Alcotest.(check int) "two attempts" 2 !attempts
+
+(* ----- persistence via the expression codec ----- *)
+
+let temp_dir () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tpan_cache_test_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir dir 0o755;
+  dir
+
+let stopwait_sym () =
+  match Tpan.Analysis.load (Tpan.Analysis.Builtin "stopwait-sym") with
+  | Ok tpn -> tpn
+  | Error e -> Alcotest.failf "load stopwait-sym: %s" (Tpan.Error.to_string e)
+
+let closed_form_fresh tpn =
+  let g = SG.build tpn in
+  let res = M.Symbolic.analyze g in
+  M.Symbolic.throughput res g "t7"
+
+let point =
+  [
+    ("E(t3)", Q.of_int 250);
+    ("F(t1)", Q.one);
+    ("F(t2)", Q.one);
+    ("F(t3)", Q.one);
+    ("F(t4)", Q.of_decimal_string "106.7");
+    ("F(t5)", Q.of_decimal_string "106.7");
+    ("F(t6)", Q.of_decimal_string "13.5");
+    ("F(t7)", Q.of_decimal_string "13.5");
+    ("F(t8)", Q.of_decimal_string "106.7");
+    ("F(t9)", Q.of_decimal_string "106.7");
+    ("f(t4)", Q.of_decimal_string "0.05");
+    ("f(t5)", Q.of_decimal_string "0.95");
+    ("f(t8)", Q.of_decimal_string "0.95");
+    ("f(t9)", Q.of_decimal_string "0.05");
+  ]
+
+let test_codec_round_trip () =
+  let thr = closed_form_fresh (stopwait_sym ()) in
+  match Codec.ratfun_of_json (Codec.ratfun_to_json thr) with
+  | None -> Alcotest.fail "closed form does not decode"
+  | Some back ->
+    Alcotest.(check bool) "decoded expression is equal" true (Rf.equal thr back);
+    Alcotest.(check string) "evaluates identically at the paper's point"
+      (Q.to_string (M.Symbolic.eval_at thr point))
+      (Q.to_string (M.Symbolic.eval_at back point))
+
+let test_persistence_round_trip () =
+  let dir = temp_dir () in
+  let mk () =
+    Cache.create ~name:"test.persist" ~persist:dir ~encode:Codec.ratfun_to_json
+      ~decode:Codec.ratfun_of_json ()
+  in
+  let thr = closed_form_fresh (stopwait_sym ()) in
+  let c1 = mk () in
+  Cache.put c1 "thr" thr;
+  (* a second process (modelled by a second cache instance) replays the
+     NDJSON and serves the decoded expression *)
+  let c2 = mk () in
+  (match Cache.find c2 "thr" with
+   | None -> Alcotest.fail "persisted entry not reloaded"
+   | Some back ->
+     Alcotest.(check string) "reloaded closed form evaluates identically"
+       (Q.to_string (M.Symbolic.eval_at thr point))
+       (Q.to_string (M.Symbolic.eval_at back point)));
+  (* last write wins across replays *)
+  Cache.put c2 "thr" (Rf.of_int 3);
+  let c3 = mk () in
+  Alcotest.(check bool) "later write shadows the first" true
+    (match Cache.find c3 "thr" with Some v -> Rf.equal v (Rf.of_int 3) | None -> false)
+
+(* ----- the artifact layer on top ----- *)
+
+let canonical name =
+  match Tpan.Analysis.load (Tpan.Analysis.Builtin name) with
+  | Ok tpn -> Tpan.Canonical.of_tpn tpn
+  | Error e -> Alcotest.failf "load %s: %s" name (Tpan.Error.to_string e)
+
+let test_artifact_parallel_sharing () =
+  Tpan.Artifact.reset_caches ();
+  let c = canonical "stopwait-sym" in
+  let results =
+    Tpan_par.Pool.map ~jobs:4
+      (fun _ ->
+        match Tpan.Artifact.symbolic c with
+        | Ok v -> v
+        | Error e -> Alcotest.failf "symbolic: %s" (Tpan.Error.to_string e))
+      [ 1; 2; 3; 4 ]
+  in
+  match results with
+  | first :: rest ->
+    List.iteri
+      (fun i r ->
+        Alcotest.(check bool)
+          (Printf.sprintf "worker %d shares the cached artifact physically" (i + 1))
+          true (r == first))
+      rest
+  | [] -> Alcotest.fail "no results"
+
+let test_artifact_cached_vs_fresh () =
+  Tpan.Artifact.reset_caches ();
+  let tpn = stopwait_sym () in
+  let c = Tpan.Canonical.of_tpn tpn in
+  let fresh = closed_form_fresh tpn in
+  (match Tpan.Artifact.closed_form c ~transition:"t7" with
+   | Error e -> Alcotest.failf "closed_form: %s" (Tpan.Error.to_string e)
+   | Ok cached ->
+     Alcotest.(check bool) "cached = fresh derivation" true (Rf.equal fresh cached));
+  match Tpan.Artifact.eval c ~transition:"t7" ~point with
+  | Error e -> Alcotest.failf "eval: %s" (Tpan.Error.to_string e)
+  | Ok v ->
+    Alcotest.(check string) "exact value at the paper's point" "1805/486672"
+      (Q.to_string v)
+
+let test_artifact_eval_errors () =
+  Tpan.Artifact.reset_caches ();
+  let c = canonical "stopwait-sym" in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  (match Tpan.Artifact.eval c ~transition:"t7" ~point:[ ("E(t3)", Q.of_int 250) ] with
+   | Error (Tpan.Error.Invalid_input msg) ->
+     Alcotest.(check bool) "names a missing binding" true (contains msg "F(")
+   | Error e -> Alcotest.failf "unexpected error: %s" (Tpan.Error.to_string e)
+   | Ok _ -> Alcotest.fail "incomplete point must not evaluate");
+  match Tpan.Artifact.closed_form c ~transition:"nope" with
+  | Error (Tpan.Error.Invalid_input _) -> ()
+  | Error e -> Alcotest.failf "unexpected error: %s" (Tpan.Error.to_string e)
+  | Ok _ -> Alcotest.fail "unknown transition must not derive"
+
+let suite =
+  ( "cache",
+    [
+      Alcotest.test_case "hit/miss accounting" `Quick test_hit_miss;
+      Alcotest.test_case "LRU eviction under byte budget" `Quick test_eviction_under_budget;
+      Alcotest.test_case "find_or_build builds exactly once" `Quick
+        test_find_or_build_exactly_once;
+      Alcotest.test_case "errors are never cached" `Quick test_errors_not_cached;
+      Alcotest.test_case "expression codec round-trip" `Quick test_codec_round_trip;
+      Alcotest.test_case "persistence round-trip" `Quick test_persistence_round_trip;
+      Alcotest.test_case "-j4 workers share one artifact" `Quick
+        test_artifact_parallel_sharing;
+      Alcotest.test_case "cached = fresh closed form" `Quick test_artifact_cached_vs_fresh;
+      Alcotest.test_case "eval error mapping" `Quick test_artifact_eval_errors;
+    ] )

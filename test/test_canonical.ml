@@ -1,0 +1,103 @@
+(* Canonicalization: a net's content hash must depend on what the net
+   says, not on the order its .tpn file says it in. *)
+
+module Canonical = Tpan.Canonical
+
+let parse = Tpan_dsl.Parser.parse_string
+
+(* A symbolic net exercising every serialized row kind: places with and
+   without initial marking, transitions with symbolic/fixed times and
+   frequencies, and constraints over the symbols. *)
+let header = "net demo"
+
+let places =
+  [ "place p1 init 1"; "place p2"; "place p3"; "place p4 init 2" ]
+
+let transitions =
+  [
+    "trans a { in p1; out p2; fire sym }";
+    "trans b { in p2; out p1; fire sym; freq f(b) }";
+    "trans c { in p2; out p3; fire sym; freq f(c) }";
+    "trans d { in p3, p4; out p1, p4; fire 5 }";
+    "trans e { in p1; out p3; enable E(e); fire 1; freq 0 }";
+  ]
+
+let constraints =
+  [
+    "constraint k1: E(e) > F(b) + 5";
+    "constraint k2: F(a) >= F(c)";
+    "constraint k3: F(d) > 0";
+  ]
+
+let source ~places:ps ~transitions:ts ~constraints:cs =
+  String.concat "\n" ((header :: ps) @ ts @ cs) ^ "\n"
+
+let base_hash =
+  lazy (Canonical.hash (Canonical.of_tpn (parse (source ~places ~transitions ~constraints))))
+
+(* Deterministic Fisher–Yates from an LCG, so every QCheck seed names one
+   permutation reproducibly. *)
+let shuffle seed xs =
+  let st = ref (seed land 0x3FFFFFFF) in
+  let rand n =
+    st := ((!st * 1103515245) + 12345) land 0x3FFFFFFF;
+    !st mod n
+  in
+  let arr = Array.of_list xs in
+  for i = Array.length arr - 1 downto 1 do
+    let j = rand (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done;
+  Array.to_list arr
+
+let prop_order_insensitive =
+  QCheck.Test.make ~count:50 ~name:"shuffled declarations hash identically"
+    QCheck.small_nat (fun seed ->
+      let src =
+        source ~places:(shuffle seed places)
+          ~transitions:(shuffle (seed + 1) transitions)
+          ~constraints:(shuffle (seed + 2) constraints)
+      in
+      String.equal (Lazy.force base_hash) (Canonical.hash (Canonical.of_tpn (parse src))))
+
+let builtin name =
+  match Tpan.Analysis.load (Tpan.Analysis.Builtin name) with
+  | Ok tpn -> Canonical.of_tpn tpn
+  | Error e -> Alcotest.failf "load %s: %s" name (Tpan.Error.to_string e)
+
+let test_stable_and_distinct () =
+  let a1 = builtin "stopwait" and a2 = builtin "stopwait" in
+  Alcotest.(check bool) "same net, same hash" true (Canonical.equal a1 a2);
+  Alcotest.(check string) "hash is deterministic" (Canonical.hash a1) (Canonical.hash a2);
+  let m = builtin "abp" in
+  Alcotest.(check bool) "different nets differ" false (Canonical.equal a1 m);
+  let sym = builtin "stopwait-sym" in
+  Alcotest.(check bool) "symbolic variant differs" false (Canonical.equal a1 sym)
+
+let test_serialization_shape () =
+  let c = builtin "stopwait" in
+  let s = Canonical.serialization c in
+  Alcotest.(check bool) "versioned header" true
+    (String.length s > 17 && String.sub s 0 17 = "tpan-canonical 1\n");
+  Alcotest.(check string) "hash is the digest of the serialization"
+    (Digest.to_hex (Digest.string s))
+    (Canonical.hash c);
+  (* the net's display name is not content *)
+  let renamed = parse (source ~places ~transitions ~constraints) in
+  let renamed2 =
+    parse
+      (String.concat "\n" (("net other" :: places) @ transitions @ constraints) ^ "\n")
+  in
+  Alcotest.(check string) "net name does not reach the hash"
+    (Canonical.hash (Canonical.of_tpn renamed))
+    (Canonical.hash (Canonical.of_tpn renamed2))
+
+let suite =
+  ( "canonical",
+    [
+      QCheck_alcotest.to_alcotest prop_order_insensitive;
+      Alcotest.test_case "stable and distinct across nets" `Quick test_stable_and_distinct;
+      Alcotest.test_case "serialization header and digest" `Quick test_serialization_shape;
+    ] )

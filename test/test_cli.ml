@@ -66,7 +66,36 @@ let test_sweep () =
      symbolic closed form above must agree point for point *)
   check_run "sweep concrete"
     "sweep -m stopwait --vary timeout=250..1000:4 -j 2 --json"
-    [ "\"schema\": 1"; "0.003708"; "0.002851" ]
+    [ "\"schema\": 2"; "\"exit_code\": 0"; "0.003708"; "0.002851" ]
+
+let test_json_schema () =
+  (* schema 2 (default): one envelope around every machine document *)
+  let rc, out = run_capture "analyze -m stopwait -t t7 --json" in
+  Alcotest.(check int) "analyze --json exits 0" 0 rc;
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (Printf.sprintf "schema-2 doc has %S" needle) true
+        (contains out needle))
+    [ "\"schema\": 2"; "\"trace_id\""; "\"net_hash\""; "\"exit_code\": 0"; "0.002851" ];
+  (match Tpan_obs.Jsonv.of_string out with
+   | Ok doc ->
+     Alcotest.(check bool) "net_hash is a string" true
+       (match Tpan_obs.Jsonv.member "net_hash" doc with
+        | Some (Tpan_obs.Jsonv.Str h) -> String.length h = 32
+        | _ -> false)
+   | Error e -> Alcotest.failf "schema-2 output does not parse: %s" e);
+  (* --json-schema 1 reproduces the historical document *)
+  let rc1, out1 = run_capture "analyze -m stopwait -t t7 --json --json-schema 1" in
+  Alcotest.(check int) "--json-schema 1 exits 0" 0 rc1;
+  Alcotest.(check bool) "legacy schema stamp" true (contains out1 "\"schema\": 1");
+  Alcotest.(check bool) "legacy doc has no envelope" false (contains out1 "net_hash");
+  (* same envelope over simulation summaries *)
+  let rc2, out2 =
+    run_capture "simulate -m stopwait -t t7 --horizon 10000 --seed 4 --json"
+  in
+  Alcotest.(check int) "simulate --json exits 0" 0 rc2;
+  Alcotest.(check bool) "simulation envelope" true
+    (contains out2 "\"kind\": \"simulation\"" && contains out2 "\"schema\": 2")
 
 let test_sweep_determinism () =
   let args j =
@@ -76,7 +105,14 @@ let test_sweep_determinism () =
   let rc4, out4 = run_capture (args 4) in
   Alcotest.(check int) "sweep -j1 exits 0" 0 rc1;
   Alcotest.(check int) "sweep -j4 exits 0" 0 rc4;
-  Alcotest.(check string) "sweep --json is byte-identical for -j1 and -j4" out1 out4
+  (* each process mints its own trace id; everything else is deterministic *)
+  let strip_trace out =
+    String.split_on_char '\n' out
+    |> List.filter (fun line -> not (contains line "\"trace_id\""))
+    |> String.concat "\n"
+  in
+  Alcotest.(check string) "sweep --json is byte-identical for -j1 and -j4"
+    (strip_trace out1) (strip_trace out4)
 
 let test_profile () =
   check_run "profile" (Printf.sprintf "profile %s" stopwait_tpn)
@@ -355,6 +391,7 @@ let suite =
       Alcotest.test_case "dot outputs" `Quick test_dot;
       Alcotest.test_case "sweep" `Quick test_sweep;
       Alcotest.test_case "sweep determinism across -j" `Quick test_sweep_determinism;
+      Alcotest.test_case "--json schema 2 and --json-schema 1" `Quick test_json_schema;
       Alcotest.test_case "profile" `Quick test_profile;
       Alcotest.test_case "--trace writes NDJSON" `Quick test_trace_flag;
       Alcotest.test_case "--metrics prints table" `Quick test_metrics_flag;

@@ -1,0 +1,138 @@
+(* The analysis service, driven through [Serve.handle] — the exact
+   request path the socket listener dispatches to (context minting,
+   artifact cache, schema-2 envelopes, status mapping) without the
+   socket. The end-to-end socket path is CI's tier-2 smoke test. *)
+
+module Serve = Tpan_serve.Serve
+module J = Tpan_obs.Jsonv
+
+let handle ?(config = Serve.default_config) meth target body =
+  Serve.handle config ~meth ~target ~body
+
+let parse_body (r : Serve.response) =
+  match J.of_string r.Serve.body with
+  | Ok doc -> doc
+  | Error e -> Alcotest.failf "response is not JSON (%s): %s" e r.Serve.body
+
+let field doc k =
+  match J.member k doc with
+  | Some v -> v
+  | None -> Alcotest.failf "response lacks %S" k
+
+let eval_body =
+  {|{"model":"stopwait-sym","transition":"t7","point":{
+      "E(t3)":"250","F(t1)":"1","F(t2)":"1","F(t3)":"1",
+      "F(t4)":"106.7","F(t5)":"106.7","F(t6)":"13.5","F(t7)":"13.5",
+      "F(t8)":"106.7","F(t9)":"106.7",
+      "f(t4)":"0.05","f(t5)":"0.95","f(t8)":"0.95","f(t9)":"0.05"}}|}
+
+let test_healthz_and_routing () =
+  let r = handle "GET" "/healthz" "" in
+  Alcotest.(check int) "healthz 200" 200 r.Serve.status;
+  Alcotest.(check int) "unknown path 404" 404 (handle "GET" "/nope" "").Serve.status;
+  Alcotest.(check int) "wrong method 405" 405 (handle "GET" "/eval" "").Serve.status;
+  Alcotest.(check int) "bad JSON 400" 400 (handle "POST" "/eval" "not json").Serve.status;
+  Alcotest.(check int) "missing net 400" 400 (handle "POST" "/eval" "{}").Serve.status;
+  let r = handle "GET" "/metrics" "" in
+  Alcotest.(check int) "metrics 200" 200 r.Serve.status
+
+let test_analyze_envelope () =
+  let r = handle "POST" "/analyze" {|{"model":"stopwait","throughputs":["t7"]}|} in
+  Alcotest.(check int) "analyze 200" 200 r.Serve.status;
+  let doc = parse_body r in
+  Alcotest.(check bool) "schema 2" true (field doc "schema" = J.Int 2);
+  Alcotest.(check bool) "kind analysis" true (field doc "kind" = J.Str "analysis");
+  Alcotest.(check bool) "exit_code 0" true (field doc "exit_code" = J.Int 0);
+  (match field doc "trace_id" with
+   | J.Str id -> Alcotest.(check bool) "trace id non-empty" true (String.length id > 0)
+   | _ -> Alcotest.fail "trace_id must be a string");
+  (match field doc "net_hash" with
+   | J.Str h -> Alcotest.(check int) "net hash is an MD5 hex digest" 32 (String.length h)
+   | _ -> Alcotest.fail "net_hash must be a string");
+  Alcotest.(check bool) "states" true (field doc "states" = J.Int 18);
+  (* the rendered envelope round-trips through the Jsonv parser *)
+  Alcotest.(check bool) "envelope round-trips" true
+    (J.of_string (J.to_string doc) = Ok doc)
+
+let test_eval_exactly_once () =
+  Tpan.Artifact.reset_caches ();
+  let before = Tpan_obs.Metrics.counter_value "cache.symbolic.misses" in
+  let value = ref "" in
+  for i = 1 to 1000 do
+    let r = handle "POST" "/eval" eval_body in
+    if r.Serve.status <> 200 then
+      Alcotest.failf "request %d: status %d: %s" i r.Serve.status r.Serve.body;
+    match field (parse_body r) "throughput" with
+    | J.Str v ->
+      if i = 1 then value := v
+      else if v <> !value then Alcotest.failf "request %d: drifting value %s" i v
+    | _ -> Alcotest.fail "throughput must be a rational string"
+  done;
+  Alcotest.(check string) "the paper's exact closed-form value" "1805/486672" !value;
+  let after = Tpan_obs.Metrics.counter_value "cache.symbolic.misses" in
+  Alcotest.(check int) "1000 /eval requests, exactly one symbolic build" 1
+    (after - before)
+
+let test_inline_net_shares_cache () =
+  (* posting the builtin's source inline lands on the same canonical
+     hash, so the two spellings share cache entries *)
+  let r1 = handle "POST" "/analyze" {|{"model":"stopwait"}|} in
+  let src =
+    match Tpan.Analysis.load (Tpan.Analysis.Builtin "stopwait") with
+    | Ok tpn -> Tpan_dsl.Printer.to_string tpn
+    | Error e -> Alcotest.failf "load: %s" (Tpan.Error.to_string e)
+  in
+  let body = J.to_string (J.Obj [ ("net", J.Str src) ]) in
+  let r2 = handle "POST" "/analyze" body in
+  Alcotest.(check int) "inline net accepted" 200 r2.Serve.status;
+  Alcotest.(check bool) "same net hash for model and inline source" true
+    (field (parse_body r1) "net_hash" = field (parse_body r2) "net_hash")
+
+let test_deadline_504 () =
+  Tpan.Artifact.reset_caches ();
+  let config = { Serve.default_config with Serve.deadline = Some 1e-9 } in
+  let r =
+    Serve.handle config ~meth:"POST" ~target:"/analyze" ~body:{|{"model":"stopwait"}|}
+  in
+  Alcotest.(check int) "expired budget answers 504" 504 r.Serve.status;
+  let doc = parse_body r in
+  Alcotest.(check bool) "exit-code 6 semantics in the envelope" true
+    (field doc "exit_code" = J.Int 6);
+  (* the aborted build poisoned nothing: a sane config succeeds *)
+  Tpan.Artifact.reset_caches ();
+  let r2 = handle "POST" "/analyze" {|{"model":"stopwait"}|} in
+  Alcotest.(check int) "same net analyzes fine afterwards" 200 r2.Serve.status
+
+let test_sweep_endpoint () =
+  let body =
+    {|{"model":"stopwait-sym","transitions":["t7"],
+       "axes":["E(t3)=250..1000:4"],
+       "bindings":{"F(t1)":"1","F(t2)":"1","F(t3)":"1",
+         "F(t4)":"106.7","F(t5)":"106.7","F(t6)":"13.5","F(t7)":"13.5",
+         "F(t8)":"106.7","F(t9)":"106.7",
+         "f(t4)":"0.05","f(t5)":"0.95","f(t8)":"0.95","f(t9)":"0.05"}}|}
+  in
+  let r = handle "POST" "/sweep" body in
+  Alcotest.(check int) "sweep 200" 200 r.Serve.status;
+  let doc = parse_body r in
+  (match field doc "rows" with
+   | J.List rows -> Alcotest.(check int) "4 grid rows" 4 (List.length rows)
+   | _ -> Alcotest.fail "rows must be a list");
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    m = 0 || go 0
+  in
+  Alcotest.(check bool) "first grid point carries the exact value" true
+    (contains r.Serve.body "1805/486672")
+
+let suite =
+  ( "serve",
+    [
+      Alcotest.test_case "routing and status codes" `Quick test_healthz_and_routing;
+      Alcotest.test_case "schema-2 envelope" `Quick test_analyze_envelope;
+      Alcotest.test_case "1000 evals, one symbolic build" `Quick test_eval_exactly_once;
+      Alcotest.test_case "inline net shares the cache" `Quick test_inline_net_shares_cache;
+      Alcotest.test_case "deadline answers 504 / exit 6" `Quick test_deadline_504;
+      Alcotest.test_case "sweep endpoint" `Quick test_sweep_endpoint;
+    ] )
