@@ -1045,6 +1045,66 @@ let serve_cache () =
     (cold *. 1e3) (warm *. 1e3) ratio;
   check "cached /eval is >= 50x faster than the uncached analysis" (ratio >= 50.)
 
+(* ---------------- SERVE-OBS ---------------- *)
+
+(* What the telemetry plane costs the hot serving path: the same warm
+   POST /eval request through [Serve.handle], once with [telemetry]
+   off (bare: context, dispatch, cache hit, envelope) and once with the
+   default instrumented plane (per-endpoint RED metrics with exemplars,
+   in-flight tracking, tracez recording). The access log and ledger are
+   opt-in file I/O, not part of the always-on plane, so they are not in
+   this figure. The acceptance bound is 1.10x. *)
+let serve_obs_bare_ms = ref Float.nan
+let serve_obs_instr_ms = ref Float.nan
+let serve_obs_ratio = ref Float.nan
+
+let serve_obs () =
+  section "SERVE-OBS" "telemetry-plane overhead on the warm /eval serving path";
+  let body =
+    {|{"model":"abp-sym","transition":"recv_new0","point":{
+        "E(to)":"1000","F(send)":"1","F(pkt)":"106.7","F(proc)":"13.5",
+        "F(ack)":"106.7","f(lp)":"0.05","f(dp)":"0.95","f(la)":"0.05",
+        "f(da)":"0.95"}}|}
+  in
+  let bare_config =
+    { Tpan_serve.Serve.default_config with Tpan_serve.Serve.telemetry = false }
+  in
+  let instr_config = Tpan_serve.Serve.default_config in
+  let eval config () =
+    let r = Tpan_serve.Serve.handle config ~meth:"POST" ~target:"/eval" ~body in
+    if r.Tpan_serve.Serve.status <> 200 then
+      failwith
+        (Printf.sprintf "SERVE-OBS: /eval answered %d: %s" r.Tpan_serve.Serve.status
+           r.Tpan_serve.Serve.body)
+  in
+  eval instr_config () (* warm the artifact cache for both variants *);
+  let time reps f =
+    let t0 = Sys.time () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    (Sys.time () -. t0) /. float_of_int reps
+  in
+  let reps = scaled 3000 in
+  (* interleave the two variants so drift (GC pressure, frequency
+     scaling) lands on both sides of the ratio evenly *)
+  let rounds = 3 in
+  let bare = ref 0. and instr = ref 0. in
+  for _ = 1 to rounds do
+    bare := !bare +. time reps (eval bare_config);
+    instr := !instr +. time reps (eval instr_config)
+  done;
+  let bare = !bare /. float_of_int rounds
+  and instr = !instr /. float_of_int rounds in
+  let ratio = instr /. bare in
+  serve_obs_bare_ms := bare *. 1e3;
+  serve_obs_instr_ms := instr *. 1e3;
+  serve_obs_ratio := ratio;
+  Format.printf
+    "  bare /eval %.4fms/req, instrumented %.4fms/req — overhead %.3fx@."
+    (bare *. 1e3) (instr *. 1e3) ratio;
+  check "instrumented /eval <= 1.10x bare request handling" (ratio <= 1.10)
+
 (* ---------------- PERF (bechamel) ---------------- *)
 
 let perf () =
@@ -1199,7 +1259,12 @@ let emit_json ~micro path =
   sep micro (fun (name, ns, r2) ->
       pr "    {\"name\": \"%s\", \"ns_per_run\": %s, \"r_square\": %s}" (escape name)
         (num ns) (num r2));
-  pr "\n  ],\n  \"checks\": {\"passed\": %d, \"failed\": %d}\n}\n" !passes !failures;
+  pr "\n  ],\n";
+  pr
+    "  \"serve_obs\": {\"bare_ms_per_req\": %s, \"instrumented_ms_per_req\": %s, \
+     \"overhead_ratio\": %s},\n"
+    (num !serve_obs_bare_ms) (num !serve_obs_instr_ms) (num !serve_obs_ratio);
+  pr "  \"checks\": {\"passed\": %d, \"failed\": %d}\n}\n" !passes !failures;
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
   close_out oc;
@@ -1274,6 +1339,7 @@ let () =
   timed "ORACLE" oracle;
   timed "CHECKPOINT" checkpoint_overhead;
   timed "SERVE" serve_cache;
+  timed "SERVE-OBS" serve_obs;
   let micro = ref [] in
   timed "PERF" (fun () -> micro := perf ());
   emit_json ~micro:!micro "BENCH_tpan.json";

@@ -19,6 +19,7 @@ module Rates = Tpan_perf.Rates
 module M = Tpan_perf.Measures
 module Sim = Tpan_sim.Simulator
 module Obs = Tpan_obs
+module J = Tpan_obs.Jsonv
 
 open Cmdliner
 
@@ -1365,10 +1366,124 @@ let bench_diff_cmd =
 
 (* ----- top (flight-recorder viewer) ----- *)
 
+(* --attach: render a running server's /statusz and /tracez instead of
+   a flight file. The server answers plain JSON; all shaping happens
+   here so the endpoints stay machine-first. *)
+let attach_fetch base path =
+  let base =
+    let n = String.length base in
+    if n > 0 && base.[n - 1] = '/' then String.sub base 0 (n - 1) else base
+  in
+  match Tpan_serve.Client.get (base ^ path) with
+  | Ok (200, body) -> (
+    match J.of_string body with
+    | Ok doc -> Ok doc
+    | Error e -> Error (path ^ ": bad JSON: " ^ e))
+  | Ok (status, _) -> Error (Printf.sprintf "%s: HTTP %d" path status)
+  | Error e -> Error (path ^ ": " ^ e)
+
+let attach_render statusz tracez =
+  let str path doc =
+    match Option.bind (J.member path doc) J.to_string_opt with
+    | Some s -> s
+    | None -> "-"
+  in
+  let num path doc = Option.bind (J.member path doc) J.to_float_opt in
+  let int_at path doc =
+    match Option.bind (J.member path doc) J.to_int_opt with Some n -> n | None -> 0
+  in
+  let list_at path doc =
+    match Option.bind (J.member path doc) J.to_list_opt with Some l -> l | None -> []
+  in
+  Printf.printf "tpan serve %s  pid %d  uptime %.1fs\n" (str "version" statusz)
+    (int_at "pid" statusz)
+    (match num "uptime_s" statusz with Some u -> u | None -> 0.);
+  let reqs =
+    match J.member "requests" statusz with Some r -> r | None -> J.Obj []
+  in
+  Printf.printf "requests: %d total, %d errors, %d timeouts, %d in flight\n"
+    (int_at "total" reqs) (int_at "errors" reqs) (int_at "timeouts" reqs)
+    (int_at "inflight" reqs);
+  (match list_at "caches" statusz with
+  | [] -> ()
+  | caches ->
+    Printf.printf "\n%-12s %10s %10s %10s %9s\n" "cache" "hits" "misses" "entries"
+      "hit-ratio";
+    List.iter
+      (fun c ->
+        Printf.printf "%-12s %10d %10d %10d %9s\n" (str "kind" c) (int_at "hits" c)
+          (int_at "misses" c) (int_at "entries" c)
+          (match num "hit_ratio" c with
+          | Some r -> Printf.sprintf "%.3f" r
+          | None -> "-"))
+      caches);
+  (match list_at "inflight" statusz with
+  | [] -> ()
+  | infl ->
+    Printf.printf "\nin flight:\n";
+    List.iter
+      (fun r ->
+        Printf.printf "  %-22s %-16s %8.3fs\n" (str "trace_id" r) (str "request" r)
+          (match num "age_s" r with Some a -> a | None -> 0.))
+      infl);
+  (match list_at "methods" tracez with
+  | [] -> ()
+  | methods ->
+    Printf.printf "\ntracez:\n";
+    List.iter
+      (fun m ->
+        let counts =
+          List.map
+            (fun b -> Printf.sprintf "%s:%d" (str "bucket" b) (int_at "seen" b))
+            (list_at "buckets" m)
+        in
+        let errors =
+          match J.member "errors" m with Some e -> int_at "seen" e | None -> 0
+        in
+        Printf.printf "  %-14s %s errors:%d\n" (str "name" m)
+          (String.concat " " counts) errors;
+        let slow =
+          List.concat_map (fun b -> list_at "entries" b) (list_at "buckets" m)
+          |> List.filter (fun e -> J.member "slow" e = Some (J.Bool true))
+        in
+        List.iter
+          (fun e ->
+            Printf.printf "    slow %-22s status %d  %.1fms\n" (str "trace_id" e)
+              (int_at "status" e)
+              (match num "duration_s" e with Some d -> d *. 1000. | None -> 0.))
+          slow)
+      methods);
+  flush stdout
+
+let attach_once url =
+  match (attach_fetch url "/statusz", attach_fetch url "/tracez") with
+  | Ok statusz, Ok tracez ->
+    attach_render statusz tracez;
+    Ok ()
+  | (Error e, _ | _, Error e) -> Error e
+
 let top_cmd =
   let render f = Format.printf "%a@?" Obs.Dump.pp_frame f in
   let latest frames = List.nth frames (List.length frames - 1) in
-  let run () file follow replay interval =
+  let run () file follow replay interval attach =
+    match attach with
+    | Some url ->
+      let tty = Unix.isatty Unix.stdout in
+      let once () =
+        match attach_once url with
+        | Ok () -> ()
+        | Error e -> fail (Tpan.Error.Io_error (url ^ ": " ^ e))
+      in
+      if follow then
+        let rec loop () =
+          if tty then print_string "\027[2J\027[H";
+          once ();
+          Unix.sleepf interval;
+          loop ()
+        in
+        loop ()
+      else once ()
+    | None ->
     let path = match file with Some p -> p | None -> default_flight_file () in
     if follow then begin
       (* Live view: tail the flight file, re-rendering whenever a frame
@@ -1429,13 +1544,26 @@ let top_cmd =
       & opt float 0.5
       & info [ "interval" ] ~docv:"SECS" ~doc:"Polling interval for --follow.")
   in
+  let attach_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "attach" ] ~docv:"URL"
+          ~doc:
+            "Render a running server's $(b,/statusz) and $(b,/tracez) instead of a \
+             flight file (e.g. $(b,http://127.0.0.1:8080)); combine with \
+             $(b,--follow) for a live view.")
+  in
   Cmd.v
     (Cmd.info "top"
        ~doc:
          "Inspect a running (or finished) analysis from its flight-recorder file: active \
           span stacks per domain, progress counters, heartbeats, GC. Pair with --watchdog \
-          on the analysis side; --follow tails live.")
-    Term.(const run $ obs_term $ file_arg $ follow_arg $ replay_arg $ interval_arg)
+          on the analysis side; --follow tails live. With --attach, show a running \
+          tpan serve instead.")
+    Term.(
+      const run $ obs_term $ file_arg $ follow_arg $ replay_arg $ interval_arg
+      $ attach_arg)
 
 (* ----- serve ----- *)
 
@@ -1444,7 +1572,8 @@ let top_cmd =
    here --deadline is a per-request budget, minted into each request's
    context by the handler. *)
 let serve_cmd =
-  let run host port socket deadline jobs log_level cache_mb cache_dir max_states =
+  let run host port socket deadline jobs log_level cache_mb cache_dir max_states
+      no_telemetry slow_ms access_log flight no_ledger ledger_dir =
     handle_errors (fun () ->
         (match jobs with
          | None -> ()
@@ -1454,7 +1583,14 @@ let serve_cmd =
         (match log_level with
          | None -> ()
          | Some s -> Obs.Log.set_sinks [ (parse_level s, Obs.Log.stderr_sink) ]);
-        Obs.Metrics.set_timing true;
+        (* Per-request span trees feed /tracez and the per-endpoint
+           stage breakdown; the retention cap keeps the shared trace
+           buffer from growing without bound between requests. *)
+        if no_telemetry then Obs.Metrics.set_timing true
+        else begin
+          Obs.Trace.set_enabled true;
+          Obs.Trace.set_retention 4096
+        end;
         Tpan.Artifact.configure
           ?budget_bytes:(Option.map (fun mb -> mb * 1024 * 1024) cache_mb)
           ?persist_dir:cache_dir ();
@@ -1466,6 +1602,14 @@ let serve_cmd =
             socket_path = socket;
             deadline = Option.map parse_duration deadline;
             max_states = Some max_states;
+            telemetry = not no_telemetry;
+            slow_ms;
+            flight_path = Some (match flight with Some p -> p | None -> default_flight_file ());
+            access_log;
+            ledger_dir =
+              (if no_ledger then None
+               else
+                 Some (match ledger_dir with Some d -> d | None -> Obs.Ledger.default_dir ()));
           }
         in
         Tpan_serve.Serve.run
@@ -1531,15 +1675,71 @@ let serve_cmd =
              $(b,.tpan/cache)); a restarted server reloads them and skips the symbolic \
              build.")
   in
+  let no_telemetry_arg =
+    Arg.(
+      value & flag
+      & info [ "no-telemetry" ]
+          ~doc:
+            "Disable the request telemetry plane (per-endpoint RED metrics, /tracez \
+             recording, in-flight tracking, access log, per-request ledger rows).")
+  in
+  let slow_ms_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "slow-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-request threshold: requests at or above $(docv) milliseconds are \
+             flagged in /tracez and snapshot a flight-recorder dump scoped to their \
+             trace id (see --flight and $(b,tpan top)).")
+  in
+  let access_log_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"PATH"
+          ~doc:
+            "Append one NDJSON record per request (trace id, endpoint, status, exit \
+             code, latency, sizes, net hash, per-artifact cache hits/misses, deadline \
+             budget consumed) to $(docv).")
+  in
+  let flight_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "flight" ] ~docv:"PATH"
+          ~doc:
+            "Where slow-request dump frames land; default $(b,.tpan/flight.ndjson) \
+             (or \\$TPAN_DIR/flight.ndjson).")
+  in
+  let no_ledger_arg =
+    Arg.(
+      value & flag
+      & info [ "no-ledger" ]
+          ~doc:"Do not append per-request rows to the run ledger.")
+  in
+  let ledger_dir_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger-dir" ] ~docv:"DIR"
+          ~doc:
+            "Run-ledger directory for per-request rows (subcommand \
+             $(b,serve:<endpoint>), queried by $(b,tpan runs --stats)); default \
+             $(b,.tpan) or \\$TPAN_DIR.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the analysis service: POST /analyze, /eval, /sweep; GET /metrics, \
-          /healthz. Artifacts are content-addressed and cached, so repeated requests \
-          for the same net never rebuild the symbolic reachability graph.")
+          /healthz, /statusz, /tracez. Artifacts are content-addressed and cached, so \
+          repeated requests for the same net never rebuild the symbolic reachability \
+          graph.")
     Term.(
       const run $ host_arg $ port_arg $ socket_arg $ deadline_arg $ jobs_arg
-      $ log_level_arg $ cache_budget_arg $ cache_dir_arg $ max_states_arg)
+      $ log_level_arg $ cache_budget_arg $ cache_dir_arg $ max_states_arg
+      $ no_telemetry_arg $ slow_ms_arg $ access_log_arg $ flight_arg $ no_ledger_arg
+      $ ledger_dir_arg)
 
 (* ----- version ----- *)
 

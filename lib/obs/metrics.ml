@@ -11,6 +11,14 @@ let new_id () = Atomic.fetch_and_add next_id 1
 type counter = { cid : int; mutable cv : int }
 type gauge = { gid : int; mutable gv : float }
 
+type exemplar = { ex_value : float; ex_trace_id : string; ex_ts : float }
+
+(* Cumulative-bucket boundaries tuned for request latencies in seconds;
+   histograms observing other units still get exact count/sum/max (their
+   observations land in the +Inf overflow bin). *)
+let default_buckets =
+  [| 0.0005; 0.001; 0.0025; 0.005; 0.01; 0.025; 0.05; 0.1; 0.25; 0.5; 1.; 2.5; 5.; 10. |]
+
 type histogram = {
   hid : int;
   mutable data : float array;
@@ -19,6 +27,9 @@ type histogram = {
   mutable hsum : float;
   mutable max_v : float;
   cap : int;
+  bounds : float array;  (* finite upper bounds, strictly increasing *)
+  bin_counts : int array;  (* per-bin counts; last slot is the +Inf bin *)
+  bin_exemplars : exemplar option array;  (* latest exemplar per bin *)
 }
 
 (* ---------------- domain-local delta buffers ---------------- *)
@@ -27,7 +38,7 @@ module Local = struct
   type buf = {
     counters : (int, counter * int ref) Hashtbl.t;
     gauges : (int, gauge * float ref) Hashtbl.t;
-    hists : (int, histogram * float list ref) Hashtbl.t;
+    hists : (int, histogram * (float * string option) list ref) Hashtbl.t;
   }
 
   type deltas = buf
@@ -57,10 +68,10 @@ module Local = struct
     | Some (_, r) -> if x > !r then r := x
     | None -> Hashtbl.add b.gauges g.gid (g, ref x)
 
-  let bump_hist b h x =
+  let bump_hist b h x trace =
     match Hashtbl.find_opt b.hists h.hid with
-    | Some (_, r) -> r := x :: !r
-    | None -> Hashtbl.add b.hists h.hid (h, ref [ x ])
+    | Some (_, r) -> r := (x, trace) :: !r
+    | None -> Hashtbl.add b.hists h.hid (h, ref [ (x, trace) ])
 end
 
 module Counter = struct
@@ -103,11 +114,33 @@ end
 module Histogram = struct
   type t = histogram
 
-  let create ?(cap = 8192) () =
+  let create ?(cap = 8192) ?(buckets = default_buckets) () =
     if cap <= 0 then invalid_arg "Histogram.create: cap must be positive";
-    { hid = new_id (); data = [||]; stored = 0; total = 0; hsum = 0.; max_v = neg_infinity; cap }
+    Array.iteri
+      (fun i b ->
+        if i > 0 && buckets.(i - 1) >= b then
+          invalid_arg "Histogram.create: buckets must be strictly increasing")
+      buckets;
+    {
+      hid = new_id ();
+      data = [||];
+      stored = 0;
+      total = 0;
+      hsum = 0.;
+      max_v = neg_infinity;
+      cap;
+      bounds = buckets;
+      bin_counts = Array.make (Array.length buckets + 1) 0;
+      bin_exemplars = Array.make (Array.length buckets + 1) None;
+    }
 
-  let observe_direct h x =
+  (* First bin whose upper bound admits [x]; the trailing slot is +Inf. *)
+  let bin_of h x =
+    let n = Array.length h.bounds in
+    let rec go i = if i >= n || x <= h.bounds.(i) then i else go (i + 1) in
+    go 0
+
+  let observe_direct ?trace h x =
     (if h.stored < h.cap then begin
        if h.stored >= Array.length h.data then begin
          let grown = Array.make (max 64 (min h.cap (2 * Array.length h.data))) 0. in
@@ -120,12 +153,19 @@ module Histogram = struct
      else h.data.(h.total mod h.cap) <- x);
     h.total <- h.total + 1;
     h.hsum <- h.hsum +. x;
-    if x > h.max_v then h.max_v <- x
+    if x > h.max_v then h.max_v <- x;
+    let bin = bin_of h x in
+    h.bin_counts.(bin) <- h.bin_counts.(bin) + 1;
+    match trace with
+    | None -> ()
+    | Some ex_trace_id ->
+      h.bin_exemplars.(bin) <-
+        Some { ex_value = x; ex_trace_id; ex_ts = Unix.gettimeofday () }
 
-  let observe h x =
+  let observe ?trace_id h x =
     match Local.current () with
-    | None -> observe_direct h x
-    | Some b -> Local.bump_hist b h x
+    | None -> observe_direct ?trace:trace_id h x
+    | Some b -> Local.bump_hist b h x trace_id
 
   let count h = h.total
   let sum h = h.hsum
@@ -144,13 +184,18 @@ module Histogram = struct
     h.stored <- 0;
     h.total <- 0;
     h.hsum <- 0.;
-    h.max_v <- neg_infinity
+    h.max_v <- neg_infinity;
+    Array.fill h.bin_counts 0 (Array.length h.bin_counts) 0;
+    Array.fill h.bin_exemplars 0 (Array.length h.bin_exemplars) None
 end
 
 let merge_deltas (b : Local.deltas) =
   Hashtbl.iter (fun _ (c, r) -> c.cv <- c.cv + !r) b.Local.counters;
   Hashtbl.iter (fun _ (g, r) -> if !r > g.gv then g.gv <- !r) b.Local.gauges;
-  Hashtbl.iter (fun _ (h, r) -> List.iter (Histogram.observe_direct h) (List.rev !r)) b.Local.hists
+  Hashtbl.iter
+    (fun _ (h, r) ->
+      List.iter (fun (x, trace) -> Histogram.observe_direct ?trace h x) (List.rev !r))
+    b.Local.hists
 
 (* ---------------- timing switch ---------------- *)
 
@@ -169,40 +214,106 @@ let time h f =
 
 type metric = C of Counter.t | G of Gauge.t | H of Histogram.t
 
-let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+(* A registered metric remembers its family name and label set so the
+   OpenMetrics export can group a family's labelled series under one
+   [# TYPE] line. The registry key is the family name plus the rendered
+   label set, so [counter_with "x" [("a","1")]] and ["x" [("a","2")]]
+   are distinct series of one family. *)
+type registered = { metric : metric; base : string; labels : (string * string) list }
+
+let registry : (string, registered) Hashtbl.t = Hashtbl.create 64
 let registry_lock = Mutex.create ()
 
-let register name kind_of make =
+let escape_label_value s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | l ->
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) l)
+    ^ "}"
+
+let normalize_labels labels =
+  List.sort (fun (a, _) (b, _) -> compare a b) labels
+
+let full_name base labels = base ^ render_labels labels
+
+let register base labels kind_of make =
+  let labels = normalize_labels labels in
+  let key = full_name base labels in
   Mutex.protect registry_lock @@ fun () ->
-  match Hashtbl.find_opt registry name with
-  | Some m ->
-    (match kind_of m with
+  match Hashtbl.find_opt registry key with
+  | Some r ->
+    (match kind_of r.metric with
      | Some x -> x
-     | None -> invalid_arg (Printf.sprintf "Metrics: %S is registered as another kind" name))
+     | None -> invalid_arg (Printf.sprintf "Metrics: %S is registered as another kind" key))
   | None ->
     let x, m = make () in
-    Hashtbl.add registry name m;
+    Hashtbl.add registry key { metric = m; base; labels };
     x
 
-let counter name =
-  register name (function C c -> Some c | _ -> None) (fun () ->
+let counter_with name labels =
+  register name labels
+    (function C c -> Some c | _ -> None)
+    (fun () ->
       let c = Counter.create () in
       (c, C c))
 
-let gauge name =
-  register name (function G g -> Some g | _ -> None) (fun () ->
+let gauge_with name labels =
+  register name labels
+    (function G g -> Some g | _ -> None)
+    (fun () ->
       let g = Gauge.create () in
       (g, G g))
 
-let histogram name =
-  register name (function H h -> Some h | _ -> None) (fun () ->
-      let h = Histogram.create () in
+let histogram_with ?buckets name labels =
+  register name labels
+    (function H h -> Some h | _ -> None)
+    (fun () ->
+      let h = Histogram.create ?buckets () in
       (h, H h))
+
+let counter name = counter_with name []
+let gauge name = gauge_with name []
+let histogram ?buckets name = histogram_with ?buckets name []
+
+type bucket = { le : float; cumulative : int; exemplar : exemplar option }
 
 type value =
   | Counter_v of int
   | Gauge_v of float
-  | Histogram_v of { count : int; sum : float; p50 : float; p90 : float; p99 : float; max : float }
+  | Histogram_v of {
+      count : int;
+      sum : float;
+      p50 : float;
+      p90 : float;
+      p99 : float;
+      max : float;
+      buckets : bucket list;
+    }
+
+let histogram_buckets (h : Histogram.t) =
+  let n = Array.length h.bin_counts in
+  let acc = ref 0 in
+  List.init n (fun i ->
+      acc := !acc + h.bin_counts.(i);
+      {
+        le = (if i < n - 1 then h.bounds.(i) else Float.infinity);
+        cumulative = !acc;
+        exemplar = h.bin_exemplars.(i);
+      })
 
 let value_of = function
   | C c -> Counter_v (Counter.value c)
@@ -216,21 +327,28 @@ let value_of = function
         p90 = Histogram.percentile h 0.9;
         p99 = Histogram.percentile h 0.99;
         max = Histogram.max_value h;
+        buckets = histogram_buckets h;
       }
 
-let snapshot ?(all = true) () =
+(* Snapshot entries sorted by full series name: a family's labelled
+   series are adjacent (same prefix), which the OpenMetrics export
+   relies on to emit one [# TYPE] per family. *)
+let snapshot_registered ?(all = true) () =
   let entries =
     Mutex.protect registry_lock @@ fun () ->
-    Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+    Hashtbl.fold (fun key r acc -> (key, r) :: acc) registry []
   in
-  List.map (fun (name, m) -> (name, value_of m)) entries
-  |> List.filter (fun (_, v) ->
+  List.map (fun (key, r) -> (key, r.base, r.labels, value_of r.metric)) entries
+  |> List.filter (fun (_, _, _, v) ->
          all || match v with Histogram_v { count = 0; _ } -> false | _ -> true)
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+
+let snapshot ?(all = true) () =
+  List.map (fun (key, _, _, v) -> (key, v)) (snapshot_registered ~all ())
 
 let find name =
   let m = Mutex.protect registry_lock @@ fun () -> Hashtbl.find_opt registry name in
-  Option.map value_of m
+  Option.map (fun r -> value_of r.metric) m
 
 let counter_value name =
   match find name with Some (Counter_v n) -> n | _ -> 0
@@ -238,7 +356,8 @@ let counter_value name =
 let reset_all () =
   Mutex.protect registry_lock @@ fun () ->
   Hashtbl.iter
-    (fun _ -> function
+    (fun _ r ->
+      match r.metric with
       | C c -> Counter.reset c
       | G g -> Gauge.reset g
       | H h -> Histogram.reset h)
@@ -273,6 +392,16 @@ let to_json ?(all = false) () =
       Jsonv.Obj
         [ ("name", Jsonv.Str name); ("kind", Jsonv.Str "gauge"); ("value", Jsonv.Float x) ]
     | Histogram_v h ->
+      (* Only the touched buckets travel: dump frames and ledger rows
+         embed this document, and a run touches few bins. *)
+      let touched =
+        List.filteri
+          (fun i b ->
+            b.cumulative > 0
+            && (i = 0
+               || (List.nth h.buckets (i - 1)).cumulative < b.cumulative))
+          h.buckets
+      in
       Jsonv.Obj
         [
           ("name", Jsonv.Str name);
@@ -283,6 +412,18 @@ let to_json ?(all = false) () =
           ("p90", Jsonv.Float h.p90);
           ("p99", Jsonv.Float h.p99);
           ("max", Jsonv.Float h.max);
+          ( "buckets",
+            Jsonv.List
+              (List.map
+                 (fun b ->
+                   Jsonv.Obj
+                     (("le", Jsonv.Float b.le)
+                     :: ("count", Jsonv.Int b.cumulative)
+                     ::
+                     (match b.exemplar with
+                      | None -> []
+                      | Some e -> [ ("exemplar_trace_id", Jsonv.Str e.ex_trace_id) ])))
+                 touched) );
         ]
   in
   Jsonv.List (List.map entry (snapshot ~all ()))
@@ -296,33 +437,66 @@ let om_name name =
         match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
       name
 
+let om_label_name name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c | _ -> '_')
+    name
+
 let om_float x =
   if Float.is_nan x then "NaN"
   else if x = Float.infinity then "+Inf"
   else if x = Float.neg_infinity then "-Inf"
   else Printf.sprintf "%.9g" x
 
+let om_labels ?extra labels =
+  let labels =
+    List.map (fun (k, v) -> (om_label_name k, v)) labels
+    @ match extra with None -> [] | Some kv -> [ kv ]
+  in
+  render_labels labels
+
+let om_exemplar = function
+  | None -> ""
+  | Some e ->
+    Printf.sprintf " # {trace_id=\"%s\"} %s %s"
+      (escape_label_value e.ex_trace_id)
+      (om_float e.ex_value) (om_float e.ex_ts)
+
 let to_openmetrics ?(all = false) () =
   let b = Buffer.create 1024 in
   let pr fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let last_family = ref "" in
   List.iter
-    (fun (name, v) ->
-      let n = om_name name in
+    (fun (_, base, labels, v) ->
+      let n = om_name base in
+      let header kind =
+        if !last_family <> n ^ "/" ^ kind then begin
+          pr "# TYPE %s %s\n" n kind;
+          last_family := n ^ "/" ^ kind
+        end
+      in
       match v with
       | Counter_v c ->
-        pr "# TYPE %s counter\n" n;
-        pr "%s_total %d\n" n c
+        header "counter";
+        pr "%s_total%s %d\n" n (om_labels labels) c
       | Gauge_v x ->
-        pr "# TYPE %s gauge\n" n;
-        pr "%s %s\n" n (om_float x)
+        header "gauge";
+        pr "%s%s %s\n" n (om_labels labels) (om_float x)
       | Histogram_v h ->
-        pr "# TYPE %s summary\n" n;
-        pr "%s_count %d\n" n h.count;
-        pr "%s_sum %s\n" n (om_float h.sum);
-        pr "%s{quantile=\"0.5\"} %s\n" n (om_float h.p50);
-        pr "%s{quantile=\"0.9\"} %s\n" n (om_float h.p90);
-        pr "%s{quantile=\"0.99\"} %s\n" n (om_float h.p99);
-        pr "%s{quantile=\"1\"} %s\n" n (om_float h.max))
-    (snapshot ~all ());
+        (* Explicit cumulative buckets ([le] inclusive upper bounds,
+           +Inf last) so multi-process scrapes aggregate by addition —
+           summary quantiles cannot. Exemplars ride on the buckets
+           they landed in, pointing a slow scrape at a trace id. *)
+        header "histogram";
+        List.iter
+          (fun bk ->
+            pr "%s_bucket%s %d%s\n" n
+              (om_labels ~extra:("le", om_float bk.le) labels)
+              bk.cumulative (om_exemplar bk.exemplar))
+          h.buckets;
+        pr "%s_count%s %d\n" n (om_labels labels) h.count;
+        pr "%s_sum%s %s\n" n (om_labels labels) (om_float h.sum))
+    (snapshot_registered ~all ());
   Buffer.add_string b "# EOF\n";
   Buffer.contents b

@@ -12,7 +12,25 @@
     [mathkit.fm.eliminations], [core.semantics.states_interned],
     [symbolic.oracle.memo_hits]. The registry is global and process-wide;
     metrics registered by library initialization appear in {!snapshot}
-    with zero values until first touched. *)
+    with zero values until first touched.
+
+    {b Labels.} A metric may be registered with a label set
+    ({!counter_with}, {!gauge_with}, {!histogram_with}); series sharing a
+    family name but differing in labels are distinct cells grouped under
+    one family in the OpenMetrics export — the serving layer's
+    per-endpoint RED metrics. Keep label cardinality bounded (endpoints,
+    error classes — never raw paths or ids). *)
+
+type exemplar = { ex_value : float; ex_trace_id : string; ex_ts : float }
+(** A sampled observation pinned to its request: the value, the owning
+    request's {!Context.trace_id}, and the wall-clock instant. The
+    OpenMetrics export attaches it to the bucket the value landed in, so
+    a scraper can jump from a slow bucket straight to the trace. *)
+
+val default_buckets : float array
+(** Cumulative-bucket upper bounds (seconds) used when a histogram is
+    created without explicit buckets: 0.5ms … 10s, roughly
+    logarithmic. *)
 
 module Counter : sig
   type t
@@ -43,12 +61,19 @@ end
 module Histogram : sig
   type t
 
-  val create : ?cap:int -> unit -> t
+  val create : ?cap:int -> ?buckets:float array -> unit -> t
   (** [cap] (default 8192) bounds the stored sample window: beyond it, new
       observations overwrite the oldest slots round-robin, while [count],
-      [sum] and [max_value] stay exact over the full stream. *)
+      [sum], [max_value] and the bucket counts stay exact over the full
+      stream. [buckets] (default {!default_buckets}) are the explicit
+      cumulative-bucket upper bounds; strictly increasing, +Inf implied
+      last. *)
 
-  val observe : t -> float -> unit
+  val observe : ?trace_id:string -> t -> float -> unit
+  (** Record an observation. With [trace_id], the bucket the value lands
+      in remembers it as its latest {!exemplar} (one wall-clock read —
+      pass it on request paths, not in inner loops). *)
+
   val count : t -> int
   val sum : t -> float
   val max_value : t -> float
@@ -80,20 +105,43 @@ val counter : string -> Counter.t
     @raise Invalid_argument if the name is registered as another kind. *)
 
 val gauge : string -> Gauge.t
-val histogram : string -> Histogram.t
+val histogram : ?buckets:float array -> string -> Histogram.t
+
+val counter_with : string -> (string * string) list -> Counter.t
+(** [counter_with name labels] — find-or-create the series of family
+    [name] with exactly [labels] (order-insensitive; they are sorted).
+    The series appears in {!snapshot} as [name{k="v",…}]. *)
+
+val gauge_with : string -> (string * string) list -> Gauge.t
+val histogram_with : ?buckets:float array -> string -> (string * string) list -> Histogram.t
+
+type bucket = { le : float; cumulative : int; exemplar : exemplar option }
+(** One cumulative bucket: observations [<= le] ([le] is [infinity] for
+    the overflow bucket), and the latest exemplar that landed in this
+    bucket's bin, if any observation carried a trace id. *)
 
 type value =
   | Counter_v of int
   | Gauge_v of float
-  | Histogram_v of { count : int; sum : float; p50 : float; p90 : float; p99 : float; max : float }
+  | Histogram_v of {
+      count : int;
+      sum : float;
+      p50 : float;
+      p90 : float;
+      p99 : float;
+      max : float;
+      buckets : bucket list;
+    }
 
 val snapshot : ?all:bool -> unit -> (string * value) list
-(** Every registered metric, sorted by name. With [~all:false],
-    histograms that were never observed (count 0 — e.g. latency
-    histograms when timing is off) are omitted; counters and gauges
-    always appear, zero or not. Default [true]. *)
+(** Every registered metric, sorted by (labelled) series name. With
+    [~all:false], histograms that were never observed (count 0 — e.g.
+    latency histograms when timing is off) are omitted; counters and
+    gauges always appear, zero or not. Default [true]. *)
 
 val find : string -> value option
+(** Look up by full series name — [name] for unlabelled metrics,
+    [name{k="v"}] (labels sorted by key) for labelled ones. *)
 
 val counter_value : string -> int
 (** Value of a registered counter; [0] when absent (or not a counter). *)
@@ -113,7 +161,8 @@ val reset_all : unit -> unit
     Merge semantics: counters add their deltas (totals are therefore
     independent of scheduling); gauges merge by maximum (the gauges touched
     on parallel paths are peaks — in a worker, [Gauge.set] behaves like
-    [Gauge.set_max]); histograms replay their buffered observations. *)
+    [Gauge.set_max]); histograms replay their buffered observations
+    (exemplar trace ids included). *)
 
 module Local : sig
   type deltas
@@ -138,12 +187,16 @@ val pp_table : ?all:bool -> Format.formatter -> unit -> unit
 val to_json : ?all:bool -> unit -> Jsonv.t
 (** The snapshot as a JSON array of
     [{"name", "kind", …value fields…}] objects (the shape
-    [BENCH_tpan.json] uses). [all] defaults to [false]. *)
+    [BENCH_tpan.json] uses). Histograms carry their touched buckets
+    (cumulative counts, exemplar trace ids). [all] defaults to
+    [false]. *)
 
 val to_openmetrics : ?all:bool -> unit -> string
 (** OpenMetrics 1.0 text exposition of the snapshot. Metric names are
     sanitized ([.] and other non-name characters become [_]) and
-    prefixed with [tpan_]; counters expose a single [_total] sample,
-    gauges a plain sample, histograms an OpenMetrics [summary] family
-    ([_count], [_sum] and [quantile]-labelled samples). Ends with
-    [# EOF]. [all] defaults to [false]. *)
+    prefixed with [tpan_]; counters expose a [_total] sample per
+    labelled series, gauges a plain sample, histograms an OpenMetrics
+    [histogram] family: explicit cumulative [_bucket{le="…"}] samples
+    (exemplars attached as [# {trace_id="…"} value ts]), then [_count]
+    and [_sum]. Families with several label sets emit one [# TYPE]
+    line. Ends with [# EOF]. [all] defaults to [false]. *)

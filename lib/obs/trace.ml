@@ -34,7 +34,30 @@ let t0 = Mclock.now ()
 let cur_depth : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 let cur_lane : int ref Domain.DLS.key = Domain.DLS.new_key (fun () -> ref 0)
 let completed : event list ref = ref []
+let completed_count = ref 0
 let completed_lock = Mutex.create ()
+
+(* Retention bound on the completed-event buffer: a long-running server
+   traces every request, so without a cap the buffer is a slow leak.
+   0 = unbounded (the CLI default — a run exports its whole trace at
+   exit). Trimming is amortized: the list is rebuilt only once the
+   count reaches twice the cap. *)
+let retention = ref 0
+let set_retention n = Mutex.protect completed_lock (fun () -> retention := max 0 n)
+
+let push_completed e =
+  Mutex.protect completed_lock (fun () ->
+      completed := e :: !completed;
+      incr completed_count;
+      let cap = !retention in
+      if cap > 0 && !completed_count >= 2 * cap then begin
+        let rec take n = function
+          | x :: tl when n > 0 -> x :: take (n - 1) tl
+          | _ -> []
+        in
+        completed := take cap !completed;
+        completed_count := cap
+      end)
 let dummy = { sp_name = ""; sp_start = 0.; sp_depth = 0; sp_attrs = []; sp_real = false }
 
 let set_lane k = Domain.DLS.get cur_lane := k
@@ -90,7 +113,7 @@ let with_span name f =
           { name = sp.sp_name; start = sp.sp_start; dur; depth = sp.sp_depth;
             lane = current_lane (); attrs }
         in
-        Mutex.protect completed_lock (fun () -> completed := e :: !completed))
+        push_completed e)
       (fun () -> f sp)
   end
 
@@ -98,7 +121,28 @@ let add_attr sp k v = if sp.sp_real then sp.sp_attrs <- (k, v) :: sp.sp_attrs
 let add_attr_int sp k v = add_attr sp k (string_of_int v)
 
 let events () = List.rev !completed
-let clear () = completed := []
+
+let clear () =
+  Mutex.protect completed_lock (fun () ->
+      completed := [];
+      completed_count := 0)
+
+(* Remove and return the completed events belonging to one request —
+   the per-request span tree the serving layer hands to [Tracez].
+   Events of other (concurrent) requests stay buffered. *)
+let take_events ~trace_id =
+  Mutex.protect completed_lock (fun () ->
+      let mine, rest =
+        List.partition
+          (fun e ->
+            match List.assoc_opt "trace_id" e.attrs with
+            | Some id -> id = trace_id
+            | None -> false)
+          !completed
+      in
+      completed := rest;
+      completed_count := List.length rest;
+      List.rev mine)
 
 let total_duration name =
   List.fold_left (fun acc e -> if e.name = name then acc +. e.dur else acc) 0. !completed

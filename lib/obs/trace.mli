@@ -78,6 +78,19 @@ val events : unit -> event list
 val clear : unit -> unit
 (** Drop buffered events. Does not change {!enabled}. *)
 
+val set_retention : int -> unit
+(** Bound the completed-event buffer to roughly [n] events (oldest
+    dropped first; trimming is amortized, so up to [2n] may be resident
+    momentarily). [0] — the default — keeps everything, which is right
+    for a CLI run that exports its trace at exit; a long-running server
+    sets a cap so per-request tracing is not a slow leak. *)
+
+val take_events : trace_id:string -> event list
+(** Remove and return the buffered events whose [trace_id] attribute
+    matches (completion order — children first). Events of other
+    requests stay buffered. The serving layer drains each request's
+    span tree into its [/tracez] ring buffers this way. *)
+
 val total_duration : string -> float
 (** Sum of [dur] over completed events with that name; [0.] if none. *)
 

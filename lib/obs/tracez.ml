@@ -1,0 +1,165 @@
+(* Latency-bucketed ring buffers of recent request span trees, à la
+   gRPC's channelz/tracez pages. The serving layer records one entry
+   per finished request; entries land in a per-method ring chosen by
+   latency (plus a dedicated ring for error responses), so the page
+   always holds a few recent examples of every latency class — the
+   slow tail survives any burst of fast requests. Memory is bounded:
+   methods × (buckets + 1) rings × per_bucket entries. *)
+
+type entry = {
+  trace_id : string;
+  name : string;  (* "POST /eval" — the method/endpoint label *)
+  status : int;
+  start : float;  (* Unix epoch seconds *)
+  dur : float;  (* seconds *)
+  slow : bool;
+  spans : Trace.event list;
+}
+
+type ring = { buf : entry option array; mutable pos : int; mutable total : int }
+
+let make_ring n = { buf = Array.make (max 1 n) None; pos = 0; total = 0 }
+
+let default_bounds = [| 0.001; 0.01; 0.1; 1.0 |]
+
+type state = {
+  bounds : float array;
+  per_bucket : int;
+  methods : (string, ring array * ring) Hashtbl.t;  (* latency rings, error ring *)
+}
+
+let state =
+  ref { bounds = default_bounds; per_bucket = 16; methods = Hashtbl.create 8 }
+
+let lock = Mutex.create ()
+
+let configure ?bounds ?per_bucket () =
+  Mutex.protect lock (fun () ->
+      let s = !state in
+      state :=
+        {
+          bounds = (match bounds with Some b -> b | None -> s.bounds);
+          per_bucket = (match per_bucket with Some n -> max 1 n | None -> s.per_bucket);
+          methods = Hashtbl.create 8;
+        })
+
+let clear () =
+  Mutex.protect lock (fun () -> Hashtbl.reset !state.methods)
+
+let bucket_label bounds i =
+  let ms x =
+    if x >= 1. then Printf.sprintf "%gs" x else Printf.sprintf "%gms" (x *. 1000.)
+  in
+  if i < Array.length bounds then
+    if i = 0 then Printf.sprintf "<%s" (ms bounds.(0))
+    else Printf.sprintf "%s-%s" (ms bounds.(i - 1)) (ms bounds.(i))
+  else Printf.sprintf ">=%s" (ms bounds.(Array.length bounds - 1))
+
+let bucket_labels () =
+  let s = !state in
+  List.init (Array.length s.bounds + 1) (bucket_label s.bounds)
+
+let bin_of bounds x =
+  let n = Array.length bounds in
+  let rec go i = if i >= n || x <= bounds.(i) then i else go (i + 1) in
+  go 0
+
+let push ring e =
+  ring.buf.(ring.pos) <- Some e;
+  ring.pos <- (ring.pos + 1) mod Array.length ring.buf;
+  ring.total <- ring.total + 1
+
+let record e =
+  Mutex.protect lock (fun () ->
+      let s = !state in
+      let rings, err_ring =
+        match Hashtbl.find_opt s.methods e.name with
+        | Some r -> r
+        | None ->
+          let r =
+            ( Array.init (Array.length s.bounds + 1) (fun _ -> make_ring s.per_bucket),
+              make_ring s.per_bucket )
+          in
+          Hashtbl.add s.methods e.name r;
+          r
+      in
+      push rings.(bin_of s.bounds e.dur) e;
+      if e.status >= 400 then push err_ring e)
+
+(* newest first *)
+let ring_entries r =
+  let n = Array.length r.buf in
+  List.filter_map
+    (fun i -> r.buf.((r.pos - 1 - i + (2 * n)) mod n))
+    (List.init n Fun.id)
+
+type bucket_view = { label : string; seen : int; entries : entry list }
+
+let snapshot () =
+  Mutex.protect lock (fun () ->
+      let s = !state in
+      Hashtbl.fold
+        (fun name (rings, err) acc ->
+          let buckets =
+            List.init (Array.length rings) (fun i ->
+                {
+                  label = bucket_label s.bounds i;
+                  seen = rings.(i).total;
+                  entries = ring_entries rings.(i);
+                })
+          in
+          let errors =
+            { label = "error"; seen = err.total; entries = ring_entries err }
+          in
+          (name, buckets, errors) :: acc)
+        s.methods []
+      |> List.sort (fun (a, _, _) (b, _, _) -> compare a b))
+
+let span_to_json (e : Trace.event) =
+  Jsonv.Obj
+    [
+      ("name", Jsonv.Str e.Trace.name);
+      ("start_s", Jsonv.Float e.Trace.start);
+      ("dur_s", Jsonv.Float e.Trace.dur);
+      ("depth", Jsonv.Int e.Trace.depth);
+      ("lane", Jsonv.Int e.Trace.lane);
+    ]
+
+let entry_to_json e =
+  Jsonv.Obj
+    [
+      ("trace_id", Jsonv.Str e.trace_id);
+      ("name", Jsonv.Str e.name);
+      ("status", Jsonv.Int e.status);
+      ("start", Jsonv.Float e.start);
+      ("duration_s", Jsonv.Float e.dur);
+      ("slow", Jsonv.Bool e.slow);
+      ("spans", Jsonv.List (List.map span_to_json e.spans));
+    ]
+
+let bucket_to_json b =
+  Jsonv.Obj
+    [
+      ("bucket", Jsonv.Str b.label);
+      ("seen", Jsonv.Int b.seen);
+      ("entries", Jsonv.List (List.map entry_to_json b.entries));
+    ]
+
+let to_json () =
+  let methods = snapshot () in
+  Jsonv.Obj
+    [
+      ("schema", Jsonv.Int 1);
+      ("buckets", Jsonv.List (List.map (fun l -> Jsonv.Str l) (bucket_labels ())));
+      ( "methods",
+        Jsonv.List
+          (List.map
+             (fun (name, buckets, errors) ->
+               Jsonv.Obj
+                 [
+                   ("name", Jsonv.Str name);
+                   ("buckets", Jsonv.List (List.map bucket_to_json buckets));
+                   ("errors", bucket_to_json errors);
+                 ])
+             methods) );
+    ]

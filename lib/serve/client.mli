@@ -1,0 +1,10 @@
+(** A minimal blocking HTTP GET client — just enough for
+    [tpan top --attach] to pull [/statusz] and [/tracez] off a running
+    server without an HTTP library in the toolchain. *)
+
+val get : ?timeout:float -> string -> (int * string, string) result
+(** [get url] fetches [http://host:port/path] and returns
+    [(status, body)]. [timeout] (default 5 s) bounds both connect-side
+    sends and reads. Errors (unresolvable host, refused connection,
+    malformed response) come back as [Error message] — callers render
+    them, they never raise. *)

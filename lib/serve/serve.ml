@@ -9,6 +9,11 @@ type config = {
   deadline : float option;
   max_states : int option;
   max_body : int;
+  telemetry : bool;
+  slow_ms : float option;
+  flight_path : string option;
+  access_log : string option;
+  ledger_dir : string option;
 }
 
 let default_config =
@@ -19,14 +24,158 @@ let default_config =
     deadline = None;
     max_states = None;
     max_body = 8 * 1024 * 1024;
+    telemetry = true;
+    slow_ms = None;
+    flight_path = None;
+    access_log = None;
+    ledger_dir = None;
   }
 
 type response = { status : int; content_type : string; body : string }
 
+(* ----- telemetry plane -----
+
+   Process-wide totals keep their historical unlabelled names (external
+   scrapes grep for [tpan_serve_requests_total]); the per-endpoint RED
+   families ride alongside under [serve.endpoint.*] and
+   [serve.request_duration_s{endpoint=...}], the latter carrying an
+   exemplar trace id per latency bucket. *)
+
+let start_time = Unix.gettimeofday ()
 let m_requests = lazy (Obs.Metrics.counter "serve.requests")
 let m_errors = lazy (Obs.Metrics.counter "serve.errors")
 let m_timeouts = lazy (Obs.Metrics.counter "serve.timeouts")
 let m_latency = lazy (Obs.Metrics.histogram "serve.latency_s")
+let m_inflight = lazy (Obs.Metrics.gauge "serve.inflight")
+
+(* Endpoint labels are drawn from the route table (unknown paths all
+   collapse into "other"), so label cardinality is bounded no matter
+   what clients probe for. *)
+let known_endpoints =
+  [ "/healthz"; "/metrics"; "/statusz"; "/tracez"; "/analyze"; "/eval"; "/sweep" ]
+
+let normalize_endpoint path = if List.mem path known_endpoints then path else "other"
+
+let ep_requests ep =
+  Obs.Metrics.counter_with "serve.endpoint.requests" [ ("endpoint", ep) ]
+
+let ep_errors ep ty =
+  Obs.Metrics.counter_with "serve.endpoint.errors"
+    [ ("endpoint", ep); ("type", ty) ]
+
+let ep_latency ep =
+  Obs.Metrics.histogram_with "serve.request_duration_s" [ ("endpoint", ep) ]
+
+(* The typed-error label is derived from the response status, so every
+   error path — raised or returned as a value — classifies the same
+   way: 504 deadline crossings are "timeout", protocol rejections
+   "http", application analysis failures "app", the rest "internal". *)
+let error_type_of_status = function
+  | s when s < 400 -> None
+  | 504 -> Some "timeout"
+  | 400 | 404 | 405 | 413 -> Some "http"
+  | 422 -> Some "app"
+  | _ -> Some "internal"
+
+(* In-flight requests, keyed by trace id. The handler publishes each
+   request here for /statusz and keeps a domain-local pointer so the
+   body-resolution and envelope code can annotate the record (net hash,
+   exit code) without threading it through every handler. *)
+type inflight = {
+  if_trace_id : string;
+  if_name : string;  (* "POST /eval" *)
+  if_endpoint : string;
+  if_start : float;
+  mutable if_net_hash : string option;
+  mutable if_exit_code : int option;
+}
+
+let inflight : (string, inflight) Hashtbl.t = Hashtbl.create 16
+let inflight_lock = Mutex.create ()
+
+let current_req : inflight option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let note_net_hash h =
+  match !(Domain.DLS.get current_req) with
+  | Some r -> r.if_net_hash <- Some h
+  | None -> ()
+
+let note_exit_code c =
+  match !(Domain.DLS.get current_req) with
+  | Some r -> r.if_exit_code <- Some c
+  | None -> ()
+
+let inflight_add r =
+  Mutex.protect inflight_lock (fun () ->
+      Hashtbl.replace inflight r.if_trace_id r;
+      Obs.Metrics.Gauge.set (Lazy.force m_inflight)
+        (float_of_int (Hashtbl.length inflight)));
+  Domain.DLS.get current_req := Some r
+
+let inflight_remove r =
+  Domain.DLS.get current_req := None;
+  Mutex.protect inflight_lock (fun () ->
+      Hashtbl.remove inflight r.if_trace_id;
+      Obs.Metrics.Gauge.set (Lazy.force m_inflight)
+        (float_of_int (Hashtbl.length inflight)))
+
+let inflight_list () =
+  Mutex.protect inflight_lock (fun () ->
+      Hashtbl.fold (fun _ r acc -> r :: acc) inflight [])
+  |> List.sort (fun a b -> compare a.if_start b.if_start)
+
+(* ----- access log -----
+
+   One NDJSON record per served request, written through
+   {!Obs.Log.ndjson_sink} so the line format matches every other log
+   the toolchain produces. The channel is opened on first use and
+   reopened if the configured path changes; writes are serialized. *)
+
+let access_lock = Mutex.create ()
+let access_chan : (string * out_channel) option ref = ref None
+
+let access_write path record =
+  Mutex.protect access_lock (fun () ->
+      let oc =
+        match !access_chan with
+        | Some (p, oc) when p = path -> Some oc
+        | prev -> (
+          (match prev with
+          | Some (_, oc) -> ( try close_out oc with Sys_error _ -> ())
+          | None -> ());
+          match open_out_gen [ Open_append; Open_creat ] 0o644 path with
+          | oc ->
+            access_chan := Some (path, oc);
+            Some oc
+          | exception Sys_error _ ->
+            access_chan := None;
+            None)
+      in
+      match oc with
+      | Some oc -> ( try Obs.Log.ndjson_sink oc record with Sys_error _ -> ())
+      | None -> ())
+
+let cache_counts () =
+  List.map
+    (fun (k, (s : Tpan_cache.Cache.stats)) -> (k, s.hits, s.misses))
+    (Tpan.Artifact.cache_stats ())
+
+(* Per-request cache activity as the difference of the process-wide
+   counters around the request. Exact under the sequential listener;
+   approximate if handlers are driven concurrently from tests. *)
+let cache_delta before after =
+  List.filter_map
+    (fun (k, h1, m1) ->
+      let h0, m0 =
+        match List.find_opt (fun (k0, _, _) -> k0 = k) before with
+        | Some (_, h, m) -> (h, m)
+        | None -> (0, 0)
+      in
+      if h1 = h0 && m1 = m0 then None
+      else
+        Some (k, J.Obj [ ("hits", J.Int (h1 - h0)); ("misses", J.Int (m1 - m0)) ]))
+    after
 
 (* [Http_error] is a protocol-level rejection (bad route, bad JSON);
    application failures travel as [Tpan.Error.t] and keep their exit
@@ -118,19 +267,25 @@ let canonical_of_body obj =
     | Ok tpn -> Tpan.Canonical.of_tpn tpn
     | Error e -> raise (App_error e)
   in
-  match (model, net) with
-  | Some name, None -> load (Tpan.Analysis.Builtin name) (bindings_field "params" obj)
-  | None, Some src -> (
-    if J.member "params" obj <> None then
-      bad "params: only builtin models take parameters (edit the net source)";
-    match Tpan.Error.guard (fun () -> Tpan_dsl.Parser.parse_string src) with
-    | Ok tpn -> Tpan.Canonical.of_tpn tpn
-    | Error e -> raise (App_error e))
-  | _ -> bad "body must carry exactly one of \"model\" or \"net\""
+  let canonical =
+    match (model, net) with
+    | Some name, None -> load (Tpan.Analysis.Builtin name) (bindings_field "params" obj)
+    | None, Some src -> (
+      if J.member "params" obj <> None then
+        bad "params: only builtin models take parameters (edit the net source)";
+      match Tpan.Error.guard (fun () -> Tpan_dsl.Parser.parse_string src) with
+      | Ok tpn -> Tpan.Canonical.of_tpn tpn
+      | Error e -> raise (App_error e))
+    | _ -> bad "body must carry exactly one of \"model\" or \"net\""
+  in
+  note_net_hash (Tpan.Canonical.hash canonical);
+  canonical
 
 (* ----- response envelopes ----- *)
 
 let envelope ~kind ~net_hash ~exit_code fields =
+  (match net_hash with Some h -> note_net_hash h | None -> ());
+  note_exit_code exit_code;
   J.Obj
     (("schema", J.Int 2)
     :: ("kind", J.Str kind)
@@ -278,9 +433,195 @@ let h_sweep config obj =
       ~net_hash:(Tpan.Canonical.hash canonical)
       (status_of_error e) ~exit_code:(Tpan.Error.exit_code e) (Tpan.Error.to_string e)
 
+(* ----- introspection endpoints ----- *)
+
+let html_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let html_page ~title body =
+  Printf.sprintf
+    "<!doctype html>\n\
+     <html><head><meta charset=\"utf-8\"><title>%s</title><style>body{font-family:ui-monospace,SFMono-Regular,Menlo,monospace;margin:1.5em}table{border-collapse:collapse;margin:.8em 0}td,th{border:1px solid #bbb;padding:2px 10px;text-align:left}th{background:#eee}h1{font-size:1.2em}h2{font-size:1em;margin-top:1.2em}.slow{color:#b00;font-weight:bold}</style></head><body><h1>%s</h1>%s</body></html>\n"
+    (html_escape title) (html_escape title) body
+
+let html status body = { status; content_type = "text/html; charset=utf-8"; body }
+
+let table headers rows =
+  let cell tag s = Printf.sprintf "<%s>%s</%s>" tag s tag in
+  let tr cells tag = cell "tr" (String.concat "" (List.map (cell tag) cells)) in
+  cell "table" (String.concat "" (tr headers "th" :: List.map (fun r -> tr r "td") rows))
+
+let cache_stats_json () =
+  List.map
+    (fun (kind, (s : Tpan_cache.Cache.stats)) ->
+      let total = s.hits + s.misses in
+      J.Obj
+        [
+          ("kind", J.Str kind);
+          ("hits", J.Int s.hits);
+          ("misses", J.Int s.misses);
+          ("evictions", J.Int s.evictions);
+          ("entries", J.Int s.entries);
+          ("bytes", J.Int s.bytes);
+          ( "hit_ratio",
+            if total = 0 then J.Null
+            else J.Float (float_of_int s.hits /. float_of_int total) );
+        ])
+    (Tpan.Artifact.cache_stats ())
+
+let statusz_json () =
+  let now = Unix.gettimeofday () in
+  let gc = Gc.quick_stat () in
+  let infl = inflight_list () in
+  J.Obj
+    [
+      ("schema", J.Int 1);
+      ("service", J.Str "tpan-serve");
+      ("version", J.Str Tpan.Version.string);
+      ("pid", J.Int (Unix.getpid ()));
+      ("now", J.Float now);
+      ("uptime_s", J.Float (now -. start_time));
+      ( "requests",
+        J.Obj
+          [
+            ("total", J.Int (Obs.Metrics.Counter.value (Lazy.force m_requests)));
+            ("errors", J.Int (Obs.Metrics.Counter.value (Lazy.force m_errors)));
+            ("timeouts", J.Int (Obs.Metrics.Counter.value (Lazy.force m_timeouts)));
+            ("inflight", J.Int (List.length infl));
+          ] );
+      ("caches", J.List (cache_stats_json ()));
+      ( "heartbeats",
+        J.List
+          (List.map
+             (fun (lane, beats) ->
+               J.Obj [ ("lane", J.Int lane); ("beats", J.Int beats) ])
+             (Obs.Cancel.heartbeats ())) );
+      ( "gc",
+        J.Obj
+          [
+            ("heap_words", J.Int gc.Gc.heap_words);
+            ("top_heap_words", J.Int gc.Gc.top_heap_words);
+            ("minor_collections", J.Int gc.Gc.minor_collections);
+            ("major_collections", J.Int gc.Gc.major_collections);
+            ("compactions", J.Int gc.Gc.compactions);
+          ] );
+      ( "inflight",
+        J.List
+          (List.map
+             (fun r ->
+               J.Obj
+                 [
+                   ("trace_id", J.Str r.if_trace_id);
+                   ("request", J.Str r.if_name);
+                   ("age_s", J.Float (now -. r.if_start));
+                 ])
+             infl) );
+    ]
+
+let statusz_html () =
+  let now = Unix.gettimeofday () in
+  let infl = inflight_list () in
+  let summary =
+    Printf.sprintf
+      "<p>%s pid %d &middot; uptime %.1fs &middot; %d requests (%d errors, %d \
+       timeouts) &middot; %d in flight</p>"
+      (html_escape Tpan.Version.string)
+      (Unix.getpid ()) (now -. start_time)
+      (Obs.Metrics.Counter.value (Lazy.force m_requests))
+      (Obs.Metrics.Counter.value (Lazy.force m_errors))
+      (Obs.Metrics.Counter.value (Lazy.force m_timeouts))
+      (List.length infl)
+  in
+  let caches =
+    table
+      [ "cache"; "hits"; "misses"; "hit ratio"; "entries"; "bytes"; "evictions" ]
+      (List.map
+         (fun (kind, (s : Tpan_cache.Cache.stats)) ->
+           let total = s.hits + s.misses in
+           [
+             html_escape kind;
+             string_of_int s.hits;
+             string_of_int s.misses;
+             (if total = 0 then "-"
+              else Printf.sprintf "%.3f" (float_of_int s.hits /. float_of_int total));
+             string_of_int s.entries;
+             string_of_int s.bytes;
+             string_of_int s.evictions;
+           ])
+         (Tpan.Artifact.cache_stats ()))
+  in
+  let inflight_tbl =
+    table
+      [ "trace_id"; "request"; "age (s)" ]
+      (List.map
+         (fun r ->
+           [
+             html_escape r.if_trace_id;
+             html_escape r.if_name;
+             Printf.sprintf "%.3f" (now -. r.if_start);
+           ])
+         infl)
+  in
+  html_page ~title:"tpan serve: statusz"
+    (summary ^ "<h2>artifact caches</h2>" ^ caches ^ "<h2>in-flight requests</h2>"
+   ^ inflight_tbl)
+
+let tracez_html () =
+  let sections =
+    List.map
+      (fun (name, buckets, errors) ->
+        let bucket_tbl =
+          table
+            [ "bucket"; "seen"; "retained" ]
+            (List.map
+               (fun (b : Obs.Tracez.bucket_view) ->
+                 [
+                   html_escape b.label;
+                   string_of_int b.seen;
+                   string_of_int (List.length b.entries);
+                 ])
+               (buckets @ [ errors ]))
+        in
+        let recent =
+          List.concat_map (fun (b : Obs.Tracez.bucket_view) -> b.entries) buckets
+          |> List.sort (fun (a : Obs.Tracez.entry) b -> compare b.start a.start)
+        in
+        let recent_tbl =
+          table
+            [ "trace_id"; "status"; "duration (ms)"; "spans" ]
+            (List.map
+               (fun (e : Obs.Tracez.entry) ->
+                 [
+                   html_escape e.trace_id;
+                   (if e.slow then
+                      Printf.sprintf "<span class=\"slow\">%d slow</span>" e.status
+                    else string_of_int e.status);
+                   Printf.sprintf "%.3f" (e.dur *. 1000.);
+                   string_of_int (List.length e.spans);
+                 ])
+               recent)
+        in
+        Printf.sprintf "<h2>%s</h2>%s%s" (html_escape name) bucket_tbl recent_tbl)
+      (Obs.Tracez.snapshot ())
+  in
+  html_page ~title:"tpan serve: tracez" (String.concat "" sections)
+
+let wants_html query =
+  match List.assoc_opt "format" query with Some "html" -> true | _ -> false
+
 (* ----- dispatch ----- *)
 
-let dispatch config ~meth ~path ~body =
+let dispatch config ~meth ~path ~query ~body =
   match (meth, path) with
   | "GET", "/healthz" ->
     json 200 (J.Obj [ ("schema", J.Int 2); ("status", J.Str "ok") ])
@@ -290,25 +631,142 @@ let dispatch config ~meth ~path ~body =
       content_type = "application/openmetrics-text; version=1.0.0; charset=utf-8";
       body = Obs.Metrics.to_openmetrics ();
     }
+  | "GET", "/statusz" ->
+    if wants_html query then html 200 (statusz_html ())
+    else json 200 (statusz_json ())
+  | "GET", "/tracez" ->
+    if wants_html query then html 200 (tracez_html ())
+    else json 200 (Obs.Tracez.to_json ())
   | "POST", "/analyze" -> h_analyze config (obj_of_body body)
   | "POST", "/eval" -> h_eval config (obj_of_body body)
   | "POST", "/sweep" -> h_sweep config (obj_of_body body)
-  | _, ("/healthz" | "/metrics" | "/analyze" | "/eval" | "/sweep") ->
+  | _, ("/healthz" | "/metrics" | "/statusz" | "/tracez" | "/analyze" | "/eval" | "/sweep") ->
     raise (Http_error (405, Printf.sprintf "%s not allowed here" meth))
   | _ -> raise (Http_error (404, "no such endpoint"))
 
-let handle config ~meth ~target ~body =
-  Obs.Metrics.Counter.incr (Lazy.force m_requests);
-  let t0 = Unix.gettimeofday () in
-  let path =
-    match String.index_opt target '?' with
-    | Some i -> String.sub target 0 i
-    | None -> target
+(* ----- the request wrapper: metrics, tracez, access log, ledger ----- *)
+
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (target, [])
+  | Some i ->
+    let path = String.sub target 0 i in
+    let qs = String.sub target (i + 1) (String.length target - i - 1) in
+    let params =
+      List.filter_map
+        (fun kv ->
+          if kv = "" then None
+          else
+            match String.index_opt kv '=' with
+            | Some j ->
+              Some
+                ( String.sub kv 0 j,
+                  String.sub kv (j + 1) (String.length kv - j - 1) )
+            | None -> Some (kv, ""))
+        (String.split_on_char '&' qs)
+    in
+    (path, params)
+
+let stage_totals_of spans =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Obs.Trace.event) ->
+      let dur, n =
+        match Hashtbl.find_opt tbl e.Obs.Trace.name with
+        | Some x -> x
+        | None -> (0., 0)
+      in
+      Hashtbl.replace tbl e.Obs.Trace.name (dur +. e.Obs.Trace.dur, n + 1))
+    spans;
+  Hashtbl.fold
+    (fun stage (seconds, count) acc -> { Obs.Ledger.stage; seconds; count } :: acc)
+    tbl []
+  |> List.sort (fun (a : Obs.Ledger.stage) b -> compare a.stage b.stage)
+
+let access_record config ~req ~meth ~path ~status ~dur ~body_bytes ~resp_bytes
+    ~cache_fields =
+  let exit_code =
+    match req.if_exit_code with
+    | Some c -> c
+    | None -> if status >= 400 then 1 else 0
   in
+  {
+    Obs.Log.ts = req.if_start;
+    level = Obs.Log.Info;
+    msg = "access";
+    lane = Obs.Trace.current_lane ();
+    trace_id = Some req.if_trace_id;
+    fields =
+      [
+        ("method", J.Str meth);
+        ("path", J.Str path);
+        ("endpoint", J.Str req.if_endpoint);
+        ("status", J.Int status);
+        ("exit_code", J.Int exit_code);
+        ("latency_s", J.Float dur);
+        ("body_bytes", J.Int body_bytes);
+        ("resp_bytes", J.Int resp_bytes);
+        ( "net_hash",
+          match req.if_net_hash with Some h -> J.Str h | None -> J.Null );
+        ("cache", J.Obj cache_fields);
+        ( "deadline_budget_s",
+          match config.deadline with Some b -> J.Float b | None -> J.Null );
+        ( "deadline_consumed",
+          match config.deadline with
+          | Some b when b > 0. -> J.Float (dur /. b)
+          | _ -> J.Null );
+      ];
+  }
+
+let ledger_row config ~req ~status ~dur ~stages =
+  let exit_code =
+    match req.if_exit_code with
+    | Some c -> c
+    | None -> if status >= 400 then 1 else 0
+  in
+  match config.ledger_dir with
+  | None -> ()
+  | Some dir ->
+    let row =
+      Obs.Ledger.make ~version:Tpan.Version.string ~timestamp:req.if_start
+        ~subcommand:("serve:" ^ req.if_endpoint)
+        ~argv:[ "serve"; req.if_name ]
+        ~trace_id:req.if_trace_id ~stages ~exit_code ~duration:dur ()
+    in
+    (match Obs.Ledger.append ~dir row with
+    | Ok () -> ()
+    | Error e ->
+      Obs.Log.warn "serve: ledger append failed" ~fields:[ ("error", J.Str e) ])
+
+let handle config ~meth ~target ~body =
+  let t0 = Unix.gettimeofday () in
+  Obs.Metrics.Counter.incr (Lazy.force m_requests);
+  let path, query = split_target target in
+  let endpoint = normalize_endpoint path in
+  let name = meth ^ " " ^ endpoint in
   let ctx = Obs.Context.make ?deadline:config.deadline () in
+  let tid = ctx.Obs.Context.trace_id in
+  let req =
+    {
+      if_trace_id = tid;
+      if_name = name;
+      if_endpoint = endpoint;
+      if_start = t0;
+      if_net_hash = None;
+      if_exit_code = None;
+    }
+  in
+  let caches_before =
+    if config.telemetry && config.access_log <> None then Some (cache_counts ())
+    else None
+  in
+  if config.telemetry then begin
+    Obs.Metrics.Counter.incr (ep_requests endpoint);
+    inflight_add req
+  end;
   let resp =
     Obs.Context.with_ctx ctx (fun () ->
-        try dispatch config ~meth ~path ~body with
+        try dispatch config ~meth ~path ~query ~body with
         | Http_error (status, msg) -> error_response status ~exit_code:2 msg
         | App_error e ->
           error_response (status_of_error e) ~exit_code:(Tpan.Error.exit_code e)
@@ -317,9 +775,38 @@ let handle config ~meth ~target ~body =
           error_response 504 ~exit_code:6 (Obs.Cancel.reason_to_string reason)
         | exn -> error_response 500 ~exit_code:1 (Printexc.to_string exn))
   in
+  let dur = Unix.gettimeofday () -. t0 in
   if resp.status = 504 then Obs.Metrics.Counter.incr (Lazy.force m_timeouts);
   if resp.status >= 400 then Obs.Metrics.Counter.incr (Lazy.force m_errors);
-  Obs.Metrics.Histogram.observe (Lazy.force m_latency) (Unix.gettimeofday () -. t0);
+  Obs.Metrics.Histogram.observe (Lazy.force m_latency) dur;
+  if config.telemetry then begin
+    inflight_remove req;
+    Obs.Metrics.Histogram.observe ~trace_id:tid (ep_latency endpoint) dur;
+    (match error_type_of_status resp.status with
+    | Some ty -> Obs.Metrics.Counter.incr (ep_errors endpoint ty)
+    | None -> ());
+    let slow =
+      match config.slow_ms with Some ms -> dur *. 1000. >= ms | None -> false
+    in
+    let spans = Obs.Trace.take_events ~trace_id:tid in
+    Obs.Tracez.record
+      { trace_id = tid; name; status = resp.status; start = t0; dur; slow; spans };
+    if slow then (
+      match config.flight_path with
+      | Some p ->
+        Obs.Dump.write_dump ~trace_id:tid p
+          (Printf.sprintf "slow-request %s %.1fms" name (dur *. 1000.))
+      | None -> ());
+    (match (config.access_log, caches_before) with
+    | Some log_path, Some before ->
+      let cache_fields = cache_delta before (cache_counts ()) in
+      access_write log_path
+        (access_record config ~req ~meth ~path ~status:resp.status ~dur
+           ~body_bytes:(String.length body)
+           ~resp_bytes:(String.length resp.body) ~cache_fields)
+    | _ -> ());
+    ledger_row config ~req ~status:resp.status ~dur ~stages:(stage_totals_of spans)
+  end;
   resp
 
 (* ----- the HTTP/1.1 listener -----
@@ -484,6 +971,11 @@ let run ?(ready = fun _ -> ()) config =
         ("port", (match !tcp_port with Some p -> J.Int p | None -> J.Null));
         ( "socket",
           match config.socket_path with Some p -> J.Str p | None -> J.Null );
+        ("telemetry", J.Bool config.telemetry);
+        ( "slow_ms",
+          match config.slow_ms with Some ms -> J.Float ms | None -> J.Null );
+        ( "access_log",
+          match config.access_log with Some p -> J.Str p | None -> J.Null );
       ];
   let rec loop () =
     if not !stop_requested then begin

@@ -12,6 +12,34 @@
     - [GET /metrics] — the {!Tpan_obs.Metrics} registry as OpenMetrics
       (includes [cache.*] hit/miss/eviction counters and [serve.*])
     - [GET /healthz] — liveness
+    - [GET /statusz] — live introspection: uptime, build version,
+      per-artifact-kind cache hit ratios, worker heartbeats, GC stats,
+      and the in-flight requests with their age and trace id
+    - [GET /tracez] — latency-bucketed ring buffers of recent request
+      span trees ({!Tpan_obs.Tracez}), so the slow tail always has
+      recent examples on display
+
+    [/statusz] and [/tracez] answer JSON by default and a minimal HTML
+    page with [?format=html].
+
+    {b Telemetry.} With [telemetry] on (the default), every request is
+    counted into per-endpoint RED families — [serve.endpoint.requests]
+    and [serve.endpoint.errors] (typed: [http]/[app]/[timeout]/
+    [internal]) counters, and a [serve.request_duration_s] histogram
+    whose OpenMetrics buckets each carry an exemplar trace id — plus
+    the process-wide [serve.requests]/[serve.errors]/[serve.timeouts]/
+    [serve.latency_s] totals that predate the labelled plane. Endpoint
+    labels come from the route table (unknown paths collapse into
+    ["other"]), so cardinality is bounded.
+
+    Optionally the server also writes an NDJSON {e access log} (one
+    {!Tpan_obs.Log} record per request: trace id, method, path, status,
+    exit code, latency, body sizes, net hash, per-artifact cache
+    hits/misses, deadline budget consumed), appends one run-ledger row
+    per request (subcommand ["serve:<endpoint>"], so
+    [tpan runs --stats] reports per-endpoint latency percentiles and
+    exit codes), and snapshots a flight-recorder dump scoped to the
+    request's trace id whenever a request exceeds [slow_ms].
 
     Every request runs under a fresh {!Tpan_obs.Context} (trace id in
     every response envelope; the configured deadline as the request's
@@ -32,17 +60,30 @@ type config = {
   deadline : float option;  (** per-request budget, seconds *)
   max_states : int option;  (** default state budget for analyses *)
   max_body : int;  (** request-body cap, bytes *)
+  telemetry : bool;
+      (** RED metrics, in-flight tracking, tracez recording; on by
+          default — the bench harness turns it off to measure bare
+          request handling *)
+  slow_ms : float option;
+      (** slow-request threshold in milliseconds; requests at or above
+          it are flagged in [/tracez] and flight-captured *)
+  flight_path : string option;
+      (** where slow-request dump frames are appended *)
+  access_log : string option;  (** NDJSON access-log path *)
+  ledger_dir : string option;
+      (** when set, append one run-ledger row per request there *)
 }
 
 val default_config : config
-(** [127.0.0.1:8080], no Unix socket, no deadline, 8 MiB body cap. *)
+(** [127.0.0.1:8080], no Unix socket, no deadline, 8 MiB body cap;
+    telemetry on, no slow threshold, no access log, no ledger rows. *)
 
 type response = { status : int; content_type : string; body : string }
 
 val handle : config -> meth:string -> target:string -> body:string -> response
 (** The pure request handler the listener dispatches to, exposed so
     tests can drive the full request path (context minting, artifact
-    cache, envelopes, status mapping) without sockets. *)
+    cache, envelopes, status mapping, telemetry) without sockets. *)
 
 val run : ?ready:(int option -> unit) -> config -> unit
 (** Bind, announce via [ready] (the actually-bound TCP port — useful

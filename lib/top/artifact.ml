@@ -88,6 +88,26 @@ let configure ?budget_bytes ?persist_dir () =
         };
       caches_cell := None)
 
+(* Surfacing per-kind hit/miss statistics to the serving layer's
+   /statusz without exposing the cache instances themselves. Reads the
+   live caches when they exist; never forces their creation. *)
+let cache_stats () =
+  Mutex.lock caches_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock caches_mutex)
+    (fun () ->
+      match !caches_cell with
+      | None -> []
+      | Some c ->
+        [
+          (Cache.name c.trg, Cache.stats c.trg);
+          (Cache.name c.symbolic, Cache.stats c.symbolic);
+          (Cache.name c.closed, Cache.stats c.closed);
+          (Cache.name c.eval_q, Cache.stats c.eval_q);
+          (Cache.name c.report, Cache.stats c.report);
+          (Cache.name c.sim, Cache.stats c.sim);
+        ])
+
 let reset_caches () =
   Mutex.lock caches_mutex;
   Fun.protect

@@ -41,6 +41,12 @@ val reset_caches : unit -> unit
 (** Drop every cached artifact (counters keep their totals). The bench
     harness uses this to measure genuinely-uncached builds. *)
 
+val cache_stats : unit -> (string * Tpan_cache.Cache.stats) list
+(** Live [(kind, stats)] per artifact cache — ["trg"], ["symbolic"],
+    ["closed_form"], ["eval"], ["report"], ["sim"] — for a server's
+    [/statusz] page. Empty if no artifact has been requested yet (the
+    caches are created lazily and this never forces them). *)
+
 (** {1 Graph artifacts} *)
 
 val concrete_trg :

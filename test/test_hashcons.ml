@@ -47,7 +47,11 @@ let test_poly_hash_is_structural () =
 let test_weak_tables_collect () =
   (* transient values must be collectable: build a pile of polynomials
      reachable from nowhere, then force a full major — the intern count
-     has to fall back toward where it started *)
+     has to fall back toward where it started. Collect first so the
+     baseline isn't inflated by other suites' dead entries (a GC during
+     [build] would deflate the peak below the baseline). *)
+  Gc.full_major ();
+  Gc.full_major ();
   let before = Poly.interned () in
   let build () =
     for i = 0 to 999 do
@@ -68,6 +72,8 @@ let test_weak_tables_collect () =
     (after < before + 100)
 
 let test_ratfun_weak_collect () =
+  Gc.full_major ();
+  Gc.full_major ();
   let before = Rf.interned () in
   for i = 0 to 499 do
     ignore

@@ -245,25 +245,58 @@ let om_name_ok s =
          || c = '_' || c = ':')
        s
 
+(* a sample line's "series value" part: an (optionally labelled)
+   series name followed by one float *)
+let om_sample_ok s =
+  match String.index_opt s ' ' with
+  | None -> false
+  | Some i ->
+    let series = String.sub s 0 i in
+    let value = String.sub s (i + 1) (String.length s - i - 1) in
+    let name =
+      match String.index_opt series '{' with
+      | Some j -> if series.[String.length series - 1] = '}' then String.sub series 0 j else ""
+      | None -> series
+    in
+    om_name_ok name && Option.is_some (float_of_string_opt value)
+
+(* an exemplar: "{trace_id=\"...\"} value [timestamp]" *)
+let om_exemplar_ok s =
+  String.length s > 1
+  && s.[0] = '{'
+  && (match String.index_opt s '}' with
+     | None -> false
+     | Some j ->
+       let rest = String.sub s (j + 1) (String.length s - j - 1) in
+       let parts =
+         String.split_on_char ' ' rest |> List.filter (fun x -> x <> "")
+       in
+       List.length parts >= 1 && List.length parts <= 2
+       && List.for_all (fun v -> Option.is_some (float_of_string_opt v)) parts)
+
 (* one line of OpenMetrics text exposition: a comment directive, a
-   sample (optionally labelled), or the terminator *)
+   sample (optionally labelled, optionally with an exemplar after
+   " # "), or the terminator *)
 let om_line_ok line =
   line = "# EOF"
   || (match String.split_on_char ' ' line with
      | [ "#"; "TYPE"; name; kind ] ->
-       om_name_ok name && List.mem kind [ "counter"; "gauge"; "summary" ]
+       om_name_ok name && List.mem kind [ "counter"; "gauge"; "histogram" ]
      | _ -> (
-       match String.index_opt line ' ' with
-       | None -> false
-       | Some i ->
-         let series = String.sub line 0 i in
-         let value = String.sub line (i + 1) (String.length line - i - 1) in
-         let name =
-           match String.index_opt series '{' with
-           | Some j -> if series.[String.length series - 1] = '}' then String.sub series 0 j else ""
-           | None -> series
+       let sample, exemplar =
+         let rec find i =
+           if i + 2 >= String.length line then None
+           else if line.[i] = ' ' && line.[i + 1] = '#' && line.[i + 2] = ' ' then Some i
+           else find (i + 1)
          in
-         om_name_ok name && Option.is_some (float_of_string_opt value)))
+         match find 0 with
+         | Some i ->
+           ( String.sub line 0 i,
+             Some (String.sub line (i + 3) (String.length line - i - 3)) )
+         | None -> (line, None)
+       in
+       om_sample_ok sample
+       && match exemplar with None -> true | Some e -> om_exemplar_ok e))
 
 let test_openmetrics () =
   let c = Metrics.counter "test_obs.om.requests" in
@@ -297,10 +330,75 @@ let test_openmetrics () =
     lines;
   Alcotest.(check bool) "counter series present" true
     (List.exists (fun l -> l = "tpan_test_obs_om_requests_total 7") lines);
-  Alcotest.(check bool) "summary quantile present" true
+  (* histograms expose explicit cumulative buckets, not summary
+     quantiles: _bucket{le=...} samples, a +Inf bucket, _count, _sum *)
+  let starts_with p l =
+    String.length l >= String.length p && String.sub l 0 (String.length p) = p
+  in
+  let bucket_lines =
+    List.filter (fun l -> starts_with "tpan_test_obs_om_latency_bucket{le=" l) lines
+  in
+  Alcotest.(check bool) "bucket samples present" true (List.length bucket_lines >= 2);
+  Alcotest.(check bool) "+Inf bucket present" true
+    (List.exists (fun l -> starts_with "tpan_test_obs_om_latency_bucket{le=\"+Inf\"}" l)
+       bucket_lines);
+  let bucket_counts =
+    List.filter_map
+      (fun l ->
+        match String.split_on_char ' ' l with
+        | _series :: v :: _ -> int_of_string_opt v
+        | _ -> None)
+      bucket_lines
+  in
+  Alcotest.(check bool) "bucket counts cumulative (monotone)" true
+    (fst
+       (List.fold_left
+          (fun (ok, prev) c -> (ok && c >= prev, c))
+          (true, 0) bucket_counts));
+  Alcotest.(check bool) "last bucket equals _count" true
+    (match (List.rev bucket_counts, ()) with
+    | last :: _, () ->
+      List.exists
+        (fun l -> l = Printf.sprintf "tpan_test_obs_om_latency_count %d" last)
+        lines
+    | [], () -> false);
+  Alcotest.(check bool) "_sum present" true
+    (List.exists (fun l -> starts_with "tpan_test_obs_om_latency_sum " l) lines)
+
+(* Labelled families: distinct label sets are distinct series sharing
+   one # TYPE line; exemplar trace ids ride on histogram buckets. *)
+let test_openmetrics_labels () =
+  let c1 = Metrics.counter_with "test_obs.om.lreq" [ ("endpoint", "/eval") ] in
+  let c2 = Metrics.counter_with "test_obs.om.lreq" [ ("endpoint", "/sweep") ] in
+  Metrics.Counter.add c1 3;
+  Metrics.Counter.incr c2;
+  Alcotest.(check bool) "re-registration returns the same series" true
+    (Metrics.counter_with "test_obs.om.lreq" [ ("endpoint", "/eval") ] == c1);
+  let h = Metrics.histogram_with "test_obs.om.llat" [ ("endpoint", "/eval") ] in
+  Metrics.Histogram.observe ~trace_id:"tid-exemplar-1" h 0.003;
+  let text = Metrics.to_openmetrics () in
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  List.iter
+    (fun l ->
+      Alcotest.(check bool) (Printf.sprintf "grammar: %S" l) true (om_line_ok l))
+    lines;
+  Alcotest.(check bool) "labelled counter series /eval" true
+    (List.mem "tpan_test_obs_om_lreq_total{endpoint=\"/eval\"} 3" lines);
+  Alcotest.(check bool) "labelled counter series /sweep" true
+    (List.mem "tpan_test_obs_om_lreq_total{endpoint=\"/sweep\"} 1" lines);
+  Alcotest.(check int) "one TYPE line for the family" 1
+    (List.length (List.filter (fun l -> l = "# TYPE tpan_test_obs_om_lreq counter") lines));
+  Alcotest.(check bool) "bucket exemplar carries the trace id" true
     (List.exists
        (fun l ->
-         String.length l > 26 && String.sub l 0 26 = "tpan_test_obs_om_latency{q")
+         let has sub =
+           let n = String.length sub in
+           let rec go i =
+             i + n <= String.length l && (String.sub l i n = sub || go (i + 1))
+           in
+           go 0
+         in
+         has "tpan_test_obs_om_llat_bucket{" && has "# {trace_id=\"tid-exemplar-1\"}")
        lines)
 
 let test_snapshot_filtering () =
@@ -428,6 +526,8 @@ let suite =
       Alcotest.test_case "jsonv parser" `Quick test_jsonv_parser;
       Alcotest.test_case "jsonv huge floats stay floats" `Quick test_jsonv_huge_floats;
       Alcotest.test_case "openmetrics exposition" `Quick test_openmetrics;
+      Alcotest.test_case "openmetrics labels and exemplars" `Quick
+        test_openmetrics_labels;
       Alcotest.test_case "snapshot filtering" `Quick test_snapshot_filtering;
       Alcotest.test_case "log sinks & levels" `Quick test_log_sinks;
       Alcotest.test_case "log ndjson sink" `Quick test_log_ndjson_sink;

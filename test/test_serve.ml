@@ -126,6 +126,279 @@ let test_sweep_endpoint () =
   Alcotest.(check bool) "first grid point carries the exact value" true
     (contains r.Serve.body "1805/486672")
 
+(* ----- telemetry plane ----- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let tmp_dir () =
+  let d =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "tpan_serve_test_%d_%d" (Unix.getpid ()) (Random.bits ()))
+  in
+  Unix.mkdir d 0o755;
+  d
+
+let test_statusz () =
+  let r = handle "GET" "/statusz" "" in
+  Alcotest.(check int) "statusz 200" 200 r.Serve.status;
+  let doc = parse_body r in
+  Alcotest.(check bool) "schema 1" true (field doc "schema" = J.Int 1);
+  Alcotest.(check bool) "service name" true (field doc "service" = J.Str "tpan-serve");
+  (match field doc "version" with
+  | J.Str v -> Alcotest.(check bool) "version non-empty" true (String.length v > 0)
+  | _ -> Alcotest.fail "version must be a string");
+  (match J.to_float_opt (field doc "uptime_s") with
+  | Some u -> Alcotest.(check bool) "uptime non-negative" true (u >= 0.)
+  | None -> Alcotest.fail "uptime_s must be a number");
+  (match field doc "requests" with
+  | J.Obj _ as reqs ->
+    (match J.to_int_opt (field reqs "total") with
+    | Some n -> Alcotest.(check bool) "total counts this request" true (n >= 1)
+    | None -> Alcotest.fail "requests.total must be an int");
+    (* the statusz request observes itself in flight *)
+    Alcotest.(check bool) "statusz sees itself in flight" true
+      (field reqs "inflight" = J.Int 1)
+  | _ -> Alcotest.fail "requests must be an object");
+  (match field doc "inflight" with
+  | J.List [ self ] ->
+    Alcotest.(check bool) "in-flight entry names the request" true
+      (J.member "request" self = Some (J.Str "GET /statusz"));
+    Alcotest.(check bool) "in-flight entry has a trace id" true
+      (match J.member "trace_id" self with Some (J.Str t) -> t <> "" | _ -> false);
+    Alcotest.(check bool) "in-flight entry has an age" true
+      (match Option.bind (J.member "age_s" self) J.to_float_opt with
+      | Some a -> a >= 0.
+      | None -> false)
+  | _ -> Alcotest.fail "exactly the statusz request should be in flight");
+  (* /eval ran in earlier tests, so the artifact caches are live *)
+  (match field doc "caches" with
+  | J.List caches ->
+    Alcotest.(check bool) "cache stats per artifact kind" true
+      (List.exists (fun c -> J.member "kind" c = Some (J.Str "symbolic")) caches)
+  | _ -> Alcotest.fail "caches must be a list");
+  (match field doc "gc" with
+  | J.Obj _ as gc ->
+    Alcotest.(check bool) "gc heap words" true
+      (match J.to_int_opt (field gc "heap_words") with Some n -> n > 0 | None -> false)
+  | _ -> Alcotest.fail "gc must be an object");
+  let r_html = handle "GET" "/statusz?format=html" "" in
+  Alcotest.(check int) "statusz html 200" 200 r_html.Serve.status;
+  Alcotest.(check bool) "html content type" true
+    (contains r_html.Serve.content_type "text/html");
+  Alcotest.(check bool) "html body" true (contains r_html.Serve.body "<table>")
+
+let test_tracez_and_red_metrics () =
+  let r = handle "POST" "/eval" eval_body in
+  Alcotest.(check int) "eval 200" 200 r.Serve.status;
+  let doc = parse_body (handle "GET" "/tracez" "") in
+  (match field doc "methods" with
+  | J.List methods ->
+    let eval_m =
+      List.find_opt (fun m -> J.member "name" m = Some (J.Str "POST /eval")) methods
+    in
+    (match eval_m with
+    | None -> Alcotest.fail "tracez lacks POST /eval"
+    | Some m -> (
+      match field m "buckets" with
+      | J.List buckets ->
+        let seen =
+          List.fold_left
+            (fun acc b ->
+              acc + match J.to_int_opt (field b "seen") with Some n -> n | None -> 0)
+            0 buckets
+        in
+        Alcotest.(check bool) "tracez saw the eval requests" true (seen >= 1);
+        (* retained entries carry resolvable trace ids *)
+        let entries =
+          List.concat_map
+            (fun b ->
+              match J.member "entries" b with Some (J.List es) -> es | _ -> [])
+            buckets
+        in
+        Alcotest.(check bool) "entries retained" true (entries <> []);
+        List.iter
+          (fun e ->
+            match J.member "trace_id" e with
+            | Some (J.Str id) ->
+              Alcotest.(check bool) "trace id non-empty" true (String.length id > 0)
+            | _ -> Alcotest.fail "tracez entry lacks trace_id")
+          entries
+      | _ -> Alcotest.fail "buckets must be a list"))
+  | _ -> Alcotest.fail "methods must be a list");
+  (* the RED families carry the endpoint label *)
+  let om = (handle "GET" "/metrics" "").Serve.body in
+  Alcotest.(check bool) "labelled request counter" true
+    (contains om "tpan_serve_endpoint_requests_total{endpoint=\"/eval\"}");
+  Alcotest.(check bool) "duration histogram buckets" true
+    (contains om "tpan_serve_request_duration_s_bucket{endpoint=\"/eval\",le=");
+  (* unlabelled process-wide totals are still exported for old scrapes *)
+  Alcotest.(check bool) "legacy total kept" true
+    (contains om "tpan_serve_requests_total ");
+  let r404 = handle "GET" "/definitely-not-a-route" "" in
+  Alcotest.(check int) "404 for the error family" 404 r404.Serve.status;
+  let om = (handle "GET" "/metrics" "").Serve.body in
+  Alcotest.(check bool) "typed error counter, bounded endpoint label" true
+    (contains om "tpan_serve_endpoint_errors_total{endpoint=\"other\",type=\"http\"}")
+
+let test_access_log_slow_dump_ledger () =
+  let dir = tmp_dir () in
+  let access = Filename.concat dir "access.ndjson" in
+  let flight = Filename.concat dir "flight.ndjson" in
+  let config =
+    {
+      Serve.default_config with
+      Serve.access_log = Some access;
+      slow_ms = Some 0.0 (* every request is "slow": deterministic capture *);
+      flight_path = Some flight;
+      ledger_dir = Some dir;
+    }
+  in
+  let r = Serve.handle config ~meth:"POST" ~target:"/eval" ~body:eval_body in
+  Alcotest.(check int) "eval 200" 200 r.Serve.status;
+  let doc = parse_body r in
+  let tid = match field doc "trace_id" with J.Str t -> t | _ -> Alcotest.fail "trace_id" in
+  let net_hash =
+    match field doc "net_hash" with J.Str h -> h | _ -> Alcotest.fail "net_hash"
+  in
+  (* access log: one NDJSON record, correlating trace id, endpoint,
+     status, exit code, net hash *)
+  let ic = open_in access in
+  let line = input_line ic in
+  close_in ic;
+  let rec_doc =
+    match J.of_string line with Ok d -> d | Error e -> Alcotest.failf "access: %s" e
+  in
+  Alcotest.(check bool) "access trace_id" true (J.member "trace_id" rec_doc = Some (J.Str tid));
+  let fields = field rec_doc "fields" in
+  Alcotest.(check bool) "access method" true (field fields "method" = J.Str "POST");
+  Alcotest.(check bool) "access endpoint" true (field fields "endpoint" = J.Str "/eval");
+  Alcotest.(check bool) "access status" true (field fields "status" = J.Int 200);
+  Alcotest.(check bool) "access exit_code" true (field fields "exit_code" = J.Int 0);
+  Alcotest.(check bool) "access net_hash" true (field fields "net_hash" = J.Str net_hash);
+  Alcotest.(check bool) "access latency" true
+    (match J.to_float_opt (field fields "latency_s") with Some l -> l >= 0. | None -> false);
+  (* the slow request left a flight-recorder frame scoped to its trace *)
+  (match Tpan_obs.Dump.load flight with
+  | Ok (_ :: _ as frames) ->
+    Alcotest.(check bool) "dump frame carries the trace id" true
+      (List.exists (fun f -> f.Tpan_obs.Dump.trace_id = Some tid) frames)
+  | Ok [] -> Alcotest.fail "no flight frames captured"
+  | Error e -> Alcotest.failf "flight load: %s" e);
+  (* one ledger row per request, grouped under serve:<endpoint> *)
+  (match Tpan_obs.Ledger.load ~dir () with
+  | Ok rows ->
+    let serve_rows =
+      List.filter (fun r -> r.Tpan_obs.Ledger.subcommand = "serve:/eval") rows
+    in
+    Alcotest.(check int) "one serve row" 1 (List.length serve_rows);
+    let row = List.hd serve_rows in
+    Alcotest.(check bool) "ledger trace id" true
+      (row.Tpan_obs.Ledger.trace_id = Some tid);
+    Alcotest.(check bool) "ledger exit code" true (row.Tpan_obs.Ledger.exit_code = 0);
+    (* runs --stats groups these by endpoint *)
+    let stats = Tpan_obs.Ledger.stats rows in
+    Alcotest.(check bool) "stats has serve:/eval" true
+      (List.exists (fun (s : Tpan_obs.Ledger.stats_row) -> s.key = "serve:/eval")
+         stats.Tpan_obs.Ledger.commands)
+  | Error e -> Alcotest.failf "ledger load: %s" e)
+
+(* 4 worker lanes hammer /eval while another lane scrapes /metrics and
+   /statusz: scrapes stay parseable (no torn lines), labels stable, and
+   after the run every exemplar on the /eval duration buckets resolves
+   to a trace id recorded in the access log. *)
+let test_concurrent_scrapes () =
+  let dir = tmp_dir () in
+  let access = Filename.concat dir "access.ndjson" in
+  let config = { Serve.default_config with Serve.access_log = Some access } in
+  Tpan_obs.Metrics.Histogram.reset
+    (Tpan_obs.Metrics.histogram_with "serve.request_duration_s"
+       [ ("endpoint", "/eval") ]);
+  let scrape_ok = ref true in
+  let work = function
+    | `Eval ->
+      for _ = 1 to 25 do
+        let r = Serve.handle config ~meth:"POST" ~target:"/eval" ~body:eval_body in
+        if r.Serve.status <> 200 then failwith ("eval status " ^ string_of_int r.Serve.status)
+      done
+    | `Scrape ->
+      for _ = 1 to 25 do
+        let m = Serve.handle config ~meth:"GET" ~target:"/metrics" ~body:"" in
+        let lines = String.split_on_char '\n' m.Serve.body in
+        if
+          not
+            (List.for_all
+               (fun l ->
+                 l = "" || l = "# EOF"
+                 || String.length l > 2
+                    && (contains l " " || String.sub l 0 2 = "# "))
+               lines
+            && List.mem "# EOF" lines)
+        then scrape_ok := false;
+        let s = Serve.handle config ~meth:"GET" ~target:"/statusz" ~body:"" in
+        (match J.of_string s.Serve.body with
+        | Ok _ -> ()
+        | Error _ -> scrape_ok := false);
+        let t = Serve.handle config ~meth:"GET" ~target:"/tracez" ~body:"" in
+        (match J.of_string t.Serve.body with
+        | Ok _ -> ()
+        | Error _ -> scrape_ok := false)
+      done
+  in
+  let results =
+    Tpan_par.Pool.try_map ~jobs:5 work [ `Eval; `Eval; `Eval; `Eval; `Scrape ]
+  in
+  List.iter
+    (function
+      | Ok () -> ()
+      | Error (e : Tpan_par.Pool.error) -> Alcotest.failf "lane failed: %s" e.message)
+    results;
+  Alcotest.(check bool) "all scrapes parsed cleanly" true !scrape_ok;
+  (* exemplars resolve to real requests in the access log *)
+  let log =
+    let ic = open_in access in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  in
+  let om = (Serve.handle config ~meth:"GET" ~target:"/metrics" ~body:"").Serve.body in
+  let exemplar_tids =
+    List.filter_map
+      (fun l ->
+        if
+          contains l "tpan_serve_request_duration_s_bucket{endpoint=\"/eval\""
+          && contains l "# {trace_id=\""
+        then begin
+          let marker = "# {trace_id=\"" in
+          let rec find i =
+            if i + String.length marker > String.length l then None
+            else if String.sub l i (String.length marker) = marker then Some i
+            else find (i + 1)
+          in
+          match find 0 with
+          | None -> None
+          | Some i -> (
+            let start = i + String.length marker in
+            match String.index_from_opt l start '"' with
+            | Some j -> Some (String.sub l start (j - start))
+            | None -> None)
+        end
+        else None)
+      (String.split_on_char '\n' om)
+  in
+  Alcotest.(check bool) "at least one exemplar on the /eval buckets" true
+    (exemplar_tids <> []);
+  List.iter
+    (fun tid ->
+      Alcotest.(check bool)
+        (Printf.sprintf "exemplar %s resolves to an access-log request" tid)
+        true
+        (contains log (Printf.sprintf "\"trace_id\":\"%s\"" tid)))
+    exemplar_tids
+
 let suite =
   ( "serve",
     [
@@ -135,4 +408,9 @@ let suite =
       Alcotest.test_case "inline net shares the cache" `Quick test_inline_net_shares_cache;
       Alcotest.test_case "deadline answers 504 / exit 6" `Quick test_deadline_504;
       Alcotest.test_case "sweep endpoint" `Quick test_sweep_endpoint;
+      Alcotest.test_case "statusz introspection" `Quick test_statusz;
+      Alcotest.test_case "tracez and RED metrics" `Quick test_tracez_and_red_metrics;
+      Alcotest.test_case "access log, slow dump, ledger rows" `Quick
+        test_access_log_slow_dump_ledger;
+      Alcotest.test_case "concurrent scrapes under load" `Quick test_concurrent_scrapes;
     ] )
