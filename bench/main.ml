@@ -1105,6 +1105,161 @@ let serve_obs () =
     (bare *. 1e3) (instr *. 1e3) ratio;
   check "instrumented /eval <= 1.10x bare request handling" (ratio <= 1.10)
 
+(* ---------------- SERVE-KEEPALIVE ---------------- *)
+
+(* What connection reuse buys the socket plane: the same GET /healthz
+   request against a live in-process listener (telemetry off), once
+   over a fresh TCP connection per request — connect, one request,
+   [Connection: close], EOF — and once down a single keep-alive
+   connection in pipelined batches of 20. The endpoint is deliberately
+   near-free so the figure isolates the connection plane (accept,
+   handshake, framing, teardown); what the artifact cache buys /eval
+   is the SERVE figure's story. Wall-clock, not CPU time: the server
+   runs in its own domain of this process. *)
+let serve_keepalive_close_rps = ref Float.nan
+let serve_keepalive_reuse_rps = ref Float.nan
+let serve_keepalive_ratio = ref Float.nan
+
+let serve_keepalive () =
+  section "SERVE-KEEPALIVE" "keep-alive + pipelining vs connection-per-request";
+  let config =
+    {
+      Tpan_serve.Serve.default_config with
+      Tpan_serve.Serve.port = Some 0;
+      telemetry = false;
+      max_requests_per_conn = 0 (* unlimited: the reuse side is the point *);
+    }
+  in
+  let port_cell = Atomic.make None in
+  let srv =
+    Domain.spawn (fun () ->
+        Tpan_serve.Serve.run ~ready:(fun p -> Atomic.set port_cell p) config)
+  in
+  let rec wait_port tries =
+    match Atomic.get port_cell with
+    | Some p -> p
+    | None ->
+      if tries > 5000 then failwith "SERVE-KEEPALIVE: server never became ready";
+      Unix.sleepf 0.002;
+      wait_port (tries + 1)
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Tpan_serve.Serve.shutdown ();
+      Domain.join srv)
+    (fun () ->
+      let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, wait_port 0) in
+      let request ~close =
+        Printf.sprintf "GET /healthz HTTP/1.1\r\nHost: bench\r\n%s\r\n"
+          (if close then "Connection: close\r\n" else "")
+      in
+      let send_all fd s =
+        let b = Bytes.unsafe_of_string s in
+        let len = Bytes.length b in
+        let rec go off =
+          if off < len then
+            match Unix.write fd b off (len - off) with
+            | n -> go (off + n)
+            | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+        in
+        go 0
+      in
+      let buf = Buffer.create 65536 in
+      let chunk = Bytes.create 65536 in
+      let refill fd =
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> failwith "SERVE-KEEPALIVE: unexpected EOF"
+        | n -> Buffer.add_subbytes buf chunk 0 n
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      in
+      let find_crlf2 s =
+        let n = String.length s in
+        let rec go i =
+          if i + 3 >= n then None
+          else if
+            s.[i] = '\r' && s.[i + 1] = '\n' && s.[i + 2] = '\r' && s.[i + 3] = '\n'
+          then Some i
+          else go (i + 1)
+        in
+        go 0
+      in
+      let content_length head =
+        let prefix = "content-length:" in
+        match
+          List.find_map
+            (fun line ->
+              let l = String.lowercase_ascii line in
+              if String.length l >= String.length prefix
+                 && String.sub l 0 (String.length prefix) = prefix
+              then
+                int_of_string_opt
+                  (String.trim
+                     (String.sub l (String.length prefix)
+                        (String.length l - String.length prefix)))
+              else None)
+            (String.split_on_char '\n' head)
+        with
+        | Some n -> n
+        | None -> failwith "SERVE-KEEPALIVE: response lacks Content-Length"
+      in
+      (* consume exactly one response off [fd]'s buffered stream *)
+      let rec read_one fd =
+        let s = Buffer.contents buf in
+        match find_crlf2 s with
+        | None ->
+          refill fd;
+          read_one fd
+        | Some i ->
+          let total = i + 4 + content_length (String.sub s 0 i) in
+          if String.length s < total then begin
+            refill fd;
+            read_one fd
+          end
+          else begin
+            Buffer.clear buf;
+            Buffer.add_substring buf s total (String.length s - total)
+          end
+      in
+      let close_n = max 50 (scaled 400) in
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to close_n do
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd addr;
+        send_all fd (request ~close:true);
+        Buffer.clear buf;
+        read_one fd;
+        try Unix.close fd with Unix.Unix_error _ -> ()
+      done;
+      let close_s = Unix.gettimeofday () -. t0 in
+      let batch = 20 in
+      let batches = max 10 (scaled 200) in
+      let batch_req =
+        String.concat "" (List.init batch (fun _ -> request ~close:false))
+      in
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.connect fd addr;
+      Buffer.clear buf;
+      let t0 = Unix.gettimeofday () in
+      for _ = 1 to batches do
+        send_all fd batch_req;
+        for _ = 1 to batch do
+          read_one fd
+        done
+      done;
+      let reuse_s = Unix.gettimeofday () -. t0 in
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      let close_rps = float_of_int close_n /. close_s in
+      let reuse_rps = float_of_int (batch * batches) /. reuse_s in
+      let ratio = reuse_rps /. close_rps in
+      serve_keepalive_close_rps := close_rps;
+      serve_keepalive_reuse_rps := reuse_rps;
+      serve_keepalive_ratio := ratio;
+      Format.printf
+        "  connection-per-request %.0f req/s, pipelined keep-alive (batches of \
+         %d) %.0f req/s — %.1fx@."
+        close_rps batch reuse_rps ratio;
+      check "keep-alive + pipelining >= 3x connection-per-request" (ratio >= 3.))
+
 (* ---------------- PERF (bechamel) ---------------- *)
 
 let perf () =
@@ -1264,6 +1419,11 @@ let emit_json ~micro path =
     "  \"serve_obs\": {\"bare_ms_per_req\": %s, \"instrumented_ms_per_req\": %s, \
      \"overhead_ratio\": %s},\n"
     (num !serve_obs_bare_ms) (num !serve_obs_instr_ms) (num !serve_obs_ratio);
+  pr
+    "  \"serve_keepalive\": {\"close_rps\": %s, \"reuse_rps\": %s, \
+     \"speedup_ratio\": %s},\n"
+    (num !serve_keepalive_close_rps) (num !serve_keepalive_reuse_rps)
+    (num !serve_keepalive_ratio);
   pr "  \"checks\": {\"passed\": %d, \"failed\": %d}\n}\n" !passes !failures;
   let oc = open_out path in
   output_string oc (Buffer.contents buf);
@@ -1340,6 +1500,7 @@ let () =
   timed "CHECKPOINT" checkpoint_overhead;
   timed "SERVE" serve_cache;
   timed "SERVE-OBS" serve_obs;
+  timed "SERVE-KEEPALIVE" serve_keepalive;
   let micro = ref [] in
   timed "PERF" (fun () -> micro := perf ());
   emit_json ~micro:!micro "BENCH_tpan.json";

@@ -1573,7 +1573,8 @@ let top_cmd =
    context by the handler. *)
 let serve_cmd =
   let run host port socket deadline jobs log_level cache_mb cache_dir max_states
-      no_telemetry slow_ms access_log flight no_ledger ledger_dir =
+      no_telemetry slow_ms access_log flight no_ledger ledger_dir workers
+      max_requests_per_conn idle_timeout max_inflight warm =
     handle_errors (fun () ->
         (match jobs with
          | None -> ()
@@ -1610,6 +1611,20 @@ let serve_cmd =
               (if no_ledger then None
                else
                  Some (match ledger_dir with Some d -> d | None -> Obs.Ledger.default_dir ()));
+            workers =
+              (match workers with
+              | 0 -> Tpan_par.Pool.recommended_jobs ()
+              | n when n > 0 -> n
+              | _ -> fail_input "--workers expects a non-negative count (0 = auto)");
+            max_requests_per_conn;
+            idle_timeout;
+            max_inflight;
+            warm =
+              (match warm with
+              | None -> []
+              | Some s ->
+                List.filter (fun m -> m <> "")
+                  (List.map String.trim (String.split_on_char ',' s)));
           }
         in
         Tpan_serve.Serve.run
@@ -1671,9 +1686,9 @@ let serve_cmd =
       & opt (some string) None
       & info [ "cache-dir" ] ~docv:"DIR"
           ~doc:
-            "Persist closed-form artifacts as NDJSON under $(docv) (e.g. \
-             $(b,.tpan/cache)); a restarted server reloads them and skips the symbolic \
-             build.")
+            "Persist artifacts (closed forms, concrete TRGs, reports, point \
+             evaluations) as NDJSON under $(docv) (e.g. $(b,.tpan/cache)); a restarted \
+             server replays every kind and skips the rebuilds.")
   in
   let no_telemetry_arg =
     Arg.(
@@ -1728,6 +1743,55 @@ let serve_cmd =
              $(b,serve:<endpoint>), queried by $(b,tpan runs --stats)); default \
              $(b,.tpan) or \\$TPAN_DIR.")
   in
+  let workers_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "workers" ] ~docv:"N"
+          ~doc:
+            "Accept-loop worker domains ($(b,0) = auto). With more than one, TCP \
+             listeners use SO_REUSEPORT for kernel-balanced accepts where available; \
+             otherwise the workers share the listeners under an accept mutex. Each \
+             worker reports $(b,worker)-labelled request counters and a heartbeat in \
+             /statusz.")
+  in
+  let max_requests_per_conn_arg =
+    Arg.(
+      value & opt int 1000
+      & info
+          [ "max-requests-per-conn" ]
+          ~docv:"N"
+          ~doc:
+            "Keep-alive budget: close a connection after serving $(docv) requests \
+             ($(b,0) = unlimited).")
+  in
+  let idle_timeout_arg =
+    Arg.(
+      value & opt float 30.
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Close a keep-alive connection idle for $(docv) seconds; the same budget \
+             bounds each read inside a request (a mid-body stall answers 408).")
+  in
+  let max_inflight_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-inflight" ] ~docv:"N"
+          ~doc:
+            "Admission limit: at most $(docv) POST analyses compute concurrently, up \
+             to twice as many queue, and anything beyond is answered \
+             $(b,503 + Retry-After). Introspection endpoints never queue.")
+  in
+  let warm_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "warm" ] ~docv:"NET[,NET...]"
+          ~doc:
+            "Pre-build the named builtin models (reports and concrete TRGs, or closed \
+             forms for symbolic models) before announcing ready, so first requests hit \
+             a hot cache — with --cache-dir, this also seeds the persisted artifacts.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1739,7 +1803,8 @@ let serve_cmd =
       const run $ host_arg $ port_arg $ socket_arg $ deadline_arg $ jobs_arg
       $ log_level_arg $ cache_budget_arg $ cache_dir_arg $ max_states_arg
       $ no_telemetry_arg $ slow_ms_arg $ access_log_arg $ flight_arg $ no_ledger_arg
-      $ ledger_dir_arg)
+      $ ledger_dir_arg $ workers_arg $ max_requests_per_conn_arg $ idle_timeout_arg
+      $ max_inflight_arg $ warm_arg)
 
 (* ----- version ----- *)
 

@@ -14,6 +14,11 @@ type config = {
   flight_path : string option;
   access_log : string option;
   ledger_dir : string option;
+  workers : int;
+  max_requests_per_conn : int;
+  idle_timeout : float;
+  max_inflight : int option;
+  warm : string list;
 }
 
 let default_config =
@@ -29,9 +34,19 @@ let default_config =
     flight_path = None;
     access_log = None;
     ledger_dir = None;
+    workers = 1;
+    max_requests_per_conn = 1000;
+    idle_timeout = 30.;
+    max_inflight = None;
+    warm = [];
   }
 
-type response = { status : int; content_type : string; body : string }
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+  headers : (string * string) list;
+}
 
 (* ----- telemetry plane -----
 
@@ -73,9 +88,69 @@ let ep_latency ep =
 let error_type_of_status = function
   | s when s < 400 -> None
   | 504 -> Some "timeout"
-  | 400 | 404 | 405 | 413 -> Some "http"
+  | 400 | 404 | 405 | 408 | 413 | 501 -> Some "http"
   | 422 -> Some "app"
+  | 503 -> Some "overload"
   | _ -> Some "internal"
+
+(* Process-wide counters are plain mutable ints; with a multi-domain
+   accept loop their increments would race and drop. Request accounting
+   therefore serializes through one stats mutex — the critical sections
+   are a handful of integer bumps, invisible next to even a cached
+   request. *)
+let stats_lock = Mutex.create ()
+
+(* ----- per-worker accept loop stats -----
+
+   Each accept worker registers itself here at spawn: its RED counters
+   are labelled [{worker="k"}] (single-writer, so plain-int counters
+   stay exact) and /statusz lists the workers with a last-activity
+   heartbeat, making a wedged accept loop visible at a glance. *)
+
+type worker_stats = {
+  w_id : int;
+  w_requests : Obs.Metrics.Counter.t;
+  w_connections : Obs.Metrics.Counter.t;
+  mutable w_last_beat : float;
+}
+
+let workers_tbl : (int, worker_stats) Hashtbl.t = Hashtbl.create 8
+let workers_lock = Mutex.create ()
+
+let current_worker : worker_stats option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let worker_reset () =
+  Mutex.protect workers_lock (fun () -> Hashtbl.reset workers_tbl)
+
+let worker_register k =
+  let w =
+    {
+      w_id = k;
+      w_requests =
+        Obs.Metrics.counter_with "serve.worker.requests"
+          [ ("worker", string_of_int k) ];
+      w_connections =
+        Obs.Metrics.counter_with "serve.worker.connections"
+          [ ("worker", string_of_int k) ];
+      w_last_beat = Unix.gettimeofday ();
+    }
+  in
+  Mutex.protect workers_lock (fun () -> Hashtbl.replace workers_tbl k w);
+  Domain.DLS.get current_worker := Some w;
+  w
+
+let worker_note_request () =
+  match !(Domain.DLS.get current_worker) with
+  | Some w ->
+    Obs.Metrics.Counter.incr w.w_requests;
+    w.w_last_beat <- Unix.gettimeofday ()
+  | None -> ()
+
+let workers_list () =
+  Mutex.protect workers_lock (fun () ->
+      Hashtbl.fold (fun _ w acc -> w :: acc) workers_tbl [])
+  |> List.sort (fun a b -> compare a.w_id b.w_id)
 
 (* In-flight requests, keyed by trace id. The handler publishes each
    request here for /statusz and keeps a domain-local pointer so the
@@ -184,6 +259,105 @@ exception Http_error of int * string
 exception App_error of Tpan.Error.t
 
 let bad msg = raise (Http_error (400, msg))
+
+(* ----- admission control -----
+
+   Analysis requests (the POST endpoints) pass through a small admission
+   gate: at most [max_inflight] compute concurrently, up to twice that
+   many wait their turn, and anything beyond is turned away immediately
+   with [503 + Retry-After] rather than queued into a latency cliff.
+   Introspection endpoints never queue — an overloaded server must still
+   answer /metrics and /statusz. *)
+
+module Admission = struct
+  exception Overloaded of int (* suggested Retry-After, seconds *)
+
+  let lock = Mutex.create ()
+  let turnstile = Condition.create ()
+  let active = ref 0
+  let waiting = ref 0
+  let m_queued = lazy (Obs.Metrics.counter "serve.admission.queued")
+  let m_rejected = lazy (Obs.Metrics.counter "serve.admission.rejected")
+
+  let with_slot config f =
+    match config.max_inflight with
+    | None -> f ()
+    | Some limit ->
+      let limit = max 1 limit in
+      Mutex.lock lock;
+      if !active >= limit && !waiting >= 2 * limit then begin
+        Mutex.unlock lock;
+        Mutex.protect stats_lock (fun () ->
+            Obs.Metrics.Counter.incr (Lazy.force m_rejected));
+        raise (Overloaded 1)
+      end;
+      if !active >= limit then begin
+        incr waiting;
+        Mutex.protect stats_lock (fun () ->
+            Obs.Metrics.Counter.incr (Lazy.force m_queued));
+        while !active >= limit do
+          Condition.wait turnstile lock
+        done;
+        decr waiting
+      end;
+      incr active;
+      Mutex.unlock lock;
+      Fun.protect f ~finally:(fun () ->
+          Mutex.lock lock;
+          decr active;
+          Condition.signal turnstile;
+          Mutex.unlock lock)
+end
+
+(* ----- /sweep single-flight -----
+
+   Grid sweeps are the expensive POSTs, and fan-in traffic (a dashboard
+   refreshing, N clients asking the same question) tends to ask for the
+   same grid at once. Identical concurrent sweeps — same canonical net,
+   same dispatch parameters — coalesce onto one leader computing on the
+   worker pool while followers block on its result; they are exact
+   duplicates, so the followers' envelopes share the leader's trace id.
+   Leader failures propagate the same exception to every follower and
+   are never cached beyond the flight. *)
+
+module Singleflight = struct
+  type outcome = Done of response | Failed of exn
+
+  type entry = { mutable outcome : outcome option }
+
+  let lock = Mutex.create ()
+  let done_ = Condition.create ()
+  let flights : (string, entry) Hashtbl.t = Hashtbl.create 8
+  let m_coalesced = lazy (Obs.Metrics.counter "serve.sweep.coalesced")
+
+  let run key f =
+    Mutex.lock lock;
+    match Hashtbl.find_opt flights key with
+    | Some e ->
+      let rec await () =
+        match e.outcome with
+        | Some o -> o
+        | None ->
+          Condition.wait done_ lock;
+          await ()
+      in
+      let o = await () in
+      Mutex.unlock lock;
+      Mutex.protect stats_lock (fun () ->
+          Obs.Metrics.Counter.incr (Lazy.force m_coalesced));
+      (match o with Done r -> r | Failed e -> raise e)
+    | None ->
+      let e = { outcome = None } in
+      Hashtbl.replace flights key e;
+      Mutex.unlock lock;
+      let o = match f () with r -> Done r | exception exn -> Failed exn in
+      Mutex.lock lock;
+      e.outcome <- Some o;
+      Hashtbl.remove flights key;
+      Condition.broadcast done_;
+      Mutex.unlock lock;
+      (match o with Done r -> r | Failed e -> raise e)
+end
 
 (* ----- request JSON helpers ----- *)
 
@@ -295,14 +469,19 @@ let envelope ~kind ~net_hash ~exit_code fields =
     :: ("exit_code", J.Int exit_code)
     :: fields)
 
-let json status doc =
-  { status; content_type = "application/json"; body = J.to_string_hum doc ^ "\n" }
+let json ?(headers = []) status doc =
+  {
+    status;
+    content_type = "application/json";
+    body = J.to_string_hum doc ^ "\n";
+    headers;
+  }
 
 let status_of_error e =
   match Tpan.Error.exit_code e with 6 -> 504 | 2 -> 400 | _ -> 422
 
-let error_response ?net_hash status ~exit_code msg =
-  json status
+let error_response ?(headers = []) ?net_hash status ~exit_code msg =
+  json ~headers status
     (envelope ~kind:"error" ~net_hash ~exit_code [ ("error", J.Str msg) ])
 
 let qf q = Format.asprintf "%a" (Q.pp_decimal ~digits:6) q
@@ -422,16 +601,41 @@ let h_sweep config obj =
   let bindings = bindings_field "bindings" obj in
   let axes = axes_field obj in
   let jobs = int_field "jobs" obj in
-  match Tpan.Artifact.sweep_exprs ?max_states ?jobs canonical ~transitions ~bindings ~axes with
-  | Ok sw ->
-    json 200
-      (envelope ~kind:"sweep"
-         ~net_hash:(Some (Tpan.Canonical.hash canonical))
-         ~exit_code:0 (sweep_fields sw))
-  | Error e ->
-    error_response
-      ~net_hash:(Tpan.Canonical.hash canonical)
-      (status_of_error e) ~exit_code:(Tpan.Error.exit_code e) (Tpan.Error.to_string e)
+  (* the coalescing key is exactly the dispatch inputs: two requests that
+     agree on it receive byte-identical grids *)
+  let key =
+    String.concat "|"
+      [
+        Tpan.Canonical.hash canonical;
+        (match max_states with Some n -> string_of_int n | None -> "-");
+        (match jobs with Some n -> string_of_int n | None -> "-");
+        String.concat "," transitions;
+        String.concat ","
+          (List.sort String.compare
+             (List.map (fun (n, q) -> n ^ "=" ^ Q.to_string q) bindings));
+        String.concat ","
+          (List.map
+             (fun (a : Tpan_perf.Sweep.axis) ->
+               Printf.sprintf "%s=%s..%s:%d" a.name (Q.to_string a.lo)
+                 (Q.to_string a.hi) a.steps)
+             axes);
+      ]
+  in
+  Singleflight.run key (fun () ->
+      match
+        Tpan.Artifact.sweep_exprs ?max_states ?jobs canonical ~transitions ~bindings
+          ~axes
+      with
+      | Ok sw ->
+        json 200
+          (envelope ~kind:"sweep"
+             ~net_hash:(Some (Tpan.Canonical.hash canonical))
+             ~exit_code:0 (sweep_fields sw))
+      | Error e ->
+        error_response
+          ~net_hash:(Tpan.Canonical.hash canonical)
+          (status_of_error e) ~exit_code:(Tpan.Error.exit_code e)
+          (Tpan.Error.to_string e))
 
 (* ----- introspection endpoints ----- *)
 
@@ -454,7 +658,8 @@ let html_page ~title body =
      <html><head><meta charset=\"utf-8\"><title>%s</title><style>body{font-family:ui-monospace,SFMono-Regular,Menlo,monospace;margin:1.5em}table{border-collapse:collapse;margin:.8em 0}td,th{border:1px solid #bbb;padding:2px 10px;text-align:left}th{background:#eee}h1{font-size:1.2em}h2{font-size:1em;margin-top:1.2em}.slow{color:#b00;font-weight:bold}</style></head><body><h1>%s</h1>%s</body></html>\n"
     (html_escape title) (html_escape title) body
 
-let html status body = { status; content_type = "text/html; charset=utf-8"; body }
+let html status body =
+  { status; content_type = "text/html; charset=utf-8"; body; headers = [] }
 
 let table headers rows =
   let cell tag s = Printf.sprintf "<%s>%s</%s>" tag s tag in
@@ -500,6 +705,20 @@ let statusz_json () =
             ("inflight", J.Int (List.length infl));
           ] );
       ("caches", J.List (cache_stats_json ()));
+      ( "workers",
+        J.List
+          (List.map
+             (fun w ->
+               J.Obj
+                 [
+                   ("worker", J.Int w.w_id);
+                   ("lane", J.Int w.w_id);
+                   ("requests", J.Int (Obs.Metrics.Counter.value w.w_requests));
+                   ( "connections",
+                     J.Int (Obs.Metrics.Counter.value w.w_connections) );
+                   ("idle_s", J.Float (now -. w.w_last_beat));
+                 ])
+             (workers_list ())) );
       ( "heartbeats",
         J.List
           (List.map
@@ -630,6 +849,7 @@ let dispatch config ~meth ~path ~query ~body =
       status = 200;
       content_type = "application/openmetrics-text; version=1.0.0; charset=utf-8";
       body = Obs.Metrics.to_openmetrics ();
+      headers = [];
     }
   | "GET", "/statusz" ->
     if wants_html query then html 200 (statusz_html ())
@@ -637,9 +857,12 @@ let dispatch config ~meth ~path ~query ~body =
   | "GET", "/tracez" ->
     if wants_html query then html 200 (tracez_html ())
     else json 200 (Obs.Tracez.to_json ())
-  | "POST", "/analyze" -> h_analyze config (obj_of_body body)
-  | "POST", "/eval" -> h_eval config (obj_of_body body)
-  | "POST", "/sweep" -> h_sweep config (obj_of_body body)
+  | "POST", "/analyze" ->
+    Admission.with_slot config (fun () -> h_analyze config (obj_of_body body))
+  | "POST", "/eval" ->
+    Admission.with_slot config (fun () -> h_eval config (obj_of_body body))
+  | "POST", "/sweep" ->
+    Admission.with_slot config (fun () -> h_sweep config (obj_of_body body))
   | _, ("/healthz" | "/metrics" | "/statusz" | "/tracez" | "/analyze" | "/eval" | "/sweep") ->
     raise (Http_error (405, Printf.sprintf "%s not allowed here" meth))
   | _ -> raise (Http_error (404, "no such endpoint"))
@@ -740,7 +963,9 @@ let ledger_row config ~req ~status ~dur ~stages =
 
 let handle config ~meth ~target ~body =
   let t0 = Unix.gettimeofday () in
-  Obs.Metrics.Counter.incr (Lazy.force m_requests);
+  Mutex.protect stats_lock (fun () ->
+      Obs.Metrics.Counter.incr (Lazy.force m_requests));
+  worker_note_request ();
   let path, query = split_target target in
   let endpoint = normalize_endpoint path in
   let name = meth ^ " " ^ endpoint in
@@ -761,7 +986,8 @@ let handle config ~meth ~target ~body =
     else None
   in
   if config.telemetry then begin
-    Obs.Metrics.Counter.incr (ep_requests endpoint);
+    Mutex.protect stats_lock (fun () ->
+        Obs.Metrics.Counter.incr (ep_requests endpoint));
     inflight_add req
   end;
   let resp =
@@ -771,20 +997,26 @@ let handle config ~meth ~target ~body =
         | App_error e ->
           error_response (status_of_error e) ~exit_code:(Tpan.Error.exit_code e)
             (Tpan.Error.to_string e)
+        | Admission.Overloaded retry_after ->
+          error_response
+            ~headers:[ ("Retry-After", string_of_int retry_after) ]
+            503 ~exit_code:1 "server overloaded, try again shortly"
         | Obs.Cancel.Cancelled reason ->
           error_response 504 ~exit_code:6 (Obs.Cancel.reason_to_string reason)
         | exn -> error_response 500 ~exit_code:1 (Printexc.to_string exn))
   in
   let dur = Unix.gettimeofday () -. t0 in
-  if resp.status = 504 then Obs.Metrics.Counter.incr (Lazy.force m_timeouts);
-  if resp.status >= 400 then Obs.Metrics.Counter.incr (Lazy.force m_errors);
-  Obs.Metrics.Histogram.observe (Lazy.force m_latency) dur;
+  Mutex.protect stats_lock (fun () ->
+      if resp.status = 504 then Obs.Metrics.Counter.incr (Lazy.force m_timeouts);
+      if resp.status >= 400 then Obs.Metrics.Counter.incr (Lazy.force m_errors);
+      Obs.Metrics.Histogram.observe (Lazy.force m_latency) dur);
   if config.telemetry then begin
     inflight_remove req;
-    Obs.Metrics.Histogram.observe ~trace_id:tid (ep_latency endpoint) dur;
-    (match error_type_of_status resp.status with
-    | Some ty -> Obs.Metrics.Counter.incr (ep_errors endpoint ty)
-    | None -> ());
+    Mutex.protect stats_lock (fun () ->
+        Obs.Metrics.Histogram.observe ~trace_id:tid (ep_latency endpoint) dur;
+        match error_type_of_status resp.status with
+        | Some ty -> Obs.Metrics.Counter.incr (ep_errors endpoint ty)
+        | None -> ());
     let slow =
       match config.slow_ms with Some ms -> dur *. 1000. >= ms | None -> false
     in
@@ -811,159 +1043,435 @@ let handle config ~meth ~target ~body =
 
 (* ----- the HTTP/1.1 listener -----
 
-   One connection at a time, one request per connection
-   ([Connection: close]): the artifacts are cached and the analyses
-   parallelize internally, so the accept loop stays trivially correct
-   under SIGTERM. *)
+   Connections are persistent: each one parses requests in a loop from
+   a buffer that survives across requests (the pipelining window),
+   honours [Connection: close]/[keep-alive], and is bounded by
+   [max_requests_per_conn] and an idle timeout carried by a
+   {!Obs.Cancel} deadline token. Accepting fans out over
+   [config.workers] service domains. *)
 
 let status_text = function
   | 200 -> "OK"
   | 400 -> "Bad Request"
   | 404 -> "Not Found"
   | 405 -> "Method Not Allowed"
+  | 408 -> "Request Timeout"
   | 413 -> "Content Too Large"
   | 422 -> "Unprocessable Content"
   | 500 -> "Internal Server Error"
+  | 501 -> "Not Implemented"
+  | 503 -> "Service Unavailable"
   | 504 -> "Gateway Timeout"
   | _ -> "Unknown"
 
 let max_header_bytes = 64 * 1024
 
-(* Read until the header terminator, returning (header, leftover-body
-   bytes already read). *)
-let read_head fd =
-  let buf = Buffer.create 1024 in
-  let chunk = Bytes.create 4096 in
-  let rec split_at i =
-    if i + 3 < Buffer.length buf then
-      if
-        Buffer.nth buf i = '\r'
-        && Buffer.nth buf (i + 1) = '\n'
-        && Buffer.nth buf (i + 2) = '\r'
-        && Buffer.nth buf (i + 3) = '\n'
-      then Some i
-      else split_at (i + 1)
-    else None
-  in
-  let rec go scanned =
-    match split_at scanned with
-    | Some i ->
-      let all = Buffer.contents buf in
-      Some (String.sub all 0 i, String.sub all (i + 4) (String.length all - i - 4))
-    | None ->
-      if Buffer.length buf > max_header_bytes then
-        raise (Http_error (400, "request head too large"))
-      else
-        let n = Unix.read fd chunk 0 (Bytes.length chunk) in
-        if n = 0 then None
-        else begin
-          Buffer.add_subbytes buf chunk 0 n;
-          go (max 0 (Buffer.length buf - n - 3))
-        end
-  in
-  go 0
+(* The client vanished: EOF or EPIPE/ECONNRESET at the wrong moment.
+   Never fatal — the connection is counted, logged and dropped. *)
+exception Client_gone of string
 
-let read_body fd ~already ~length =
-  let buf = Buffer.create length in
-  Buffer.add_string buf already;
-  let chunk = Bytes.create 8192 in
-  while Buffer.length buf < length do
-    let n = Unix.read fd chunk 0 (min (Bytes.length chunk) (length - Buffer.length buf)) in
-    if n = 0 then raise (Http_error (400, "request body truncated"));
-    Buffer.add_subbytes buf chunk 0 n
-  done;
-  Buffer.contents buf
+(* The current request stalled mid-transfer past the idle budget with
+   bytes already committed: answered 408, then the connection closes. *)
+exception Conn_stalled of string
 
-let parse_request_line line =
-  match String.split_on_char ' ' (String.trim line) with
-  | [ meth; target; _version ] -> (meth, target)
-  | _ -> raise (Http_error (400, "malformed request line"))
+exception Shutting_down
 
-let content_length headers =
-  let lower = String.lowercase_ascii in
-  List.fold_left
-    (fun acc line ->
-      match String.index_opt line ':' with
-      | Some i when lower (String.trim (String.sub line 0 i)) = "content-length" -> (
-        let v = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
-        match int_of_string_opt v with
-        | Some n when n >= 0 -> Some n
-        | _ -> raise (Http_error (400, "bad Content-Length")))
-      | _ -> acc)
-    None headers
+let m_client_aborts = lazy (Obs.Metrics.counter "serve.client_aborts")
 
-let write_all fd s =
-  let b = Bytes.of_string s in
-  let rec go off =
-    if off < Bytes.length b then
-      let n = Unix.write fd b off (Bytes.length b - off) in
-      go (off + n)
-  in
-  go 0
+(* ----- shutdown plumbing: the self-pipe -----
 
-let write_response fd resp =
-  write_all fd
-    (Printf.sprintf
-       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
-        close\r\n\r\n%s"
-       resp.status (status_text resp.status) resp.content_type
-       (String.length resp.body) resp.body)
+   Signal handlers set the stop flag and write one byte to a pipe that
+   every blocking select in every worker watches, so shutdown breaks
+   those waits immediately — the seed's accept loop instead polled on a
+   fixed 0.25s tick, quantizing shutdown latency (and, with keep-alive,
+   it would have quantized idle reaping too). The byte is deliberately
+   never drained: once stopping, every selector must keep waking. *)
 
-let serve_connection config fd =
-  match read_head fd with
-  | None -> () (* peer connected and went away *)
-  | Some (head, leftover) ->
-    let resp =
-      try
-        let lines = String.split_on_char '\n' head in
-        let lines = List.map (fun l -> String.trim l) lines in
-        let request_line, headers =
-          match lines with [] -> raise (Http_error (400, "empty request")) | l :: hs -> (l, hs)
-        in
-        let meth, target = parse_request_line request_line in
-        let length = Option.value (content_length headers) ~default:0 in
-        if length > config.max_body then raise (Http_error (413, "request body too large"));
-        let body = read_body fd ~already:leftover ~length in
-        handle config ~meth ~target ~body
-      with Http_error (status, msg) ->
-        Obs.Metrics.Counter.incr (Lazy.force m_errors);
-        error_response status ~exit_code:2 msg
-    in
-    write_response fd resp
+let stop = Atomic.make false
+let wake_write : Unix.file_descr option Atomic.t = Atomic.make None
 
-let stop_requested = ref false
+let request_stop () =
+  Atomic.set stop true;
+  match Atomic.get wake_write with
+  | Some fd -> (
+    try ignore (Unix.write fd (Bytes.make 1 '!') 0 1) with Unix.Unix_error _ -> ())
+  | None -> ()
+
+let shutdown = request_stop
 
 let install_signals () =
-  let h = Sys.Signal_handle (fun _ -> stop_requested := true) in
+  let h = Sys.Signal_handle (fun _ -> request_stop ()) in
   Sys.set_signal Sys.sigterm h;
   Sys.set_signal Sys.sigint h;
+  (* a peer closing mid-response must surface as EPIPE on the write,
+     not kill the process *)
   try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ()
 
+(* ----- buffered connection reads ----- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  inbuf : Buffer.t;  (** bytes read but not yet consumed *)
+  wake : Unix.file_descr option;
+}
+
+let wait_readable conn ~deadline =
+  let rec go () =
+    if Atomic.get stop then raise Shutting_down;
+    let timeout = deadline -. Obs.Mclock.now () in
+    if timeout <= 0. then `Timeout
+    else begin
+      (* heartbeat per wait, so /statusz shows live lanes even when every
+         worker is parked in a keep-alive read *)
+      Obs.Cancel.checkpoint ();
+      match Unix.select (conn.fd :: Option.to_list conn.wake) [] [] timeout with
+      | [], _, _ -> `Timeout
+      | fds, _, _ ->
+        if Atomic.get stop then raise Shutting_down
+        else if List.memq conn.fd fds then `Readable
+        else raise Shutting_down (* only the wake pipe fired *)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+    end
+  in
+  go ()
+
+(* One read into the connection buffer. [`Again] covers EINTR and
+   spurious wakeups — callers loop, and the select above keeps the loop
+   from spinning on a silent socket. *)
+let refill conn ~deadline =
+  match wait_readable conn ~deadline with
+  | `Timeout -> `Timeout
+  | `Readable -> (
+    let chunk = Bytes.create 65536 in
+    match Unix.read conn.fd chunk 0 (Bytes.length chunk) with
+    | 0 -> `Eof
+    | n ->
+      Buffer.add_subbytes conn.inbuf chunk 0 n;
+      `Filled
+    | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _)
+      -> `Again
+    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      raise (Client_gone "read: peer reset"))
+
+let consume conn k =
+  let all = Buffer.contents conn.inbuf in
+  let taken = String.sub all 0 k in
+  Buffer.clear conn.inbuf;
+  Buffer.add_substring conn.inbuf all k (String.length all - k);
+  taken
+
+let find_terminator buf ~from =
+  let n = Buffer.length buf in
+  let rec go i =
+    if i + 3 >= n then None
+    else if
+      Buffer.nth buf i = '\r'
+      && Buffer.nth buf (i + 1) = '\n'
+      && Buffer.nth buf (i + 2) = '\r'
+      && Buffer.nth buf (i + 3) = '\n'
+    then Some i
+    else go (i + 1)
+  in
+  go (max 0 from)
+
+(* ----- request framing ----- *)
+
+type head = {
+  meth : string;
+  target : string;
+  version : string;
+  req_headers : (string * string) list;  (** names lowercased *)
+}
+
+let parse_head raw =
+  let lines = List.map String.trim (String.split_on_char '\n' raw) in
+  let request_line, header_lines =
+    match lines with
+    | [] -> raise (Http_error (400, "empty request"))
+    | l :: hs -> (l, hs)
+  in
+  let meth, target, version =
+    match String.split_on_char ' ' request_line with
+    | [ meth; target; version ] -> (meth, target, version)
+    | _ -> raise (Http_error (400, "malformed request line"))
+  in
+  let req_headers =
+    List.filter_map
+      (fun line ->
+        match String.index_opt line ':' with
+        | Some i ->
+          Some
+            ( String.lowercase_ascii (String.trim (String.sub line 0 i)),
+              String.trim (String.sub line (i + 1) (String.length line - i - 1)) )
+        | None -> None)
+      header_lines
+  in
+  { meth; target; version; req_headers }
+
+let content_length req_headers =
+  match List.assoc_opt "content-length" req_headers with
+  | None -> None
+  | Some v -> (
+    match int_of_string_opt v with
+    | Some n when n >= 0 -> Some n
+    | _ -> raise (Http_error (400, "bad Content-Length")))
+
+(* Chunked framing is not implemented; misparsing it as an unframed
+   body would desynchronize the connection, so refuse loudly. *)
+let reject_chunked req_headers =
+  match List.assoc_opt "transfer-encoding" req_headers with
+  | Some v when String.lowercase_ascii (String.trim v) <> "identity" ->
+    raise (Http_error (501, "Transfer-Encoding unsupported (send Content-Length)"))
+  | _ -> ()
+
+let has_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* HTTP/1.1 defaults to persistent; 1.0 (and anything unrecognized)
+   to close. An explicit [Connection] token wins either way. *)
+let wants_keep_alive head =
+  match Option.map String.lowercase_ascii (List.assoc_opt "connection" head.req_headers) with
+  | Some v when has_substring v "close" -> false
+  | Some v when has_substring v "keep-alive" -> true
+  | _ -> head.version = "HTTP/1.1"
+
+(* The idle budget rides on a [Cancel] deadline token — the same
+   machinery request deadlines use — so the absolute instant the wait
+   gives up at is computed once, not re-derived per select round. *)
+let idle_deadline config =
+  let token = Obs.Cancel.create ~deadline_in:(max 0.01 config.idle_timeout) () in
+  match Obs.Cancel.deadline token with
+  | Some d -> d
+  | None -> Obs.Mclock.now () +. config.idle_timeout
+
+(* One full request head off the connection, or [None] on a clean
+   end-of-stream / idle expiry between requests. Timeouts and EOF with
+   a request already underway are errors: the client committed bytes
+   and stalled. *)
+let read_request config conn =
+  let deadline = idle_deadline config in
+  let rec await from =
+    match find_terminator conn.inbuf ~from with
+    | Some i ->
+      let raw = consume conn (i + 4) in
+      Some (String.sub raw 0 i)
+    | None ->
+      if Buffer.length conn.inbuf > max_header_bytes then
+        raise (Http_error (400, "request head too large"));
+      let idle = Buffer.length conn.inbuf = 0 in
+      let from = max 0 (Buffer.length conn.inbuf - 3) in
+      (match refill conn ~deadline with
+      | `Filled | `Again -> await from
+      | `Timeout -> if idle then None else raise (Conn_stalled "request head")
+      | `Eof -> if idle then None else raise (Client_gone "eof inside request head"))
+  in
+  await 0
+
+(* The size check precedes any allocation: a hostile Content-Length
+   costs nothing, and the buffer only ever grows by bytes actually
+   received. *)
+let read_body config conn ~length =
+  if length > config.max_body then
+    raise (Http_error (413, "request body too large"));
+  let deadline = idle_deadline config in
+  let rec go () =
+    if Buffer.length conn.inbuf >= length then consume conn length
+    else
+      match refill conn ~deadline with
+      | `Filled | `Again -> go ()
+      | `Timeout -> raise (Conn_stalled "request body")
+      | `Eof -> raise (Client_gone "eof inside request body")
+  in
+  go ()
+
+(* ----- response writes ----- *)
+
+(* Retries short writes, EINTR and EAGAIN (a slow client draining a
+   large /sweep grid); EPIPE/ECONNRESET abort just this connection. *)
+let write_all fd s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      match Unix.write fd b off (len - off) with
+      | n -> go (off + n)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        (match Unix.select [] [ fd ] [] 1.0 with
+        | _ -> ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+        go off
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+        raise (Client_gone "write: peer closed")
+  in
+  go 0
+
+let write_response config fd resp ~keep_alive =
+  let extra =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) resp.headers)
+  in
+  let conn_header =
+    if keep_alive then
+      Printf.sprintf "Connection: keep-alive\r\nKeep-Alive: timeout=%d\r\n"
+        (max 1 (int_of_float config.idle_timeout))
+    else "Connection: close\r\n"
+  in
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.1 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n%s%s\r\n%s"
+       resp.status (status_text resp.status) resp.content_type
+       (String.length resp.body) extra conn_header resp.body)
+
+(* Framing-level failures close the connection: after a malformed head,
+   an oversized or stalled body, resynchronizing on the stream would
+   risk reading body bytes as a request line. Application errors
+   (404/422/504/...) answer and keep the connection. *)
+let closing_status = function 400 | 408 | 413 | 501 -> true | _ -> false
+
+let serve_connection config conn =
+  let limit =
+    if config.max_requests_per_conn <= 0 then max_int
+    else config.max_requests_per_conn
+  in
+  let rec next served =
+    if Atomic.get stop || served >= limit then ()
+    else
+      match read_request config conn with
+      | None -> () (* clean close: idle expiry or end-of-stream *)
+      | Some raw ->
+        let head = parse_head raw in
+        reject_chunked head.req_headers;
+        let length = Option.value (content_length head.req_headers) ~default:0 in
+        let body = read_body config conn ~length in
+        let resp = handle config ~meth:head.meth ~target:head.target ~body in
+        let keep =
+          wants_keep_alive head
+          && (not (closing_status resp.status))
+          && served + 1 < limit
+          && not (Atomic.get stop)
+        in
+        write_response config conn.fd resp ~keep_alive:keep;
+        if keep then next (served + 1)
+  in
+  try next 0 with
+  | Shutting_down -> ()
+  | Http_error (status, msg) ->
+    Mutex.protect stats_lock (fun () ->
+        Obs.Metrics.Counter.incr (Lazy.force m_errors));
+    (try write_response config conn.fd (error_response status ~exit_code:2 msg) ~keep_alive:false
+     with Client_gone _ -> ())
+  | Conn_stalled what ->
+    Mutex.protect stats_lock (fun () ->
+        Obs.Metrics.Counter.incr (Lazy.force m_errors));
+    (try
+       write_response config conn.fd
+         (error_response 408 ~exit_code:2 ("timed out reading " ^ what))
+         ~keep_alive:false
+     with Client_gone _ -> ())
+  | Client_gone reason ->
+    Mutex.protect stats_lock (fun () ->
+        Obs.Metrics.Counter.incr (Lazy.force m_client_aborts));
+    Obs.Log.debug "serve: client gone" ~fields:[ ("reason", J.Str reason) ]
+
+(* ----- listeners and the accept plane ----- *)
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let bind_tcp ?(reuseport = false) host port =
+  let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match
+    Unix.setsockopt s Unix.SO_REUSEADDR true;
+    if reuseport then Unix.setsockopt s Unix.SO_REUSEPORT true;
+    Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_of_string host, port));
+    Unix.listen s 128;
+    Unix.set_nonblock s
+  with
+  | () -> s
+  | exception e ->
+    close_quietly s;
+    raise e
+
+let bound_port s =
+  match Unix.getsockname s with Unix.ADDR_INET (_, p) -> Some p | _ -> None
+
 let run ?(ready = fun _ -> ()) config =
-  stop_requested := false;
+  Atomic.set stop false;
+  worker_reset ();
   install_signals ();
-  let listeners = ref [] in
+  let wake_read, wake_w = Unix.pipe () in
+  Atomic.set wake_write (Some wake_w);
+  let workers = max 1 config.workers in
+  (* [shared] listeners are watched by every worker under an accept
+     mutex; [private_listeners.(k)] belong to worker [k] alone. With
+     SO_REUSEPORT available and a TCP-only, multi-worker configuration,
+     each worker gets its own kernel-balanced TCP listener; unix-domain
+     sockets (and platforms rejecting the option) use the shared set. *)
+  let shared = ref [] in
+  let private_listeners = Array.make workers [] in
   let tcp_port = ref None in
   (match config.port with
   | None -> ()
   | Some p ->
-    let s = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-    Unix.setsockopt s Unix.SO_REUSEADDR true;
-    Unix.bind s (Unix.ADDR_INET (Unix.inet_addr_of_string config.host, p));
-    Unix.listen s 64;
-    (match Unix.getsockname s with
-    | Unix.ADDR_INET (_, bound) -> tcp_port := Some bound
-    | _ -> ());
-    listeners := s :: !listeners);
+    let bind_shared () =
+      let s = bind_tcp config.host p in
+      tcp_port := bound_port s;
+      shared := s :: !shared
+    in
+    if workers = 1 || config.socket_path <> None then bind_shared ()
+    else begin
+      let opened = ref [] in
+      match
+        let first = bind_tcp ~reuseport:true config.host p in
+        opened := [ first ];
+        let actual = Option.value (bound_port first) ~default:p in
+        for _ = 2 to workers do
+          opened := bind_tcp ~reuseport:true config.host actual :: !opened
+        done;
+        (first, List.rev !opened)
+      with
+      | first, all ->
+        tcp_port := bound_port first;
+        List.iteri (fun k s -> private_listeners.(k) <- [ s ]) all
+      | exception _ ->
+        List.iter close_quietly !opened;
+        bind_shared ()
+    end);
   (match config.socket_path with
   | None -> ()
   | Some path ->
     (try Unix.unlink path with Unix.Unix_error _ -> ());
     let s = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
     Unix.bind s (Unix.ADDR_UNIX path);
-    Unix.listen s 64;
-    listeners := s :: !listeners);
-  if !listeners = [] then invalid_arg "serve: no listen address (need a port or a socket path)";
+    Unix.listen s 128;
+    Unix.set_nonblock s;
+    shared := s :: !shared);
+  if !shared = [] && Array.for_all (fun l -> l = []) private_listeners then
+    invalid_arg "serve: no listen address (need a port or a socket path)";
+  (* warm the artifact caches before announcing ready: the listeners
+     already hold the port (connections queue in the backlog), but
+     [ready] and the log line wait until requests will be answered from
+     a hot cache *)
+  if config.warm <> [] then begin
+    let t0 = Obs.Mclock.now () in
+    List.iter
+      (fun (name, result) ->
+        match result with
+        | Ok () -> Obs.Log.info "serve: warmed" ~fields:[ ("model", J.Str name) ]
+        | Error e ->
+          Obs.Log.warn "serve: warm failed"
+            ~fields:
+              [ ("model", J.Str name); ("error", J.Str (Tpan.Error.to_string e)) ])
+      (Tpan.Artifact.warm ?max_states:config.max_states config.warm);
+    Obs.Log.info "serve: warm-up complete"
+      ~fields:
+        [
+          ("models", J.Int (List.length config.warm));
+          ("seconds", J.Float (Obs.Mclock.now () -. t0));
+        ]
+  end;
   ready !tcp_port;
   Obs.Log.info "serve: listening"
     ~fields:
@@ -971,36 +1479,84 @@ let run ?(ready = fun _ -> ()) config =
         ("port", (match !tcp_port with Some p -> J.Int p | None -> J.Null));
         ( "socket",
           match config.socket_path with Some p -> J.Str p | None -> J.Null );
+        ("workers", J.Int workers);
         ("telemetry", J.Bool config.telemetry);
         ( "slow_ms",
           match config.slow_ms with Some ms -> J.Float ms | None -> J.Null );
         ( "access_log",
           match config.access_log with Some p -> J.Str p | None -> J.Null );
       ];
-  let rec loop () =
-    if not !stop_requested then begin
-      (match Unix.select !listeners [] [] 0.25 with
-      | [], _, _ -> ()
-      | ready_socks, _, _ ->
-        List.iter
-          (fun sock ->
-            match Unix.accept sock with
-            | fd, _ ->
-              Fun.protect
-                ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
-                (fun () ->
-                  try serve_connection config fd
-                  with exn ->
-                    Obs.Log.warn "serve: connection failed"
-                      ~fields:[ ("error", J.Str (Printexc.to_string exn)) ])
-            | exception Unix.Unix_error ((Unix.EINTR | Unix.EAGAIN), _, _) -> ())
-          ready_socks
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
-      loop ()
+  let accept_lock = Mutex.create () in
+  (* Try to accept one connection from [listeners]; [None] means retry
+     (spurious wakeup, EAGAIN race) or shutdown. The select blocks
+     without a timeout — the wake pipe is the only way out. *)
+  let accept_from listeners =
+    if Atomic.get stop then None
+    else begin
+      Obs.Cancel.checkpoint ();
+      match Unix.select (wake_read :: listeners) [] [] (-1.) with
+      | fds, _, _ ->
+        if Atomic.get stop then None
+        else
+          List.find_map
+            (fun s ->
+              if not (List.memq s fds) then None
+              else
+                match Unix.accept s with
+                | fd, _ -> Some fd
+                | exception
+                    Unix.Unix_error
+                      ( ( Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR
+                        | Unix.ECONNABORTED ),
+                        _,
+                        _ ) ->
+                  None)
+            listeners
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
     end
   in
-  loop ();
-  List.iter (fun s -> try Unix.close s with Unix.Unix_error _ -> ()) !listeners;
+  let accept_shared () =
+    Mutex.lock accept_lock;
+    let r = accept_from !shared in
+    Mutex.unlock accept_lock;
+    r
+  in
+  let worker_loop k =
+    let w = worker_register k in
+    let accept_once () =
+      if private_listeners.(k) = [] then accept_shared ()
+      else accept_from private_listeners.(k)
+    in
+    let rec loop () =
+      if not (Atomic.get stop) then begin
+        (match accept_once () with
+        | None -> ()
+        | Some fd ->
+          (* single-writer per-worker counters: no lock needed *)
+          Obs.Metrics.Counter.incr w.w_connections;
+          w.w_last_beat <- Unix.gettimeofday ();
+          (try Unix.setsockopt fd Unix.TCP_NODELAY true
+           with Unix.Unix_error _ | Invalid_argument _ -> ());
+          (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
+          let conn = { fd; inbuf = Buffer.create 4096; wake = Some wake_read } in
+          Fun.protect
+            ~finally:(fun () -> close_quietly fd)
+            (fun () ->
+              try serve_connection config conn
+              with exn ->
+                Obs.Log.warn "serve: connection failed"
+                  ~fields:[ ("error", J.Str (Printexc.to_string exn)) ]));
+        loop ()
+      end
+    in
+    loop ()
+  in
+  Tpan_par.Pool.Service.run ~workers worker_loop;
+  Atomic.set wake_write None;
+  List.iter close_quietly !shared;
+  Array.iter (List.iter close_quietly) private_listeners;
+  close_quietly wake_read;
+  close_quietly wake_w;
   (match config.socket_path with
   | Some path -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
   | None -> ());

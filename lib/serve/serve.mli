@@ -48,10 +48,31 @@
     Responses are schema-2 envelopes: [schema], [kind], [trace_id],
     [net_hash], [exit_code], then the payload.
 
-    Requests are handled sequentially on the accepting thread —
-    analysis itself parallelizes inside via [Tpan_par.Pool], and the
-    cache makes repeated requests cheap; a connection-per-domain
-    front end can be grafted on without touching the handlers. *)
+    {b Connections.} HTTP/1.1 keep-alive with pipelining: each
+    connection parses requests in a loop from a persistent buffer
+    (bytes of request N+1 arriving with request N are served without
+    another socket read), honours [Connection: close]/[keep-alive]
+    (1.0 defaults to close, 1.1 to keep-alive), and is bounded by
+    [max_requests_per_conn] and an [idle_timeout] carried on a
+    {!Tpan_obs.Cancel} deadline token. A mid-request stall answers
+    [408] and closes; framing errors ([400]/[413]/[501 chunked])
+    close after answering; a vanished peer (EOF/EPIPE/ECONNRESET) is
+    a logged, counted ([serve.client_aborts]), non-fatal abort.
+
+    {b Workers.} Accepting fans out over [workers] long-running
+    domains ({!Tpan_par.Pool.Service}): with SO_REUSEPORT available
+    and a TCP-only configuration each worker owns a kernel-balanced
+    listener, otherwise all workers share the listener set under an
+    accept mutex. Each worker carries [{worker="k"}]-labelled RED
+    counters and a last-activity heartbeat in [/statusz]. Shutdown
+    (SIGTERM/SIGINT or {!shutdown}) wakes every blocking select
+    through a self-pipe immediately — no polling tick.
+
+    {b Load shedding.} With [max_inflight] set, POST endpoints admit
+    at most that many concurrent analyses, queue up to twice as many,
+    and answer [503 + Retry-After] beyond; introspection endpoints
+    never queue. Identical concurrent [/sweep] requests (same
+    canonical net and grid) coalesce onto one computation. *)
 
 type config = {
   host : string;  (** IP to bind, e.g. ["127.0.0.1"] *)
@@ -72,20 +93,45 @@ type config = {
   access_log : string option;  (** NDJSON access-log path *)
   ledger_dir : string option;
       (** when set, append one run-ledger row per request there *)
+  workers : int;  (** accept-loop domains (default 1) *)
+  max_requests_per_conn : int;
+      (** keep-alive budget per connection; [<= 0] means unlimited *)
+  idle_timeout : float;
+      (** seconds a connection may sit idle between requests (and the
+          per-read stall budget inside a request) *)
+  max_inflight : int option;
+      (** admission limit for concurrent POST analyses; [None] admits
+          everything *)
+  warm : string list;
+      (** builtin models to pre-build before announcing ready *)
 }
 
 val default_config : config
 (** [127.0.0.1:8080], no Unix socket, no deadline, 8 MiB body cap;
-    telemetry on, no slow threshold, no access log, no ledger rows. *)
+    telemetry on, no slow threshold, no access log, no ledger rows;
+    1 worker, 1000 requests per connection, 30s idle timeout, no
+    admission limit, no warm-up. *)
 
-type response = { status : int; content_type : string; body : string }
+type response = {
+  status : int;
+  content_type : string;
+  body : string;
+  headers : (string * string) list;  (** extra headers, e.g. Retry-After *)
+}
 
 val handle : config -> meth:string -> target:string -> body:string -> response
 (** The pure request handler the listener dispatches to, exposed so
     tests can drive the full request path (context minting, artifact
-    cache, envelopes, status mapping, telemetry) without sockets. *)
+    cache, envelopes, status mapping, admission, telemetry) without
+    sockets. *)
 
 val run : ?ready:(int option -> unit) -> config -> unit
-(** Bind, announce via [ready] (the actually-bound TCP port — useful
-    with [port = Some 0]), then serve until SIGTERM/SIGINT, finishing
-    the in-flight request before closing the sockets. *)
+(** Bind, warm the caches ([config.warm]), announce via [ready] (the
+    actually-bound TCP port — useful with [port = Some 0]), then serve
+    until SIGTERM/SIGINT/{!shutdown}, finishing in-flight requests
+    before closing the sockets. *)
+
+val shutdown : unit -> unit
+(** Ask a running server to stop, from any domain: sets the stop flag
+    and wakes every worker's blocking wait through the self-pipe. The
+    signal handlers call exactly this. *)

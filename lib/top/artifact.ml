@@ -47,17 +47,69 @@ type caches = {
 let caches_cell : caches option ref = ref None
 let caches_mutex = Mutex.create ()
 
+(* The report codec lives here rather than in [Tpan_cache.Codec]: the
+   record is defined by this library, which the cache layer must not
+   depend on. Exact throughout — every rational renders via
+   [Q.to_string] and parses back unchanged. *)
+let report_to_json (r : Analysis.report) =
+  let q_opt = function None -> J.Null | Some q -> Codec.q_to_json q in
+  J.Obj
+    [
+      ("model", (match r.Analysis.model with None -> J.Null | Some m -> J.Str m));
+      ("states", J.Int r.Analysis.states);
+      ("edges", J.Int r.Analysis.edges);
+      ("decision_nodes", J.Int r.Analysis.decision_nodes);
+      ("mean_cycle_time", q_opt r.Analysis.mean_cycle_time);
+      ("deterministic_period", q_opt r.Analysis.deterministic_period);
+      ( "throughputs",
+        J.List
+          (List.map
+             (fun (name, q) -> J.List [ J.Str name; Codec.q_to_json q ])
+             r.Analysis.throughputs) );
+    ]
+
+let report_of_json doc =
+  let exception Bad in
+  let need = function Some x -> x | None -> raise Bad in
+  let int = function J.Int n -> n | _ -> raise Bad in
+  let q_opt = function J.Null -> None | j -> Some (need (Codec.q_of_json j)) in
+  try
+    Some
+      {
+        Analysis.model =
+          (match need (J.member "model" doc) with
+          | J.Null -> None
+          | J.Str m -> Some m
+          | _ -> raise Bad);
+        states = int (need (J.member "states" doc));
+        edges = int (need (J.member "edges" doc));
+        decision_nodes = int (need (J.member "decision_nodes" doc));
+        mean_cycle_time = q_opt (need (J.member "mean_cycle_time" doc));
+        deterministic_period = q_opt (need (J.member "deterministic_period" doc));
+        throughputs =
+          (match need (J.member "throughputs" doc) with
+          | J.List rows ->
+            List.map
+              (function
+                | J.List [ J.Str name; qj ] -> (name, need (Codec.q_of_json qj))
+                | _ -> raise Bad)
+              rows
+          | _ -> raise Bad);
+      }
+  with Bad -> None
+
 let make_caches () =
   let { budget_bytes; persist_dir } = !config in
   let mem name = Cache.create ~name ~budget_bytes () in
+  let persisted name encode decode =
+    Cache.create ~name ~budget_bytes ?persist:persist_dir ~encode ~decode ()
+  in
   {
-    trg = mem "trg";
+    trg = persisted "trg" Codec.trg_to_json Codec.trg_of_json;
     symbolic = mem "symbolic";
-    closed =
-      Cache.create ~name:"closed_form" ~budget_bytes ?persist:persist_dir
-        ~encode:Codec.ratfun_to_json ~decode:Codec.ratfun_of_json ();
-    eval_q = mem "eval";
-    report = mem "report";
+    closed = persisted "closed_form" Codec.ratfun_to_json Codec.ratfun_of_json;
+    eval_q = persisted "eval" Codec.q_to_json Codec.q_of_json;
+    report = persisted "report" report_to_json report_of_json;
     sim = mem "sim";
   }
 
@@ -83,8 +135,10 @@ let configure ?budget_bytes ?persist_dir () =
         {
           budget_bytes =
             (match budget_bytes with Some b -> b | None -> c.budget_bytes);
-          persist_dir =
-            (match persist_dir with Some d -> Some d | None -> c.persist_dir);
+          (* full replace, not sticky: [configure ()] turns persistence
+             off again, so a restarted embedder (or a test) can return
+             to memory-only caches *)
+          persist_dir;
         };
       caches_cell := None)
 
@@ -303,3 +357,33 @@ let sim_summary_fields s =
                    ] ))
            s.throughputs) );
   ]
+
+(* ----- warm-start ----- *)
+
+let warm ?max_states names =
+  List.map
+    (fun name ->
+      let result =
+        match Models.find name with
+        | None ->
+          Error (Error.Invalid_input (Printf.sprintf "unknown builtin model %S" name))
+        | Some (m : Models.t) -> (
+          match Error.guard (fun () -> m.Models.make []) with
+          | Error e -> Error e
+          | Ok tpn ->
+            let canonical = Canonical.of_tpn tpn in
+            if Tpn.is_concrete tpn then
+              match analysis ?max_states ~throughputs:m.Models.deliveries canonical with
+              | Error e -> Error e
+              | Ok _ -> Result.map ignore (concrete_trg ?max_states canonical)
+            else
+              List.fold_left
+                (fun acc transition ->
+                  match acc with
+                  | Error _ -> acc
+                  | Ok () ->
+                    Result.map ignore (closed_form ?max_states canonical ~transition))
+                (Ok ()) m.Models.deliveries)
+      in
+      (name, result))
+    names

@@ -32,10 +32,12 @@ val artifact_schema : int
 (** Version stamp carried by every artifact's JSON rendering. *)
 
 val configure : ?budget_bytes:int -> ?persist_dir:string -> unit -> unit
-(** Set the per-cache byte budget (default 128 MiB) and an optional
-    persistence directory (e.g. [".tpan/cache"]) for the artifact kinds
-    with a codec (closed forms). Resets existing caches — call once at
-    startup, before the first artifact request. *)
+(** Set the per-cache byte budget (default 128 MiB) and the persistence
+    directory (e.g. [".tpan/cache"]) for the artifact kinds with a
+    codec — closed forms, point evaluations, concrete TRGs and analysis
+    reports. Omitting [persist_dir] turns persistence off (the setting
+    is replaced, not merged). Resets existing caches — call at startup,
+    before the first artifact request. *)
 
 val reset_caches : unit -> unit
 (** Drop every cached artifact (counters keep their totals). The bench
@@ -142,3 +144,15 @@ val simulate :
 
 val sim_summary_fields : sim_summary -> (string * Tpan_obs.Jsonv.t) list
 (** Envelope-free payload fields (the CLI and server wrap them). *)
+
+(** {1 Warm-start} *)
+
+val warm : ?max_states:int -> string list -> (string * (unit, Error.t) result) list
+(** [warm names] pre-builds the expensive artifacts for each builtin
+    model named: the full analysis report and concrete TRG for concrete
+    models, the closed-form throughput of every default delivery for
+    symbolic ones. Served traffic then starts on a hot cache — and with
+    a persistence directory configured, the first process to warm also
+    seeds the cache files every later process replays. Returns one
+    [(name, result)] per requested model; unknown names and build
+    failures report as [Error] without aborting the rest. *)

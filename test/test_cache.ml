@@ -8,6 +8,7 @@ module Q = Tpan_mathkit.Q
 module Rf = Tpan_symbolic.Ratfun
 module SG = Tpan_core.Symbolic
 module M = Tpan_perf.Measures
+module J = Tpan_obs.Jsonv
 
 (* Metrics counters are find-or-create by name and process-global, so
    every test uses a cache name of its own for clean counts. *)
@@ -149,6 +150,119 @@ let canonical name =
   | Ok tpn -> Tpan.Canonical.of_tpn tpn
   | Error e -> Alcotest.failf "load %s: %s" name (Tpan.Error.to_string e)
 
+(* ----- the concrete-TRG codec ----- *)
+
+let test_trg_codec_round_trip () =
+  Tpan.Artifact.reset_caches ();
+  let g =
+    match Tpan.Artifact.concrete_trg (canonical "stopwait") with
+    | Ok g -> g
+    | Error e -> Alcotest.failf "concrete_trg: %s" (Tpan.Error.to_string e)
+  in
+  let doc = Codec.trg_to_json g in
+  match Codec.trg_of_json doc with
+  | None -> Alcotest.fail "concrete TRG does not decode"
+  | Some back ->
+    Alcotest.(check int) "same state count"
+      (Array.length g.Tpan_core.Semantics.states)
+      (Array.length back.Tpan_core.Semantics.states);
+    (* the decoded graph re-encodes byte-identically: states, edges,
+       markings, delays, probabilities and firing sets all survived *)
+    Alcotest.(check string) "re-encoding is a fixed point" (J.to_string doc)
+      (J.to_string (Codec.trg_to_json back))
+
+let test_trg_codec_rejects_stale_lines () =
+  Tpan.Artifact.reset_caches ();
+  let doc =
+    match Tpan.Artifact.concrete_trg (canonical "stopwait") with
+    | Ok g -> Codec.trg_to_json g
+    | Error e -> Alcotest.failf "concrete_trg: %s" (Tpan.Error.to_string e)
+  in
+  let fields = match doc with J.Obj fs -> fs | _ -> Alcotest.fail "not an object" in
+  let replace k v = J.Obj (List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) fields) in
+  let drop k = J.Obj (List.filter (fun (k', _) -> k' <> k) fields) in
+  (* a cache line written against a different net must not decode into
+     a graph whose indices silently point at the wrong transitions *)
+  let foreign_src =
+    match Tpan.Analysis.load (Tpan.Analysis.Builtin "handshake") with
+    | Ok tpn -> Tpan_dsl.Printer.to_string tpn
+    | Error e -> Alcotest.failf "load handshake: %s" (Tpan.Error.to_string e)
+  in
+  Alcotest.(check bool) "foreign net source rejected" true
+    (Codec.trg_of_json (replace "net" (J.Str foreign_src)) = None);
+  Alcotest.(check bool) "missing states rejected" true
+    (Codec.trg_of_json (drop "states") = None);
+  Alcotest.(check bool) "empty states rejected" true
+    (Codec.trg_of_json (replace "states" (J.List [])) = None);
+  Alcotest.(check bool) "garbage rejected" true
+    (Codec.trg_of_json (J.Str "nonsense") = None)
+
+(* ----- warm-start: persist everything, replay everything ----- *)
+
+let test_warm_start_replays_all_kinds () =
+  let dir = temp_dir () in
+  Tpan.Artifact.configure ~persist_dir:dir ();
+  let deliveries name =
+    match Tpan.Models.find name with
+    | Some m -> m.Tpan.Models.deliveries
+    | None -> Alcotest.failf "no builtin %s" name
+  in
+  let warmed = Tpan.Artifact.warm [ "stopwait"; "stopwait-sym"; "no-such-net" ] in
+  List.iter
+    (fun (name, r) ->
+      match (name, r) with
+      | "no-such-net", Error Tpan.Error.(Invalid_input _) -> ()
+      | "no-such-net", _ -> Alcotest.fail "unknown model must warm as an error"
+      | _, Ok () -> ()
+      | _, Error e -> Alcotest.failf "warm %s: %s" name (Tpan.Error.to_string e))
+    warmed;
+  (* an eval too, so every persistable kind has a line on disk *)
+  let sym = canonical "stopwait-sym" in
+  (match Tpan.Artifact.eval sym ~transition:"t7" ~point with
+  | Ok v -> Alcotest.(check string) "warm eval value" "1805/486672" (Q.to_string v)
+  | Error e -> Alcotest.failf "eval: %s" (Tpan.Error.to_string e));
+  let kinds = [ "trg"; "report"; "closed_form"; "eval" ] in
+  List.iter
+    (fun k ->
+      let f = Filename.concat dir (k ^ ".ndjson") in
+      Alcotest.(check bool) (k ^ " cache file written") true
+        (Sys.file_exists f && (Unix.stat f).Unix.st_size > 0))
+    kinds;
+  let misses k = Tpan_obs.Metrics.counter_value (Printf.sprintf "cache.%s.misses" k) in
+  let before = List.map (fun k -> (k, misses k)) kinds in
+  (* "restart": configure drops every cache, the next artifact call
+     replays the NDJSON — and every kind must answer without a rebuild *)
+  Tpan.Artifact.configure ~persist_dir:dir ();
+  (match Tpan.Artifact.concrete_trg (canonical "stopwait") with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "replayed trg: %s" (Tpan.Error.to_string e));
+  (match
+     Tpan.Artifact.analysis ~throughputs:(deliveries "stopwait") (canonical "stopwait")
+   with
+  | Ok _ -> ()
+  | Error e -> Alcotest.failf "replayed report: %s" (Tpan.Error.to_string e));
+  List.iter
+    (fun transition ->
+      match Tpan.Artifact.closed_form sym ~transition with
+      | Ok _ -> ()
+      | Error e ->
+        Alcotest.failf "replayed closed form %s: %s" transition
+          (Tpan.Error.to_string e))
+    (deliveries "stopwait-sym");
+  (match Tpan.Artifact.eval sym ~transition:"t7" ~point with
+  | Ok v ->
+    Alcotest.(check string) "replayed eval value" "1805/486672" (Q.to_string v)
+  | Error e -> Alcotest.failf "replayed eval: %s" (Tpan.Error.to_string e));
+  List.iter
+    (fun (k, b) ->
+      Alcotest.(check int)
+        (Printf.sprintf "no %s rebuild after restart" k)
+        b (misses k))
+    before;
+  (* back to memory-only caches for the suites that follow *)
+  Tpan.Artifact.configure ();
+  Tpan.Artifact.reset_caches ()
+
 let test_artifact_parallel_sharing () =
   Tpan.Artifact.reset_caches ();
   let c = canonical "stopwait-sym" in
@@ -213,6 +327,12 @@ let suite =
       Alcotest.test_case "errors are never cached" `Quick test_errors_not_cached;
       Alcotest.test_case "expression codec round-trip" `Quick test_codec_round_trip;
       Alcotest.test_case "persistence round-trip" `Quick test_persistence_round_trip;
+      Alcotest.test_case "concrete-TRG codec round-trip" `Quick
+        test_trg_codec_round_trip;
+      Alcotest.test_case "TRG codec rejects stale lines" `Quick
+        test_trg_codec_rejects_stale_lines;
+      Alcotest.test_case "warm-start replays every artifact kind" `Quick
+        test_warm_start_replays_all_kinds;
       Alcotest.test_case "-j4 workers share one artifact" `Quick
         test_artifact_parallel_sharing;
       Alcotest.test_case "cached = fresh closed form" `Quick test_artifact_cached_vs_fresh;
