@@ -1574,7 +1574,7 @@ let top_cmd =
 let serve_cmd =
   let run host port socket deadline jobs log_level cache_mb cache_dir max_states
       no_telemetry slow_ms access_log flight no_ledger ledger_dir workers
-      max_requests_per_conn idle_timeout max_inflight warm =
+      max_requests_per_conn idle_timeout max_inflight max_conns warm =
     handle_errors (fun () ->
         (match jobs with
          | None -> ()
@@ -1619,6 +1619,9 @@ let serve_cmd =
             max_requests_per_conn;
             idle_timeout;
             max_inflight;
+            max_conns =
+              (if max_conns >= 1 then max_conns
+               else fail_input "--max-conns expects a positive count");
             warm =
               (match warm with
               | None -> []
@@ -1782,6 +1785,17 @@ let serve_cmd =
              to twice as many queue, and anything beyond is answered \
              $(b,503 + Retry-After). Introspection endpoints never queue.")
   in
+  let max_conns_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "max-conns" ] ~docv:"N"
+          ~doc:
+            "Concurrent-connection budget: each accepted connection is served on its \
+             own domain, up to $(docv) at once. Beyond it a connection is still \
+             answered — inline by its accept worker, one request, then a forced \
+             $(b,Connection: close) — so keep-alive clients can never starve new \
+             arrivals.")
+  in
   let warm_arg =
     Arg.(
       value
@@ -1804,7 +1818,7 @@ let serve_cmd =
       $ log_level_arg $ cache_budget_arg $ cache_dir_arg $ max_states_arg
       $ no_telemetry_arg $ slow_ms_arg $ access_log_arg $ flight_arg $ no_ledger_arg
       $ ledger_dir_arg $ workers_arg $ max_requests_per_conn_arg $ idle_timeout_arg
-      $ max_inflight_arg $ warm_arg)
+      $ max_inflight_arg $ max_conns_arg $ warm_arg)
 
 (* ----- version ----- *)
 

@@ -195,6 +195,20 @@ let trg_of_json doc =
       || Array.length states <> Array.length out
       || Array.length states = 0
     then raise Bad;
+    (* per-state array shapes must match the reparsed net, or a
+       corrupted-but-well-formed line would decode to [Some] and blow
+       up deep inside analysis code instead of falling back to a
+       rebuild *)
+    let n_places = List.length (Net.places net) in
+    let n_trans = List.length (Net.transitions net) in
+    Array.iter
+      (fun (s : Q.t Sem.state) ->
+        if
+          Array.length s.Sem.marking <> n_places
+          || Array.length s.Sem.ret <> n_trans
+          || Array.length s.Sem.rft <> n_trans
+        then raise Bad)
+      states;
     Array.iter
       (fun es ->
         List.iter

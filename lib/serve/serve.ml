@@ -18,6 +18,7 @@ type config = {
   max_requests_per_conn : int;
   idle_timeout : float;
   max_inflight : int option;
+  max_conns : int;
   warm : string list;
 }
 
@@ -38,6 +39,7 @@ let default_config =
     max_requests_per_conn = 1000;
     idle_timeout = 30.;
     max_inflight = None;
+    max_conns = 32;
     warm = [];
   }
 
@@ -103,9 +105,12 @@ let stats_lock = Mutex.create ()
 (* ----- per-worker accept loop stats -----
 
    Each accept worker registers itself here at spawn: its RED counters
-   are labelled [{worker="k"}] (single-writer, so plain-int counters
-   stay exact) and /statusz lists the workers with a last-activity
-   heartbeat, making a wedged accept loop visible at a glance. *)
+   are labelled [{worker="k"}] and /statusz lists the workers with a
+   last-activity heartbeat, making a wedged accept loop visible at a
+   glance. [w_connections] has the accept loop as its only writer;
+   [w_requests] and the heartbeat are bumped from every connection
+   domain attributed to the worker, so those go through [workers_lock]
+   to keep the plain-int counters exact. *)
 
 type worker_stats = {
   w_id : int;
@@ -143,8 +148,9 @@ let worker_register k =
 let worker_note_request () =
   match !(Domain.DLS.get current_worker) with
   | Some w ->
-    Obs.Metrics.Counter.incr w.w_requests;
-    w.w_last_beat <- Unix.gettimeofday ()
+    Mutex.protect workers_lock (fun () ->
+        Obs.Metrics.Counter.incr w.w_requests;
+        w.w_last_beat <- Unix.gettimeofday ())
   | None -> ()
 
 let workers_list () =
@@ -334,11 +340,30 @@ module Singleflight = struct
     Mutex.lock lock;
     match Hashtbl.find_opt flights key with
     | Some e ->
+      (* A follower waits for the leader's outcome but keeps honoring
+         its own request deadline: with an ambient [Cancel] deadline
+         the wait is chopped into short slices that re-check the token
+         between parks, so a follower whose budget expires while the
+         leader computes unwinds with [Cancelled] (answered as its own
+         504) instead of inheriting the leader's possibly much later
+         outcome. Followers without a deadline park on the condition
+         and wake with the leader's broadcast. *)
+      let timed =
+        match Obs.Cancel.current () with
+        | Some tok -> Obs.Cancel.deadline tok <> None
+        | None -> false
+      in
       let rec await () =
         match e.outcome with
         | Some o -> o
         | None ->
-          Condition.wait done_ lock;
+          if timed then begin
+            Mutex.unlock lock;
+            Obs.Cancel.checkpoint () (* raises past the deadline *);
+            Unix.sleepf 0.01;
+            Mutex.lock lock
+          end
+          else Condition.wait done_ lock;
           await ()
       in
       let o = await () in
@@ -588,6 +613,40 @@ let sweep_fields (sw : Tpan_perf.Sweep.t) =
     ("rows", J.List (List.map row sw.rows));
   ]
 
+(* The /sweep coalescing key is exactly the dispatch inputs — two
+   requests that agree on it receive byte-identical grids — serialized
+   as JSON so every string component (binding names, transition names)
+   is escaped by the encoder: a hostile name containing '='/','/'|'
+   cannot forge the shape of another request and coalesce two
+   semantically different sweeps onto one flight. *)
+let sweep_key ~net_hash ~max_states ~jobs ~transitions ~bindings ~axes =
+  let opt_int = function Some n -> J.Int n | None -> J.Null in
+  J.to_string
+    (J.Obj
+       [
+         ("net", J.Str net_hash);
+         ("max_states", opt_int max_states);
+         ("jobs", opt_int jobs);
+         ("transitions", J.List (List.map (fun t -> J.Str t) transitions));
+         ( "bindings",
+           J.Obj
+             (List.map
+                (fun (n, q) -> (n, J.Str (Q.to_string q)))
+                (List.sort (fun (a, _) (b, _) -> String.compare a b) bindings)) );
+         ( "axes",
+           J.List
+             (List.map
+                (fun (a : Tpan_perf.Sweep.axis) ->
+                  J.Obj
+                    [
+                      ("name", J.Str a.name);
+                      ("lo", J.Str (Q.to_string a.lo));
+                      ("hi", J.Str (Q.to_string a.hi));
+                      ("steps", J.Int a.steps);
+                    ])
+                axes) );
+       ])
+
 let h_sweep config obj =
   let canonical = canonical_of_body obj in
   let max_states =
@@ -601,25 +660,10 @@ let h_sweep config obj =
   let bindings = bindings_field "bindings" obj in
   let axes = axes_field obj in
   let jobs = int_field "jobs" obj in
-  (* the coalescing key is exactly the dispatch inputs: two requests that
-     agree on it receive byte-identical grids *)
   let key =
-    String.concat "|"
-      [
-        Tpan.Canonical.hash canonical;
-        (match max_states with Some n -> string_of_int n | None -> "-");
-        (match jobs with Some n -> string_of_int n | None -> "-");
-        String.concat "," transitions;
-        String.concat ","
-          (List.sort String.compare
-             (List.map (fun (n, q) -> n ^ "=" ^ Q.to_string q) bindings));
-        String.concat ","
-          (List.map
-             (fun (a : Tpan_perf.Sweep.axis) ->
-               Printf.sprintf "%s=%s..%s:%d" a.name (Q.to_string a.lo)
-                 (Q.to_string a.hi) a.steps)
-             axes);
-      ]
+    sweep_key
+      ~net_hash:(Tpan.Canonical.hash canonical)
+      ~max_states ~jobs ~transitions ~bindings ~axes
   in
   Singleflight.run key (fun () ->
       match
@@ -1048,7 +1092,9 @@ let handle config ~meth ~target ~body =
    honours [Connection: close]/[keep-alive], and is bounded by
    [max_requests_per_conn] and an idle timeout carried by a
    {!Obs.Cancel} deadline token. Accepting fans out over
-   [config.workers] service domains. *)
+   [config.workers] service domains; each accepted connection is then
+   served on its own domain (see {!Conns}), so a parked keep-alive
+   client never blocks the accept plane. *)
 
 let status_text = function
   | 200 -> "OK"
@@ -1376,6 +1422,78 @@ let serve_connection config conn =
         Obs.Metrics.Counter.incr (Lazy.force m_client_aborts));
     Obs.Log.debug "serve: client gone" ~fields:[ ("reason", J.Str reason) ]
 
+(* ----- per-connection service domains -----
+
+   With keep-alive as the HTTP/1.1 default, serving a connection inline
+   in its accept worker would let one parked client pin that worker for
+   up to [max_requests_per_conn] requests and starve every other client
+   behind it. Each accepted socket therefore runs on its own domain,
+   bounded by [config.max_conns]; finished domains are joined
+   opportunistically on later accepts and drained at shutdown. When the
+   budget is spent (or the runtime refuses another domain), the worker
+   serves the connection inline but capped to a single request with a
+   forced [Connection: close] — head-of-line blocking bounded to one
+   request instead of an unbounded keep-alive session. *)
+
+module Conns = struct
+  type handle = { dom : unit Domain.t; finished : bool Atomic.t }
+
+  let lock = Mutex.create ()
+  let live : handle list ref = ref []
+  let m_active = lazy (Obs.Metrics.gauge "serve.conns.active")
+  let m_inline = lazy (Obs.Metrics.counter "serve.conns.inline_served")
+
+  (* [finished] flips in the domain's last finalizer, so a handle
+     carrying it joins without blocking. *)
+  let reap () =
+    let done_ =
+      Mutex.protect lock (fun () ->
+          let done_, rest =
+            List.partition (fun h -> Atomic.get h.finished) !live
+          in
+          live := rest;
+          Obs.Metrics.Gauge.set (Lazy.force m_active)
+            (float_of_int (List.length rest));
+          done_)
+    in
+    List.iter (fun h -> Domain.join h.dom) done_
+
+  let try_spawn ~limit f =
+    reap ();
+    Mutex.protect lock (fun () ->
+        if List.length !live >= limit then false
+        else begin
+          let finished = Atomic.make false in
+          match
+            Domain.spawn (fun () ->
+                Fun.protect ~finally:(fun () -> Atomic.set finished true) f)
+          with
+          | dom ->
+            live := { dom; finished } :: !live;
+            Obs.Metrics.Gauge.set (Lazy.force m_active)
+              (float_of_int (List.length !live));
+            true
+          | exception _ ->
+            (* the runtime's domain budget is exhausted (pool workers,
+               other servers in-process): fall back to inline service *)
+            false
+        end)
+
+  let note_inline () =
+    Mutex.protect stats_lock (fun () ->
+        Obs.Metrics.Counter.incr (Lazy.force m_inline))
+
+  let drain () =
+    let hs =
+      Mutex.protect lock (fun () ->
+          let hs = !live in
+          live := [];
+          hs)
+    in
+    List.iter (fun h -> Domain.join h.dom) hs;
+    Obs.Metrics.Gauge.set (Lazy.force m_active) 0.
+end
+
 (* ----- listeners and the accept plane ----- *)
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
@@ -1510,9 +1628,25 @@ let run ?(ready = fun _ -> ()) config =
                         | Unix.ECONNABORTED ),
                         _,
                         _ ) ->
+                  None
+                | exception Unix.Unix_error (err, _, _) ->
+                  (* EMFILE/ENFILE under fd exhaustion, and anything
+                     else unexpected, must never escape and kill the
+                     worker: a dead worker's SO_REUSEPORT listener
+                     stays bound, and the kernel keeps balancing new
+                     connections onto it. Log, back off briefly so a
+                     persistent condition can't spin the loop, retry. *)
+                  Obs.Log.warn "serve: accept failed"
+                    ~fields:[ ("error", J.Str (Unix.error_message err)) ];
+                  Unix.sleepf 0.05;
                   None)
             listeners
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> None
+      | exception Unix.Unix_error (err, _, _) ->
+        Obs.Log.warn "serve: accept select failed"
+          ~fields:[ ("error", J.Str (Unix.error_message err)) ];
+        Unix.sleepf 0.05;
+        None
     end
   in
   let accept_shared () =
@@ -1532,26 +1666,42 @@ let run ?(ready = fun _ -> ()) config =
         (match accept_once () with
         | None -> ()
         | Some fd ->
-          (* single-writer per-worker counters: no lock needed *)
+          (* the accept loop is this counter's only writer *)
           Obs.Metrics.Counter.incr w.w_connections;
-          w.w_last_beat <- Unix.gettimeofday ();
+          Mutex.protect workers_lock (fun () ->
+              w.w_last_beat <- Unix.gettimeofday ());
           (try Unix.setsockopt fd Unix.TCP_NODELAY true
            with Unix.Unix_error _ | Invalid_argument _ -> ());
           (try Unix.clear_nonblock fd with Unix.Unix_error _ -> ());
           let conn = { fd; inbuf = Buffer.create 4096; wake = Some wake_read } in
-          Fun.protect
-            ~finally:(fun () -> close_quietly fd)
-            (fun () ->
-              try serve_connection config conn
-              with exn ->
-                Obs.Log.warn "serve: connection failed"
-                  ~fields:[ ("error", J.Str (Printexc.to_string exn)) ]));
+          let serve config =
+            Fun.protect
+              ~finally:(fun () -> close_quietly fd)
+              (fun () ->
+                try serve_connection config conn
+                with exn ->
+                  Obs.Log.warn "serve: connection failed"
+                    ~fields:[ ("error", J.Str (Printexc.to_string exn)) ])
+          in
+          let spawned =
+            Conns.try_spawn ~limit:(max 1 config.max_conns) (fun () ->
+                (* requests served here still count against worker [k] *)
+                Domain.DLS.get current_worker := Some w;
+                serve config)
+          in
+          if not spawned then begin
+            Conns.note_inline ();
+            serve { config with max_requests_per_conn = 1 }
+          end);
         loop ()
       end
     in
     loop ()
   in
   Tpan_par.Pool.Service.run ~workers worker_loop;
+  (* connection domains select on the wake pipe: drain them before any
+     fd below closes under them *)
+  Conns.drain ();
   Atomic.set wake_write None;
   List.iter close_quietly !shared;
   Array.iter (List.iter close_quietly) private_listeners;

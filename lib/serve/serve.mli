@@ -63,10 +63,16 @@
     domains ({!Tpan_par.Pool.Service}): with SO_REUSEPORT available
     and a TCP-only configuration each worker owns a kernel-balanced
     listener, otherwise all workers share the listener set under an
-    accept mutex. Each worker carries [{worker="k"}]-labelled RED
-    counters and a last-activity heartbeat in [/statusz]. Shutdown
-    (SIGTERM/SIGINT or {!shutdown}) wakes every blocking select
-    through a self-pipe immediately — no polling tick.
+    accept mutex. Each accepted connection is then served on a domain
+    of its own (up to [max_conns]; beyond that, inline with a forced
+    close after one request), so a parked keep-alive client never
+    starves other clients of its accept loop. Each worker carries
+    [{worker="k"}]-labelled RED counters and a last-activity heartbeat
+    in [/statusz]. Shutdown (SIGTERM/SIGINT or {!shutdown}) wakes
+    every blocking select through a self-pipe immediately — no polling
+    tick — and drains live connections before closing the sockets.
+    Accept-path failures (EMFILE under fd exhaustion and kin) are
+    logged and retried after a short back-off, never fatal.
 
     {b Load shedding.} With [max_inflight] set, POST endpoints admit
     at most that many concurrent analyses, queue up to twice as many,
@@ -102,6 +108,11 @@ type config = {
   max_inflight : int option;
       (** admission limit for concurrent POST analyses; [None] admits
           everything *)
+  max_conns : int;
+      (** concurrent-connection budget: each accepted connection is
+          served on its own domain up to this many; beyond it a
+          connection is served inline by its accept worker, capped to
+          one request with a forced [Connection: close] *)
   warm : string list;
       (** builtin models to pre-build before announcing ready *)
 }
@@ -109,8 +120,8 @@ type config = {
 val default_config : config
 (** [127.0.0.1:8080], no Unix socket, no deadline, 8 MiB body cap;
     telemetry on, no slow threshold, no access log, no ledger rows;
-    1 worker, 1000 requests per connection, 30s idle timeout, no
-    admission limit, no warm-up. *)
+    1 worker, 32 concurrent connections, 1000 requests per connection,
+    30s idle timeout, no admission limit, no warm-up. *)
 
 type response = {
   status : int;
@@ -135,3 +146,26 @@ val shutdown : unit -> unit
 (** Ask a running server to stop, from any domain: sets the stop flag
     and wakes every worker's blocking wait through the self-pipe. The
     signal handlers call exactly this. *)
+
+(**/**)
+
+(* White-box test hooks — not part of the service interface. *)
+
+val sweep_key :
+  net_hash:string ->
+  max_states:int option ->
+  jobs:int option ->
+  transitions:string list ->
+  bindings:(string * Tpan_mathkit.Q.t) list ->
+  axes:Tpan_perf.Sweep.axis list ->
+  string
+(** The /sweep single-flight coalescing key: a JSON serialization of
+    the dispatch inputs, so no client-controlled string can forge the
+    shape of another request's key. *)
+
+module Singleflight : sig
+  val run : string -> (unit -> response) -> response
+  (** Coalesce concurrent calls sharing a key onto one leader; a
+      follower carrying an ambient {!Tpan_obs.Cancel} deadline gives up
+      with [Cancelled] when its own budget expires mid-flight. *)
+end

@@ -195,7 +195,30 @@ let test_trg_codec_rejects_stale_lines () =
   Alcotest.(check bool) "empty states rejected" true
     (Codec.trg_of_json (replace "states" (J.List [])) = None);
   Alcotest.(check bool) "garbage rejected" true
-    (Codec.trg_of_json (J.Str "nonsense") = None)
+    (Codec.trg_of_json (J.Str "nonsense") = None);
+  (* per-state array shapes are validated against the reparsed net: a
+     marking or clock vector of the wrong length must fail the decode
+     (and force a rebuild), not surface as out-of-bounds later *)
+  let truncate_in_first_state field = function
+    | J.List (J.Obj st :: rest) ->
+      J.List
+        (J.Obj
+           (List.map
+              (fun (k, v) ->
+                match (k = field, v) with
+                | true, J.List (_ :: tl) -> (k, J.List tl)
+                | _ -> (k, v))
+              st)
+        :: rest)
+    | v -> v
+  in
+  let states = List.assoc "states" fields in
+  Alcotest.(check bool) "truncated marking rejected" true
+    (Codec.trg_of_json (replace "states" (truncate_in_first_state "m" states))
+    = None);
+  Alcotest.(check bool) "truncated clock vector rejected" true
+    (Codec.trg_of_json (replace "states" (truncate_in_first_state "rft" states))
+    = None)
 
 (* ----- warm-start: persist everything, replay everything ----- *)
 

@@ -339,6 +339,55 @@ let test_max_requests_per_conn () =
             (Some "close") (header r3 "connection");
           Alcotest.(check bool) "#4 is never answered" true (recv c = None)))
 
+(* ----- the connection plane: no head-of-line blocking ----- *)
+
+(* The seed served one connection at a time per worker, so with the
+   default single worker a parked keep-alive client (any poller with an
+   interval below the 30s idle timeout) starved every other client.
+   Connections now run on their own domains. *)
+let test_parked_connection_does_not_starve () =
+  with_server base_config (fun port ->
+      let a = connect port in
+      let b = connect port in
+      Fun.protect
+        ~finally:(fun () ->
+          close_client a;
+          close_client b)
+        (fun () ->
+          send a (request "GET" "/healthz" "");
+          Alcotest.(check int) "A served" 200 (recv_exn a "A").status;
+          (* A now sits parked on its keep-alive connection, well inside
+             the idle budget; B must still be answered promptly *)
+          send b (request "GET" "/healthz" "");
+          let r = recv_exn ~timeout:5. b "B while A is parked" in
+          Alcotest.(check int) "B served while A is parked" 200 r.status;
+          (* and A's connection is still usable afterwards *)
+          send a (request "GET" "/healthz" "");
+          Alcotest.(check int) "A again" 200 (recv_exn a "A#2").status))
+
+(* Past the [max_conns] budget a connection is still answered — inline
+   by the accept worker, one request, forced close — so the worker is
+   pinned for at most one request, never a keep-alive session. *)
+let test_conn_capacity_falls_back_to_close () =
+  with_server { base_config with Serve.max_conns = 1 } (fun port ->
+      let a = connect port in
+      let b = connect port in
+      Fun.protect
+        ~finally:(fun () ->
+          close_client a;
+          close_client b)
+        (fun () ->
+          send a (request "GET" "/healthz" "");
+          Alcotest.(check (option string))
+            "A keeps (below the budget)" (Some "keep-alive")
+            (header (recv_exn a "A") "connection");
+          send b (request "GET" "/healthz" "");
+          let r = recv_exn ~timeout:5. b "B at capacity" in
+          Alcotest.(check int) "B answered" 200 r.status;
+          Alcotest.(check (option string))
+            "B forced to close" (Some "close") (header r "connection");
+          Alcotest.(check bool) "B reaches EOF" true (recv b = None)))
+
 (* ----- the multi-worker accept plane ----- *)
 
 let test_two_workers () =
@@ -443,6 +492,60 @@ let test_sweep_single_flight () =
   Alcotest.(check bool) "followers share the leader's response" true
     (List.length distinct <= 4 - coalesced)
 
+(* The coalescing key serializes its components as JSON, so binding
+   names carrying the seed key's separators ('=', ',', '|') can no
+   longer collide two semantically different requests onto one flight
+   (one client would have received the other's response bytes). *)
+let test_sweep_key_unambiguous () =
+  let q = Tpan_mathkit.Q.of_int in
+  let axis = { Tpan_perf.Sweep.name = "a"; lo = q 0; hi = q 1; steps = 2 } in
+  let key bindings transitions =
+    Serve.sweep_key ~net_hash:"h" ~max_states:None ~jobs:None ~transitions
+      ~bindings ~axes:[ axis ]
+  in
+  Alcotest.(check bool) "binding names cannot forge separators" true
+    (key [ ("x=1,y", q 2) ] [ "t" ] <> key [ ("x", q 1); ("y", q 2) ] [ "t" ]);
+  Alcotest.(check bool) "transition lists cannot collide" true
+    (key [] [ "t1,t2" ] <> key [] [ "t1"; "t2" ]);
+  Alcotest.(check bool) "binding order is canonicalized" true
+    (key [ ("x", q 1); ("y", q 2) ] [ "t" ]
+    = key [ ("y", q 2); ("x", q 1) ] [ "t" ])
+
+(* A single-flight follower must honor its own deadline while the
+   leader computes, not inherit the leader's (possibly much later)
+   outcome. *)
+let test_singleflight_follower_deadline () =
+  let entered = Atomic.make false in
+  let release = Atomic.make false in
+  let resp body =
+    { Serve.status = 200; content_type = "text/plain"; body; headers = [] }
+  in
+  let leader =
+    Domain.spawn (fun () ->
+        Serve.Singleflight.run "sf-deadline-test" (fun () ->
+            Atomic.set entered true;
+            while not (Atomic.get release) do
+              Unix.sleepf 0.005
+            done;
+            resp "leader"))
+  in
+  while not (Atomic.get entered) do
+    Unix.sleepf 0.001
+  done;
+  let tok = Tpan_obs.Cancel.create ~deadline_in:0.05 () in
+  let t0 = Unix.gettimeofday () in
+  (match
+     Tpan_obs.Cancel.with_token tok (fun () ->
+         Serve.Singleflight.run "sf-deadline-test" (fun () -> resp "follower"))
+   with
+  | _ -> Alcotest.fail "follower ignored its expired deadline"
+  | exception Tpan_obs.Cancel.Cancelled _ -> ());
+  Alcotest.(check bool) "follower unblocked near its own deadline" true
+    (Unix.gettimeofday () -. t0 < 2.);
+  Atomic.set release true;
+  let r = Domain.join leader in
+  Alcotest.(check string) "leader unaffected" "leader" r.Serve.body
+
 let suite =
   ( "keepalive",
     [
@@ -458,10 +561,18 @@ let suite =
         test_torn_header_and_midstream_hangup;
       Alcotest.test_case "max-requests-per-conn budget" `Quick
         test_max_requests_per_conn;
+      Alcotest.test_case "parked connection starves nobody" `Quick
+        test_parked_connection_does_not_starve;
+      Alcotest.test_case "connection budget falls back to close" `Quick
+        test_conn_capacity_falls_back_to_close;
       Alcotest.test_case "two workers accept and report heartbeats" `Quick
         test_two_workers;
       Alcotest.test_case "overload answers 503 + Retry-After" `Quick
         test_overload_503_with_retry_after;
       Alcotest.test_case "identical sweeps fly once" `Quick
         test_sweep_single_flight;
+      Alcotest.test_case "sweep key is injection-proof" `Quick
+        test_sweep_key_unambiguous;
+      Alcotest.test_case "single-flight follower honors its deadline" `Quick
+        test_singleflight_follower_deadline;
     ] )
